@@ -1,0 +1,145 @@
+(* The reproduction harness: regenerates every table and figure of the paper
+   over the synthetic population, then runs Bechamel micro-benchmarks of the
+   core machinery (hashing, codecs, topology analysis, one build+validate per
+   client profile, and the backtracking ablation).
+
+   Usage:
+     main.exe                 run everything at the default 5% scale
+     main.exe --scale 0.5     choose the population scale (1.0 = Top-1M)
+     main.exe --only table9   one experiment (tableN / figureN / section5.2 /
+                              dataset)
+     main.exe --no-micro      skip the Bechamel micro-benchmarks
+     main.exe --micro-only    only the Bechamel micro-benchmarks *)
+
+open Chaoschain_measurement
+open Chaoschain_core
+open Bechamel
+open Bechamel.Toolkit
+
+let parse_args () =
+  let scale = ref 0.05 and only = ref None and micro = ref true and tables = ref true in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        go rest
+    | "--only" :: v :: rest ->
+        only := Some v;
+        go rest
+    | "--no-micro" :: rest ->
+        micro := false;
+        go rest
+    | "--micro-only" :: rest ->
+        tables := false;
+        go rest
+    | arg :: _ -> failwith ("unknown argument " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!scale, !only, !micro, !tables)
+
+let run_experiments ~scale ~only =
+  Printf.printf "== Synthetic population (scale %.3f => ~%d domains) ==\n%!" scale
+    (int_of_float (Float.round (float_of_int Calibration.full_population *. scale)));
+  let t0 = Sys.time () in
+  let pop = Population.generate ~scale () in
+  Printf.printf "generated in %.1fs; analyzing...\n%!" (Sys.time () -. t0);
+  let analysis = Experiments.analyze pop in
+  Printf.printf "analysis complete at %.1fs\n\n%!" (Sys.time () -. t0);
+  let results = Experiments.run_all analysis in
+  let selected =
+    match only with
+    | None -> results
+    | Some id -> List.filter (fun r -> r.Experiments.id = id) results
+  in
+  List.iter
+    (fun r ->
+      print_endline r.Experiments.body;
+      print_newline ())
+    selected
+
+let micro_tests () =
+  let fx_order = Capability.fixture Capability.Order_reorganization in
+  let fx_aia = Capability.fixture Capability.Aia_completion in
+  let chain_bytes = Chaoschain_tlssim.Certmsg.encode_tls12 fx_order.Capability.served in
+  let sample_der = Chaoschain_x509.Cert.to_der (List.hd fx_order.Capability.served) in
+  let pem_text = Chaoschain_deployment.Pem.encode_certs fx_order.Capability.served in
+  let topo_chain = fx_order.Capability.served in
+  let mini_pop = Population.generate ~scale:0.001 () in
+  let env = Population.env mini_pop in
+  let moex =
+    Array.to_list mini_pop.Population.domains
+    |> List.find (fun r -> r.Population.scenario = Calibration.Fig_moex)
+  in
+  let client_bench (client : Clients.t) fx =
+    Test.make
+      ~name:(Printf.sprintf "build+validate/%s" client.Clients.name)
+      (Staged.stage (fun () -> ignore (Capability.run_client client fx)))
+  in
+  let one_client id =
+    Difftest.run_case_clients env [ Clients.by_id id ] ~domain:moex.Population.domain
+      moex.Population.chain
+  in
+  [ Test.make ~name:"sha256/1KiB"
+      (Staged.stage
+         (let buf = String.make 1024 'x' in
+          fun () -> ignore (Chaoschain_crypto.Sha256.digest buf)));
+    Test.make ~name:"der/decode-certificate"
+      (Staged.stage (fun () -> ignore (Chaoschain_x509.Cert.of_der sample_der)));
+    Test.make ~name:"pem/decode-chain"
+      (Staged.stage (fun () -> ignore (Chaoschain_deployment.Pem.decode_certs pem_text)));
+    Test.make ~name:"tls/certificate-message-decode"
+      (Staged.stage (fun () -> ignore (Chaoschain_tlssim.Certmsg.decode_tls12 chain_bytes)));
+    Test.make ~name:"topology/build+paths"
+      (Staged.stage (fun () ->
+           let t = Topology.build topo_chain in
+           ignore (Topology.paths t)));
+    client_bench (Clients.by_id Clients.Openssl) fx_order;
+    client_bench (Clients.by_id Clients.Mbedtls) fx_order;
+    client_bench (Clients.by_id Clients.Cryptoapi) fx_aia;
+    client_bench (Clients.by_id Clients.Chrome) fx_order;
+    client_bench Clients.reference fx_order;
+    Test.make ~name:"compliance/full-report"
+      (Staged.stage
+         (let r = mini_pop.Population.domains.(0) in
+          fun () -> ignore (Population.compliance_report mini_pop r)));
+    Test.make ~name:"ablation/moex-no-backtracking(OpenSSL)"
+      (Staged.stage (fun () -> ignore (one_client Clients.Openssl)));
+    Test.make ~name:"ablation/moex-backtracking(CryptoAPI)"
+      (Staged.stage (fun () -> ignore (one_client Clients.Cryptoapi))) ]
+
+let run_micro () =
+  Printf.printf "== Bechamel micro-benchmarks ==\n%!";
+  Printf.printf "%-45s %15s %10s\n" "benchmark" "ns/run" "r^2";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let analyze raw =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = analyze raw in
+      Hashtbl.iter
+        (fun name ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> Printf.sprintf "%.1f" e
+            | _ -> "n/a"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "-"
+          in
+          Printf.printf "%-45s %15s %10s\n%!" name estimate r2)
+        results)
+    (micro_tests ())
+
+let () =
+  let scale, only, micro, tables = parse_args () in
+  if tables then run_experiments ~scale ~only;
+  if micro then run_micro ()

@@ -1,0 +1,269 @@
+(* chaoscheck — command-line front end of the reproduction.
+
+   Subcommands:
+     scenario  — write the served PEM chain of a named deployment scenario
+     analyze   — server-side structural compliance report over a PEM chain
+     difftest  — validate a PEM chain in all eight client models
+     matrix    — the Table 9 capability matrix
+     reproduce — regenerate paper tables/figures (same engine as bench) *)
+
+open Cmdliner
+open Chaoschain_core
+open Chaoschain_measurement
+module Pem = Chaoschain_deployment.Pem
+
+(* A shared lab population; scenario/analyze/difftest operate inside the same
+   simulated universe so certificates parse and verify consistently. *)
+let lab = lazy (Population.generate ~scale:0.002 ())
+
+let scenario_names =
+  List.filter_map
+    (fun (s, n) ->
+      if n > 0 then Some (Calibration.scenario_to_string s, s) else None)
+    Calibration.ledger
+
+let find_record scenario =
+  let pop = Lazy.force lab in
+  Array.to_list pop.Population.domains
+  |> List.find_opt (fun r -> r.Population.scenario = scenario)
+
+(* --- scenario --- *)
+
+let scenario_cmd =
+  let name_arg =
+    let doc = "Scenario name (substring match); try 'reversed', 'duplicate', \
+               'incomplete', 'cross'. Use --list for all names." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List all scenario names.")
+  in
+  let run list_them name =
+    if list_them then begin
+      List.iter (fun (n, _) -> print_endline n) scenario_names;
+      `Ok ()
+    end
+    else
+      match name with
+      | None -> `Error (true, "scenario name required (or --list)")
+      | Some needle -> (
+          let lower = String.lowercase_ascii needle in
+          let matches (n, _) =
+            let n = String.lowercase_ascii n in
+            let ln = String.length lower and nn = String.length n in
+            let rec contains i =
+              i + ln <= nn && (String.sub n i ln = lower || contains (i + 1))
+            in
+            contains 0
+          in
+          match List.find_opt matches scenario_names with
+          | None -> `Error (false, "no scenario matches " ^ needle)
+          | Some (label, scenario) -> (
+              match find_record scenario with
+              | None -> `Error (false, "scenario not present in lab population")
+              | Some r ->
+                  Printf.eprintf "# %s — domain %s\n" label r.Population.domain;
+                  print_string (Pem.encode_certs r.Population.chain);
+                  `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Emit the PEM chain a scenario's server serves")
+    Term.(ret (const run $ list_arg $ name_arg))
+
+(* --- shared PEM input --- *)
+
+let chain_arg =
+  let doc = "PEM file holding the served certificate list ('-' for stdin)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CHAIN.pem" ~doc)
+
+let domain_arg =
+  let doc = "Domain name the chain was served for." in
+  Arg.(value & opt string "example.com" & info [ "domain"; "d" ] ~doc)
+
+let read_chain path =
+  let text =
+    if path = "-" then In_channel.input_all stdin
+    else In_channel.with_open_text path In_channel.input_all
+  in
+  Pem.decode_certs text
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run path domain =
+    match read_chain path with
+    | Error e -> `Error (false, e)
+    | Ok [] -> `Error (false, "no certificates in input")
+    | Ok certs ->
+        let pop = Lazy.force lab in
+        let u = pop.Population.universe in
+        let report =
+          Compliance.analyze
+            ~store:(Chaoschain_pki.Universe.union_store u)
+            ~aia:(Chaoschain_pki.Universe.aia u) ~domain certs
+        in
+        Format.printf "%a@." Compliance.pp_report report;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Server-side structural compliance report")
+    Term.(ret (const run $ chain_arg $ domain_arg))
+
+(* --- difftest --- *)
+
+let difftest_cmd =
+  let run path domain =
+    match read_chain path with
+    | Error e -> `Error (false, e)
+    | Ok certs ->
+        let pop = Lazy.force lab in
+        let env = Population.env pop in
+        let case = Difftest.run_case env ~domain certs in
+        List.iter
+          (fun r ->
+            Printf.printf "%-14s %s\n" r.Difftest.client.Clients.name
+              r.Difftest.message)
+          case.Difftest.results;
+        (match Difftest.classify case with
+        | [] -> print_endline "all clients agree"
+        | causes ->
+            List.iter
+              (fun c -> print_endline ("cause: " ^ Difftest.cause_to_string c))
+              causes);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "difftest" ~doc:"Validate a chain in all eight client models")
+    Term.(ret (const run $ chain_arg $ domain_arg))
+
+(* --- matrix --- *)
+
+let matrix_cmd =
+  let run () =
+    print_endline (Experiments.table9 ()).Experiments.body;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Client capability matrix (Table 9)")
+    Term.(ret (const run $ const ()))
+
+(* --- recommend --- *)
+
+let recommend_cmd =
+  let run path domain =
+    match read_chain path with
+    | Error e -> `Error (false, e)
+    | Ok certs ->
+        let pop = Lazy.force lab in
+        let u = pop.Population.universe in
+        let report =
+          Compliance.analyze
+            ~store:(Chaoschain_pki.Universe.union_store u)
+            ~aia:(Chaoschain_pki.Universe.aia u) ~domain certs
+        in
+        (match Recommend.server_advice report with
+        | [] -> print_endline "deployment is compliant; nothing to recommend"
+        | advice ->
+            List.iter
+              (fun a ->
+                Printf.printf "[%s] (%s) %s\n"
+                  (match a.Recommend.severity with `Must -> "MUST" | `Should -> "SHOULD")
+                  (Recommend.audience_to_string a.Recommend.audience)
+                  a.Recommend.text)
+              advice;
+            (match Recommend.corrected_chain report with
+            | Some fixed ->
+                Printf.eprintf "# corrected chain follows\n";
+                print_string (Pem.encode_certs fixed)
+            | None -> print_endline "(no self-contained correction possible)"));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "recommend"
+       ~doc:"Section 6 remediation advice (and a corrected chain if derivable)")
+    Term.(ret (const run $ chain_arg $ domain_arg))
+
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let iterations_arg =
+    Arg.(value & opt int 500 & info [ "iterations"; "n" ] ~doc:"Fuzzing iterations.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 4242 & info [ "seed" ] ~doc:"PRNG seed.")
+  in
+  let run iterations seed =
+    let pop = Lazy.force lab in
+    let env = Population.env pop in
+    let seeds =
+      Array.to_list pop.Population.domains
+      |> List.filteri (fun i _ -> i mod 17 = 0)
+      |> List.map (fun r -> (r.Population.domain, r.Population.chain))
+    in
+    let rng = Chaoschain_crypto.Prng.create (Int64.of_int seed) in
+    let report = Fuzzer.run ~env ~rng ~iterations seeds in
+    Printf.printf "%d iterations, %d divergences, %d crashes\n" report.Fuzzer.iterations
+      (List.length report.Fuzzer.divergences)
+      (List.length report.Fuzzer.crashes);
+    List.iteri
+      (fun i d ->
+        if i < 10 then Format.printf "%a@." Fuzzer.pp_divergence d)
+      report.Fuzzer.divergences;
+    if report.Fuzzer.crashes <> [] then begin
+      List.iter
+        (fun (ms, e) ->
+          Printf.printf "CRASH [%s]: %s\n"
+            (String.concat "; " (List.map Fuzzer.mutation_to_string ms))
+            e)
+        report.Fuzzer.crashes;
+      `Error (false, "fuzzer found crashes")
+    end
+    else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Frankencert-style structural fuzzing of the eight client models")
+    Term.(ret (const run $ iterations_arg $ seed_arg))
+
+(* --- reproduce --- *)
+
+let reproduce_cmd =
+  let scale_arg =
+    Arg.(value & opt float 0.05
+         & info [ "scale" ] ~doc:"Population scale (1.0 = Tranco Top-1M).")
+  in
+  let only_arg =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~doc:"Single experiment id (e.g. table5, figure4).")
+  in
+  let run scale only =
+    let pop = Population.generate ~scale () in
+    let analysis = Experiments.analyze pop in
+    let results = Experiments.run_all analysis in
+    let selected =
+      match only with
+      | None -> results
+      | Some id -> List.filter (fun r -> r.Experiments.id = id) results
+    in
+    if selected = [] then `Error (false, "unknown experiment id")
+    else begin
+      List.iter
+        (fun r ->
+          print_endline r.Experiments.body;
+          print_newline ())
+        selected;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "reproduce" ~doc:"Regenerate the paper's tables and figures")
+    Term.(ret (const run $ scale_arg $ only_arg))
+
+let () =
+  let doc = "Web PKI certificate-chain deployment and construction analysis" in
+  let info = Cmd.info "chaoscheck" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ scenario_cmd; analyze_cmd; difftest_cmd; matrix_cmd; recommend_cmd;
+            fuzz_cmd; reproduce_cmd ]))

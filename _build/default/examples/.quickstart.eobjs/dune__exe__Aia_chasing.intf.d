@@ -1,0 +1,1 @@
+examples/aia_chasing.mli:

@@ -1,0 +1,1 @@
+examples/cross_sign_paths.ml: Cert Chaoschain_core Chaoschain_measurement Chaoschain_pki Chaoschain_x509 Clients Difftest Engine Issue List Population Printf Topology Universe

@@ -1,0 +1,1 @@
+examples/cross_sign_paths.mli:

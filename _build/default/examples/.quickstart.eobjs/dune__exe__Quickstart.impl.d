@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aia_repo Chaoschain_core Chaoschain_crypto Chaoschain_pki Chaoschain_tlssim Chaoschain_x509 Clients Compliance Difftest Dn Extension Format Issue List Printf Root_store Vtime

@@ -1,0 +1,1 @@
+examples/revocation.ml: Build_params Chaoschain_core Chaoschain_crypto Chaoschain_pki Chaoschain_x509 Crl Crl_registry Dn Engine Extension Issue List Path_builder Printf Root_store Vtime

@@ -1,0 +1,46 @@
+(* Figure 4 replayed: a chain with several candidate paths, one through an
+   untrusted root. Non-backtracking clients commit to the bad path; clients
+   with backtracking recover; MbedTLS's verdict flips with the server's
+   certificate order.
+
+     dune exec examples/cross_sign_paths.exe *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+open Chaoschain_core
+open Chaoschain_measurement
+
+let show env ~domain label chain =
+  Printf.printf "--- %s ---\n%s" label (Topology.render (Topology.build chain));
+  let case = Difftest.run_case env ~domain chain in
+  List.iter
+    (fun r ->
+      let attempts = r.Difftest.outcome.Engine.attempts in
+      Printf.printf "%-14s %s%s\n" r.Difftest.client.Clients.name r.Difftest.message
+        (if attempts > 1 then Printf.sprintf " (after %d attempts)" attempts else ""))
+    case.Difftest.results;
+  print_newline ()
+
+let () =
+  let pop = Population.generate ~scale:0.001 () in
+  let u = pop.Population.universe in
+  let env = Population.env pop in
+  let domain = "moex.gov.tw" in
+  let leaf =
+    Universe.mint_leaf u (Universe.Other_ca 0) ~domain
+      ~hierarchy:(Universe.gov_grca_hierarchy u) ()
+  in
+  let hidden = (Universe.gov_hidden_root u).Issue.cert in
+  let cross = Universe.gov_moex_cross_by_hidden u in
+  let moex = (Universe.gov_moex_intermediate u).Issue.cert in
+  let grca =
+    List.find Cert.is_self_signed
+      (Universe.gov_grca_hierarchy u).Universe.above
+  in
+  (* The paper's order: leaf, untrusted root, cross, trusted intermediate,
+     trusted root. *)
+  show env ~domain "original order (Figure 4)"
+    [ leaf.Issue.cert; hidden; cross; moex; grca ];
+  (* Swap nodes 1 and 2 — MbedTLS now walks into the untrusted root. *)
+  show env ~domain "nodes 1 and 2 swapped"
+    [ leaf.Issue.cert; cross; hidden; moex; grca ]

@@ -1,0 +1,57 @@
+(* Revocation meets chain construction (the paper's named limitation, made
+   concrete): the same revoked leaf produces three different client
+   behaviours depending on where revocation checking is integrated —
+   nowhere, after construction (OpenSSL style), or during construction
+   (MbedTLS style, section 3.2).
+
+     dune exec examples/revocation.exe *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+open Chaoschain_core
+module Prng = Chaoschain_crypto.Prng
+
+let () =
+  let rng = Prng.of_label "revocation-example" in
+  let now = Vtime.make ~y:2024 ~m:6 ~d:1 () in
+  let root =
+    Issue.self_signed rng
+      (Issue.spec ~is_ca:true ~not_before:(Vtime.add_years now (-10))
+         ~not_after:(Vtime.add_years now 10)
+         (Dn.make ~o:"Revocation Demo" ~cn:"Demo Root" ()))
+  in
+  let inter =
+    Issue.issue rng ~parent:root
+      (Issue.spec ~is_ca:true ~not_before:(Vtime.add_years now (-3))
+         ~not_after:(Vtime.add_years now 7)
+         (Dn.make ~o:"Revocation Demo" ~cn:"Demo Issuing CA" ()))
+  in
+  let leaf =
+    Issue.issue rng ~parent:inter
+      (Issue.spec ~san:[ Extension.Dns "revoked.example" ]
+         (Dn.make ~cn:"revoked.example" ()))
+  in
+  let store = Root_store.make "demo" [ root.Issue.cert ] in
+
+  (* The CA discovers a key compromise and publishes a CRL. *)
+  let crls = Crl_registry.create () in
+  Crl_registry.revoke rng crls ~issuer:inter ~now ~reason:Crl.Key_compromise
+    leaf.Issue.cert;
+  Printf.printf "CRL status of the leaf: %s\n\n"
+    (Crl.status_to_string
+       (Crl_registry.status crls ~issuer:inter.Issue.cert ~now leaf.Issue.cert));
+
+  let chain = [ leaf.Issue.cert; inter.Issue.cert ] in
+  List.iter
+    (fun (label, mode) ->
+      let params = { Build_params.default with Build_params.revocation = mode } in
+      let ctx = Path_builder.context ~crls ~now ~params store in
+      let outcome = Engine.run ctx ~host:(Some "revoked.example") chain in
+      Printf.printf "%-28s -> %s  (constructed a path: %b)\n" label
+        (match outcome.Engine.result with
+        | Ok _ -> "accepted"
+        | Error e -> Engine.error_to_string e)
+        (outcome.Engine.constructed <> None))
+    [ ("no revocation checking", Build_params.No_revocation);
+      ("check during validation", Build_params.During_validation);
+      ("check during construction", Build_params.During_construction) ]

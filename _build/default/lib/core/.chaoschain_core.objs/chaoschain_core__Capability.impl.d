@@ -1,0 +1,1 @@
+lib/core/capability.ml: Aia_repo Cert Chaoschain_crypto Chaoschain_pki Chaoschain_x509 Clients Dn Engine Extension Issue List Option Path_builder Path_validate Printf Root_store Vtime

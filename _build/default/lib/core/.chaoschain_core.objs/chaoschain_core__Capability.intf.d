@@ -1,0 +1,1 @@
+lib/core/capability.mli: Aia_repo Cert Chaoschain_pki Chaoschain_x509 Clients Engine Root_store Vtime

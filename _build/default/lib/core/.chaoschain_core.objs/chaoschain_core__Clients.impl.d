@@ -1,0 +1,1 @@
+lib/core/clients.ml: Build_params Chaoschain_pki Engine List Path_builder Path_validate Root_store

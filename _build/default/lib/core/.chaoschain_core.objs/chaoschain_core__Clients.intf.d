@@ -1,0 +1,1 @@
+lib/core/clients.mli: Aia_repo Build_params Cert Chaoschain_pki Chaoschain_x509 Crl_registry Engine Path_builder Root_store Vtime

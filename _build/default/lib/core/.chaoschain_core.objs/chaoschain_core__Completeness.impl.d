@@ -1,0 +1,1 @@
+lib/core/completeness.ml: Aia_repo Cert Chaoschain_pki Chaoschain_x509 Extension List Printf Relation Root_store Topology

@@ -1,0 +1,1 @@
+lib/core/completeness.mli: Aia_repo Chaoschain_pki Root_store Topology

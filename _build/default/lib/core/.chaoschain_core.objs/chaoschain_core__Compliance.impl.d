@@ -1,0 +1,1 @@
+lib/core/compliance.ml: Completeness Format Leaf_check Order_check Printf String Topology

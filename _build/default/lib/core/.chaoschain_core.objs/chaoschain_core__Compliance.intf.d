@@ -1,0 +1,1 @@
+lib/core/compliance.mli: Aia_repo Cert Chaoschain_pki Chaoschain_x509 Completeness Format Leaf_check Order_check Root_store Topology

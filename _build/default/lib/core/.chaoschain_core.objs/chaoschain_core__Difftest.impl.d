@@ -1,0 +1,1 @@
+lib/core/difftest.ml: Aia_repo Cert Chaoschain_pki Chaoschain_x509 Clients Engine List Path_builder Path_validate Root_store Vtime

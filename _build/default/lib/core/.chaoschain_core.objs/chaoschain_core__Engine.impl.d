@@ -1,0 +1,1 @@
+lib/core/engine.ml: Build_params Cert Chaoschain_x509 Path_builder Path_validate Result Seq

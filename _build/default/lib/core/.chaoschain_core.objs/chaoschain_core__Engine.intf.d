@@ -1,0 +1,1 @@
+lib/core/engine.mli: Cert Chaoschain_x509 Path_builder Path_validate

@@ -1,0 +1,1 @@
+lib/core/fuzzer.ml: Array Cert Chaoschain_crypto Chaoschain_x509 Clients Difftest Format List Printexc Printf String

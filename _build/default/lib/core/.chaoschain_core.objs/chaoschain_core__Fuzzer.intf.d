@@ -1,0 +1,1 @@
+lib/core/fuzzer.mli: Cert Chaoschain_crypto Chaoschain_x509 Clients Difftest Format

@@ -1,0 +1,1 @@
+lib/core/leaf_check.ml: Cert Chaoschain_x509 Dn Extension List String

@@ -1,0 +1,1 @@
+lib/core/leaf_check.mli: Cert Chaoschain_x509

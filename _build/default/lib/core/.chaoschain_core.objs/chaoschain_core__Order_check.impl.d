@@ -1,0 +1,1 @@
+lib/core/order_check.ml: Cert Chaoschain_x509 Dn List Printf Relation String Topology

@@ -1,0 +1,1 @@
+lib/core/path_builder.ml: Aia_repo Build_params Cert Chaoschain_pki Chaoschain_x509 Crl Crl_registry Dn Extension Hashtbl Int List Printf Relation Root_store Seq Vtime

@@ -1,0 +1,1 @@
+lib/core/path_builder.mli: Aia_repo Build_params Cert Chaoschain_pki Chaoschain_x509 Crl_registry Dn Root_store Seq Vtime

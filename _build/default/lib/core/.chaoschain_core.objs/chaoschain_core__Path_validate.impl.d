@@ -1,0 +1,1 @@
+lib/core/path_validate.ml: Array Cert Chaoschain_pki Chaoschain_x509 Crl Crl_registry Dn Extension List Printf Relation Result Root_store Vtime

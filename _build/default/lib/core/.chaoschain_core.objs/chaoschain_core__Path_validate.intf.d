@@ -1,0 +1,1 @@
+lib/core/path_validate.mli: Cert Chaoschain_pki Chaoschain_x509 Crl_registry Dn Root_store Vtime

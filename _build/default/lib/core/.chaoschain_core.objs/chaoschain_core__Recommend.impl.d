@@ -1,0 +1,1 @@
+lib/core/recommend.ml: Build_params Cert Chaoschain_pki Chaoschain_x509 Completeness Compliance Dn Engine Leaf_check List Order_check Path_builder Relation Root_store Topology Vtime

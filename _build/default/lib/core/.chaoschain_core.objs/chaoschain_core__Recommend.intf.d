@@ -1,0 +1,1 @@
+lib/core/recommend.mli: Aia_repo Build_params Cert Chaoschain_pki Chaoschain_x509 Compliance Root_store Vtime

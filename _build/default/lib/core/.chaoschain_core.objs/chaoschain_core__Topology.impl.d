@@ -1,0 +1,1 @@
+lib/core/topology.ml: Array Buffer Cert Chaoschain_x509 Dn Hashtbl Lazy List Printf Relation String

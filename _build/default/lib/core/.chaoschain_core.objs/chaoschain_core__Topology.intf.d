@@ -1,0 +1,1 @@
+lib/core/topology.mli: Cert Chaoschain_x509

@@ -1,0 +1,219 @@
+open Chaoschain_pki
+
+type id = Openssl | Gnutls | Mbedtls | Cryptoapi | Chrome | Edge | Safari | Firefox
+type kind = Library | Browser
+
+type t = {
+  id : id;
+  name : string;
+  version : string;
+  kind : kind;
+  params : Build_params.t;
+  root_program : Root_store.program;
+  uses_os_intermediate_store : bool;
+  uses_intermediate_cache : bool;
+}
+
+let base = Build_params.default
+
+let openssl =
+  { id = Openssl;
+    name = "OpenSSL";
+    version = "3.0.2";
+    kind = Library;
+    params =
+      { base with
+        Build_params.aia_fetch = false;
+        intermediate_cache = false;
+        validity_priority = Build_params.VP_first_valid;
+        kid_priority = Build_params.KP1;
+        ku_priority = false;
+        bc_priority = false;
+        prefer_self_signed = false;
+        check_sig_alg = true;
+        length_limit = Build_params.Unlimited;
+        backtracking = false };
+    root_program = Root_store.Mozilla;
+    uses_os_intermediate_store = false;
+    uses_intermediate_cache = false }
+
+let gnutls =
+  { id = Gnutls;
+    name = "GnuTLS";
+    version = "3.7.3";
+    kind = Library;
+    params =
+      { base with
+        Build_params.aia_fetch = false;
+        intermediate_cache = false;
+        validity_priority = Build_params.VP_none;
+        kid_priority = Build_params.KP1;
+        ku_priority = false;
+        bc_priority = false;
+        prefer_self_signed = false;
+        check_sig_alg = false;
+        length_limit = Build_params.Max_input_list 16;
+        backtracking = false };
+    root_program = Root_store.Mozilla;
+    uses_os_intermediate_store = false;
+    uses_intermediate_cache = false }
+
+let mbedtls =
+  { id = Mbedtls;
+    name = "MbedTLS";
+    version = "3.5.2";
+    kind = Library;
+    params =
+      { base with
+        Build_params.reorder = false;
+        aia_fetch = false;
+        intermediate_cache = false;
+        validity_priority = Build_params.VP_first_valid;
+        kid_priority = Build_params.KP_none;
+        ku_priority = true;
+        bc_priority = true;
+        prefer_self_signed = false;
+        check_sig_alg = false;
+        length_limit = Build_params.Max_constructed 10;
+        allow_self_signed_leaf = true;
+        backtracking = false;
+        partial_validation = true;
+        revocation = Build_params.During_construction };
+    root_program = Root_store.Mozilla;
+    uses_os_intermediate_store = false;
+    uses_intermediate_cache = false }
+
+let cryptoapi =
+  { id = Cryptoapi;
+    name = "CryptoAPI";
+    version = "10.0.19041.5072";
+    kind = Library;
+    params =
+      { base with
+        Build_params.aia_fetch = true;
+        intermediate_cache = true;
+        validity_priority = Build_params.VP_recent_longest;
+        kid_priority = Build_params.KP2;
+        check_sig_alg = false;
+        length_limit = Build_params.Max_constructed 13;
+        backtracking = true };
+    root_program = Root_store.Microsoft;
+    uses_os_intermediate_store = true;
+    uses_intermediate_cache = false }
+
+let chrome =
+  { id = Chrome;
+    name = "Chrome";
+    version = "128.0.6613.114";
+    kind = Browser;
+    params =
+      { base with
+        Build_params.aia_fetch = true;
+        validity_priority = Build_params.VP_recent_longest;
+        kid_priority = Build_params.KP2;
+        prefer_self_signed = true;
+        check_sig_alg = false;
+        length_limit = Build_params.Unlimited;
+        backtracking = true };
+    root_program = Root_store.Chrome;
+    uses_os_intermediate_store = false;
+    uses_intermediate_cache = false }
+
+let edge =
+  { chrome with
+    id = Edge;
+    name = "Microsoft Edge";
+    version = "128.0.2739.54";
+    params = { chrome.params with Build_params.length_limit = Build_params.Max_constructed 21 };
+    root_program = Root_store.Microsoft }
+
+let safari =
+  { id = Safari;
+    name = "Safari";
+    version = "17.4";
+    kind = Browser;
+    params =
+      { base with
+        Build_params.aia_fetch = true;
+        validity_priority = Build_params.VP_recent_longest;
+        kid_priority = Build_params.KP1;
+        prefer_self_signed = false;
+        check_sig_alg = false;
+        length_limit = Build_params.Unlimited;
+        allow_self_signed_leaf = true;
+        backtracking = true };
+    root_program = Root_store.Apple;
+    uses_os_intermediate_store = false;
+    uses_intermediate_cache = false }
+
+let firefox =
+  { id = Firefox;
+    name = "Firefox";
+    version = "126.0";
+    kind = Browser;
+    params =
+      { base with
+        Build_params.aia_fetch = false;
+        intermediate_cache = true;
+        validity_priority = Build_params.VP_first_valid;
+        kid_priority = Build_params.KP_none;
+        prefer_self_signed = false;
+        check_sig_alg = false;
+        length_limit = Build_params.Max_constructed 8;
+        backtracking = true };
+    root_program = Root_store.Mozilla;
+    uses_os_intermediate_store = false;
+    uses_intermediate_cache = true }
+
+let all = [ openssl; gnutls; mbedtls; cryptoapi; chrome; edge; safari; firefox ]
+let libraries = List.filter (fun c -> c.kind = Library) all
+let browsers = List.filter (fun c -> c.kind = Browser) all
+let by_id id = List.find (fun c -> c.id = id) all
+
+let reference =
+  { id = Openssl;
+    name = "RFC4158-reference";
+    version = "n/a";
+    kind = Library;
+    params = Build_params.rfc4158;
+    root_program = Root_store.Mozilla;
+    uses_os_intermediate_store = false;
+    uses_intermediate_cache = true }
+
+let context ?crls t ~store ~aia ~cache ~now =
+  { Path_builder.params = t.params;
+    store;
+    aia = (if t.params.Build_params.aia_fetch then Some aia else None);
+    cache = (if t.params.Build_params.intermediate_cache then cache else []);
+    crls;
+    now }
+
+let render_error t err =
+  let generic = Engine.error_to_string err in
+  match (t.id, err) with
+  | Mbedtls, _ -> "X509_BADCERT_NOT_TRUSTED"
+  | Openssl, Engine.Build (Path_builder.No_issuer_found _) ->
+      "unable to get local issuer certificate"
+  | Openssl, Engine.Build Path_builder.Self_signed_leaf_rejected ->
+      "self-signed certificate"
+  | Openssl, Engine.Validate (Path_validate.Untrusted_root _) ->
+      "self-signed certificate in certificate chain"
+  | Openssl, Engine.Validate Path_validate.Self_signed_leaf -> "self-signed certificate"
+  | Openssl, Engine.Validate (Path_validate.Expired _) -> "certificate has expired"
+  | Gnutls, Engine.Build (Path_builder.Input_list_too_long _) ->
+      "GNUTLS_E_INTERNAL_ERROR (certificate list too long)"
+  | Gnutls, _ -> "The certificate is NOT trusted"
+  | Cryptoapi, Engine.Validate (Path_validate.Untrusted_root _) -> "CERT_E_UNTRUSTEDROOT"
+  | Cryptoapi, Engine.Build _ -> "CERT_E_CHAINING"
+  | (Chrome | Edge), Engine.Validate (Path_validate.Expired _)
+  | (Chrome | Edge), Engine.Validate (Path_validate.Not_yet_valid _) ->
+      "ERR_CERT_DATE_INVALID"
+  | (Chrome | Edge), Engine.Validate (Path_validate.Hostname_mismatch _) ->
+      "ERR_CERT_COMMON_NAME_INVALID"
+  | (Chrome | Edge), _ -> "ERR_CERT_AUTHORITY_INVALID"
+  | Firefox, Engine.Validate (Path_validate.Expired _) -> "SEC_ERROR_EXPIRED_CERTIFICATE"
+  | Firefox, Engine.Validate (Path_validate.Hostname_mismatch _) ->
+      "SSL_ERROR_BAD_CERT_DOMAIN"
+  | Firefox, _ -> "SEC_ERROR_UNKNOWN_ISSUER"
+  | Safari, _ -> "This Connection Is Not Private"
+  | _, _ -> generic

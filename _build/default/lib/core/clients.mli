@@ -1,0 +1,56 @@
+(** Behavioural profiles of the eight TLS implementations the paper evaluates
+    (4 libraries, 4 browsers), as configurations of the parameterized
+    builder, plus the root program each client consults and the
+    user-visible error vocabulary used in differential-testing reports. *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+
+type id =
+  | Openssl
+  | Gnutls
+  | Mbedtls
+  | Cryptoapi
+  | Chrome
+  | Edge
+  | Safari
+  | Firefox
+
+type kind = Library | Browser
+
+type t = {
+  id : id;
+  name : string;
+  version : string;     (** the version the paper tested *)
+  kind : kind;
+  params : Build_params.t;
+  root_program : Root_store.program;
+  uses_os_intermediate_store : bool;
+      (** CryptoAPI: the Windows intermediate store that rescued 180 chains
+          in the paper's AIA-disabled ablation *)
+  uses_intermediate_cache : bool;
+      (** Firefox: cached intermediates substitute for AIA fetching *)
+}
+
+val all : t list
+(** The eight clients, libraries first, in Table 9 column order. *)
+
+val libraries : t list
+val browsers : t list
+val by_id : id -> t
+val reference : t
+(** A ninth, non-paper profile: the RFC 4158 / section 6.2 recommended
+    builder, used as the ablation baseline. *)
+
+val context :
+  ?crls:Crl_registry.t ->
+  t -> store:Root_store.t -> aia:Aia_repo.t -> cache:Cert.t list ->
+  now:Vtime.t -> Path_builder.context
+(** Assemble the builder context, honouring the client's capabilities: the
+    AIA repository is disconnected for clients without AIA fetching, and the
+    cache is dropped for clients without one. [crls] is consulted according
+    to the client's revocation integration style. *)
+
+val render_error : t -> Engine.error -> string
+(** The message this client would surface, e.g. MbedTLS's
+    [X509_BADCERT_NOT_TRUSTED] or Firefox's [SEC_ERROR_UNKNOWN_ISSUER]. *)

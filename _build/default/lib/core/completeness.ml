@@ -1,0 +1,99 @@
+open Chaoschain_x509
+open Chaoschain_pki
+
+type verdict = Complete_with_root | Complete_without_root | Incomplete
+
+let verdict_to_string = function
+  | Complete_with_root -> "complete chain w/ root"
+  | Complete_without_root -> "complete chain w/o root"
+  | Incomplete -> "incomplete chain"
+
+type incomplete_cause =
+  | Recoverable of int
+  | Aia_missing
+  | Aia_fetch_failed
+  | Aia_wrong_cert
+
+let incomplete_cause_to_string = function
+  | Recoverable n -> Printf.sprintf "recoverable via AIA (%d missing)" n
+  | Aia_missing -> "AIA field missing"
+  | Aia_fetch_failed -> "AIA URI access failed"
+  | Aia_wrong_cert -> "AIA serves wrong certificate"
+
+type report = {
+  verdict : verdict;
+  cause : incomplete_cause option;
+  missing_count : int;
+  via_aia : bool;
+}
+
+type path_result =
+  | P_with_root
+  | P_without_root of { via_aia : bool }
+  | P_incomplete of incomplete_cause
+
+(* Recursive AIA chase from [cert], counting downloaded non-self-signed
+   intermediates until a self-signed certificate appears. *)
+let chase_recoverability aia cert =
+  let rec go current missing seen depth =
+    if depth > 8 then P_incomplete Aia_fetch_failed
+    else
+      match Cert.aia_ca_issuers current with
+      | [] -> P_incomplete Aia_missing
+      | uri :: _ -> (
+          match Aia_repo.fetch aia uri with
+          | Aia_repo.Http_not_found | Aia_repo.Timeout -> P_incomplete Aia_fetch_failed
+          | Aia_repo.Served fetched ->
+              if Cert.equal fetched current || List.exists (Cert.equal fetched) seen then
+                P_incomplete Aia_wrong_cert
+              else if not (Relation.issued_by_name ~issuer:fetched ~child:current) then
+                P_incomplete Aia_wrong_cert
+              else if Cert.is_self_signed fetched then
+                if missing = 0 then P_without_root { via_aia = true }
+                else P_incomplete (Recoverable missing)
+              else go fetched (missing + 1) (fetched :: seen) (depth + 1))
+  in
+  go cert 0 [ cert ] 0
+
+let analyze_path ~aia_enabled ~store ~aia path =
+  let terminal = List.nth path (List.length path - 1) in
+  let cert = terminal.Topology.cert in
+  if Cert.is_self_signed cert then P_with_root
+  else
+    let akid_matches_store =
+      match Cert.authority_key_id cert with
+      | Some { Extension.akid_key_id = Some kid; _ } -> Root_store.mem_skid store kid
+      | _ -> false
+    in
+    if akid_matches_store then P_without_root { via_aia = false }
+    else if not aia_enabled then
+      P_incomplete
+        (match Cert.aia_ca_issuers cert with [] -> Aia_missing | _ -> Aia_fetch_failed)
+    else chase_recoverability aia cert
+
+let better a b =
+  let rank = function
+    | P_with_root -> 3
+    | P_without_root _ -> 2
+    | P_incomplete (Recoverable _) -> 1
+    | P_incomplete _ -> 0
+  in
+  if rank a >= rank b then a else b
+
+let analyze ?(aia_enabled = true) ~store ~aia topo =
+  let results =
+    List.map (analyze_path ~aia_enabled ~store ~aia) (Topology.paths topo)
+  in
+  let best = List.fold_left better (List.hd results) (List.tl results) in
+  match best with
+  | P_with_root ->
+      { verdict = Complete_with_root; cause = None; missing_count = 0; via_aia = false }
+  | P_without_root { via_aia } ->
+      { verdict = Complete_without_root; cause = None; missing_count = 0; via_aia }
+  | P_incomplete cause ->
+      { verdict = Incomplete;
+        cause = Some cause;
+        missing_count = (match cause with Recoverable n -> n | _ -> 0);
+        via_aia = false }
+
+let compliant r = r.verdict <> Incomplete

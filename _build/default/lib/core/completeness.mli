@@ -1,0 +1,45 @@
+(** Certificate-chain completeness (section 4.3 / Tables 7 and 8).
+
+    For the terminal certificate of every leaf path the paper's algorithm
+    runs: self-signed => complete with root; AKID matches a root-store SKID
+    => complete without root; otherwise try to download the issuer via AIA
+    and accept when the download is self-signed; anything else is an
+    incomplete chain (missing intermediates). Recoverability of incomplete
+    chains is judged by recursively chasing AIA until a self-signed
+    certificate appears. *)
+
+open Chaoschain_pki
+
+type verdict =
+  | Complete_with_root
+  | Complete_without_root
+  | Incomplete
+
+val verdict_to_string : verdict -> string
+
+type incomplete_cause =
+  | Recoverable of int     (** AIA chase reaches a root; the int counts the
+                               missing intermediate certificates downloaded *)
+  | Aia_missing            (** the terminal certificate carries no caIssuers *)
+  | Aia_fetch_failed       (** 404 / timeout along the chase *)
+  | Aia_wrong_cert         (** the URI serves a non-issuer (e.g. itself) *)
+
+val incomplete_cause_to_string : incomplete_cause -> string
+
+type report = {
+  verdict : verdict;
+  cause : incomplete_cause option;  (** set when [verdict = Incomplete] *)
+  missing_count : int;              (** 0 unless incomplete-and-recoverable *)
+  via_aia : bool;                   (** completeness was confirmed only by an
+                                        AIA download (the Table 8 no-AIA
+                                        sensitivity) *)
+}
+
+val analyze :
+  ?aia_enabled:bool -> store:Root_store.t -> aia:Aia_repo.t -> Topology.t -> report
+(** [aia_enabled] defaults to [true]. The best verdict over all leaf paths
+    wins (with-root > without-root > incomplete); among incomplete paths the
+    most recoverable cause is reported. *)
+
+val compliant : report -> bool
+(** Complete (with or without root) chains satisfy the completeness rule. *)

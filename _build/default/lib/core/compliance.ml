@@ -1,0 +1,50 @@
+
+type report = {
+  domain : string;
+  leaf : Leaf_check.verdict;
+  order : Order_check.report;
+  completeness : Completeness.report;
+  topology : Topology.t;
+}
+
+let analyze ?(aia_enabled = true) ~store ~aia ~domain certs =
+  let topology = Topology.build certs in
+  { domain;
+    leaf = Leaf_check.classify ~domain certs;
+    order = Order_check.analyze topology;
+    completeness = Completeness.analyze ~aia_enabled ~store ~aia topology;
+    topology }
+
+let compliant r =
+  Leaf_check.compliant r.leaf && r.order.Order_check.ordered
+  && Completeness.compliant r.completeness
+
+let non_compliance_reasons r =
+  (if Leaf_check.compliant r.leaf then []
+   else [ "leaf placement: " ^ Leaf_check.verdict_to_string r.leaf ])
+  @ Order_check.violations r.order
+  @
+  if Completeness.compliant r.completeness then []
+  else
+    [ Printf.sprintf "incomplete chain%s"
+        (match r.completeness.Completeness.cause with
+        | Some c -> " (" ^ Completeness.incomplete_cause_to_string c ^ ")"
+        | None -> "") ]
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>domain: %s@,certificates: %d (%d unique)@,"
+    r.domain
+    (Topology.list_length r.topology)
+    (Topology.node_count r.topology);
+  Format.fprintf ppf "leaf placement: %s@," (Leaf_check.verdict_to_string r.leaf);
+  Format.fprintf ppf "issuance order: %s@,"
+    (if r.order.Order_check.ordered then "compliant"
+     else String.concat "; " (Order_check.violations r.order));
+  Format.fprintf ppf "completeness: %s%s@,"
+    (Completeness.verdict_to_string r.completeness.Completeness.verdict)
+    (match r.completeness.Completeness.cause with
+    | Some c -> " — " ^ Completeness.incomplete_cause_to_string c
+    | None -> "");
+  Format.fprintf ppf "verdict: %s@,@,%s@]"
+    (if compliant r then "COMPLIANT" else "NON-COMPLIANT")
+    (Topology.render r.topology)

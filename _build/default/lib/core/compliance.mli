@@ -1,0 +1,26 @@
+(** Combined structural-compliance verdict for one server deployment — the
+    paper's definition in section 3: leaf first, issuance order respected,
+    and all non-root certificates present. *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+
+type report = {
+  domain : string;
+  leaf : Leaf_check.verdict;
+  order : Order_check.report;
+  completeness : Completeness.report;
+  topology : Topology.t;
+}
+
+val analyze :
+  ?aia_enabled:bool ->
+  store:Root_store.t -> aia:Aia_repo.t -> domain:string -> Cert.t list -> report
+
+val compliant : report -> bool
+(** All three checks pass. *)
+
+val non_compliance_reasons : report -> string list
+
+val pp_report : Format.formatter -> report -> unit
+(** Multi-line audit output (used by the CLI's [analyze] command). *)

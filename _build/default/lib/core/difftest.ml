@@ -1,0 +1,198 @@
+open Chaoschain_x509
+open Chaoschain_pki
+
+type env = {
+  store_of : Root_store.program -> Root_store.t;
+  aia : Aia_repo.t;
+  firefox_cache : Cert.t list;
+  os_store : Cert.t list;
+  now : Vtime.t;
+}
+
+type client_result = {
+  client : Clients.t;
+  outcome : Engine.outcome;
+  message : string;
+}
+
+type case = { domain : string; certs : Cert.t list; results : client_result list }
+
+type cause =
+  | I1_no_reorder
+  | I2_list_limit
+  | I3_no_backtracking
+  | I4_no_aia
+  | Store_difference
+  | Priority_divergence
+  | Other_divergence
+
+let cause_to_string = function
+  | I1_no_reorder -> "I-1: lack of order reorganization"
+  | I2_list_limit -> "I-2: input list exceeds client limit"
+  | I3_no_backtracking -> "I-3: lack of backtracking"
+  | I4_no_aia -> "I-4: lack of AIA completion"
+  | Store_difference -> "root store difference"
+  | Priority_divergence -> "priority-selection divergence"
+  | Other_divergence -> "other divergence"
+
+let cache_for env (client : Clients.t) =
+  if client.Clients.uses_os_intermediate_store then env.os_store
+  else if client.Clients.uses_intermediate_cache then env.firefox_cache
+  else []
+
+let run_case_clients env clients ~domain certs =
+  let results =
+    List.map
+      (fun client ->
+        let store = env.store_of client.Clients.root_program in
+        let ctx =
+          Clients.context client ~store ~aia:env.aia ~cache:(cache_for env client)
+            ~now:env.now
+        in
+        let outcome = Engine.run ctx ~host:(Some domain) certs in
+        let message =
+          match outcome.Engine.result with
+          | Ok _ -> "OK"
+          | Error e -> Clients.render_error client e
+        in
+        { client; outcome; message })
+      clients
+  in
+  { domain; certs; results }
+
+let run_case env ~domain certs = run_case_clients env Clients.all ~domain certs
+
+let result_of case id =
+  List.find (fun r -> r.client.Clients.id = id) case.results
+
+let accepted_by case id = Engine.accepted (result_of case id).outcome
+
+let verdicts case ids =
+  List.map (fun id -> (id, accepted_by case id)) ids
+
+let agree case ids =
+  match verdicts case ids with
+  | [] -> true
+  | (_, first) :: rest -> List.for_all (fun (_, v) -> v = first) rest
+
+let browser_ids = [ Clients.Chrome; Clients.Edge; Clients.Firefox ]
+let library_ids = [ Clients.Openssl; Clients.Gnutls; Clients.Mbedtls; Clients.Cryptoapi ]
+
+let browsers_agree case = agree case browser_ids
+let libraries_agree case = agree case library_ids
+let all_browsers_pass case = List.for_all (accepted_by case) browser_ids
+let all_libraries_pass case = List.for_all (accepted_by case) library_ids
+
+let failed_with_build_limit case id =
+  match (result_of case id).outcome.Engine.result with
+  | Error (Engine.Build (Path_builder.Input_list_too_long _)) -> true
+  | _ -> false
+
+let failed_untrusted case id =
+  match (result_of case id).outcome.Engine.result with
+  | Error (Engine.Validate (Path_validate.Untrusted_root _)) -> true
+  | _ -> false
+
+let accepted_via_fetch case id =
+  match (result_of case id).outcome.Engine.accepted_attempt with
+  | Some a -> a.Path_builder.used_aia || a.Path_builder.used_cache
+  | None -> false
+
+let accepted_paths case =
+  List.filter_map
+    (fun r -> match r.outcome.Engine.result with Ok p -> Some p | Error _ -> None)
+    case.results
+
+let classify case =
+  if agree case (browser_ids @ library_ids @ [ Clients.Safari ]) then []
+  else begin
+    let causes = ref [] in
+    let add c = if not (List.mem c !causes) then causes := c :: !causes in
+    (* I-2: GnuTLS alone rejects the over-long list. *)
+    if failed_with_build_limit case Clients.Gnutls then add I2_list_limit;
+    (* I-1: MbedTLS dead-ends while reorder-capable libraries accept. *)
+    (match (result_of case Clients.Mbedtls).outcome.Engine.result with
+    | Error (Engine.Build (Path_builder.No_issuer_found _))
+      when accepted_by case Clients.Openssl || accepted_by case Clients.Gnutls ->
+        add I1_no_reorder
+    | _ -> ());
+    (* I-4: a client completes only through AIA or a cache while the three
+       network-less libraries dead-end. *)
+    let aia_winners =
+      List.filter (accepted_via_fetch case)
+        [ Clients.Cryptoapi; Clients.Chrome; Clients.Edge; Clients.Safari;
+          Clients.Firefox ]
+    in
+    if aia_winners <> []
+       && List.exists
+            (fun id -> not (accepted_by case id))
+            [ Clients.Openssl; Clients.Gnutls; Clients.Mbedtls ]
+    then add I4_no_aia;
+    (* I-3: a backtracking client needed >1 attempt while a non-backtracking
+       client failed on its committed path. *)
+    let backtracked id =
+      accepted_by case id && (result_of case id).outcome.Engine.attempts > 1
+    in
+    if List.exists backtracked
+         [ Clients.Cryptoapi; Clients.Chrome; Clients.Edge; Clients.Safari;
+           Clients.Firefox ]
+       && List.exists (failed_untrusted case)
+            [ Clients.Openssl; Clients.Gnutls; Clients.Mbedtls ]
+    then add I3_no_backtracking;
+    (* Root-store differences: some clients accept (without fetching), and
+       every failure is either an untrusted-root verdict or a dead-ended
+       construction (the root simply is not in that client's program). *)
+    let trust_shaped r =
+      match r.outcome.Engine.result with
+      | Ok _ -> true
+      | Error (Engine.Validate (Path_validate.Untrusted_root _))
+      | Error (Engine.Build (Path_builder.No_issuer_found _)) -> true
+      | Error _ -> false
+    in
+    let some_failure = List.exists (fun r -> not (Engine.accepted r.outcome)) case.results
+    and some_accept = List.exists (fun r -> Engine.accepted r.outcome) case.results in
+    if !causes = [] && some_failure && some_accept
+       && List.for_all trust_shaped case.results
+    then add Store_difference;
+    (* Accepted paths that differ certificate-for-certificate. *)
+    (match accepted_paths case with
+    | p :: rest when not (List.for_all (fun q -> List.equal Cert.equal p q) rest) ->
+        add Priority_divergence
+    | _ -> ());
+    if !causes = [] then add Other_divergence;
+    List.rev !causes
+  end
+
+type summary = {
+  total : int;
+  browsers_all_pass : int;
+  libraries_all_pass : int;
+  browser_discrepancies : int;
+  library_discrepancies : int;
+  by_cause : (cause * int) list;
+  library_build_issue : int;
+  browser_build_issue : int;
+}
+
+let summarize cases =
+  let count p = List.length (List.filter p cases) in
+  let all_causes =
+    [ I1_no_reorder; I2_list_limit; I3_no_backtracking; I4_no_aia; Store_difference;
+      Priority_divergence; Other_divergence ]
+  in
+  let cause_counts =
+    let tagged = List.map (fun case -> classify case) cases in
+    List.map
+      (fun c -> (c, List.length (List.filter (fun cs -> List.mem c cs) tagged)))
+      all_causes
+  in
+  { total = List.length cases;
+    browsers_all_pass = count all_browsers_pass;
+    libraries_all_pass = count all_libraries_pass;
+    browser_discrepancies = count (fun c -> not (browsers_agree c));
+    library_discrepancies = count (fun c -> not (libraries_agree c));
+    by_cause = cause_counts;
+    library_build_issue =
+      count (fun c -> List.exists (fun id -> not (accepted_by c id)) library_ids);
+    browser_build_issue =
+      count (fun c -> List.exists (fun id -> not (accepted_by c id)) browser_ids) }

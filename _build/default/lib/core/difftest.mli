@@ -1,0 +1,75 @@
+(** Differential testing of the eight clients over real(istic) server chains
+    (section 5.2).
+
+    Every client validates the same served list against its own root program,
+    cache and network capabilities; diverging verdicts are grouped and
+    attributed to the findings the paper reports (I-1 reorganization, I-2
+    list-length limits, I-3 backtracking, I-4 AIA completion) plus the
+    root-store and priority divergences that fall outside those four. *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+
+type env = {
+  store_of : Root_store.program -> Root_store.t;
+  aia : Aia_repo.t;
+  firefox_cache : Cert.t list;  (** intermediates Firefox has cached *)
+  os_store : Cert.t list;       (** the Windows intermediate store *)
+  now : Vtime.t;
+}
+
+type client_result = {
+  client : Clients.t;
+  outcome : Engine.outcome;
+  message : string;  (** the client-specific rendering, "OK" on success *)
+}
+
+type case = {
+  domain : string;
+  certs : Cert.t list;
+  results : client_result list;
+}
+
+type cause =
+  | I1_no_reorder        (** only order-insensitive clients fail *)
+  | I2_list_limit        (** GnuTLS rejects the over-long input list *)
+  | I3_no_backtracking   (** non-backtracking clients committed to a bad path *)
+  | I4_no_aia            (** chain completes only by fetching via AIA/cache *)
+  | Store_difference     (** divergence explained by root-program membership *)
+  | Priority_divergence  (** clients accepted different paths *)
+  | Other_divergence
+
+val cause_to_string : cause -> string
+
+val run_case : env -> domain:string -> Cert.t list -> case
+(** Validate one served list in all eight clients. *)
+
+val run_case_clients : env -> Clients.t list -> domain:string -> Cert.t list -> case
+
+val result_of : case -> Clients.id -> client_result
+val accepted_by : case -> Clients.id -> bool
+
+val browsers_agree : case -> bool
+(** Chrome, Edge and Firefox produce the same verdict (the paper excludes
+    Safari from the browser-consistency statistic). *)
+
+val libraries_agree : case -> bool
+val all_browsers_pass : case -> bool
+(** Chrome, Edge, Firefox all accept. *)
+
+val all_libraries_pass : case -> bool
+val classify : case -> cause list
+(** Empty when every client agrees. *)
+
+type summary = {
+  total : int;
+  browsers_all_pass : int;
+  libraries_all_pass : int;
+  browser_discrepancies : int;
+  library_discrepancies : int;
+  by_cause : (cause * int) list;
+  library_build_issue : int;  (** at least one library rejects *)
+  browser_build_issue : int;  (** at least one of Chrome/Edge/Firefox rejects *)
+}
+
+val summarize : case list -> summary

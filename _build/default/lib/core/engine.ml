@@ -1,0 +1,73 @@
+open Chaoschain_x509
+
+type error = Build of Path_builder.error | Validate of Path_validate.error
+
+let error_to_string = function
+  | Build e -> "build: " ^ Path_builder.error_to_string e
+  | Validate e -> "validate: " ^ Path_validate.error_to_string e
+
+type outcome = {
+  result : (Cert.t list, error) result;
+  attempts : int;
+  constructed : Cert.t list option;
+  accepted_attempt : Path_builder.attempt option;
+}
+
+let accepted o = Result.is_ok o.result
+
+let run (ctx : Path_builder.context) ~host certs =
+  match Path_builder.build ctx certs with
+  | Error e ->
+      { result = Error (Build e); attempts = 0; constructed = None;
+        accepted_attempt = None }
+  | Ok attempts_seq ->
+      let max_attempts =
+        if ctx.Path_builder.params.Build_params.backtracking then
+          ctx.Path_builder.params.Build_params.max_attempts
+        else 1
+      in
+      let store = ctx.Path_builder.store in
+      let now = ctx.Path_builder.now in
+      let crls =
+        match ctx.Path_builder.params.Build_params.revocation with
+        | Build_params.During_validation -> ctx.Path_builder.crls
+        | Build_params.No_revocation | Build_params.During_construction -> None
+      in
+      let no_issuer () =
+        match Path_builder.first_dead_end ctx certs with
+        | Some dn -> Path_builder.No_issuer_found dn
+        | None -> (
+            match certs with
+            | [] -> Path_builder.Empty_chain
+            | leaf :: _ -> Path_builder.No_issuer_found (Cert.issuer leaf))
+      in
+      let rec consume seq n first_error first_path =
+        let finish () =
+          { result =
+              (match first_error with
+              | Some e -> Error (Validate e)
+              | None -> Error (Build (no_issuer ())));
+            attempts = n;
+            constructed = first_path;
+            accepted_attempt = None }
+        in
+        if n >= max_attempts then finish ()
+        else
+          match seq () with
+          | Seq.Nil -> finish ()
+          | Seq.Cons (attempt, rest) -> (
+              let path = attempt.Path_builder.path in
+              let first_path =
+                match first_path with Some _ -> first_path | None -> Some path
+              in
+              match Path_validate.validate ?crls ~store ~now ~host path with
+              | Ok () ->
+                  { result = Ok path; attempts = n + 1; constructed = first_path;
+                    accepted_attempt = Some attempt }
+              | Error e ->
+                  let first_error =
+                    match first_error with Some _ -> first_error | None -> Some e
+                  in
+                  consume rest (n + 1) first_error first_path)
+      in
+      consume attempts_seq 0 None None

@@ -1,0 +1,34 @@
+(** The complete client pipeline: path construction, path validation, and —
+    for clients that have it — backtracking across candidate paths.
+
+    This is the two-step processing of Figure 1 with the client-specific
+    glue the paper observed: OpenSSL-style construct-then-validate,
+    MbedTLS-style partial validation during construction (handled inside
+    {!Path_builder}), and CryptoAPI/browser-style retry of the next candidate
+    path when validation rejects the current one. *)
+
+open Chaoschain_x509
+
+type error =
+  | Build of Path_builder.error
+  | Validate of Path_validate.error
+
+val error_to_string : error -> string
+
+type outcome = {
+  result : (Cert.t list, error) result;
+      (** the accepted path, or the error of the first attempted path (what
+          real clients report) *)
+  attempts : int;          (** structurally complete paths examined *)
+  constructed : Cert.t list option;
+      (** the first structurally complete path, even if rejected — what the
+          capability tests observe to infer priority preferences *)
+  accepted_attempt : Path_builder.attempt option;
+      (** metadata of the accepted path (AIA/cache use), when validation
+          succeeded *)
+}
+
+val run :
+  Path_builder.context -> host:string option -> Cert.t list -> outcome
+
+val accepted : outcome -> bool

@@ -1,0 +1,126 @@
+open Chaoschain_x509
+module Prng = Chaoschain_crypto.Prng
+
+type mutation =
+  | Drop of int
+  | Duplicate of int
+  | Swap of int * int
+  | Reverse_tail
+  | Rotate_tail
+  | Inject_unrelated of int
+  | Truncate of int
+
+let mutation_to_string = function
+  | Drop i -> Printf.sprintf "drop@%d" i
+  | Duplicate i -> Printf.sprintf "dup@%d" i
+  | Swap (i, j) -> Printf.sprintf "swap@%d,%d" i j
+  | Reverse_tail -> "reverse-tail"
+  | Rotate_tail -> "rotate-tail"
+  | Inject_unrelated i -> Printf.sprintf "inject@%d" i
+  | Truncate n -> Printf.sprintf "truncate@%d" n
+
+let apply ~pool chain mutation =
+  let n = List.length chain in
+  match mutation with
+  | Drop i when i >= 0 && i < n && n > 1 -> List.filteri (fun j _ -> j <> i) chain
+  | Duplicate i when i >= 0 && i < n ->
+      List.concat_map
+        (fun (j, c) -> if j = i then [ c; c ] else [ c ])
+        (List.mapi (fun j c -> (j, c)) chain)
+  | Swap (i, j) when i >= 0 && j >= 0 && i < n && j < n && i <> j ->
+      let arr = Array.of_list chain in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp;
+      Array.to_list arr
+  | Reverse_tail when n > 2 -> List.hd chain :: List.rev (List.tl chain)
+  | Rotate_tail when n > 2 -> (
+      match List.tl chain with
+      | first :: rest -> (List.hd chain :: rest) @ [ first ]
+      | [] -> chain)
+  | Inject_unrelated i when pool <> [] && i >= 0 && i <= n ->
+      let foreign = List.hd pool in
+      List.filteri (fun j _ -> j < i) chain
+      @ [ foreign ]
+      @ List.filteri (fun j _ -> j >= i) chain
+  | Truncate k when k >= 1 && k < n -> List.filteri (fun j _ -> j < k) chain
+  | _ -> chain
+
+let random_mutation rng ~pool chain =
+  let n = max 1 (List.length chain) in
+  match Prng.int rng (if pool = [] then 6 else 7) with
+  | 0 -> Drop (Prng.int rng n)
+  | 1 -> Duplicate (Prng.int rng n)
+  | 2 -> Swap (Prng.int rng n, Prng.int rng n)
+  | 3 -> Reverse_tail
+  | 4 -> Rotate_tail
+  | 5 -> Truncate (1 + Prng.int rng n)
+  | _ -> Inject_unrelated (Prng.int rng (n + 1))
+
+type verdicts = (Clients.id * bool) list
+
+type divergence = {
+  domain : string;
+  seed_chain : Cert.t list;
+  mutations : mutation list;
+  mutated_chain : Cert.t list;
+  verdicts : verdicts;
+}
+
+type report = {
+  iterations : int;
+  divergences : divergence list;
+  crashes : (mutation list * string) list;
+}
+
+let run ~env ~rng ?(clients = Clients.all) ?(max_mutations = 3) ~iterations seeds =
+  if seeds = [] then invalid_arg "Fuzzer.run: no seeds";
+  let seed_array = Array.of_list seeds in
+  let divergences = ref [] and crashes = ref [] in
+  for _ = 1 to iterations do
+    let domain, seed_chain = Prng.pick rng seed_array in
+    (* Foreign certificates come from a different seed. *)
+    let pool =
+      let _, other = Prng.pick rng seed_array in
+      List.filter (fun c -> not (List.exists (Cert.equal c) seed_chain)) other
+    in
+    let k = 1 + Prng.int rng max_mutations in
+    let mutations = ref [] in
+    let chain = ref seed_chain in
+    for _ = 1 to k do
+      let m = random_mutation rng ~pool !chain in
+      mutations := m :: !mutations;
+      chain := apply ~pool !chain m
+    done;
+    let mutations = List.rev !mutations in
+    if !chain <> [] then begin
+      match
+        List.map
+          (fun client ->
+            let case = Difftest.run_case_clients env [ client ] ~domain !chain in
+            (client.Clients.id, Difftest.accepted_by case client.Clients.id))
+          clients
+      with
+      | exception exn ->
+          crashes := (mutations, Printexc.to_string exn) :: !crashes
+      | verdicts ->
+          let accepts = List.filter snd verdicts and rejects = List.filter (fun (_, v) -> not v) verdicts in
+          if accepts <> [] && rejects <> [] then
+            divergences :=
+              { domain; seed_chain; mutations; mutated_chain = !chain; verdicts }
+              :: !divergences
+    end
+  done;
+  { iterations; divergences = List.rev !divergences; crashes = List.rev !crashes }
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "@[<v 2>%s: %d certs -> %d certs via [%s]@,%s@]" d.domain
+    (List.length d.seed_chain)
+    (List.length d.mutated_chain)
+    (String.concat "; " (List.map mutation_to_string d.mutations))
+    (String.concat "  "
+       (List.map
+          (fun (id, ok) ->
+            Printf.sprintf "%s:%s" (Clients.by_id id).Clients.name
+              (if ok then "OK" else "FAIL"))
+          d.verdicts))

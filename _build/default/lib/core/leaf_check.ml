@@ -1,0 +1,73 @@
+open Chaoschain_x509
+
+type verdict =
+  | Correct_matched
+  | Correct_mismatched
+  | Incorrect_matched
+  | Incorrect_mismatched
+  | Other
+
+let verdict_to_string = function
+  | Correct_matched -> "correctly placed, matched"
+  | Correct_mismatched -> "correctly placed, mismatched"
+  | Incorrect_matched -> "incorrectly placed, matched"
+  | Incorrect_mismatched -> "incorrectly placed, mismatched"
+  | Other -> "other"
+
+let is_ip_shaped s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let octet x =
+        match int_of_string_opt x with Some v -> v >= 0 && v <= 255 | None -> false
+      in
+      octet a && octet b && octet c && octet d
+  | _ -> false
+
+let is_domain_shaped s =
+  let s = String.lowercase_ascii s in
+  match String.split_on_char '.' s with
+  | ([] | [ _ ]) -> false
+  | labels ->
+      let label_ok ~first l =
+        (first && String.equal l "*")
+        || (String.length l > 0
+           && String.for_all (function 'a' .. 'z' | '0' .. '9' | '-' -> true | _ -> false) l
+           && l.[0] <> '-'
+           && l.[String.length l - 1] <> '-')
+      in
+      let rec check first = function
+        | [] -> true
+        | [ tld ] ->
+            String.length tld >= 2
+            && String.for_all (function 'a' .. 'z' -> true | _ -> false) tld
+        | l :: rest -> label_ok ~first l && check false rest
+      in
+      check true labels
+
+let names_of cert =
+  let cn = match Dn.common_name (Cert.subject cert) with Some c -> [ c ] | None -> [] in
+  let san_names =
+    List.filter_map
+      (function Extension.Dns d -> Some d | Extension.Ip ip -> Some ip | _ -> None)
+      (Cert.san cert)
+  in
+  cn @ san_names
+
+let matches_domain cert domain = Cert.matches_hostname cert domain
+
+let domain_or_ip_shaped cert =
+  List.exists (fun n -> is_domain_shaped n || is_ip_shaped n) (names_of cert)
+
+let classify ~domain certs =
+  match certs with
+  | [] -> Other
+  | first :: rest ->
+      if matches_domain first domain then Correct_matched
+      else if domain_or_ip_shaped first then Correct_mismatched
+      else if List.exists (fun c -> matches_domain c domain) rest then Incorrect_matched
+      else if List.exists domain_or_ip_shaped rest then Incorrect_mismatched
+      else Other
+
+let compliant = function
+  | Correct_matched | Correct_mismatched -> true
+  | Incorrect_matched | Incorrect_mismatched | Other -> false

@@ -1,0 +1,36 @@
+(** Leaf-certificate placement analysis (section 3.1 / Table 3).
+
+    RFC 5246 and RFC 8446 require the server certificate first in the list
+    but give no criterion for recognising a leaf; like the paper, we classify
+    by whether the first certificate's CN/SAN matches the scanned domain, and
+    failing that whether those fields are at least formatted as a domain name
+    or IP address. *)
+
+open Chaoschain_x509
+
+type verdict =
+  | Correct_matched      (** first cert matches the domain *)
+  | Correct_mismatched   (** first cert has domain/IP-shaped names, but they
+                             do not match the scanned domain *)
+  | Incorrect_matched    (** a later certificate matches the domain *)
+  | Incorrect_mismatched (** a later certificate is domain/IP-shaped *)
+  | Other                (** nothing domain-shaped anywhere: empty CNs, test
+                             certificates (Plesk, localhost, ...) *)
+
+val verdict_to_string : verdict -> string
+
+val is_domain_shaped : string -> bool
+(** Heuristic "formatted as a domain name": dotted labels of LDH characters
+    (wildcard first label allowed), at least two labels, alphabetic TLD. *)
+
+val is_ip_shaped : string -> bool
+(** Dotted-quad IPv4 text. *)
+
+val names_of : Cert.t -> string list
+(** Subject CN (if any) plus SAN dNSNames and iPAddresses — the fields the
+    classification inspects. *)
+
+val classify : domain:string -> Cert.t list -> verdict
+
+val compliant : verdict -> bool
+(** Only the two [Correct_*] verdicts satisfy the placement rule. *)

@@ -1,0 +1,122 @@
+open Chaoschain_x509
+open Chaoschain_pki
+
+type error =
+  | Untrusted_root of Dn.t
+  | Self_signed_leaf
+  | Expired of int
+  | Not_yet_valid of int
+  | Bad_signature of int
+  | Not_a_ca of int
+  | Path_len_exceeded of int
+  | Bad_key_usage of int
+  | Revoked of int
+  | Hostname_mismatch of string
+
+let error_to_string = function
+  | Untrusted_root dn -> Printf.sprintf "untrusted root '%s'" (Dn.to_string dn)
+  | Self_signed_leaf -> "self-signed leaf certificate"
+  | Expired i -> Printf.sprintf "certificate %d has expired" i
+  | Not_yet_valid i -> Printf.sprintf "certificate %d is not yet valid" i
+  | Bad_signature i -> Printf.sprintf "certificate %d has an invalid signature" i
+  | Not_a_ca i -> Printf.sprintf "certificate %d is not a CA" i
+  | Path_len_exceeded i ->
+      Printf.sprintf "certificate %d violates its path length constraint" i
+  | Bad_key_usage i -> Printf.sprintf "certificate %d lacks keyCertSign" i
+  | Revoked i -> Printf.sprintf "certificate %d has been revoked" i
+  | Hostname_mismatch host -> Printf.sprintf "hostname '%s' does not match" host
+
+let ( let* ) = Result.bind
+
+let check_anchor ~store path =
+  let n = List.length path in
+  let terminal = List.nth path (n - 1) in
+  if Root_store.mem store terminal then Ok ()
+  else if n = 1 && Cert.is_self_signed terminal then Error Self_signed_leaf
+  else Error (Untrusted_root (Cert.subject terminal))
+
+let check_signatures path =
+  let rec go i = function
+    | child :: (issuer :: _ as rest) ->
+        if Relation.signature_ok ~issuer ~child then go (i + 1) rest
+        else Error (Bad_signature i)
+    | _ -> Ok ()
+  in
+  go 0 path
+
+let check_validity ~now path =
+  let n = List.length path in
+  let rec go i = function
+    | [] -> Ok ()
+    | cert :: rest ->
+        (* Trust anchors are exempt: clients trust the store entry itself. *)
+        if i = n - 1 then Ok ()
+        else if Vtime.(Cert.not_after cert < now) then Error (Expired i)
+        else if Vtime.(now < Cert.not_before cert) then Error (Not_yet_valid i)
+        else go (i + 1) rest
+  in
+  go 0 path
+
+(* Every non-leaf certificate must be a CA with keyCertSign (when KeyUsage is
+   present) and must satisfy its pathLenConstraint: at most [path_len]
+   non-self-issued intermediates may follow it towards the leaf. *)
+let check_ca_constraints path =
+  let arr = Array.of_list path in
+  let n = Array.length arr in
+  let rec go i =
+    if i >= n then Ok ()
+    else begin
+      let cert = arr.(i) in
+      match Cert.basic_constraints cert with
+      | None -> Error (Not_a_ca i)
+      | Some { Extension.ca = false; _ } -> Error (Not_a_ca i)
+      | Some { Extension.ca = true; path_len } -> (
+          let* () =
+            match Cert.key_usage cert with
+            | Some flags when not (List.mem Extension.Key_cert_sign flags) ->
+                Error (Bad_key_usage i)
+            | _ -> Ok ()
+          in
+          match path_len with
+          | Some limit ->
+              (* Intermediates strictly between this certificate and the
+                 leaf (indices 1..i-1). *)
+              let intermediates_below = i - 1 in
+              if intermediates_below > limit then Error (Path_len_exceeded i)
+              else go (i + 1)
+          | None -> go (i + 1))
+    end
+  in
+  if n <= 1 then Ok () else go 1
+
+let check_hostname ~host path =
+  match (host, path) with
+  | None, _ | _, [] -> Ok ()
+  | Some host, leaf :: _ ->
+      if Cert.matches_hostname leaf host then Ok () else Error (Hostname_mismatch host)
+
+(* Unknown status (no CRL, stale, unverifiable) soft-fails, matching default
+   client behaviour; only a positive revocation verdict rejects. *)
+let check_revocation ~crls ~now path =
+  match crls with
+  | None -> Ok ()
+  | Some registry ->
+      let rec go i = function
+        | child :: (issuer :: _ as rest) -> (
+            match Crl_registry.status registry ~issuer ~now child with
+            | Crl.Revoked _ -> Error (Revoked i)
+            | Crl.Good | Crl.Unknown_status _ -> go (i + 1) rest)
+        | _ -> Ok ()
+      in
+      go 0 path
+
+let validate ?crls ~store ~now ~host path =
+  match path with
+  | [] -> Error (Untrusted_root Dn.empty)
+  | _ ->
+      let* () = check_anchor ~store path in
+      let* () = check_signatures path in
+      let* () = check_validity ~now path in
+      let* () = check_ca_constraints path in
+      let* () = check_revocation ~crls ~now path in
+      check_hostname ~host path

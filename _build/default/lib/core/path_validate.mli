@@ -1,0 +1,36 @@
+(** RFC 5280-style certification-path validation over a constructed path.
+
+    Validation is deliberately separate from construction (Figure 1's two
+    steps). The checks cover what the paper's experiments exercise: trust
+    anchoring, signature chaining, validity windows, CA-ness, KeyUsage,
+    pathLenConstraint and hostname matching. *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+
+type error =
+  | Untrusted_root of Dn.t     (** terminal root not in the trust store *)
+  | Self_signed_leaf           (** the path is a single self-signed cert *)
+  | Expired of int             (** certificate at this path index *)
+  | Not_yet_valid of int
+  | Bad_signature of int       (** index of the certificate whose signature
+                                   its issuer's key does not verify *)
+  | Not_a_ca of int
+  | Path_len_exceeded of int   (** index of the violated constraint *)
+  | Bad_key_usage of int
+  | Revoked of int             (** certificate at this path index is on its
+                                   issuer's CRL *)
+  | Hostname_mismatch of string
+
+val error_to_string : error -> string
+
+val validate :
+  ?crls:Crl_registry.t ->
+  store:Root_store.t -> now:Vtime.t -> host:string option ->
+  Cert.t list -> (unit, error) result
+(** [validate ~store ~now ~host path] checks the leaf-first path. The
+    terminal certificate must be in [store] (trust anchors are exempt from
+    the validity check some clients apply, so the anchor's expiry is not
+    examined). [host], when given, must match the leaf. When [crls] is given,
+    every non-anchor certificate is checked against its issuer's CRL;
+    unavailable or stale CRLs soft-fail as real clients do. *)

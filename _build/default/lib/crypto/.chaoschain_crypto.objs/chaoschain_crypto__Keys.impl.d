@@ -1,0 +1,1 @@
+lib/crypto/keys.ml: Format Hex Printf Prng Sha256 String

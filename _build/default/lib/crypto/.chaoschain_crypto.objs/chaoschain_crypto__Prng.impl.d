@@ -1,0 +1,1 @@
+lib/crypto/prng.ml: Array Bytes Char Int64 List Sha256 String

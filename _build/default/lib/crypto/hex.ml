@@ -1,0 +1,38 @@
+let hexchars = "0123456789abcdef"
+
+let encode s =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let v = Char.code s.[i] in
+    Bytes.set out (2 * i) hexchars.[v lsr 4];
+    Bytes.set out ((2 * i) + 1) hexchars.[v land 0xF]
+  done;
+  Bytes.unsafe_to_string out
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "hex: odd number of digits"
+  else begin
+    let out = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok (Bytes.unsafe_to_string out)
+      else
+        match (nibble s.[i], nibble s.[i + 1]) with
+        | Some hi, Some lo ->
+            Bytes.set out (i / 2) (Char.chr ((hi lsl 4) lor lo));
+            go (i + 2)
+        | _ -> Error (Printf.sprintf "hex: invalid digit at offset %d" i)
+    in
+    go 0
+  end
+
+let decode_exn s =
+  match decode s with Ok v -> v | Error msg -> invalid_arg msg

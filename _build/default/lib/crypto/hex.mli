@@ -1,0 +1,11 @@
+(** Lowercase hexadecimal encoding of raw byte strings. *)
+
+val encode : string -> string
+(** [encode s] renders every byte of [s] as two lowercase hex digits. *)
+
+val decode : string -> (string, string) result
+(** Inverse of {!encode}. Accepts upper- and lowercase digits; fails with a
+    descriptive message on odd length or non-hex characters. *)
+
+val decode_exn : string -> string
+(** Like {!decode} but raises [Invalid_argument] on malformed input. *)

@@ -1,0 +1,71 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): tiny state, excellent statistical
+   quality for simulation purposes, and trivially splittable. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_label label =
+  let d = Sha256.digest label in
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code d.[i]))
+  done;
+  create !v
+
+let split g = create (next_int64 g)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (next_int64 g) mask) in
+  v mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g =
+  let v = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float v /. 9007199254740992.0 (* 2^53 *)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+let bernoulli g p = float g < p
+
+let bytes g n =
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set out i (Char.chr (int g 256))
+  done;
+  Bytes.unsafe_to_string out
+
+let pick g arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int g (Array.length arr))
+
+let pick_list g l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle_list g l =
+  let arr = Array.of_list l in
+  shuffle g arr;
+  Array.to_list arr

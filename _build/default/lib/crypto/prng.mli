@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic component of the reproduction (key material, serial
+    numbers, population sampling, shuffles used by the capability tests) draws
+    from an explicit generator state so that a given seed always yields the
+    same synthetic Internet, the same tables and the same benchmark corpus. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator; equal seeds give equal streams. *)
+
+val of_label : string -> t
+(** Derive a generator from a human-readable label (hashed with SHA-256), so
+    independent subsystems can use disjoint, stable streams. *)
+
+val split : t -> t
+(** [split g] draws from [g] to seed a statistically independent child
+    generator; used to decorrelate sub-populations. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val bytes : t -> int -> string
+(** [bytes g n] is [n] uniformly random bytes. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+(** Persistent shuffle of a list. *)

@@ -1,0 +1,30 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    The rest of the code base uses this both as the real fingerprinting hash
+    for certificates (duplicate detection is bit-for-bit over DER, identity is
+    a SHA-256 fingerprint, key identifiers are truncated digests as in
+    RFC 5280 section 4.2.1.2 method 1) and as the core of the simulated
+    signature scheme in {!Keys}. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val feed : ctx -> string -> unit
+(** [feed ctx s] absorbs all bytes of [s]. *)
+
+val feed_bytes : ctx -> bytes -> int -> int -> unit
+(** [feed_bytes ctx b off len] absorbs [len] bytes of [b] starting at
+    [off]. Raises [Invalid_argument] if the range is out of bounds. *)
+
+val finalize : ctx -> string
+(** Padding + final compression; returns the 32-byte raw digest. The context
+    must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot hash: 32-byte raw digest of the whole input. *)
+
+val hexdigest : string -> string
+(** [digest] rendered as 64 lowercase hex characters. *)

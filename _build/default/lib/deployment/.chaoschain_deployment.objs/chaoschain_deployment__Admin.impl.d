@@ -1,0 +1,1 @@
+lib/deployment/admin.ml: Array Ca_vendor Cert Chaoschain_crypto Chaoschain_pki Chaoschain_x509 Http_server Issue List Printf Relation Result Universe Vtime

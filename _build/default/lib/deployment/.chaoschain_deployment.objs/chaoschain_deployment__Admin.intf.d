@@ -1,0 +1,1 @@
+lib/deployment/admin.mli: Ca_vendor Cert Chaoschain_crypto Chaoschain_pki Chaoschain_x509 Http_server Issue Universe

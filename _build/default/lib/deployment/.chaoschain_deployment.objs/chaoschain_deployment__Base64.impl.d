@@ -1,0 +1,1 @@
+lib/deployment/base64.ml: Array Buffer Char Printf String

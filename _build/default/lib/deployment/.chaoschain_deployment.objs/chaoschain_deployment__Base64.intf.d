@@ -1,0 +1,1 @@
+lib/deployment/base64.mli:

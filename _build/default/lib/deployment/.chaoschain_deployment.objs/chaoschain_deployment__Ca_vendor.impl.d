@@ -1,0 +1,1 @@
+lib/deployment/ca_vendor.ml: Cert Chaoschain_pki Chaoschain_x509 Issue List Pem String Universe

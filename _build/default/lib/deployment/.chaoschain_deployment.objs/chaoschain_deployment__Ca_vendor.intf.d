@@ -1,0 +1,1 @@
+lib/deployment/ca_vendor.mli: Cert Chaoschain_pki Chaoschain_x509 Universe

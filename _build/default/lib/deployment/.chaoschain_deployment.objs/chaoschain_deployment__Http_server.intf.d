@@ -1,0 +1,1 @@
+lib/deployment/http_server.mli: Cert Chaoschain_crypto Chaoschain_x509

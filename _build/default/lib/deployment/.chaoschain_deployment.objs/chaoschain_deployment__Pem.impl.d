@@ -1,0 +1,1 @@
+lib/deployment/pem.ml: Base64 Buffer Cert Chaoschain_x509 List Printf Result String

@@ -1,0 +1,1 @@
+lib/deployment/pem.mli: Cert Chaoschain_x509

@@ -1,0 +1,128 @@
+open Chaoschain_x509
+open Chaoschain_pki
+module Keys = Chaoschain_crypto.Keys
+
+type op =
+  | Merge_naive
+  | Merge_corrected
+  | Leaf_into_chain_file
+  | Duplicate_paste of int
+  | Keep_stale_leaves of int
+  | Append_foreign_chain of Cert.t list
+  | Append_irrelevant_root of Cert.t
+  | Drop_intermediate of int
+  | Serve_leaf_only
+  | Include_root of Cert.t
+  | Swap of int * int
+
+let describe = function
+  | Merge_naive -> "merge cert + ca-bundle verbatim"
+  | Merge_corrected -> "merge with bundle reordered into issuance order"
+  | Leaf_into_chain_file -> "paste leaf into the chain file too"
+  | Duplicate_paste n -> Printf.sprintf "paste the intermediate block %d extra times" n
+  | Keep_stale_leaves n -> Printf.sprintf "keep %d stale leaf certificates" n
+  | Append_foreign_chain certs ->
+      Printf.sprintf "append %d certificates of a foreign chain" (List.length certs)
+  | Append_irrelevant_root _ -> "append an unrelated root certificate"
+  | Drop_intermediate n -> Printf.sprintf "omit intermediate #%d" n
+  | Serve_leaf_only -> "serve only the leaf certificate"
+  | Include_root _ -> "append the root certificate"
+  | Swap (i, j) -> Printf.sprintf "swap positions %d and %d" i j
+
+type outcome = { chain : Cert.t list; ops_applied : op list }
+
+let ( let* ) = Result.bind
+
+(* Issuance-order sort of a bundle: repeatedly pick the certificate issued by
+   no other bundle member last (i.e. topological order, leaf-side first). *)
+let reorder_bundle ~leaf bundle =
+  let rec chain_from current remaining acc =
+    match
+      List.partition
+        (fun c -> Relation.issued_by_name ~issuer:c ~child:current) remaining
+    with
+    | [], _ -> List.rev acc @ remaining
+    | issuer :: _, _ ->
+        let remaining = List.filter (fun c -> not (Cert.equal c issuer)) remaining in
+        chain_from issuer remaining (issuer :: acc)
+  in
+  chain_from leaf bundle []
+
+let stale_leaf universe delivery ~leaf_signer k =
+  (* A previous-generation certificate for the same site: same CA, same key,
+     validity window k periods in the past. *)
+  let h = Universe.hierarchy universe delivery.Ca_vendor.vendor in
+  let nb = Vtime.add_months (Cert.not_before leaf_signer.Issue.cert) (-12 * k) in
+  let na = Vtime.add_months nb 12 in
+  Issue.reissue (Universe.rng universe) ~parent:h.Universe.issuing ~existing:leaf_signer
+    ~not_before:nb ~not_after:na
+
+let assemble universe delivery ~leaf_signer ~ops =
+  let* leaf_list = Ca_vendor.cert_only delivery in
+  let* fullchain = Ca_vendor.fullchain_certs delivery in
+  let* bundle = Ca_vendor.bundle_certs delivery in
+  let leaf =
+    match (leaf_list, fullchain) with
+    | l :: _, _ -> l
+    | [], l :: _ -> l
+    | [], [] -> leaf_signer.Issue.cert
+  in
+  let initial_cert_part, initial_bundle =
+    match fullchain with
+    | _ :: rest -> ([ leaf ], rest)
+    | [] -> ([ leaf ], bundle)
+  in
+  let apply (certs, chain_part) op =
+    match op with
+    | Merge_naive -> (certs, chain_part)
+    | Merge_corrected -> (certs, reorder_bundle ~leaf chain_part)
+    | Leaf_into_chain_file -> (certs, leaf :: chain_part)
+    | Duplicate_paste n ->
+        let block = List.filter (fun c -> not (Cert.equal c leaf)) chain_part in
+        let rec extra k acc = if k = 0 then acc else extra (k - 1) (acc @ block) in
+        (certs, extra n chain_part)
+    | Keep_stale_leaves n ->
+        let stale = List.init n (fun i -> stale_leaf universe delivery ~leaf_signer (i + 1)) in
+        (certs @ stale, chain_part)
+    | Append_foreign_chain foreign -> (certs, chain_part @ foreign)
+    | Append_irrelevant_root root -> (certs, chain_part @ [ root ])
+    | Drop_intermediate n -> (certs, List.filteri (fun i _ -> i <> n) chain_part)
+    | Serve_leaf_only -> (certs, [])
+    | Include_root root -> (certs, chain_part @ [ root ])
+    | Swap _ -> (certs, chain_part)
+  in
+  let certs, chain_part =
+    List.fold_left apply (initial_cert_part, initial_bundle) ops
+  in
+  let chain = certs @ chain_part in
+  (* Position swaps act on the final list. *)
+  let chain =
+    List.fold_left
+      (fun chain op ->
+        match op with
+        | Swap (i, j) when i < List.length chain && j < List.length chain ->
+            let arr = Array.of_list chain in
+            let tmp = arr.(i) in
+            arr.(i) <- arr.(j);
+            arr.(j) <- tmp;
+            Array.to_list arr
+        | _ -> chain)
+      chain ops
+  in
+  Ok { chain; ops_applied = ops }
+
+let deploy_to software universe delivery ~leaf_signer ~ops =
+  let* { chain; _ } = assemble universe delivery ~leaf_signer ~ops in
+  let key = Keys.public_of_private leaf_signer.Issue.key in
+  let config =
+    match Http_server.layout_of software with
+    | Http_server.Separate_files ->
+        { Http_server.cert_file = [ List.hd chain ];
+          chain_file = List.tl chain;
+          private_key_of = key }
+    | Http_server.Fullchain_file | Http_server.Pfx_file ->
+        { Http_server.cert_file = chain; chain_file = []; private_key_of = key }
+  in
+  match Http_server.deploy software config with
+  | Http_server.Deployed served -> Ok served
+  | Http_server.Config_error msg -> Error msg

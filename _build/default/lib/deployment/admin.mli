@@ -1,0 +1,55 @@
+(** Administrator behaviour: the configuration steps (and missteps) that turn
+    a CA delivery into the chain a server actually sends.
+
+    Every non-compliance class the paper measures corresponds to a concrete
+    operator here; the population generator composes them so defects arise
+    mechanically rather than being painted onto chains. *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+module Keys = Chaoschain_crypto.Keys
+
+type op =
+  | Merge_naive
+      (** concatenate cert file + ca-bundle exactly as delivered — preserves
+          a reversed bundle, producing the 1->2->0 structures of section 4.2 *)
+  | Merge_corrected      (** reorder the bundle into issuance order first *)
+  | Leaf_into_chain_file
+      (** also paste the leaf at the top of the chain file (the Apache
+          SSLCertificateChainFile confusion) — duplicate leaf *)
+  | Duplicate_paste of int
+      (** paste the intermediate block [n] extra times (the ns3.link-style
+          chains with up to 29 certificates) *)
+  | Keep_stale_leaves of int
+      (** leave [n] expired previous leaf certificates in the file
+          (webcanny.com, Figure 2b) *)
+  | Append_foreign_chain of Cert.t list
+      (** append certificates belonging to another site's chain
+          (archives.gov.tw, Figure 2d) *)
+  | Append_irrelevant_root of Cert.t
+  | Drop_intermediate of int   (** omit the bundle certificate at index [n] *)
+  | Serve_leaf_only            (** forget the bundle entirely *)
+  | Include_root of Cert.t     (** append the root (compliant but chatty) *)
+  | Swap of int * int          (** swap two positions of the final list *)
+
+val describe : op -> string
+
+type outcome = {
+  chain : Cert.t list;       (** what the administrator's files amount to *)
+  ops_applied : op list;
+}
+
+val assemble :
+  Universe.t -> Ca_vendor.delivery -> leaf_signer:Issue.signer ->
+  ops:op list -> (outcome, string) result
+(** Start from the delivery's files (preferring the fullchain when present,
+    else cert + bundle) and apply the operators left to right. Stale leaves
+    are re-issued from the same CA with past validity windows, as renewals
+    would have produced them. *)
+
+val deploy_to :
+  Http_server.software -> Universe.t -> Ca_vendor.delivery ->
+  leaf_signer:Issue.signer -> ops:op list ->
+  (Cert.t list, string) result
+(** {!assemble}, then push through the server software's checks; returns the
+    chain the server will serve. *)

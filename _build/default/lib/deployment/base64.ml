@@ -1,0 +1,74 @@
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] and b2 = Char.code s.[!i + 2] in
+    Buffer.add_char out alphabet.[b0 lsr 2];
+    Buffer.add_char out alphabet.[((b0 land 0x3) lsl 4) lor (b1 lsr 4)];
+    Buffer.add_char out alphabet.[((b1 land 0xF) lsl 2) lor (b2 lsr 6)];
+    Buffer.add_char out alphabet.[b2 land 0x3F];
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let b0 = Char.code s.[!i] in
+      Buffer.add_char out alphabet.[b0 lsr 2];
+      Buffer.add_char out alphabet.[(b0 land 0x3) lsl 4];
+      Buffer.add_string out "=="
+  | 2 ->
+      let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] in
+      Buffer.add_char out alphabet.[b0 lsr 2];
+      Buffer.add_char out alphabet.[((b0 land 0x3) lsl 4) lor (b1 lsr 4)];
+      Buffer.add_char out alphabet.[(b1 land 0xF) lsl 2];
+      Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let value_of = function
+  | 'A' .. 'Z' as c -> Some (Char.code c - Char.code 'A')
+  | 'a' .. 'z' as c -> Some (Char.code c - Char.code 'a' + 26)
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0' + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then Error "base64: length not a multiple of 4"
+  else begin
+    let padding =
+      if n = 0 then 0
+      else if s.[n - 2] = '=' then 2
+      else if s.[n - 1] = '=' then 1
+      else 0
+    in
+    let out = Buffer.create (n / 4 * 3) in
+    let err = ref None in
+    let quad = Array.make 4 0 in
+    (try
+       for group = 0 to (n / 4) - 1 do
+         for k = 0 to 3 do
+           let c = s.[(group * 4) + k] in
+           let last_group = group = (n / 4) - 1 in
+           if c = '=' && last_group && k >= 4 - padding then quad.(k) <- 0
+           else
+             match value_of c with
+             | Some v -> quad.(k) <- v
+             | None ->
+                 err := Some (Printf.sprintf "base64: invalid character %C" c);
+                 raise Exit
+         done;
+         Buffer.add_char out (Char.chr ((quad.(0) lsl 2) lor (quad.(1) lsr 4)));
+         Buffer.add_char out (Char.chr (((quad.(1) land 0xF) lsl 4) lor (quad.(2) lsr 2)));
+         Buffer.add_char out (Char.chr (((quad.(2) land 0x3) lsl 6) lor quad.(3)))
+       done
+     with Exit -> ());
+    match !err with
+    | Some e -> Error e
+    | None ->
+        let full = Buffer.contents out in
+        Ok (String.sub full 0 (String.length full - padding))
+  end

@@ -1,0 +1,8 @@
+(** RFC 4648 Base64, implemented from scratch for the PEM armor. *)
+
+val encode : string -> string
+(** Standard alphabet with [=] padding, no line breaks. *)
+
+val decode : string -> (string, string) result
+(** Rejects characters outside the alphabet (whitespace is not accepted here;
+    {!Pem} strips line structure before calling). *)

@@ -1,0 +1,107 @@
+open Chaoschain_x509
+open Chaoschain_pki
+
+type guide = No_guide | Generic_guide | Per_server_guide of string list
+
+type delivery = {
+  vendor : Universe.vendor;
+  automated : bool;
+  fullchain_file : string option;
+  cert_only_file : string option;
+  ca_bundle_file : string option;
+  bundle_order_compliant : bool;
+  includes_root : bool;
+  install_guide : guide;
+}
+
+(* Intermediates above the leaf in issuance order, excluding the root. *)
+let intermediates_of (h : Universe.hierarchy) =
+  let above = h.Universe.above in
+  h.Universe.issuing.Issue.cert
+  :: List.filter (fun c -> not (Cert.is_self_signed c)) above
+
+let root_of (h : Universe.hierarchy) =
+  List.find Cert.is_self_signed (List.rev h.Universe.above)
+
+let issue universe vendor ~leaf =
+  let h = Universe.hierarchy universe vendor in
+  let intermediates = intermediates_of h in
+  let root = root_of h in
+  match vendor with
+  | Universe.Lets_encrypt ->
+      (* ACME: a compliant fullchain, no separate bundle, no root. *)
+      { vendor;
+        automated = true;
+        fullchain_file = Some (Pem.encode_certs (leaf :: intermediates));
+        cert_only_file = Some (Pem.encode_cert leaf);
+        ca_bundle_file = None;
+        bundle_order_compliant = true;
+        includes_root = false;
+        install_guide = Generic_guide }
+  | Universe.Zerossl ->
+      { vendor;
+        automated = true;
+        fullchain_file = None;
+        cert_only_file = Some (Pem.encode_cert leaf);
+        ca_bundle_file = Some (Pem.encode_certs intermediates);
+        bundle_order_compliant = true;
+        includes_root = false;
+        install_guide = Per_server_guide [ "Apache"; "IIS" ] }
+  | Universe.Gogetssl | Universe.Cyber_folks | Universe.Trustico ->
+      (* The defining misbehaviour: bundle with root first, intermediates in
+         reverse issuance order. *)
+      let reversed = List.rev (intermediates @ [ root ]) in
+      { vendor;
+        automated = false;
+        fullchain_file = None;
+        cert_only_file = Some (Pem.encode_cert leaf);
+        ca_bundle_file = Some (Pem.encode_certs reversed);
+        bundle_order_compliant = false;
+        includes_root = true;
+        install_guide = No_guide }
+  | Universe.Taiwan_ca ->
+      (* Ships the issuing CA but habitually omits the cross intermediate
+         ("TWCA Global Root CA"), the root cause of its incomplete chains. *)
+      { vendor;
+        automated = false;
+        fullchain_file = None;
+        cert_only_file = Some (Pem.encode_cert leaf);
+        ca_bundle_file = Some (Pem.encode_cert h.Universe.issuing.Issue.cert);
+        bundle_order_compliant = true;
+        includes_root = false;
+        install_guide = No_guide }
+  | Universe.Digicert | Universe.Sectigo | Universe.Other_ca _ ->
+      { vendor;
+        automated = false;
+        fullchain_file = None;
+        cert_only_file = Some (Pem.encode_cert leaf);
+        ca_bundle_file = Some (Pem.encode_certs intermediates);
+        bundle_order_compliant = true;
+        includes_root = false;
+        install_guide = Generic_guide }
+
+let yes_no b = if b then "yes" else "no"
+
+let table6_row universe vendor =
+  let rng = Universe.rng universe in
+  ignore rng;
+  let probe = Universe.mint_leaf universe vendor ~domain:"probe.example" () in
+  let d = issue universe vendor ~leaf:probe.Issue.cert in
+  [ ("Automatic Certificate Management", yes_no d.automated);
+    ("Provide Fullchain File", yes_no (d.fullchain_file <> None));
+    ("Provide Ca-bundle File", yes_no (d.ca_bundle_file <> None));
+    ("Provide Root Certificate", yes_no d.includes_root);
+    ("Compliant Issuance Order in Ca-bundle File", yes_no d.bundle_order_compliant);
+    ("Provide Certificate Installation Guide",
+     match d.install_guide with
+     | No_guide -> "no"
+     | Generic_guide -> "yes"
+     | Per_server_guide servers -> "only " ^ String.concat "/" servers) ]
+
+let parse_opt = function
+  | None -> Ok []
+  | Some pem -> Pem.decode_certs pem
+
+let bundle_certs d = parse_opt d.ca_bundle_file
+let fullchain_certs d = parse_opt d.fullchain_file
+let cert_only d = parse_opt d.cert_only_file

@@ -1,0 +1,36 @@
+(** CA / reseller delivery models (section 4.2, Table 6, Appendix C).
+
+    When a certificate is issued, each vendor hands the administrator a
+    characteristic set of files; those shapes — not random noise — are what
+    the paper traces reversed sequences and incomplete chains back to
+    (GoGetSSL, cyber_Folks and Trustico ship their ca-bundle in reverse
+    order; TAIWAN-CA omits the "TWCA Global Root CA" intermediate; Let's
+    Encrypt deploys automatically and compliantly). *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+
+type guide = No_guide | Generic_guide | Per_server_guide of string list
+
+type delivery = {
+  vendor : Universe.vendor;
+  automated : bool;             (** automatic certificate management offered *)
+  fullchain_file : string option;   (** PEM: leaf + intermediates, compliant *)
+  cert_only_file : string option;   (** PEM: just the leaf *)
+  ca_bundle_file : string option;   (** PEM: intermediates (+ root) *)
+  bundle_order_compliant : bool;    (** ca-bundle in issuance order? *)
+  includes_root : bool;             (** root present in the bundle *)
+  install_guide : guide;
+}
+
+val issue : Universe.t -> Universe.vendor -> leaf:Cert.t -> delivery
+(** Package a freshly-issued leaf the way this vendor would. *)
+
+val table6_row : Universe.t -> Universe.vendor -> (string * string) list
+(** The Table 6 characteristics of this vendor as label/value pairs. *)
+
+val bundle_certs : delivery -> (Cert.t list, string) result
+(** Parse the ca-bundle back out of its PEM file ([Ok \[\]] when absent). *)
+
+val fullchain_certs : delivery -> (Cert.t list, string) result
+val cert_only : delivery -> (Cert.t list, string) result

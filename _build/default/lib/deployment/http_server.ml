@@ -1,0 +1,101 @@
+open Chaoschain_x509
+module Keys = Chaoschain_crypto.Keys
+
+type software =
+  | Apache_pre_2_4_8
+  | Apache
+  | Nginx
+  | Azure_app_gateway
+  | Iis
+  | Aws_elb
+  | Cloudflare
+
+let software_to_string = function
+  | Apache_pre_2_4_8 -> "Apache (<2.4.8)"
+  | Apache -> "Apache"
+  | Nginx -> "Nginx"
+  | Azure_app_gateway -> "Microsoft-Azure-Application-Gateway"
+  | Iis -> "IIS"
+  | Aws_elb -> "AWS ELB"
+  | Cloudflare -> "cloudflare"
+
+let all = [ Apache_pre_2_4_8; Apache; Nginx; Azure_app_gateway; Iis; Aws_elb; Cloudflare ]
+
+type file_layout = Separate_files | Fullchain_file | Pfx_file
+
+let layout_of = function
+  | Apache_pre_2_4_8 | Aws_elb -> Separate_files
+  | Apache | Nginx | Cloudflare -> Fullchain_file
+  | Azure_app_gateway | Iis -> Pfx_file
+
+type config = {
+  cert_file : Cert.t list;
+  chain_file : Cert.t list;
+  private_key_of : Keys.public_key;
+}
+
+type check = Private_key_match | Duplicate_leaf_check | Duplicate_intermediate_check
+
+let checks_performed = function
+  | Azure_app_gateway | Iis -> [ Private_key_match; Duplicate_leaf_check ]
+  | Apache_pre_2_4_8 | Apache | Nginx | Aws_elb | Cloudflare -> [ Private_key_match ]
+
+type result = Deployed of Cert.t list | Config_error of string
+
+let served_chain software config =
+  match layout_of software with
+  | Separate_files -> config.cert_file @ config.chain_file
+  | Fullchain_file | Pfx_file -> config.cert_file
+
+(* Duplicate *leaf* detection as Azure performs it: more than one certificate
+   whose public key matches the configured private key, or the exact first
+   certificate appearing again. *)
+let has_duplicate_leaf config chain =
+  match chain with
+  | [] -> false
+  | first :: rest ->
+      List.exists (Cert.equal first) rest
+      || List.length
+           (List.filter
+              (fun c -> Keys.equal_public (Cert.public_key c) config.private_key_of)
+              chain)
+         > 1
+
+let deploy software config =
+  let chain = served_chain software config in
+  match chain with
+  | [] -> Config_error "no certificate configured"
+  | first :: _ ->
+      if not (Keys.equal_public (Cert.public_key first) config.private_key_of) then
+        Config_error "SSL_CTX_use_PrivateKey failed: key values mismatch"
+      else if
+        List.mem Duplicate_leaf_check (checks_performed software)
+        && has_duplicate_leaf config chain
+      then Config_error "duplicate leaf certificate in chain"
+      else if software = Cloudflare then
+        (* Managed deployment: Cloudflare re-issues and serves a compliant
+           chain regardless of what was uploaded (its Advanced Certificate
+           Manager bypasses this path). *)
+        Deployed chain
+      else Deployed chain
+
+let automatic_certificate_management = function
+  | Apache_pre_2_4_8 | Apache | Nginx | Azure_app_gateway | Aws_elb | Cloudflare -> true
+  | Iis -> false
+
+let layout_label = function
+  | Separate_files -> "SF1 (CertificateFile.pem, Ca-bundle.pem, Privkey)"
+  | Fullchain_file -> "SF2 (FullChain.pem, Privkey)"
+  | Pfx_file -> "SF3 (CertificateFile.pfx)"
+
+let yes_no b = if b then "yes" else "no"
+
+let table4_row software =
+  let checks = checks_performed software in
+  [ ("Automatic Certificate Management", yes_no (automatic_certificate_management software));
+    ("Supported Certificate Fields", layout_label (layout_of software));
+    ("Private Key and Leaf Certificate Matching Check",
+     yes_no (List.mem Private_key_match checks));
+    ("Duplicate Leaf Certificate Check", yes_no (List.mem Duplicate_leaf_check checks));
+    ("Duplicate Intermediate/Root Certificate Check",
+     yes_no (List.mem Duplicate_intermediate_check checks)) ]

@@ -1,0 +1,42 @@
+open Chaoschain_x509
+
+let header = "-----BEGIN CERTIFICATE-----"
+let footer = "-----END CERTIFICATE-----"
+
+let wrap64 s =
+  let buf = Buffer.create (String.length s + (String.length s / 64) + 2) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && i mod 64 = 0 then Buffer.add_char buf '\n';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let encode_cert cert =
+  Printf.sprintf "%s\n%s\n%s\n" header (wrap64 (Base64.encode (Cert.to_der cert))) footer
+
+let encode_certs certs = String.concat "" (List.map encode_cert certs)
+
+let ( let* ) = Result.bind
+
+let decode_certs text =
+  let lines = String.split_on_char '\n' text in
+  let rec scan acc current lines =
+    match (lines, current) with
+    | [], None -> Ok (List.rev acc)
+    | [], Some _ -> Error "PEM: unterminated CERTIFICATE block"
+    | line :: rest, current -> (
+        let line = String.trim line in
+        match current with
+        | None -> if String.equal line header then scan acc (Some []) rest else scan acc None rest
+        | Some body ->
+            if String.equal line footer then begin
+              let b64 = String.concat "" (List.rev body) in
+              let* der = Base64.decode b64 in
+              let* cert = Cert.of_der der in
+              scan (cert :: acc) None rest
+            end
+            else if String.equal line "" then scan acc current rest
+            else scan acc (Some (line :: body)) rest)
+  in
+  scan [] None lines

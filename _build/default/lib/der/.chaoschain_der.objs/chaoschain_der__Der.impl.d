@@ -1,0 +1,1 @@
+lib/der/der.ml: Buffer Chaoschain_crypto Char Format List Oid Printf Result String

@@ -1,0 +1,1 @@
+lib/der/der.mli: Format Oid

@@ -1,0 +1,1 @@
+lib/der/oid.ml: Format Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/der/oid.mli: Format

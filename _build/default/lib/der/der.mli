@@ -1,0 +1,97 @@
+(** A DER (X.690 Distinguished Encoding Rules) subset sufficient for X.509.
+
+    Values are represented as a generic TLV tree; typed constructors and
+    destructors cover the universal types certificates need. Encoding always
+    uses definite lengths with minimal length octets; decoding rejects
+    indefinite lengths, non-minimal long-form lengths, and truncated input,
+    mirroring the strictness real verifiers apply to certificate bytes. *)
+
+type tag_class = Universal | Application | Context_specific | Private
+
+type tag = { cls : tag_class; constructed : bool; number : int }
+(** A decoded identifier octet (low-tag-number form only; tag numbers
+    above 30 are not used by X.509 and are rejected). *)
+
+type t =
+  | Prim of tag * string  (** primitive TLV: tag + raw content octets *)
+  | Cons of tag * t list  (** constructed TLV: tag + child values *)
+
+(** {1 Constructors for universal types} *)
+
+val boolean : bool -> t
+val integer_of_int : int -> t
+
+val integer_bytes : string -> t
+(** Big-endian two's-complement content octets, given verbatim (used for
+    large serial numbers). Raises [Invalid_argument] on empty input. *)
+
+val bit_string : ?unused:int -> string -> t
+val octet_string : string -> t
+val null : t
+val oid : Oid.t -> t
+val utf8_string : string -> t
+val printable_string : string -> t
+val ia5_string : string -> t
+
+val utc_time : string -> t
+(** Content given pre-rendered, e.g. ["240314000000Z"]. *)
+
+val generalized_time : string -> t
+val sequence : t list -> t
+val set : t list -> t
+
+val context : int -> t list -> t
+(** Constructed context-specific tag [n] (EXPLICIT tagging). *)
+
+val context_prim : int -> string -> t
+(** Primitive context-specific tag [n] (IMPLICIT tagging of a primitive). *)
+
+(** {1 Destructors}
+
+    Each returns [Error] with a descriptive message when the value has the
+    wrong shape. *)
+
+type 'a or_error = ('a, string) result
+
+val as_boolean : t -> bool or_error
+val as_integer_int : t -> int or_error
+val as_integer_bytes : t -> string or_error
+val as_bit_string : t -> (int * string) or_error
+val as_octet_string : t -> string or_error
+val as_oid : t -> Oid.t or_error
+val as_string : t -> string or_error
+(** Accepts UTF8String, PrintableString or IA5String. *)
+
+val as_time : t -> string or_error
+(** Accepts UTCTime or GeneralizedTime; returns the raw content. *)
+
+val as_sequence : t -> t list or_error
+val as_set : t -> t list or_error
+
+val as_context : int -> t -> t list or_error
+(** Children of a constructed context-specific tag [n]. *)
+
+val as_context_prim : int -> t -> string or_error
+
+val tag_of : t -> tag
+
+val is_context : int -> t -> bool
+(** Whether the value carries context-specific tag [n] (either form). *)
+
+(** {1 Wire codec} *)
+
+val encode : t -> string
+(** DER-encode a value. *)
+
+val encode_many : t list -> string
+(** Concatenation of the encodings of several values. *)
+
+val decode : string -> t or_error
+(** Decode exactly one value occupying the whole input. *)
+
+val decode_prefix : string -> int -> (t * int) or_error
+(** [decode_prefix s off] decodes one value starting at [off]; returns it and
+    the offset one past its last byte. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debugging pretty-printer (openssl asn1parse flavoured). *)

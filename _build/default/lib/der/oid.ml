@@ -1,0 +1,85 @@
+type t = int list
+
+let make arcs =
+  (match arcs with
+  | a :: b :: _ ->
+      if a < 0 || a > 2 then invalid_arg "Oid.make: first arc must be 0..2";
+      if a < 2 && b >= 40 then
+        invalid_arg "Oid.make: second arc must be < 40 when first arc is 0 or 1";
+      if List.exists (fun x -> x < 0) arcs then
+        invalid_arg "Oid.make: negative arc"
+  | _ -> invalid_arg "Oid.make: need at least two arcs");
+  arcs
+
+let arcs t = t
+let equal = ( = )
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+let to_string t = String.concat "." (List.map string_of_int t)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [] | [ _ ] -> Error "oid: need at least two arcs"
+  | parts -> (
+      try
+        let arcs = List.map int_of_string parts in
+        Ok (make arcs)
+      with
+      | Failure _ -> Error "oid: non-numeric arc"
+      | Invalid_argument msg -> Error msg)
+
+let at_common_name = make [ 2; 5; 4; 3 ]
+let at_country = make [ 2; 5; 4; 6 ]
+let at_locality = make [ 2; 5; 4; 7 ]
+let at_state = make [ 2; 5; 4; 8 ]
+let at_organization = make [ 2; 5; 4; 10 ]
+let at_org_unit = make [ 2; 5; 4; 11 ]
+let ext_subject_key_id = make [ 2; 5; 29; 14 ]
+let ext_key_usage = make [ 2; 5; 29; 15 ]
+let ext_subject_alt_name = make [ 2; 5; 29; 17 ]
+let ext_basic_constraints = make [ 2; 5; 29; 19 ]
+let ext_authority_key_id = make [ 2; 5; 29; 35 ]
+let ext_ext_key_usage = make [ 2; 5; 29; 37 ]
+let ext_authority_info_access = make [ 1; 3; 6; 1; 5; 5; 7; 1; 1 ]
+let ad_ocsp = make [ 1; 3; 6; 1; 5; 5; 7; 48; 1 ]
+let ad_ca_issuers = make [ 1; 3; 6; 1; 5; 5; 7; 48; 2 ]
+let eku_server_auth = make [ 1; 3; 6; 1; 5; 5; 7; 3; 1 ]
+let eku_client_auth = make [ 1; 3; 6; 1; 5; 5; 7; 3; 2 ]
+let alg_rsa_encryption = make [ 1; 2; 840; 113549; 1; 1; 1 ]
+let alg_ec_public_key = make [ 1; 2; 840; 10045; 2; 1 ]
+let alg_sha256_rsa = make [ 1; 2; 840; 113549; 1; 1; 11 ]
+let alg_sha1_rsa = make [ 1; 2; 840; 113549; 1; 1; 5 ]
+let alg_ecdsa_sha256 = make [ 1; 2; 840; 10045; 4; 3; 2 ]
+let alg_ecdsa_sha384 = make [ 1; 2; 840; 10045; 4; 3; 3 ]
+
+let registry =
+  [
+    (at_common_name, "commonName");
+    (at_country, "countryName");
+    (at_locality, "localityName");
+    (at_state, "stateOrProvinceName");
+    (at_organization, "organizationName");
+    (at_org_unit, "organizationalUnitName");
+    (ext_subject_key_id, "subjectKeyIdentifier");
+    (ext_key_usage, "keyUsage");
+    (ext_subject_alt_name, "subjectAltName");
+    (ext_basic_constraints, "basicConstraints");
+    (ext_authority_key_id, "authorityKeyIdentifier");
+    (ext_ext_key_usage, "extendedKeyUsage");
+    (ext_authority_info_access, "authorityInfoAccess");
+    (ad_ocsp, "ocsp");
+    (ad_ca_issuers, "caIssuers");
+    (eku_server_auth, "serverAuth");
+    (eku_client_auth, "clientAuth");
+    (alg_rsa_encryption, "rsaEncryption");
+    (alg_ec_public_key, "id-ecPublicKey");
+    (alg_sha256_rsa, "sha256WithRSAEncryption");
+    (alg_sha1_rsa, "sha1WithRSAEncryption");
+    (alg_ecdsa_sha256, "ecdsa-with-SHA256");
+    (alg_ecdsa_sha384, "ecdsa-with-SHA384");
+  ]
+
+let name t =
+  match List.assoc_opt t registry with Some n -> n | None -> to_string t
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,62 @@
+(** ASN.1 object identifiers and the registry of OIDs used by Web PKI
+    certificates. *)
+
+type t
+(** An OID as its arc list. Construction enforces the X.690 invariants
+    (at least two arcs, first arc in 0..2, second arc < 40 when the first is
+    0 or 1). *)
+
+val make : int list -> t
+(** Raises [Invalid_argument] on an arc list violating OID invariants. *)
+
+val arcs : t -> int list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_string : t -> string
+(** Dotted-decimal form, e.g. ["2.5.29.19"]. *)
+
+val of_string : string -> (t, string) result
+(** Parse dotted-decimal form. *)
+
+val name : t -> string
+(** Human-readable name if the OID is in the registry below, otherwise the
+    dotted-decimal form. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Registry} *)
+
+(* Attribute types (RDN components). *)
+val at_common_name : t
+val at_country : t
+val at_locality : t
+val at_state : t
+val at_organization : t
+val at_org_unit : t
+
+(* Certificate extensions. *)
+val ext_subject_key_id : t
+val ext_key_usage : t
+val ext_subject_alt_name : t
+val ext_basic_constraints : t
+val ext_authority_key_id : t
+val ext_ext_key_usage : t
+val ext_authority_info_access : t
+
+(* Access method OIDs inside AIA. *)
+val ad_ca_issuers : t
+val ad_ocsp : t
+
+(* Extended key usage purposes. *)
+val eku_server_auth : t
+val eku_client_auth : t
+
+(* Signature / key algorithms. *)
+val alg_rsa_encryption : t
+val alg_ec_public_key : t
+val alg_sha256_rsa : t
+val alg_sha1_rsa : t
+val alg_ecdsa_sha256 : t
+val alg_ecdsa_sha384 : t

@@ -1,0 +1,1 @@
+lib/measurement/calibration.ml: Float List Printf Stats

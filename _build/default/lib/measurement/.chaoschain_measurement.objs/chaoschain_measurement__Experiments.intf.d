@@ -1,0 +1,1 @@
+lib/measurement/experiments.mli: Chaoschain_core Compliance Population Scanner

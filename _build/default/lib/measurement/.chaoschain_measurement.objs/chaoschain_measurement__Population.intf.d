@@ -1,0 +1,1 @@
+lib/measurement/population.mli: Calibration Cert Chaoschain_core Chaoschain_pki Chaoschain_x509 Compliance Difftest Universe

@@ -1,0 +1,1 @@
+lib/measurement/scanner.ml: Array Cert Chaoschain_crypto Chaoschain_tlssim Chaoschain_x509 Hashtbl List Population String

@@ -1,0 +1,1 @@
+lib/measurement/scanner.mli: Cert Chaoschain_x509 Population

@@ -1,0 +1,1 @@
+lib/measurement/stats.ml: Array Buffer Float Int List Printf String

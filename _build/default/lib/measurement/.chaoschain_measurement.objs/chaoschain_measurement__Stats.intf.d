@@ -1,0 +1,1 @@
+lib/measurement/stats.mli:

@@ -1,0 +1,310 @@
+type restricted_kind =
+  | R_mc_recoverable
+  | R_mc_dead_end
+  | R_ms_recoverable
+  | R_ms_dead_end
+  | R_apple_recoverable
+  | R_apple_dead_end
+
+type scenario =
+  | Ok_plain
+  | Ok_with_root
+  | Ok_leaf_mismatched
+  | Ok_leaf_other
+  | Leaf_incorrect_placed
+  | Ok_no_akid
+  | Ok_restricted of restricted_kind
+  | Dup_leaf_front
+  | Dup_leaf_scattered
+  | Dup_intermediate of int
+  | Dup_root
+  | Dup_leaf_and_intermediate
+  | Dup_and_irrelevant
+  | Irr_self_signed_extra
+  | Irr_root_attached
+  | Irr_stale_leaves of int
+  | Irr_extra_leaf_distinct
+  | Irr_foreign_chain
+  | Irr_lone_intermediate
+  | Multi_cross_ok
+  | Multi_cross_expired
+  | Multi_cross_reversed
+  | Multi_validity_variants
+  | Rev_merge_1int
+  | Rev_noroot_2int
+  | Rev_merge_2int
+  | Rev_full_deep
+  | Rev_and_incomplete
+  | Inc_missing1
+  | Inc_missing2
+  | Inc_no_aia
+  | Inc_aia_fail
+  | Inc_wrong_aia
+  | Fig_serpro
+  | Fig_ns3
+  | Fig_moex
+
+let restricted_to_string = function
+  | R_mc_recoverable -> "restricted(Moz/Chrome, recoverable)"
+  | R_mc_dead_end -> "restricted(Moz/Chrome, dead-end)"
+  | R_ms_recoverable -> "restricted(Microsoft, recoverable)"
+  | R_ms_dead_end -> "restricted(Microsoft, dead-end)"
+  | R_apple_recoverable -> "restricted(Apple, recoverable)"
+  | R_apple_dead_end -> "restricted(Apple, dead-end)"
+
+let scenario_to_string = function
+  | Ok_plain -> "compliant (root omitted)"
+  | Ok_with_root -> "compliant (root included)"
+  | Ok_leaf_mismatched -> "compliant, leaf name mismatch"
+  | Ok_leaf_other -> "test certificate (Other leaf)"
+  | Leaf_incorrect_placed -> "leaf incorrectly placed"
+  | Ok_no_akid -> "compliant, terminating intermediate lacks AKID"
+  | Ok_restricted r -> restricted_to_string r
+  | Dup_leaf_front -> "duplicate leaf at front"
+  | Dup_leaf_scattered -> "duplicate leaf elsewhere"
+  | Dup_intermediate n -> Printf.sprintf "duplicate intermediates (x%d)" n
+  | Dup_root -> "duplicate root"
+  | Dup_leaf_and_intermediate -> "duplicate leaf and intermediate"
+  | Dup_and_irrelevant -> "duplicate leaf + irrelevant certificate"
+  | Irr_self_signed_extra -> "self-signed leaf + unrelated public root"
+  | Irr_root_attached -> "unrelated root appended"
+  | Irr_stale_leaves n -> Printf.sprintf "%d stale leaves kept" n
+  | Irr_extra_leaf_distinct -> "unrelated extra leaf"
+  | Irr_foreign_chain -> "foreign chain appended"
+  | Irr_lone_intermediate -> "unrelated lone intermediate"
+  | Multi_cross_ok -> "multiple paths (cross-sign, ordered)"
+  | Multi_cross_expired -> "multiple paths (expired cross-sign)"
+  | Multi_cross_reversed -> "multiple paths (cross-sign, reversed)"
+  | Multi_validity_variants -> "multiple paths (validity variants)"
+  | Rev_merge_1int -> "reversed merge, one intermediate (1->2->0)"
+  | Rev_noroot_2int -> "reversed, two intermediates, no root (1->2->0)"
+  | Rev_merge_2int -> "reversed merge with root (1->2->3->0)"
+  | Rev_full_deep -> "reversed, other structure"
+  | Rev_and_incomplete -> "reversed and missing two intermediates"
+  | Inc_missing1 -> "incomplete: one intermediate missing (recoverable)"
+  | Inc_missing2 -> "incomplete: two intermediates missing (recoverable)"
+  | Inc_no_aia -> "incomplete: AIA missing"
+  | Inc_aia_fail -> "incomplete: AIA URI fails"
+  | Inc_wrong_aia -> "incomplete: AIA serves wrong certificate"
+  | Fig_serpro -> "figure 3 case (17 certificates)"
+  | Fig_ns3 -> "29-certificate duplicate tower"
+  | Fig_moex -> "figure 4 case (backtracking)"
+
+let full_population = 906_336
+
+(* Full-scale class sizes. The arithmetic behind these (overlaps, the
+   complete-with-root budget, the Table 8 decomposition) is laid out in
+   DESIGN.md; the unit tests in test_calibration assert every paper aggregate
+   against this ledger. *)
+let ledger =
+  [ (Ok_leaf_mismatched, 62_536);
+    (Ok_leaf_other, 5_445);
+    (Leaf_incorrect_placed, 1);
+    (Ok_no_akid, 225_294);
+    (Ok_restricted R_mc_recoverable, 248);
+    (Ok_restricted R_mc_dead_end, 66);
+    (Ok_restricted R_ms_recoverable, 239);
+    (Ok_restricted R_ms_dead_end, 5);
+    (Ok_restricted R_apple_recoverable, 62);
+    (Ok_restricted R_apple_dead_end, 4);
+    (Ok_with_root, 67_260);
+    (Dup_leaf_front, 3_055);
+    (Dup_leaf_scattered, 499);
+    (Dup_intermediate 1, 833);
+    (Dup_intermediate 16, 5);
+    (Dup_root, 401);
+    (Dup_leaf_and_intermediate, 511);
+    (Dup_and_irrelevant, 665);
+    (Irr_self_signed_extra, 159);
+    (Irr_root_attached, 66);
+    (Irr_stale_leaves 2, 200);
+    (Irr_stale_leaves 4, 138);
+    (Irr_extra_leaf_distinct, 106);
+    (Irr_foreign_chain, 840);
+    (Irr_lone_intermediate, 858);
+    (Multi_cross_ok, 11);
+    (Multi_cross_expired, 29);
+    (Multi_cross_reversed, 200);
+    (Multi_validity_variants, 5);
+    (Rev_merge_1int, 2_519);
+    (Rev_noroot_2int, 51);
+    (Rev_merge_2int, 1_769);
+    (Rev_full_deep, 1_348);
+    (Rev_and_incomplete, 2_678);
+    (Inc_missing1, 8_729);
+    (Inc_missing2, 12);
+    (Inc_no_aia, 579);
+    (Inc_aia_fail, 88);
+    (Inc_wrong_aia, 1);
+    (Fig_serpro, 1);
+    (Fig_ns3, 4);
+    (Fig_moex, 1);
+    (Ok_plain, 518_815) ]
+
+let scale_ledger scale =
+  if scale <= 0.0 || scale > 1.0 then invalid_arg "Calibration.scale_ledger";
+  if scale = 1.0 then ledger
+  else begin
+    let total = int_of_float (Float.round (float_of_int full_population *. scale)) in
+    let keyed = List.mapi (fun i (s, n) -> ((i, s), n)) ledger in
+    let weights = List.map (fun ((i, _), n) -> (string_of_int i, n)) keyed in
+    let shares = Stats.apportion ~total ~weights in
+    let scaled =
+      List.map2
+        (fun ((_, s), full) (_, n) -> (s, full, n))
+        keyed shares
+    in
+    (* Keep every non-empty class alive at small scales; balance by taking
+       the bumps out of the (huge) Ok_plain class. *)
+    let bumps = ref 0 in
+    let adjusted =
+      List.map
+        (fun (s, full, n) ->
+          if full > 0 && n = 0 then begin
+            incr bumps;
+            (s, 1)
+          end
+          else (s, n))
+        scaled
+    in
+    List.map
+      (fun (s, n) -> if s = Ok_plain then (s, max 0 (n - !bumps)) else (s, n))
+      adjusted
+  end
+
+type vendor_key =
+  | V_lets_encrypt | V_digicert | V_sectigo | V_zerossl | V_gogetssl
+  | V_taiwan_ca | V_cyber_folks | V_trustico | V_other
+
+let vendor_key_to_string = function
+  | V_lets_encrypt -> "Let's Encrypt"
+  | V_digicert -> "DigiCert"
+  | V_sectigo -> "Sectigo Limited"
+  | V_zerossl -> "ZeroSSL"
+  | V_gogetssl -> "GoGetSSL"
+  | V_taiwan_ca -> "TAIWAN-CA"
+  | V_cyber_folks -> "cyber_Folks S.A."
+  | V_trustico -> "Trustico"
+  | V_other -> "Other"
+
+let vendor_totals =
+  [ (V_lets_encrypt, 400_737); (V_digicert, 60_894); (V_sectigo, 48_042);
+    (V_zerossl, 8_219); (V_gogetssl, 1_617); (V_taiwan_ca, 492);
+    (V_cyber_folks, 142); (V_trustico, 108); (V_other, 386_085) ]
+
+(* Table 11 rows; the [V_other] entry absorbs the gap to the Table 5/7
+   totals. *)
+let row_duplicate =
+  [ (V_lets_encrypt, 3_259); (V_digicert, 771); (V_sectigo, 639); (V_zerossl, 86);
+    (V_gogetssl, 41); (V_taiwan_ca, 7); (V_cyber_folks, 3); (V_trustico, 1);
+    (V_other, 1_167) ]
+
+let row_irrelevant =
+  [ (V_lets_encrypt, 400); (V_digicert, 726); (V_sectigo, 496); (V_zerossl, 35);
+    (V_gogetssl, 34); (V_taiwan_ca, 8); (V_cyber_folks, 8); (V_trustico, 1);
+    (V_other, 1_324) ]
+
+let row_multiple =
+  [ (V_lets_encrypt, 51); (V_digicert, 6); (V_sectigo, 134); (V_zerossl, 0);
+    (V_gogetssl, 7); (V_taiwan_ca, 0); (V_cyber_folks, 0); (V_trustico, 0);
+    (V_other, 48) ]
+
+let row_reversed =
+  [ (V_lets_encrypt, 81); (V_digicert, 1_736); (V_sectigo, 2_537); (V_zerossl, 2);
+    (V_gogetssl, 125); (V_taiwan_ca, 47); (V_cyber_folks, 86); (V_trustico, 67);
+    (V_other, 3_885) ]
+
+let row_incomplete =
+  [ (V_lets_encrypt, 1_155); (V_digicert, 2_245); (V_sectigo, 1_998); (V_zerossl, 120);
+    (V_gogetssl, 112); (V_taiwan_ca, 206); (V_cyber_folks, 8); (V_trustico, 4);
+    (V_other, 6_239) ]
+
+let only keys row = List.filter (fun (k, _) -> List.mem k keys) row
+let no_akid_vendors = [ V_lets_encrypt; V_digicert; V_sectigo; V_other ]
+
+let vendor_weights = function
+  | Ok_plain | Ok_with_root | Ok_leaf_mismatched -> vendor_totals
+  | Ok_leaf_other | Leaf_incorrect_placed -> [ (V_other, 1) ]
+  | Ok_no_akid -> only no_akid_vendors vendor_totals
+  | Ok_restricted _ -> [ (V_other, 1) ]
+  | Dup_leaf_front | Dup_leaf_scattered | Dup_intermediate _ | Dup_root
+  | Dup_leaf_and_intermediate | Dup_and_irrelevant -> row_duplicate
+  | Irr_self_signed_extra -> [ (V_other, 1) ]
+  | Irr_root_attached | Irr_stale_leaves _ | Irr_extra_leaf_distinct
+  | Irr_foreign_chain | Irr_lone_intermediate -> row_irrelevant
+  | Multi_cross_ok | Multi_cross_reversed -> row_multiple
+  | Multi_cross_expired -> [ (V_sectigo, 1) ]
+  | Multi_validity_variants -> [ (V_digicert, 1) ]
+  | Rev_noroot_2int ->
+      (* The I-1 chains: dominated by Taiwan-government deployments. *)
+      [ (V_taiwan_ca, 47); (V_other, 4) ]
+  | Rev_merge_1int | Rev_merge_2int | Rev_full_deep | Rev_and_incomplete ->
+      row_reversed
+  | Inc_missing1 | Inc_missing2 | Inc_no_aia | Inc_aia_fail -> row_incomplete
+  | Inc_wrong_aia -> [ (V_other, 1) ]
+  | Fig_serpro -> [ (V_other, 1) ]
+  | Fig_ns3 -> [ (V_lets_encrypt, 1) ]
+  | Fig_moex -> [ (V_other, 1) ]
+
+type server_key =
+  | S_apache | S_nginx | S_azure | S_cloudflare | S_iis | S_aws_elb | S_other
+  | S_unfingerprinted
+
+let server_key_to_string = function
+  | S_apache -> "Apache"
+  | S_nginx -> "Nginx"
+  | S_azure -> "Microsoft-Azure-Application-Gateway"
+  | S_cloudflare -> "cloudflare"
+  | S_iis -> "IIS"
+  | S_aws_elb -> "AWS ELB"
+  | S_other -> "Other"
+  | S_unfingerprinted -> "(unfingerprinted)"
+
+(* Table 10 rows, each padded with the unfingerprinted remainder so the row
+   reproduces both the Table 10 counts and the Table 5/7 totals. *)
+let srow ~apache ~nginx ~azure ~cf ~iis ~aws ~other ~unfp =
+  [ (S_apache, apache); (S_nginx, nginx); (S_azure, azure); (S_cloudflare, cf);
+    (S_iis, iis); (S_aws_elb, aws); (S_other, other); (S_unfingerprinted, unfp) ]
+
+let srow_dup_leaf =
+  srow ~apache:2_086 ~nginx:548 ~azure:0 ~cf:106 ~iis:57 ~aws:201 ~other:300 ~unfp:1_432
+
+let srow_dup_inter =
+  srow ~apache:104 ~nginx:328 ~azure:9 ~cf:26 ~iis:34 ~aws:9 ~other:116 ~unfp:728
+
+let srow_dup_root =
+  srow ~apache:42 ~nginx:121 ~azure:5 ~cf:5 ~iis:33 ~aws:12 ~other:38 ~unfp:145
+
+let srow_irrelevant =
+  srow ~apache:1_023 ~nginx:633 ~azure:18 ~cf:65 ~iis:29 ~aws:27 ~other:135 ~unfp:1_102
+
+let srow_multiple =
+  srow ~apache:38 ~nginx:59 ~azure:0 ~cf:3 ~iis:3 ~aws:1 ~other:13 ~unfp:129
+
+let srow_reversed =
+  srow ~apache:1_219 ~nginx:2_015 ~azure:750 ~cf:171 ~iis:210 ~aws:139 ~other:764
+    ~unfp:3_298
+
+let srow_incomplete =
+  srow ~apache:2_633 ~nginx:2_689 ~azure:145 ~cf:202 ~iis:199 ~aws:117 ~other:669
+    ~unfp:5_433
+
+let srow_generic =
+  srow ~apache:30 ~nginx:30 ~azure:3 ~cf:12 ~iis:4 ~aws:4 ~other:10 ~unfp:7
+
+let server_weights = function
+  | Dup_leaf_front | Dup_leaf_scattered | Dup_leaf_and_intermediate
+  | Dup_and_irrelevant -> srow_dup_leaf
+  | Dup_intermediate _ | Fig_ns3 | Fig_serpro -> srow_dup_inter
+  | Dup_root -> srow_dup_root
+  | Irr_self_signed_extra | Irr_root_attached | Irr_stale_leaves _
+  | Irr_extra_leaf_distinct | Irr_foreign_chain | Irr_lone_intermediate ->
+      srow_irrelevant
+  | Multi_cross_ok | Multi_cross_expired | Multi_cross_reversed
+  | Multi_validity_variants | Fig_moex -> srow_multiple
+  | Rev_merge_1int | Rev_noroot_2int | Rev_merge_2int | Rev_full_deep
+  | Rev_and_incomplete -> srow_reversed
+  | Inc_missing1 | Inc_missing2 | Inc_no_aia | Inc_aia_fail | Inc_wrong_aia ->
+      srow_incomplete
+  | Ok_plain | Ok_with_root | Ok_leaf_mismatched | Ok_leaf_other
+  | Leaf_incorrect_placed | Ok_no_akid | Ok_restricted _ -> srow_generic

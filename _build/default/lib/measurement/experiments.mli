@@ -1,0 +1,51 @@
+(** The reproduction suite: one entry per table and figure of the paper, each
+    rendering the measured result next to the paper's reported value.
+
+    [analyze] runs the server-side compliance pipeline once over a generated
+    population; individual experiments reuse that shared analysis. [run_all]
+    is what [bench/main.exe] and EXPERIMENTS.md generation call. *)
+
+open Chaoschain_core
+
+type analysis = {
+  pop : Population.t;
+  dataset : Scanner.dataset;
+  reports : (Population.record * Compliance.report) array;
+}
+
+val analyze : Population.t -> analysis
+
+type result = {
+  id : string;       (** e.g. ["table3"] *)
+  title : string;
+  body : string;     (** rendered ASCII *)
+}
+
+val table1 : unit -> result
+val table2 : unit -> result
+val table3 : analysis -> result
+val table4 : unit -> result
+val table5 : analysis -> result
+val table6 : analysis -> result
+val table7 : analysis -> result
+val table8 : analysis -> result
+val table9 : unit -> result
+val table10 : analysis -> result
+val table11 : analysis -> result
+val figure1 : analysis -> result
+val figure2 : analysis -> result
+val figure3 : analysis -> result
+val figure4 : analysis -> result
+val figure5 : analysis -> result
+val section5_2 : analysis -> result
+
+val section6 : analysis -> result
+(** Section 6 made executable: remediation advice, the capability-ablation
+    ladder behind the section 6.2 claim, and the issuer-tie statistics. *)
+
+val dataset_overview : analysis -> result
+(** The section 3.1 collection statistics (vantage totals, unique chains and
+    certificates, TLS 1.2/1.3 agreement). *)
+
+val run_all : analysis -> result list
+(** Every experiment, in paper order. *)

@@ -1,0 +1,481 @@
+open Chaoschain_x509
+open Chaoschain_core
+open Chaoschain_pki
+module Prng = Chaoschain_crypto.Prng
+module C = Calibration
+
+type blemish = Pristine | Expired_leaf
+
+type record = {
+  rank : int;
+  domain : string;
+  vendor : C.vendor_key;
+  universe_vendor : Universe.vendor;
+  software : C.server_key;
+  scenario : C.scenario;
+  blemish : blemish;
+  chain : Cert.t list;
+}
+
+type t = {
+  universe : Universe.t;
+  scale : float;
+  domains : record array;
+  firefox_cache : Cert.t list;
+  os_store : Cert.t list;
+}
+
+let blemish_fraction_incomplete = 0.50
+let blemish_fraction_order = 0.15
+
+let size t = Array.length t.domains
+
+(* --- vendor-key -> universe-vendor --- *)
+
+let universe_vendor_of rng = function
+  | C.V_lets_encrypt -> Universe.Lets_encrypt
+  | C.V_digicert -> Universe.Digicert
+  | C.V_sectigo -> Universe.Sectigo
+  | C.V_zerossl -> Universe.Zerossl
+  | C.V_gogetssl -> Universe.Gogetssl
+  | C.V_taiwan_ca -> Universe.Taiwan_ca
+  | C.V_cyber_folks -> Universe.Cyber_folks
+  | C.V_trustico -> Universe.Trustico
+  | C.V_other -> Universe.Other_ca (Prng.int rng Universe.other_ca_count)
+
+(* --- helpers over hierarchies --- *)
+
+let intermediates (h : Universe.hierarchy) =
+  h.Universe.issuing.Issue.cert
+  :: List.filter (fun c -> not (Cert.is_self_signed c)) h.Universe.above
+
+let root_of (h : Universe.hierarchy) =
+  List.find Cert.is_self_signed (List.rev h.Universe.above)
+
+(* The standard, compliant served list: leaf + intermediates (root omitted). *)
+let fullchain leaf h = leaf :: intermediates h
+
+let leaf_faults = function Pristine -> [] | Expired_leaf -> [ Issue.Expired ]
+
+(* --- scenario realisation --- *)
+
+type ctx = {
+  u : Universe.t;
+  rng : Prng.t;
+  foreign_block_twca : Cert.t list Lazy.t;
+  foreign_block_epki : Cert.t list Lazy.t;
+  other_leaf_cache : (int, Issue.signer) Hashtbl.t;
+}
+
+let mint ctx vendor ~domain ?hierarchy ?(faults = []) ?no_aia () =
+  Universe.mint_leaf ctx.u vendor ~domain ?hierarchy ~faults ?no_aia ()
+
+(* An intermediate guaranteed unrelated to [vendor]'s chain. *)
+let unrelated_intermediate ctx vendor =
+  let other =
+    match vendor with
+    | Universe.Other_ca 3 -> Universe.Other_ca 4
+    | _ -> Universe.Other_ca 3
+  in
+  (Universe.hierarchy ctx.u other).Universe.issuing.Issue.cert
+
+let unrelated_root ctx vendor =
+  let other =
+    match vendor with
+    | Universe.Other_ca 5 -> Universe.Other_ca 6
+    | _ -> Universe.Other_ca 5
+  in
+  root_of (Universe.hierarchy ctx.u other)
+
+let unrelated_leaf ctx rank =
+  let idx = rank mod 40 in
+  match Hashtbl.find_opt ctx.other_leaf_cache idx with
+  | Some s -> s.Issue.cert
+  | None ->
+      let s =
+        mint ctx (Universe.Other_ca (idx mod Universe.other_ca_count))
+          ~domain:(Printf.sprintf "parked-%d.hosting.sim" idx) ()
+      in
+      Hashtbl.replace ctx.other_leaf_cache idx s;
+      s.Issue.cert
+
+let stale_leaf ctx (h : Universe.hierarchy) leaf_signer k =
+  let nb = Vtime.add_months (Cert.not_before leaf_signer.Issue.cert) (-13 * k) in
+  let na = Vtime.add_months nb 12 in
+  Issue.reissue ctx.rng ~parent:h.Universe.issuing ~existing:leaf_signer ~not_before:nb
+    ~not_after:na
+
+let self_signed_leaf ctx ~cn ~san =
+  (Issue.self_signed ctx.rng
+     (Issue.spec
+        ~san
+        ~not_before:(Vtime.add_months (Universe.now ctx.u) (-2))
+        ~not_after:(Vtime.add_months (Universe.now ctx.u) 10)
+        (match cn with
+        | Some cn -> Dn.make ~cn ()
+        | None -> Dn.make ~o:"Default Company Ltd" ())))
+    .Issue.cert
+
+let cross_pair_or_sectigo ctx vendor =
+  match Universe.cross_pair ctx.u vendor with
+  | Some pair -> (vendor, pair)
+  | None -> (Universe.Sectigo, Option.get (Universe.cross_pair ctx.u Universe.Sectigo))
+
+let realize ctx ~rank ~domain ~vendor ~blemish scenario =
+  let faults = leaf_faults blemish in
+  let std = Universe.hierarchy ctx.u vendor in
+  let leaf ?hierarchy ?no_aia () = mint ctx vendor ~domain ?hierarchy ~faults ?no_aia () in
+  match scenario with
+  | C.Ok_plain -> fullchain (leaf ()).Issue.cert std
+  | C.Ok_with_root -> fullchain (leaf ()).Issue.cert std @ [ root_of std ]
+  | C.Ok_leaf_mismatched ->
+      let s =
+        mint ctx vendor ~domain:(Printf.sprintf "vhost%d.parking-pages.sim" (rank mod 97))
+          ~faults ()
+      in
+      fullchain s.Issue.cert std
+  | C.Ok_leaf_other ->
+      let cn =
+        match rank mod 4 with
+        | 0 -> Some "Plesk"
+        | 1 -> Some "localhost"
+        | 2 -> Some "testexp"
+        | _ -> None
+      in
+      [ self_signed_leaf ctx ~cn ~san:[] ]
+  | C.Leaf_incorrect_placed ->
+      let www = "www." ^ domain in
+      let ss =
+        Issue.self_signed ctx.rng
+          (Issue.spec ~san:[ Extension.Dns www ]
+             ~not_before:(Vtime.add_months (Universe.now ctx.u) (-2))
+             ~not_after:(Vtime.add_months (Universe.now ctx.u) 10)
+             (Dn.make ~cn:www ()))
+      in
+      let appliance =
+        Issue.issue ctx.rng ~parent:ss
+          (Issue.spec (Dn.make ~cn:"SophosApplianceCertificate_4C1D" ()))
+      in
+      [ appliance.Issue.cert; ss.Issue.cert ]
+  | C.Ok_no_akid ->
+      let h = Universe.hierarchy_no_akid ctx.u vendor in
+      fullchain (leaf ~hierarchy:h ()).Issue.cert h
+  | C.Ok_restricted kind ->
+      let r =
+        match kind with
+        | C.R_mc_recoverable -> Universe.restricted_mc_recoverable ctx.u
+        | C.R_mc_dead_end -> Universe.restricted_mc_dead_end ctx.u
+        | C.R_ms_recoverable -> Universe.restricted_ms_recoverable ctx.u
+        | C.R_ms_dead_end -> Universe.restricted_ms_dead_end ctx.u
+        | C.R_apple_recoverable -> Universe.restricted_apple_recoverable ctx.u
+        | C.R_apple_dead_end -> Universe.restricted_apple_dead_end ctx.u
+      in
+      let h = r.Universe.r_hierarchy in
+      fullchain (leaf ~hierarchy:h ()).Issue.cert h
+  | C.Dup_leaf_front ->
+      let l = (leaf ()).Issue.cert in
+      (l :: l :: intermediates std)
+  | C.Dup_leaf_scattered ->
+      let l = (leaf ()).Issue.cert in
+      (l :: intermediates std) @ [ l ]
+  | C.Dup_intermediate n ->
+      let l = (leaf ()).Issue.cert in
+      let inters = intermediates std in
+      let rec paste k acc = if k = 0 then acc else paste (k - 1) (acc @ inters) in
+      l :: paste n inters
+  | C.Dup_root ->
+      let r = root_of std in
+      fullchain (leaf ()).Issue.cert std @ [ r; r ]
+  | C.Dup_leaf_and_intermediate ->
+      let l = (leaf ()).Issue.cert in
+      let inters = intermediates std in
+      (l :: l :: inters) @ inters
+  | C.Dup_and_irrelevant ->
+      let l = (leaf ()).Issue.cert in
+      (l :: l :: intermediates std) @ [ unrelated_intermediate ctx vendor ]
+  | C.Irr_self_signed_extra ->
+      [ self_signed_leaf ctx ~cn:(Some domain) ~san:[ Extension.Dns domain ];
+        unrelated_root ctx vendor ]
+  | C.Irr_root_attached ->
+      fullchain (leaf ()).Issue.cert std @ [ unrelated_root ctx vendor ]
+  | C.Irr_stale_leaves n ->
+      let s = leaf () in
+      let stales = List.init n (fun i -> (stale_leaf ctx std s (i + 1))) in
+      (s.Issue.cert :: stales) @ intermediates std
+  | C.Irr_extra_leaf_distinct ->
+      let l = (leaf ()).Issue.cert in
+      (l :: [ unrelated_leaf ctx rank ]) @ intermediates std
+  | C.Irr_foreign_chain ->
+      let foreign =
+        match vendor with
+        | Universe.Taiwan_ca -> Lazy.force ctx.foreign_block_epki
+        | _ -> Lazy.force ctx.foreign_block_twca
+      in
+      fullchain (leaf ()).Issue.cert std @ foreign
+  | C.Irr_lone_intermediate ->
+      fullchain (leaf ()).Issue.cert std @ [ unrelated_intermediate ctx vendor ]
+  | C.Multi_cross_ok ->
+      let v, (self, cross) = cross_pair_or_sectigo ctx vendor in
+      let h = Universe.hierarchy ctx.u v in
+      let l = (mint ctx v ~domain ~faults ()).Issue.cert in
+      [ l; h.Universe.issuing.Issue.cert; self; cross ]
+  | C.Multi_cross_expired ->
+      let h = Universe.hierarchy ctx.u Universe.Sectigo in
+      let l = (mint ctx Universe.Sectigo ~domain ~faults ()).Issue.cert in
+      [ l; h.Universe.issuing.Issue.cert;
+        Universe.sectigo_usertrust_self ctx.u;
+        Universe.sectigo_usertrust_cross_expired ctx.u ]
+  | C.Multi_cross_reversed ->
+      let v, (self, cross) = cross_pair_or_sectigo ctx vendor in
+      let h = Universe.hierarchy ctx.u v in
+      let l = (mint ctx v ~domain ~faults ()).Issue.cert in
+      [ l; cross; h.Universe.issuing.Issue.cert; self ]
+  | C.Multi_validity_variants ->
+      let l = (mint ctx Universe.Digicert ~domain ~faults ()).Issue.cert in
+      let h = Universe.hierarchy ctx.u Universe.Digicert in
+      [ l; Universe.digicert_ca1_old ctx.u; Universe.digicert_ca1_recent ctx.u;
+        root_of h ]
+  | C.Rev_merge_1int ->
+      (* Naive merge of a reversed (root-first) bundle: [E; root; I1; ...]. *)
+      let l = (leaf ()).Issue.cert in
+      l :: List.rev (intermediates std @ [ root_of std ])
+  | C.Rev_noroot_2int ->
+      let h =
+        if List.length (intermediates std) >= 2 then std
+        else Universe.hierarchy_deep ctx.u vendor
+      in
+      let l = (leaf ~hierarchy:h ()).Issue.cert in
+      l :: List.rev (intermediates h)
+  | C.Rev_merge_2int ->
+      (* [E; I1; root; I2]: direct issuer first, then a reversed remainder. *)
+      let h = Universe.hierarchy_deep ctx.u vendor in
+      let l = (leaf ~hierarchy:h ()).Issue.cert in
+      (match intermediates h with
+      | i1 :: rest -> (l :: [ i1 ]) @ List.rev (rest @ [ root_of h ])
+      | [] -> assert false)
+  | C.Rev_full_deep ->
+      (* [E; root; I1; I2]: intermediates ordered but the root first. *)
+      let h = Universe.hierarchy_deep ctx.u vendor in
+      let l = (leaf ~hierarchy:h ()).Issue.cert in
+      (l :: [ root_of h ]) @ intermediates h
+  | C.Rev_and_incomplete ->
+      (* [E; I2; I1] from a 4-intermediate hierarchy: reversed and missing
+         the two upper tiers (both AIA-recoverable). *)
+      let h = Universe.hierarchy_deep4 ctx.u vendor in
+      let l = (leaf ~hierarchy:h ()).Issue.cert in
+      (match intermediates h with
+      | i1 :: i2 :: _ -> [ l; i2; i1 ]
+      | _ -> assert false)
+  | C.Inc_missing1 -> (
+      match vendor with
+      | Universe.Taiwan_ca ->
+          (* [E; Secure], omitting "TWCA Global Root CA" (appendix C). *)
+          [ (leaf ()).Issue.cert; std.Universe.issuing.Issue.cert ]
+      | _ -> [ (leaf ()).Issue.cert ])
+  | C.Inc_missing2 ->
+      let h = Universe.hierarchy_deep ctx.u vendor in
+      [ (leaf ~hierarchy:h ()).Issue.cert ]
+  | C.Inc_no_aia -> [ (leaf ~no_aia:true ()).Issue.cert ]
+  | C.Inc_aia_fail ->
+      let broken =
+        if rank mod 2 = 0 then Universe.broken_aia_uri_404 ctx.u
+        else Universe.broken_aia_uri_timeout ctx.u
+      in
+      let h = { std with Universe.issuing_aia_uri = broken } in
+      [ (leaf ~hierarchy:h ()).Issue.cert ]
+  | C.Inc_wrong_aia ->
+      let class3_signer = Universe.cacert_leaf_signer ctx.u in
+      let h =
+        { Universe.issuing = class3_signer;
+          above = [];
+          issuing_aia_uri = "http://www.cacert.sim/class3.crt" }
+      in
+      [ (leaf ~hierarchy:h ()).Issue.cert; Universe.cacert_class3 ctx.u ]
+  | C.Fig_serpro ->
+      (* 17 certificates with heavy duplication; the valid path survives, but
+         the list exceeds GnuTLS's input limit of 16 (Figure 3's point). *)
+      let h = Universe.hierarchy_deep ctx.u vendor in
+      let l = (leaf ~hierarchy:h ()).Issue.cert in
+      (match intermediates h with
+      | issuing :: tier :: _ ->
+          (l :: issuing :: List.init 7 (fun _ -> issuing))
+          @ (tier :: List.init 6 (fun _ -> tier))
+          @ [ root_of h ]
+      | _ -> assert false)
+  | C.Fig_ns3 ->
+      (* Two Let's Encrypt intermediates duplicated thirteen times over: a
+         29-certificate tower (the ns3.link shape). *)
+      let h = Universe.hierarchy_deep ctx.u Universe.Lets_encrypt in
+      let l = (mint ctx Universe.Lets_encrypt ~domain ~faults ~hierarchy:h ()).Issue.cert in
+      (match intermediates h with
+      | i1 :: t1 :: _ ->
+          let rec dups k acc = if k = 0 then acc else dups (k - 1) (acc @ [ i1; t1 ]) in
+          l :: i1 :: t1 :: dups 13 []
+      | _ -> assert false)
+  | C.Fig_moex ->
+      let grca = Universe.gov_grca_hierarchy ctx.u in
+      let l = (leaf ~hierarchy:grca ()).Issue.cert in
+      [ l;
+        (Universe.gov_hidden_root ctx.u).Issue.cert;
+        Universe.gov_moex_cross_by_hidden ctx.u;
+        (Universe.gov_moex_intermediate ctx.u).Issue.cert;
+        root_of grca ]
+
+(* --- blemish quotas --- *)
+
+let blemish_for ~index scenario =
+  let p =
+    match scenario with
+    | C.Inc_missing1 | C.Inc_missing2 | C.Inc_no_aia | C.Inc_aia_fail
+    | C.Inc_wrong_aia | C.Rev_and_incomplete -> blemish_fraction_incomplete
+    | C.Dup_leaf_front | C.Dup_leaf_scattered | C.Dup_intermediate _ | C.Dup_root
+    | C.Dup_leaf_and_intermediate | C.Dup_and_irrelevant | C.Irr_root_attached
+    | C.Irr_extra_leaf_distinct | C.Irr_foreign_chain | C.Irr_lone_intermediate
+    | C.Multi_cross_ok | C.Multi_cross_reversed | C.Multi_validity_variants
+    | C.Rev_merge_1int | C.Rev_noroot_2int | C.Rev_merge_2int | C.Rev_full_deep ->
+        blemish_fraction_order
+    | _ -> 0.0
+  in
+  (* Bresenham-style deterministic interleaving: the blemished share of every
+     class is exact and evenly spread, so small classes are neither wiped out
+     nor spared by sampling noise. *)
+  let f = float_of_int in
+  if int_of_float (f (index + 1) *. p) > int_of_float (f index *. p) then Expired_leaf
+  else Pristine
+
+(* --- special domain names for the planted case studies --- *)
+
+let named_domain scenario ~rank ~default =
+  match scenario with
+  | C.Fig_serpro -> "assiste6.serpro.gov.br"
+  | C.Fig_moex -> "moex.gov.tw"
+  | C.Fig_ns3 ->
+      List.nth [ "ns3.link"; "ns3.com"; "ns3.cx"; "n0.eu" ] (rank mod 4)
+  | C.Leaf_incorrect_placed -> "mot.gov.ps"
+  | C.Inc_wrong_aia -> "community.cacert.example"
+  | _ -> default
+
+let firefox_cached_vendor = function
+  | Universe.Taiwan_ca | Universe.Cyber_folks | Universe.Other_ca 7 -> false
+  | _ -> true
+
+let build_firefox_cache u =
+  let vendors =
+    Universe.named_vendors
+    @ List.init Universe.other_ca_count (fun i -> Universe.Other_ca i)
+  in
+  List.concat_map
+    (fun v ->
+      if not (firefox_cached_vendor v) then []
+      else begin
+        (* The deep4 tiers are deliberately absent: they model the rare
+           intermediates Firefox has never seen, behind its
+           SEC_ERROR_UNKNOWN_ISSUER gap versus Chrome/Edge. *)
+        let hs =
+          [ Universe.hierarchy u v; Universe.hierarchy_no_akid u v;
+            Universe.hierarchy_deep u v ]
+        in
+        List.concat_map
+          (fun (h : Universe.hierarchy) ->
+            h.Universe.issuing.Issue.cert
+            :: List.filter (fun c -> not (Cert.is_self_signed c)) h.Universe.above)
+          hs
+      end)
+    vendors
+
+let generate ?(seed = 20240315L) ?(scale = 0.05) () =
+  let universe = Universe.create ~seed () in
+  let rng = Prng.create (Int64.add seed 7L) in
+  let ctx =
+    { u = universe;
+      rng;
+      foreign_block_twca =
+        lazy
+          (let tw = Universe.hierarchy universe Universe.Taiwan_ca in
+           (Universe.taiwan_global universe).Issue.cert
+           :: tw.Universe.issuing.Issue.cert
+           :: []);
+      foreign_block_epki =
+        lazy
+          (let e = Universe.epki_hierarchy universe in
+           [ e.Universe.issuing.Issue.cert; root_of e ]);
+      other_leaf_cache = Hashtbl.create 64 }
+  in
+  Aia_repo.inject_failure (Universe.aia universe)
+    ~uri:(Universe.broken_aia_uri_timeout universe) `Timeout;
+  let ledger = C.scale_ledger scale in
+  let records = ref [] in
+  let rank = ref 0 in
+  List.iter
+    (fun (scenario, count) ->
+      if count > 0 then begin
+        let vendors =
+          Stats.apportion ~total:count
+            ~weights:
+              (List.map
+                 (fun (k, w) -> (C.vendor_key_to_string k, w))
+                 (C.vendor_weights scenario))
+          |> List.concat_map (fun (name, n) ->
+                 let key =
+                   List.find
+                     (fun (k, _) -> C.vendor_key_to_string k = name)
+                     (C.vendor_weights scenario)
+                   |> fst
+                 in
+                 List.init n (fun _ -> key))
+        in
+        let servers =
+          Stats.apportion ~total:count
+            ~weights:
+              (List.map
+                 (fun (k, w) -> (C.server_key_to_string k, w))
+                 (C.server_weights scenario))
+          |> List.concat_map (fun (name, n) ->
+                 let key =
+                   List.find
+                     (fun (k, _) -> C.server_key_to_string k = name)
+                     (C.server_weights scenario)
+                   |> fst
+                 in
+                 List.init n (fun _ -> key))
+        in
+        let class_index = ref 0 in
+        List.iter2
+          (fun vkey skey ->
+            let r = !rank in
+            incr rank;
+            let i = !class_index in
+            incr class_index;
+            let domain =
+              named_domain scenario ~rank:r
+                ~default:(Printf.sprintf "site-%06d.tranco.sim" r)
+            in
+            let uv = universe_vendor_of rng vkey in
+            let blemish = blemish_for ~index:i scenario in
+            let chain = realize ctx ~rank:r ~domain ~vendor:uv ~blemish scenario in
+            records :=
+              { rank = r; domain; vendor = vkey; universe_vendor = uv;
+                software = skey; scenario; blemish; chain }
+              :: !records)
+          vendors servers
+      end)
+    ledger;
+  let domains = Array.of_list (List.rev !records) in
+  { universe;
+    scale;
+    domains;
+    firefox_cache = build_firefox_cache universe;
+    os_store =
+      [ (Universe.taiwan_global universe).Issue.cert;
+        (Universe.hierarchy universe Universe.Taiwan_ca).Universe.issuing.Issue.cert ] }
+
+let env t =
+  { Difftest.store_of = (fun program -> Universe.store t.universe program);
+    aia = Universe.aia t.universe;
+    firefox_cache = t.firefox_cache;
+    os_store = t.os_store;
+    now = Universe.now t.universe }
+
+let compliance_report t record =
+  Compliance.analyze ~store:(Universe.union_store t.universe)
+    ~aia:(Universe.aia t.universe) ~domain:record.domain record.chain

@@ -1,0 +1,22 @@
+(** The simulated ZGrab-style collection (section 3.1): two vantage points
+    scan the population over TLS 1.2, each missing a small, partially
+    overlapping fraction of domains (network noise); the analysis dataset is
+    the union. Certificate messages travel through the real wire codec. *)
+
+open Chaoschain_x509
+
+type vantage = { name : string; reached : int; unreachable : int }
+
+type dataset = {
+  vantages : vantage list;
+  domains : (string * Cert.t list) array;  (** the union dataset *)
+  unique_chains : int;
+  unique_certs : int;
+  tls12_tls13_identical_pct : float;
+      (** share of domains answering both versions with the same chain *)
+}
+
+val scan : Population.t -> dataset
+(** Deterministic per population. Every served chain is encoded into a TLS
+    Certificate message and re-parsed, so the dataset contains exactly what
+    the wire carried. *)

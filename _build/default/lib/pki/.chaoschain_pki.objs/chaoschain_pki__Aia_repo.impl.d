@@ -1,0 +1,1 @@
+lib/pki/aia_repo.ml: Cert Chaoschain_x509 Hashtbl List Option Printf Relation

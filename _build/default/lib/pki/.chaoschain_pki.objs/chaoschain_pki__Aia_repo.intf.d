@@ -1,0 +1,1 @@
+lib/pki/aia_repo.mli: Cert Chaoschain_x509

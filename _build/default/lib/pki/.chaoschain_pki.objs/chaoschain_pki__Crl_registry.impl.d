@@ -1,0 +1,1 @@
+lib/pki/crl_registry.ml: Cert Chaoschain_x509 Crl Dn Issue List

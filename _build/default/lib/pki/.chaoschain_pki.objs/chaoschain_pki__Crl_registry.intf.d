@@ -1,0 +1,1 @@
+lib/pki/crl_registry.mli: Cert Chaoschain_crypto Chaoschain_x509 Crl Dn Issue Vtime

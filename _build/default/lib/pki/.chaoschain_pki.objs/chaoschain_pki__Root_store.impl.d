@@ -1,0 +1,1 @@
+lib/pki/root_store.ml: Cert Chaoschain_x509 Dn List Map Option String

@@ -1,0 +1,1 @@
+lib/pki/root_store.mli: Cert Chaoschain_x509 Dn

@@ -1,0 +1,1 @@
+lib/pki/universe.ml: Aia_repo Cert Chaoschain_crypto Chaoschain_x509 Dn Extension Hashtbl Issue List Option Printf Root_store String Vtime

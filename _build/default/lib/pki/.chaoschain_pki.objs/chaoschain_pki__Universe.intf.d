@@ -1,0 +1,1 @@
+lib/pki/universe.mli: Aia_repo Cert Chaoschain_crypto Chaoschain_x509 Issue Root_store Vtime

@@ -1,0 +1,54 @@
+open Chaoschain_x509
+
+type entry = Cert_entry of Cert.t | Fail_not_found | Fail_timeout
+type outcome = Served of Cert.t | Http_not_found | Timeout
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  counts : (string, int) Hashtbl.t;
+  mutable total_fetches : int;
+}
+
+let create () = { entries = Hashtbl.create 64; counts = Hashtbl.create 64; total_fetches = 0 }
+let publish t ~uri cert = Hashtbl.replace t.entries uri (Cert_entry cert)
+
+let inject_failure t ~uri mode =
+  Hashtbl.replace t.entries uri
+    (match mode with `Not_found -> Fail_not_found | `Timeout -> Fail_timeout)
+
+let fetch t uri =
+  t.total_fetches <- t.total_fetches + 1;
+  Hashtbl.replace t.counts uri (1 + Option.value (Hashtbl.find_opt t.counts uri) ~default:0);
+  match Hashtbl.find_opt t.entries uri with
+  | Some (Cert_entry c) -> Served c
+  | Some Fail_not_found | None -> Http_not_found
+  | Some Fail_timeout -> Timeout
+
+let fetch_count t = t.total_fetches
+let fetch_count_for t uri = Option.value (Hashtbl.find_opt t.counts uri) ~default:0
+
+let reset_counters t =
+  t.total_fetches <- 0;
+  Hashtbl.reset t.counts
+
+let chase t ?(limit = 8) cert =
+  let rec go acc seen current n =
+    if n >= limit then Error "AIA chase: recursion limit reached"
+    else if Cert.is_self_signed current then Ok (List.rev acc)
+    else
+      match Cert.aia_ca_issuers current with
+      | [] -> Error "AIA chase: certificate has no caIssuers URI"
+      | uri :: _ -> (
+          match fetch t uri with
+          | Http_not_found -> Error (Printf.sprintf "AIA chase: %s not found" uri)
+          | Timeout -> Error (Printf.sprintf "AIA chase: %s timed out" uri)
+          | Served issuer ->
+              if Cert.equal issuer current then
+                Error (Printf.sprintf "AIA chase: %s serves the certificate itself" uri)
+              else if List.exists (Cert.equal issuer) seen then
+                Error "AIA chase: cycle detected"
+              else if not (Relation.issued_by_name ~issuer ~child:current) then
+                Error (Printf.sprintf "AIA chase: %s serves a non-issuer certificate" uri)
+              else go (issuer :: acc) (issuer :: seen) issuer (n + 1))
+  in
+  go [] [ cert ] cert 0

@@ -1,0 +1,43 @@
+(** The simulated HTTP endpoint behind Authority Information Access.
+
+    Real clients that support AIA completion download missing issuer
+    certificates from the caIssuers URI embedded in a certificate. This
+    repository stands in for that plain-HTTP fetch: certificates are
+    published under URIs, and failure modes (404, timeout, a wrong
+    certificate being served — the CAcert self-reference case from section
+    4.3) can be injected per URI. Fetch accounting supports the paper's
+    privacy/efficiency discussion. *)
+
+open Chaoschain_x509
+
+type t
+
+type outcome =
+  | Served of Cert.t      (** 200 OK with a certificate body *)
+  | Http_not_found        (** the URI resolves but returns 404 *)
+  | Timeout               (** the URI never answers *)
+
+val create : unit -> t
+
+val publish : t -> uri:string -> Cert.t -> unit
+(** Serve [cert] at [uri]; later publications overwrite earlier ones. *)
+
+val inject_failure : t -> uri:string -> [ `Not_found | `Timeout ] -> unit
+(** Make [uri] fail. Overrides any published certificate. *)
+
+val fetch : t -> string -> outcome
+(** One simulated HTTP GET. URIs never published behave as {!Http_not_found}.
+    Every call is counted. *)
+
+val fetch_count : t -> int
+(** Total number of {!fetch} calls since creation or the last reset. *)
+
+val fetch_count_for : t -> string -> int
+val reset_counters : t -> unit
+
+val chase : t -> ?limit:int -> Cert.t -> (Cert.t list, string) result
+(** Recursively follow caIssuers from the given certificate until a
+    self-signed certificate is reached, returning the downloaded certificates
+    leaf-most first. [limit] (default 8) bounds the recursion; cycles and
+    certificates that fetch themselves (the CAcert case) are reported as
+    errors, as are missing AIA fields and HTTP failures. *)

@@ -1,0 +1,26 @@
+open Chaoschain_x509
+
+type t = { mutable crls : (Dn.t * Crl.t) list }
+
+let create () = { crls = [] }
+
+let register t crl =
+  let dn = Crl.issuer_dn crl in
+  t.crls <- (dn, crl) :: List.filter (fun (d, _) -> not (Dn.equal d dn)) t.crls
+
+let lookup t dn =
+  List.find_map (fun (d, crl) -> if Dn.equal d dn then Some crl else None) t.crls
+
+let lookup_for t ~issuer = lookup t (Cert.subject issuer)
+
+let revoke rng t ~issuer ~now ?(reason = Crl.Unspecified) cert =
+  let existing =
+    match lookup t (Cert.subject issuer.Issue.cert) with
+    | Some crl -> Crl.entries crl
+    | None -> []
+  in
+  let entry = { Crl.serial = Cert.serial cert; revoked_at = now; reason } in
+  register t (Crl.issue rng ~issuer ~this_update:now (entry :: existing))
+
+let status t ~issuer ~now cert =
+  Crl.check ~crl:(lookup_for t ~issuer) ~issuer ~now cert

@@ -1,0 +1,1 @@
+lib/tlssim/certmsg.ml: Buffer Cert Chaoschain_x509 Char List Result String

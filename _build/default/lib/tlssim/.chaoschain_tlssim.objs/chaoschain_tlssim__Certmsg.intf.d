@@ -1,0 +1,1 @@
+lib/tlssim/certmsg.mli: Cert Chaoschain_x509

@@ -1,0 +1,1 @@
+lib/tlssim/handshake.ml: Cert Certmsg Chaoschain_core Chaoschain_x509 Clients Difftest Engine List Result String

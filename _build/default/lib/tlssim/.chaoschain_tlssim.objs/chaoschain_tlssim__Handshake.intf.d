@@ -1,0 +1,1 @@
+lib/tlssim/handshake.mli: Cert Chaoschain_core Chaoschain_x509 Clients Difftest Engine

@@ -1,0 +1,95 @@
+open Chaoschain_x509
+
+let add_u24 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (n land 0xFF))
+
+let add_u16 buf n =
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (n land 0xFF))
+
+let read_u24 s off =
+  if off + 3 > String.length s then Error "truncated u24"
+  else
+    Ok ((Char.code s.[off] lsl 16) lor (Char.code s.[off + 1] lsl 8)
+        lor Char.code s.[off + 2])
+
+let read_u16 s off =
+  if off + 2 > String.length s then Error "truncated u16"
+  else Ok ((Char.code s.[off] lsl 8) lor Char.code s.[off + 1])
+
+let ( let* ) = Result.bind
+
+let encode_tls12 certs =
+  let body = Buffer.create 1024 in
+  List.iter
+    (fun cert ->
+      let der = Cert.to_der cert in
+      add_u24 body (String.length der);
+      Buffer.add_string body der)
+    certs;
+  let msg = Buffer.create (Buffer.length body + 3) in
+  add_u24 msg (Buffer.length body);
+  Buffer.add_buffer msg body;
+  Buffer.contents msg
+
+let decode_tls12 s =
+  let* total = read_u24 s 0 in
+  if total + 3 <> String.length s then Error "certificate_list length mismatch"
+  else begin
+    let rec entries acc off =
+      if off = String.length s then Ok (List.rev acc)
+      else
+        let* len = read_u24 s off in
+        if off + 3 + len > String.length s then Error "truncated certificate entry"
+        else
+          let der = String.sub s (off + 3) len in
+          let* cert = Cert.of_der der in
+          entries (cert :: acc) (off + 3 + len)
+    in
+    entries [] 3
+  end
+
+let encode_tls13 ?(context = "") certs =
+  let body = Buffer.create 1024 in
+  List.iter
+    (fun cert ->
+      let der = Cert.to_der cert in
+      add_u24 body (String.length der);
+      Buffer.add_string body der;
+      add_u16 body 0 (* empty per-entry extensions *))
+    certs;
+  let msg = Buffer.create (Buffer.length body + 8) in
+  Buffer.add_char msg (Char.chr (String.length context));
+  Buffer.add_string msg context;
+  add_u24 msg (Buffer.length body);
+  Buffer.add_buffer msg body;
+  Buffer.contents msg
+
+let decode_tls13 s =
+  if String.length s < 1 then Error "truncated context length"
+  else begin
+    let ctx_len = Char.code s.[0] in
+    if 1 + ctx_len > String.length s then Error "truncated context"
+    else begin
+      let context = String.sub s 1 ctx_len in
+      let* total = read_u24 s (1 + ctx_len) in
+      let base = 1 + ctx_len + 3 in
+      if base + total <> String.length s then Error "certificate_list length mismatch"
+      else begin
+        let rec entries acc off =
+          if off = String.length s then Ok (context, List.rev acc)
+          else
+            let* len = read_u24 s off in
+            if off + 3 + len + 2 > String.length s then Error "truncated entry"
+            else
+              let der = String.sub s (off + 3) len in
+              let* cert = Cert.of_der der in
+              let* ext_len = read_u16 s (off + 3 + len) in
+              entries (cert :: acc) (off + 3 + len + 2 + ext_len)
+        in
+        entries [] base
+      end
+    end
+  end

@@ -1,0 +1,18 @@
+(** The TLS Certificate handshake message wire format (RFC 5246 section
+    7.4.2 / RFC 8446 section 4.4.2): a 24-bit-length vector of 24-bit-length
+    certificate entries. This is the byte string a scanner actually receives;
+    the simulated ZGrab parses served chains out of it. *)
+
+open Chaoschain_x509
+
+val encode_tls12 : Cert.t list -> string
+(** certificate_list as TLS 1.2 sends it. *)
+
+val decode_tls12 : string -> (Cert.t list, string) result
+
+val encode_tls13 : ?context:string -> Cert.t list -> string
+(** TLS 1.3 adds a certificate_request_context and per-entry (empty here)
+    extension blocks. *)
+
+val decode_tls13 : string -> (string * Cert.t list, string) result
+(** Returns the request context and the certificate list. *)

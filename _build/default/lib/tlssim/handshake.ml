@@ -1,0 +1,80 @@
+open Chaoschain_x509
+open Chaoschain_core
+
+type version = Tls12 | Tls13
+
+type server = {
+  server_name : string;
+  chain : Cert.t list;
+  supports : version list;
+}
+
+let server ~name ~chain = { server_name = name; chain; supports = [ Tls12; Tls13 ] }
+
+type user_outcome =
+  | Connection_established
+  | Connection_refused of string
+  | Warning_page of string
+
+let outcome_to_string = function
+  | Connection_established -> "connection established"
+  | Connection_refused msg -> "connection refused: " ^ msg
+  | Warning_page msg -> "warning page: " ^ msg
+
+type transcript = {
+  version : version;
+  certificate_msg_bytes : int;
+  client_outcome : user_outcome;
+  engine : Engine.outcome;
+}
+
+let cache_for (env : Difftest.env) (client : Clients.t) =
+  if client.Clients.uses_os_intermediate_store then env.Difftest.os_store
+  else if client.Clients.uses_intermediate_cache then env.Difftest.firefox_cache
+  else []
+
+let connect env ~client ?(version = Tls13) srv =
+  if not (List.mem version srv.supports) then
+    invalid_arg "Handshake.connect: version not supported by server";
+  (* Serialize and re-parse the Certificate message: the client consumes the
+     wire bytes, not the server's in-memory list. *)
+  let wire =
+    match version with
+    | Tls12 -> Certmsg.encode_tls12 srv.chain
+    | Tls13 -> Certmsg.encode_tls13 srv.chain
+  in
+  let received =
+    match version with
+    | Tls12 -> Certmsg.decode_tls12 wire
+    | Tls13 -> Result.map snd (Certmsg.decode_tls13 wire)
+  in
+  let certs =
+    match received with
+    | Ok certs -> certs
+    | Error e -> invalid_arg ("Handshake: self-encoded message failed to parse: " ^ e)
+  in
+  let store = env.Difftest.store_of client.Clients.root_program in
+  let ctx =
+    Clients.context client ~store ~aia:env.Difftest.aia ~cache:(cache_for env client)
+      ~now:env.Difftest.now
+  in
+  let engine = Engine.run ctx ~host:(Some srv.server_name) certs in
+  let client_outcome =
+    match engine.Engine.result with
+    | Ok _ -> Connection_established
+    | Error e -> (
+        let msg = Clients.render_error client e in
+        match client.Clients.kind with
+        | Clients.Library -> Connection_refused msg
+        | Clients.Browser -> Warning_page msg)
+  in
+  { version;
+    certificate_msg_bytes = String.length wire;
+    client_outcome;
+    engine }
+
+let availability_impact env srv =
+  List.map
+    (fun client -> (client, (connect env ~client srv).client_outcome))
+    Clients.all
+

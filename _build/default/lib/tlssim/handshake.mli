@@ -1,0 +1,41 @@
+(** A miniature TLS handshake between a configured server and one of the
+    modelled clients, surfacing the availability outcomes the paper
+    discusses: libraries abort the connection, browsers interpose a warning
+    page, and users may fall back to insecure HTTP. *)
+
+open Chaoschain_x509
+open Chaoschain_core
+
+type version = Tls12 | Tls13
+
+type server = {
+  server_name : string;            (** SNI hostname served *)
+  chain : Cert.t list;             (** the certificate list it will send *)
+  supports : version list;
+}
+
+val server : name:string -> chain:Cert.t list -> server
+(** A server speaking both protocol versions. *)
+
+type user_outcome =
+  | Connection_established          (** TLS succeeds *)
+  | Connection_refused of string    (** library clients: handshake aborted *)
+  | Warning_page of string          (** browser clients: interstitial shown *)
+
+val outcome_to_string : user_outcome -> string
+
+type transcript = {
+  version : version;
+  certificate_msg_bytes : int;      (** size of the Certificate message *)
+  client_outcome : user_outcome;
+  engine : Engine.outcome;
+}
+
+val connect :
+  Difftest.env -> client:Clients.t -> ?version:version -> server -> transcript
+(** Run ClientHello → ServerHello → Certificate → client-side chain
+    processing. The Certificate message is actually encoded and re-parsed
+    through {!Certmsg}, so the client sees exactly the wire bytes. *)
+
+val availability_impact : Difftest.env -> server -> (Clients.t * user_outcome) list
+(** The paper's service-availability view: every client's user outcome. *)

@@ -1,0 +1,1 @@
+lib/x509/cert.ml: Chaoschain_crypto Chaoschain_der Dn Extension Format List Printf Result String Vtime

@@ -1,0 +1,1 @@
+lib/x509/cert.mli: Chaoschain_crypto Chaoschain_der Dn Extension Format Vtime

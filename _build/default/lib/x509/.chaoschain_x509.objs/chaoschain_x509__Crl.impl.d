@@ -1,0 +1,1 @@
+lib/x509/crl.ml: Cert Chaoschain_crypto Chaoschain_der Dn Issue List Option Printf String Vtime

@@ -1,0 +1,1 @@
+lib/x509/crl.mli: Cert Chaoschain_crypto Dn Issue Vtime

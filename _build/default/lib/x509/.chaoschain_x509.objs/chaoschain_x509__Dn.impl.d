@@ -1,0 +1,1 @@
+lib/x509/dn.ml: Buffer Chaoschain_der Char Format List Printf Result String

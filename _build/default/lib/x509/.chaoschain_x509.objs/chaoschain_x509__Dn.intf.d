@@ -1,0 +1,1 @@
+lib/x509/dn.mli: Chaoschain_der Format

@@ -1,0 +1,1 @@
+lib/x509/extension.ml: Chaoschain_crypto Chaoschain_der Char Dn Format List Printf Result Stdlib String

@@ -1,0 +1,1 @@
+lib/x509/extension.mli: Chaoschain_der Dn Format

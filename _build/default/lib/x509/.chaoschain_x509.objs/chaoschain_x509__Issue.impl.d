@@ -1,0 +1,1 @@
+lib/x509/issue.ml: Cert Chaoschain_crypto Chaoschain_der Char Dn Extension List Option String Vtime

@@ -1,0 +1,1 @@
+lib/x509/issue.mli: Cert Chaoschain_crypto Dn Extension Vtime

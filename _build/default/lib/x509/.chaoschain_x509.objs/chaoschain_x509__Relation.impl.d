@@ -1,0 +1,1 @@
+lib/x509/relation.ml: Cert Chaoschain_crypto Dn Extension Hashtbl String

@@ -1,0 +1,1 @@
+lib/x509/vtime.ml: Array Chaoschain_der Char Format Printf Result Stdlib String

@@ -1,0 +1,1 @@
+lib/x509/vtime.mli: Chaoschain_der Format

@@ -1,0 +1,337 @@
+module Der = Chaoschain_der.Der
+module Oid = Chaoschain_der.Oid
+
+type key_usage_flag =
+  | Digital_signature
+  | Content_commitment
+  | Key_encipherment
+  | Data_encipherment
+  | Key_agreement
+  | Key_cert_sign
+  | Crl_sign
+  | Encipher_only
+  | Decipher_only
+
+let key_usage_flag_to_string = function
+  | Digital_signature -> "digitalSignature"
+  | Content_commitment -> "contentCommitment"
+  | Key_encipherment -> "keyEncipherment"
+  | Data_encipherment -> "dataEncipherment"
+  | Key_agreement -> "keyAgreement"
+  | Key_cert_sign -> "keyCertSign"
+  | Crl_sign -> "cRLSign"
+  | Encipher_only -> "encipherOnly"
+  | Decipher_only -> "decipherOnly"
+
+let flag_bit = function
+  | Digital_signature -> 0
+  | Content_commitment -> 1
+  | Key_encipherment -> 2
+  | Data_encipherment -> 3
+  | Key_agreement -> 4
+  | Key_cert_sign -> 5
+  | Crl_sign -> 6
+  | Encipher_only -> 7
+  | Decipher_only -> 8
+
+let all_flags =
+  [ Digital_signature; Content_commitment; Key_encipherment; Data_encipherment;
+    Key_agreement; Key_cert_sign; Crl_sign; Encipher_only; Decipher_only ]
+
+type general_name = Dns of string | Ip of string | Uri of string | Directory of Dn.t
+type basic_constraints = { ca : bool; path_len : int option }
+
+type authority_key_id = {
+  akid_key_id : string option;
+  akid_issuer : general_name list;
+  akid_serial : string option;
+}
+
+type authority_info_access = { ca_issuers : string list; ocsp : string list }
+
+type value =
+  | Basic_constraints of basic_constraints
+  | Key_usage of key_usage_flag list
+  | Ext_key_usage of Oid.t list
+  | Subject_alt_name of general_name list
+  | Subject_key_id of string
+  | Authority_key_id of authority_key_id
+  | Authority_info_access of authority_info_access
+  | Unknown of Oid.t * string
+
+type t = { critical : bool; value : value }
+
+let basic_constraints ?(critical = true) ~ca ?path_len () =
+  { critical; value = Basic_constraints { ca; path_len } }
+
+let key_usage ?(critical = true) flags = { critical; value = Key_usage flags }
+let ext_key_usage purposes = { critical = false; value = Ext_key_usage purposes }
+let subject_alt_name names = { critical = false; value = Subject_alt_name names }
+let subject_key_id kid = { critical = false; value = Subject_key_id kid }
+
+let authority_key_id kid =
+  { critical = false;
+    value = Authority_key_id { akid_key_id = Some kid; akid_issuer = []; akid_serial = None } }
+
+let authority_key_id_by_name issuer serial =
+  { critical = false;
+    value =
+      Authority_key_id
+        { akid_key_id = None; akid_issuer = [ Directory issuer ]; akid_serial = Some serial } }
+
+let authority_info_access ?(ocsp = []) ~ca_issuers () =
+  { critical = false; value = Authority_info_access { ca_issuers; ocsp } }
+
+let oid_of_value = function
+  | Basic_constraints _ -> Oid.ext_basic_constraints
+  | Key_usage _ -> Oid.ext_key_usage
+  | Ext_key_usage _ -> Oid.ext_ext_key_usage
+  | Subject_alt_name _ -> Oid.ext_subject_alt_name
+  | Subject_key_id _ -> Oid.ext_subject_key_id
+  | Authority_key_id _ -> Oid.ext_authority_key_id
+  | Authority_info_access _ -> Oid.ext_authority_info_access
+  | Unknown (oid, _) -> oid
+
+let find oid exts = List.find_opt (fun e -> Oid.equal (oid_of_value e.value) oid) exts
+
+(* --- GeneralName codec (context-specific IMPLICIT tags per RFC 5280) --- *)
+
+let general_name_to_der = function
+  | Dns host -> Der.context_prim 2 host
+  | Uri uri -> Der.context_prim 6 uri
+  | Ip text -> Der.context_prim 7 text
+  | Directory dn -> Der.context 4 [ Dn.to_der dn ]
+
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let general_name_of_der v =
+  match v with
+  | Der.Prim ({ cls = Context_specific; number = 2; _ }, c) -> Ok (Dns c)
+  | Der.Prim ({ cls = Context_specific; number = 6; _ }, c) -> Ok (Uri c)
+  | Der.Prim ({ cls = Context_specific; number = 7; _ }, c) -> Ok (Ip c)
+  | Der.Cons ({ cls = Context_specific; number = 4; _ }, [ dn_v ]) ->
+      let* dn = Dn.of_der dn_v in
+      Ok (Directory dn)
+  | _ -> Error "GeneralName: unsupported choice"
+
+(* --- extnValue payload codecs --- *)
+
+let bc_to_der { ca; path_len } =
+  Der.sequence
+    ((if ca then [ Der.boolean true ] else [])
+    @ match path_len with None -> [] | Some n -> [ Der.integer_of_int n ])
+
+let bc_of_der v =
+  let* fields = Der.as_sequence v in
+  match fields with
+  | [] -> Ok { ca = false; path_len = None }
+  | [ b ] -> (
+      (* Either just cA, or (dubious but seen) just pathLen. *)
+      match Der.as_boolean b with
+      | Ok ca -> Ok { ca; path_len = None }
+      | Error _ ->
+          let* n = Der.as_integer_int b in
+          Ok { ca = false; path_len = Some n })
+  | [ b; n ] ->
+      let* ca = Der.as_boolean b in
+      let* path_len = Der.as_integer_int n in
+      Ok { ca; path_len = Some path_len }
+  | _ -> Error "BasicConstraints: too many fields"
+
+let ku_to_der flags =
+  let bits = List.fold_left (fun acc f -> acc lor (1 lsl flag_bit f)) 0 flags in
+  (* Render 9 bits big-endian-first into two octets; compute unused count. *)
+  let highest = List.fold_left (fun acc f -> Stdlib.max acc (flag_bit f)) (-1) flags in
+  let nbits = highest + 1 in
+  if nbits <= 0 then Der.bit_string ~unused:0 ""
+  else begin
+    let nbytes = (nbits + 7) / 8 in
+    let unused = (nbytes * 8) - nbits in
+    let content =
+      String.init nbytes (fun byte_i ->
+          let v = ref 0 in
+          for bit = 0 to 7 do
+            let idx = (byte_i * 8) + bit in
+            if idx < nbits && bits land (1 lsl idx) <> 0 then v := !v lor (0x80 lsr bit)
+          done;
+          Char.chr !v)
+    in
+    Der.bit_string ~unused content
+  end
+
+let ku_of_der v =
+  let* unused, content = Der.as_bit_string v in
+  let nbits = (String.length content * 8) - unused in
+  let has idx =
+    idx < nbits
+    && Char.code content.[idx / 8] land (0x80 lsr (idx mod 8)) <> 0
+  in
+  Ok (List.filter (fun f -> has (flag_bit f)) all_flags)
+
+let akid_to_der { akid_key_id; akid_issuer; akid_serial } =
+  Der.sequence
+    ((match akid_key_id with Some k -> [ Der.context_prim 0 k ] | None -> [])
+    @ (match akid_issuer with
+      | [] -> []
+      | names -> [ Der.Cons ({ cls = Context_specific; constructed = true; number = 1 },
+                             List.map general_name_to_der names) ])
+    @ match akid_serial with Some s -> [ Der.context_prim 2 s ] | None -> [])
+
+let akid_of_der v =
+  let* fields = Der.as_sequence v in
+  let init = { akid_key_id = None; akid_issuer = []; akid_serial = None } in
+  List.fold_left
+    (fun acc field ->
+      let* acc = acc in
+      match field with
+      | Der.Prim ({ cls = Context_specific; number = 0; _ }, c) ->
+          Ok { acc with akid_key_id = Some c }
+      | Der.Cons ({ cls = Context_specific; number = 1; _ }, names) ->
+          let* names = map_result general_name_of_der names in
+          Ok { acc with akid_issuer = names }
+      | Der.Prim ({ cls = Context_specific; number = 2; _ }, c) ->
+          Ok { acc with akid_serial = Some c }
+      | _ -> Error "AuthorityKeyIdentifier: unexpected field")
+    (Ok init) fields
+
+let aia_to_der { ca_issuers; ocsp } =
+  let access method_oid uri =
+    Der.sequence [ Der.oid method_oid; Der.context_prim 6 uri ]
+  in
+  Der.sequence
+    (List.map (access Oid.ad_ocsp) ocsp @ List.map (access Oid.ad_ca_issuers) ca_issuers)
+
+let aia_of_der v =
+  let* entries = Der.as_sequence v in
+  List.fold_left
+    (fun acc entry ->
+      let* aia = acc in
+      let* fields = Der.as_sequence entry in
+      match fields with
+      | [ m; loc ] -> (
+          let* method_oid = Der.as_oid m in
+          let* name = general_name_of_der loc in
+          match name with
+          | Uri uri ->
+              if Oid.equal method_oid Oid.ad_ca_issuers then
+                Ok { aia with ca_issuers = aia.ca_issuers @ [ uri ] }
+              else if Oid.equal method_oid Oid.ad_ocsp then
+                Ok { aia with ocsp = aia.ocsp @ [ uri ] }
+              else Ok aia
+          | _ -> Ok aia)
+      | _ -> Error "AccessDescription: expected 2 fields")
+    (Ok { ca_issuers = []; ocsp = [] })
+    entries
+
+let value_payload = function
+  | Basic_constraints bc -> bc_to_der bc
+  | Key_usage flags -> ku_to_der flags
+  | Ext_key_usage purposes -> Der.sequence (List.map Der.oid purposes)
+  | Subject_alt_name names -> Der.sequence (List.map general_name_to_der names)
+  | Subject_key_id kid -> Der.octet_string kid
+  | Authority_key_id akid -> akid_to_der akid
+  | Authority_info_access aia -> aia_to_der aia
+  | Unknown _ -> assert false
+
+let to_der { critical; value } =
+  let payload =
+    match value with
+    | Unknown (_, raw) -> raw
+    | v -> Der.encode (value_payload v)
+  in
+  Der.sequence
+    ([ Der.oid (oid_of_value value) ]
+    @ (if critical then [ Der.boolean true ] else [])
+    @ [ Der.octet_string payload ])
+
+let decode_payload oid payload =
+  let known decode wrap =
+    let* inner = Der.decode payload in
+    let* v = decode inner in
+    Ok (wrap v)
+  in
+  if Oid.equal oid Oid.ext_basic_constraints then
+    known bc_of_der (fun bc -> Basic_constraints bc)
+  else if Oid.equal oid Oid.ext_key_usage then known ku_of_der (fun f -> Key_usage f)
+  else if Oid.equal oid Oid.ext_ext_key_usage then
+    known
+      (fun v ->
+        let* oids = Der.as_sequence v in
+        map_result Der.as_oid oids)
+      (fun os -> Ext_key_usage os)
+  else if Oid.equal oid Oid.ext_subject_alt_name then
+    known
+      (fun v ->
+        let* names = Der.as_sequence v in
+        map_result general_name_of_der names)
+      (fun ns -> Subject_alt_name ns)
+  else if Oid.equal oid Oid.ext_subject_key_id then
+    known Der.as_octet_string (fun k -> Subject_key_id k)
+  else if Oid.equal oid Oid.ext_authority_key_id then
+    known akid_of_der (fun a -> Authority_key_id a)
+  else if Oid.equal oid Oid.ext_authority_info_access then
+    known aia_of_der (fun a -> Authority_info_access a)
+  else Ok (Unknown (oid, payload))
+
+let of_der v =
+  let* fields = Der.as_sequence v in
+  let* oid, critical, payload_v =
+    match fields with
+    | [ o; p ] ->
+        let* oid = Der.as_oid o in
+        Ok (oid, false, p)
+    | [ o; c; p ] ->
+        let* oid = Der.as_oid o in
+        let* critical = Der.as_boolean c in
+        Ok (oid, critical, p)
+    | _ -> Error "Extension: expected 2 or 3 fields"
+  in
+  let* payload = Der.as_octet_string payload_v in
+  let* value = decode_payload oid payload in
+  Ok { critical; value }
+
+let pp_general_name ppf = function
+  | Dns d -> Format.fprintf ppf "DNS:%s" d
+  | Ip ip -> Format.fprintf ppf "IP:%s" ip
+  | Uri u -> Format.fprintf ppf "URI:%s" u
+  | Directory dn -> Format.fprintf ppf "DirName:%a" Dn.pp dn
+
+let pp ppf { critical; value } =
+  let crit = if critical then " critical" else "" in
+  match value with
+  | Basic_constraints { ca; path_len } ->
+      Format.fprintf ppf "BasicConstraints%s: CA:%b%s" crit ca
+        (match path_len with None -> "" | Some n -> Printf.sprintf ", pathlen:%d" n)
+  | Key_usage flags ->
+      Format.fprintf ppf "KeyUsage%s: %s" crit
+        (String.concat ", " (List.map key_usage_flag_to_string flags))
+  | Ext_key_usage purposes ->
+      Format.fprintf ppf "ExtendedKeyUsage%s: %s" crit
+        (String.concat ", " (List.map Oid.name purposes))
+  | Subject_alt_name names ->
+      Format.fprintf ppf "SubjectAltName%s: %a" crit
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_general_name)
+        names
+  | Subject_key_id kid ->
+      Format.fprintf ppf "SubjectKeyIdentifier%s: %s" crit
+        (Chaoschain_crypto.Hex.encode kid)
+  | Authority_key_id { akid_key_id; _ } ->
+      Format.fprintf ppf "AuthorityKeyIdentifier%s: keyid:%s" crit
+        (match akid_key_id with
+        | Some k -> Chaoschain_crypto.Hex.encode k
+        | None -> "<by name/serial>")
+  | Authority_info_access { ca_issuers; ocsp } ->
+      Format.fprintf ppf "AuthorityInfoAccess%s: caIssuers=[%s] ocsp=[%s]" crit
+        (String.concat "; " ca_issuers) (String.concat "; " ocsp)
+  | Unknown (oid, raw) ->
+      Format.fprintf ppf "Unknown(%s)%s: %d bytes" (Oid.to_string oid) crit
+        (String.length raw)

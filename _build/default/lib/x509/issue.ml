@@ -1,0 +1,191 @@
+module Keys = Chaoschain_crypto.Keys
+module Prng = Chaoschain_crypto.Prng
+
+type signer = { key : Keys.private_key; cert : Cert.t }
+
+type fault =
+  | No_skid
+  | Wrong_skid
+  | No_akid
+  | Wrong_akid
+  | Akid_by_name
+  | No_key_usage
+  | Wrong_key_usage
+  | No_basic_constraints
+  | Not_a_ca
+  | Wrong_path_len of int
+  | Broken_signature
+  | Expired
+  | Not_yet_valid
+
+type spec = {
+  subject : Dn.t;
+  san : Extension.general_name list;
+  algorithm : Keys.algorithm;
+  not_before : Vtime.t;
+  not_after : Vtime.t;
+  is_ca : bool;
+  path_len : int option;
+  aia_ca_issuers : string list;
+  faults : fault list;
+}
+
+let default_not_before = Vtime.make ~y:2024 ~m:3 ~d:1 ()
+let default_not_after = Vtime.make ~y:2025 ~m:3 ~d:1 ()
+
+let spec ?(san = []) ?(algorithm = Keys.Rsa_2048) ?(not_before = default_not_before)
+    ?(not_after = default_not_after) ?(is_ca = false) ?path_len
+    ?(aia_ca_issuers = []) ?(faults = []) subject =
+  { subject; san; algorithm; not_before; not_after; is_ca; path_len;
+    aia_ca_issuers; faults }
+
+let has_fault f spec = List.mem f spec.faults
+
+let find_wrong_path_len spec =
+  List.find_map (function Wrong_path_len n -> Some n | _ -> None) spec.faults
+
+let adjusted_validity spec =
+  if has_fault Expired spec then
+    (Vtime.add_years spec.not_before (-3), Vtime.add_years spec.not_after (-3))
+  else if has_fault Not_yet_valid spec then
+    (Vtime.add_years spec.not_before 3, Vtime.add_years spec.not_after 3)
+  else (spec.not_before, spec.not_after)
+
+let build_extensions rng spec ~own_key ~issuer_info =
+  let skid_ext =
+    if has_fault No_skid spec then []
+    else if has_fault Wrong_skid spec then
+      [ Extension.subject_key_id (Prng.bytes rng 20) ]
+    else [ Extension.subject_key_id (Keys.key_id own_key) ]
+  in
+  let akid_ext =
+    match issuer_info with
+    | None -> [] (* self-signed: conventionally no AKID in our universe *)
+    | Some (issuer_dn, issuer_serial, issuer_kid) ->
+        if has_fault No_akid spec then []
+        else if has_fault Wrong_akid spec then
+          [ Extension.authority_key_id (Prng.bytes rng 20) ]
+        else if has_fault Akid_by_name spec then
+          [ Extension.authority_key_id_by_name issuer_dn issuer_serial ]
+        else [ Extension.authority_key_id issuer_kid ]
+  in
+  let bc_ext =
+    if has_fault No_basic_constraints spec then []
+    else if has_fault Not_a_ca spec then
+      [ Extension.basic_constraints ~ca:false () ]
+    else if spec.is_ca then
+      let path_len = match find_wrong_path_len spec with
+        | Some n -> Some n
+        | None -> spec.path_len
+      in
+      [ Extension.basic_constraints ~ca:true ?path_len () ]
+    else [ Extension.basic_constraints ~ca:false () ]
+  in
+  let ku_ext =
+    if has_fault No_key_usage spec then []
+    else if has_fault Wrong_key_usage spec then
+      [ Extension.key_usage [ Extension.Digital_signature ] ]
+    else if spec.is_ca then
+      [ Extension.key_usage [ Extension.Key_cert_sign; Extension.Crl_sign ] ]
+    else
+      [ Extension.key_usage [ Extension.Digital_signature; Extension.Key_encipherment ] ]
+  in
+  let eku_ext =
+    if spec.is_ca then []
+    else
+      [ Extension.ext_key_usage
+          [ Chaoschain_der.Oid.eku_server_auth; Chaoschain_der.Oid.eku_client_auth ] ]
+  in
+  let san_ext =
+    match spec.san with [] -> [] | names -> [ Extension.subject_alt_name names ]
+  in
+  let aia_ext =
+    match spec.aia_ca_issuers with
+    | [] -> []
+    | uris -> [ Extension.authority_info_access ~ca_issuers:uris () ]
+  in
+  bc_ext @ ku_ext @ eku_ext @ san_ext @ skid_ext @ akid_ext @ aia_ext
+
+let fresh_serial rng =
+  (* Positive INTEGER: force the top bit clear on the first octet. *)
+  let raw = Prng.bytes rng 12 in
+  String.init 12 (fun i -> if i = 0 then Char.chr (Char.code raw.[0] land 0x7F) else raw.[i])
+
+(* Signing needs the TBS DER, which Cert.create computes; so assemble once
+   with a placeholder signature to obtain the signed bytes, then re-create
+   with the real signature over exactly those bytes. *)
+let make_cert rng spec ~(subject_key : Keys.public_key) ~(signer_key : Keys.private_key)
+    ~issuer_dn ~issuer_info =
+  let not_before, not_after = adjusted_validity spec in
+  let tbs =
+    { Cert.version = 2;
+      serial = fresh_serial rng;
+      sig_alg = (Keys.public_of_private signer_key).Keys.alg;
+      issuer = issuer_dn;
+      not_before;
+      not_after;
+      subject = spec.subject;
+      public_key = subject_key;
+      extensions = build_extensions rng spec ~own_key:subject_key ~issuer_info }
+  in
+  (* Obtain the exact signed bytes via a throwaway assembly, then re-create
+     with the real signature over those bytes. *)
+  let probe = Cert.create tbs { Keys.sig_alg = tbs.Cert.sig_alg; sig_bytes = String.make 32 '\x00' } in
+  let message = Cert.tbs_der probe in
+  let signature =
+    if has_fault Broken_signature spec then
+      Keys.forge_garbage rng (Keys.public_of_private signer_key).Keys.alg
+    else Keys.sign signer_key message
+  in
+  Cert.create tbs signature
+
+let self_signed rng spec =
+  let key = Keys.generate rng spec.algorithm in
+  let cert =
+    make_cert rng spec ~subject_key:(Keys.public_of_private key) ~signer_key:key
+      ~issuer_dn:spec.subject ~issuer_info:None
+  in
+  { key; cert }
+
+let issuer_info_of parent =
+  ( Cert.subject parent.cert,
+    Cert.serial parent.cert,
+    match Cert.subject_key_id parent.cert with
+    | Some kid -> kid
+    | None -> Keys.key_id (Cert.public_key parent.cert) )
+
+let issue rng ~parent spec =
+  let key = Keys.generate rng spec.algorithm in
+  let cert =
+    make_cert rng spec ~subject_key:(Keys.public_of_private key) ~signer_key:parent.key
+      ~issuer_dn:(Cert.subject parent.cert)
+      ~issuer_info:(Some (issuer_info_of parent))
+  in
+  { key; cert }
+
+let issue_cert rng ~parent spec = (issue rng ~parent spec).cert
+
+let cross_sign rng ~parent ~existing ?(faults = []) ?not_before ?not_after () =
+  let base = Cert.tbs existing.cert in
+  let spec =
+    { subject = base.Cert.subject;
+      san = [];
+      algorithm = base.Cert.public_key.Keys.alg;
+      not_before = Option.value not_before ~default:base.Cert.not_before;
+      not_after = Option.value not_after ~default:base.Cert.not_after;
+      is_ca = Cert.is_ca existing.cert;
+      path_len =
+        (match Cert.basic_constraints existing.cert with
+        | Some { Extension.path_len; _ } -> path_len
+        | None -> None);
+      aia_ca_issuers = Cert.aia_ca_issuers existing.cert;
+      faults }
+  in
+  make_cert rng spec
+    ~subject_key:(Keys.public_of_private existing.key)
+    ~signer_key:parent.key
+    ~issuer_dn:(Cert.subject parent.cert)
+    ~issuer_info:(Some (issuer_info_of parent))
+
+let reissue rng ~parent ~existing ~not_before ~not_after =
+  cross_sign rng ~parent ~existing ~not_before ~not_after ()

@@ -1,0 +1,81 @@
+(** Certificate minting: the CA side of the simulation.
+
+    This is how every certificate in the repository comes to exist — the
+    synthetic CA universe, the nine capability test chains of Table 2 and the
+    figure scenarios all mint through this API. The [fault] list deliberately
+    corrupts specific aspects of an otherwise well-formed certificate; that is
+    the mechanism behind the priority-preference tests (e.g. an intermediate
+    whose AKID mismatches, or whose KeyUsage lacks keyCertSign). *)
+
+module Keys = Chaoschain_crypto.Keys
+module Prng = Chaoschain_crypto.Prng
+
+type signer = { key : Keys.private_key; cert : Cert.t }
+(** A CA able to issue: its private key plus its own certificate. *)
+
+type fault =
+  | No_skid                    (** omit the SubjectKeyIdentifier extension *)
+  | Wrong_skid                 (** SKID that does not match the key — makes
+                                   this certificate's KID *mismatch* any
+                                   child AKID referencing the real key *)
+  | No_akid                    (** omit the AuthorityKeyIdentifier extension *)
+  | Wrong_akid                 (** AKID keyid that matches no real key *)
+  | Akid_by_name               (** AKID via issuer name + serial, no keyid *)
+  | No_key_usage               (** omit the KeyUsage extension *)
+  | Wrong_key_usage            (** CA cert without keyCertSign *)
+  | No_basic_constraints       (** omit BasicConstraints entirely *)
+  | Not_a_ca                   (** BasicConstraints with cA=false on a CA *)
+  | Wrong_path_len of int      (** force an incorrect pathLenConstraint *)
+  | Broken_signature           (** random bytes instead of a real signature *)
+  | Expired                    (** validity window entirely in the past *)
+  | Not_yet_valid              (** validity window entirely in the future *)
+
+type spec = {
+  subject : Dn.t;
+  san : Extension.general_name list;
+  algorithm : Keys.algorithm;
+  not_before : Vtime.t;
+  not_after : Vtime.t;
+  is_ca : bool;
+  path_len : int option;       (** pathLenConstraint when [is_ca] *)
+  aia_ca_issuers : string list;(** caIssuers URIs to embed *)
+  faults : fault list;
+}
+
+val spec :
+  ?san:Extension.general_name list ->
+  ?algorithm:Keys.algorithm ->
+  ?not_before:Vtime.t ->
+  ?not_after:Vtime.t ->
+  ?is_ca:bool ->
+  ?path_len:int ->
+  ?aia_ca_issuers:string list ->
+  ?faults:fault list ->
+  Dn.t ->
+  spec
+(** Defaults: no SAN, RSA-2048, valid 2024-03-01 .. 2025-03-01, not a CA,
+    no pathLen, no AIA, no faults. *)
+
+val self_signed : Prng.t -> spec -> signer
+(** Mint a self-signed certificate (root CA when [is_ca], or the self-signed
+    leaf of capability test 9 when not). *)
+
+val issue : Prng.t -> parent:signer -> spec -> signer
+(** Mint a certificate for a fresh key pair, signed by [parent]. The AKID
+    references the parent's SKID unless a fault says otherwise. *)
+
+val issue_cert : Prng.t -> parent:signer -> spec -> Cert.t
+(** {!issue} discarding the new private key. *)
+
+val cross_sign : Prng.t -> parent:signer -> existing:signer -> ?faults:fault list ->
+  ?not_before:Vtime.t -> ?not_after:Vtime.t -> unit -> Cert.t
+(** Re-certify [existing]'s subject and public key under a different parent —
+    the cross-signing construct behind the multiple-paths topologies
+    (Figure 2c). The result shares subject DN, SKID and key with
+    [existing.cert] but has a different issuer and signature. *)
+
+val reissue : Prng.t -> parent:signer -> existing:signer ->
+  not_before:Vtime.t -> not_after:Vtime.t -> Cert.t
+(** Same subject, same key, same issuer, new validity window — how the
+    "differs only in validity period" candidate sets of Figure 5 and the
+    stale-leaf scenarios are produced. *)

@@ -1,0 +1,147 @@
+module Der = Chaoschain_der.Der
+
+type t = { days : int; secs : int }
+(* [days] since 1970-01-01 (may be negative), [secs] in [0, 86400). *)
+
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let month_len y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap y then 29 else 28
+  | _ -> invalid_arg "Vtime: month out of range"
+
+(* Howard Hinnant's civil <-> days algorithms. *)
+let days_from_civil y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let doy = (((153 * (if m > 2 then m - 3 else m + 9)) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let civil_from_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let make ~y ~m ~d ?(hh = 0) ?(mm = 0) ?(ss = 0) () =
+  if m < 1 || m > 12 then invalid_arg "Vtime.make: month";
+  if d < 1 || d > month_len y m then invalid_arg "Vtime.make: day";
+  if hh < 0 || hh > 23 || mm < 0 || mm > 59 || ss < 0 || ss > 59 then
+    invalid_arg "Vtime.make: time of day";
+  { days = days_from_civil y m d; secs = (hh * 3600) + (mm * 60) + ss }
+
+let ymd t = civil_from_days t.days
+let hms t = (t.secs / 3600, t.secs mod 3600 / 60, t.secs mod 60)
+
+let compare a b =
+  match Stdlib.compare a.days b.days with 0 -> Stdlib.compare a.secs b.secs | c -> c
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b <= 0 then b else a
+let add_days t n = { t with days = t.days + n }
+
+let clamp_civil y m d =
+  let d = Stdlib.min d (month_len y m) in
+  { days = days_from_civil y m d; secs = 0 }
+
+let add_years t n =
+  let y, m, d = ymd t in
+  { (clamp_civil (y + n) m d) with secs = t.secs }
+
+let add_months t n =
+  let y, m, d = ymd t in
+  let total = ((y * 12) + (m - 1)) + n in
+  let y' = total / 12 and m' = (total mod 12) + 1 in
+  { (clamp_civil y' m' d) with secs = t.secs }
+
+let diff_days a b = a.days - b.days
+
+let to_utctime t =
+  let y, m, d = ymd t in
+  if y < 1950 || y > 2049 then invalid_arg "Vtime.to_utctime: year outside 1950-2049";
+  let hh, mm, ss = hms t in
+  Printf.sprintf "%02d%02d%02d%02d%02d%02dZ" (y mod 100) m d hh mm ss
+
+let to_generalized t =
+  let y, m, d = ymd t in
+  let hh, mm, ss = hms t in
+  Printf.sprintf "%04d%02d%02d%02d%02d%02dZ" y m d hh mm ss
+
+let parse_digits s off n =
+  if off + n > String.length s then Error "time: truncated"
+  else begin
+    let v = ref 0 in
+    let bad = ref false in
+    for i = off to off + n - 1 do
+      match s.[i] with
+      | '0' .. '9' -> v := (!v * 10) + (Char.code s.[i] - Char.code '0')
+      | _ -> bad := true
+    done;
+    if !bad then Error "time: non-digit" else Ok !v
+  end
+
+let ( let* ) = Result.bind
+
+let of_fields y m d hh mm ss =
+  try Ok (make ~y ~m ~d ~hh ~mm ~ss ())
+  with Invalid_argument msg -> Error msg
+
+let of_utctime s =
+  if String.length s <> 13 || s.[12] <> 'Z' then Error "UTCTime: expected YYMMDDHHMMSSZ"
+  else
+    let* yy = parse_digits s 0 2 in
+    let* m = parse_digits s 2 2 in
+    let* d = parse_digits s 4 2 in
+    let* hh = parse_digits s 6 2 in
+    let* mm = parse_digits s 8 2 in
+    let* ss = parse_digits s 10 2 in
+    let y = if yy < 50 then 2000 + yy else 1900 + yy in
+    of_fields y m d hh mm ss
+
+let of_generalized s =
+  if String.length s <> 15 || s.[14] <> 'Z' then
+    Error "GeneralizedTime: expected YYYYMMDDHHMMSSZ"
+  else
+    let* y = parse_digits s 0 4 in
+    let* m = parse_digits s 4 2 in
+    let* d = parse_digits s 6 2 in
+    let* hh = parse_digits s 8 2 in
+    let* mm = parse_digits s 10 2 in
+    let* ss = parse_digits s 12 2 in
+    of_fields y m d hh mm ss
+
+let to_der_time t =
+  let y, _, _ = ymd t in
+  if y >= 1950 && y <= 2049 then Der.utc_time (to_utctime t)
+  else Der.generalized_time (to_generalized t)
+
+let of_der_time v =
+  match v with
+  | Der.Prim ({ cls = Universal; number = 23; _ }, c) -> of_utctime c
+  | Der.Prim ({ cls = Universal; number = 24; _ }, c) -> of_generalized c
+  | _ -> Error "expected UTCTime or GeneralizedTime"
+
+let month_name = [| "Jan"; "Feb"; "Mar"; "Apr"; "May"; "Jun"; "Jul"; "Aug"; "Sep"; "Oct"; "Nov"; "Dec" |]
+
+let pp ppf t =
+  let y, m, d = ymd t in
+  let hh, mm, ss = hms t in
+  Format.fprintf ppf "%s %2d %02d:%02d:%02d %d GMT" month_name.(m - 1) d hh mm ss y
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Defined last so the polymorphic-looking comparison operators don't shadow
+   the integer comparisons used throughout this file. *)
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0

@@ -1,0 +1,56 @@
+(** Certificate validity timestamps.
+
+    A tiny proleptic-Gregorian calendar sufficient for [notBefore]/[notAfter]
+    comparisons, UTCTime/GeneralizedTime round-trips, and the validity-period
+    arithmetic the priority tests need (e.g. "same start date but a validity
+    period of 10 years"). No timezone handling: Web PKI times are GMT. *)
+
+type t
+(** An instant with one-second resolution. Totally ordered. *)
+
+val make : y:int -> m:int -> d:int -> ?hh:int -> ?mm:int -> ?ss:int -> unit -> t
+(** Raises [Invalid_argument] on out-of-range fields (month 1..12, day valid
+    for the month, time fields within range). *)
+
+val ymd : t -> int * int * int
+val hms : t -> int * int * int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val add_days : t -> int -> t
+val add_years : t -> int -> t
+(** Feb 29 clamps to Feb 28 in non-leap target years. *)
+
+val add_months : t -> int -> t
+(** Day-of-month clamps to the target month's length. *)
+
+val diff_days : t -> t -> int
+(** [diff_days a b] is the (possibly negative) whole days from [b] to [a]. *)
+
+val to_utctime : t -> string
+(** ["YYMMDDHHMMSSZ"]; raises [Invalid_argument] outside 1950-2049 per the
+    RFC 5280 UTCTime window. *)
+
+val of_utctime : string -> (t, string) result
+(** Two-digit years map per RFC 5280: 00-49 => 20xx, 50-99 => 19xx. *)
+
+val to_generalized : t -> string
+(** ["YYYYMMDDHHMMSSZ"]. *)
+
+val of_generalized : string -> (t, string) result
+
+val to_der_time : t -> Chaoschain_der.Der.t
+(** UTCTime when the year fits the 1950-2049 window, GeneralizedTime
+    otherwise, as RFC 5280 section 4.1.2.5 requires. *)
+
+val of_der_time : Chaoschain_der.Der.t -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+(** OpenSSL text style: ["Apr 14 00:00:00 2021 GMT"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Chaoschain_crypto Fun Gen Hex Keys List Printf Prng QCheck QCheck_alcotest Result Sha256 String

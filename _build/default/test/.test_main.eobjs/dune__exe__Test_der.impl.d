@@ -1,0 +1,1 @@
+test/test_der.ml: Alcotest Chaoschain_der Der List Oid QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_difftest.ml: Alcotest Array Calibration Chaoschain_core Chaoschain_measurement Clients Difftest Lazy List Population

@@ -1,0 +1,1 @@
+test/test_pki.ml: Aia_repo Alcotest Cert Chaoschain_crypto Chaoschain_pki Chaoschain_x509 Dn Issue List Printf Relation Result Root_store String Universe Vtime

@@ -1,0 +1,1 @@
+test/test_tlssim.ml: Alcotest Cert Certmsg Chaoschain_core Chaoschain_pki Chaoschain_tlssim Chaoschain_x509 Clients Difftest Handshake Issue Lazy List QCheck QCheck_alcotest Result String Universe

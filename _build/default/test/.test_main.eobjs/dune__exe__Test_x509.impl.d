@@ -1,0 +1,1 @@
+test/test_x509.ml: Alcotest Cert Chaoschain_crypto Chaoschain_der Chaoschain_x509 Dn Extension Issue List QCheck QCheck_alcotest Relation Result String Vtime

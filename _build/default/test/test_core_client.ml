@@ -1,0 +1,338 @@
+(* Client-side engine: path building knobs, validation, the eight client
+   profiles, capability inference (Table 9) and differential testing. *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+open Chaoschain_core
+module Prng = Chaoschain_crypto.Prng
+
+let now = Vtime.make ~y:2024 ~m:6 ~d:1 ()
+
+let mk label =
+  let rng = Prng.of_label ("client:" ^ label) in
+  let root =
+    Issue.self_signed rng
+      (Issue.spec ~is_ca:true ~not_before:(Vtime.add_years now (-10))
+         ~not_after:(Vtime.add_years now 10) (Dn.make ~o:"C" ~cn:("Root " ^ label) ()))
+  in
+  let i2 =
+    Issue.issue rng ~parent:root
+      (Issue.spec ~is_ca:true ~not_before:(Vtime.add_years now (-5))
+         ~not_after:(Vtime.add_years now 5) (Dn.make ~o:"C" ~cn:("I2 " ^ label) ()))
+  in
+  let i1 =
+    Issue.issue rng ~parent:i2
+      (Issue.spec ~is_ca:true ~path_len:0 ~not_before:(Vtime.add_years now (-4))
+         ~not_after:(Vtime.add_years now 4) (Dn.make ~o:"C" ~cn:("I1 " ^ label) ()))
+  in
+  let leaf =
+    Issue.issue rng ~parent:i1
+      (Issue.spec ~san:[ Extension.Dns "cli.example" ] (Dn.make ~cn:"cli.example" ()))
+  in
+  (rng, root, i2, i1, leaf)
+
+let ctx ?(params = Build_params.default) ?(cache = []) ?aia store =
+  { Path_builder.params; store; aia; cache; crls = None; now }
+
+let run ?(params = Build_params.default) ?cache ?aia ~store chain =
+  Engine.run (ctx ~params ?cache ?aia store) ~host:(Some "cli.example") chain
+
+let accepted o = Engine.accepted o
+
+(* --- builder knobs --- *)
+
+let builder_reorder_flag () =
+  let _, root, i2, i1, leaf = mk "reorder" in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let reversed = [ leaf.Issue.cert; i2.Issue.cert; i1.Issue.cert ] in
+  Alcotest.(check bool) "reorder succeeds" true (accepted (run ~store reversed));
+  let no_reorder = { Build_params.default with Build_params.reorder = false } in
+  Alcotest.(check bool) "forward-only fails" false
+    (accepted (run ~params:no_reorder ~store reversed));
+  (* ...but passes when only later positions are needed. *)
+  Alcotest.(check bool) "forward-only ordered ok" true
+    (accepted (run ~params:no_reorder ~store [ leaf.Issue.cert; i1.Issue.cert; i2.Issue.cert ]))
+
+let builder_input_vs_constructed_limit () =
+  let _, root, i2, i1, leaf = mk "limits" in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let chain = [ leaf.Issue.cert; i1.Issue.cert; i2.Issue.cert ] in
+  let junk = mk "limits-junk" in
+  let _, _, _, _, junk_leaf = junk in
+  (* Input-list semantics (GnuTLS): irrelevant certs count against the cap. *)
+  let padded = chain @ List.init 3 (fun _ -> junk_leaf.Issue.cert) in
+  let input4 = { Build_params.default with Build_params.length_limit = Build_params.Max_input_list 4 } in
+  Alcotest.(check bool) "input limit trips on padding" false
+    (accepted (run ~params:input4 ~store padded));
+  (match (run ~params:input4 ~store padded).Engine.result with
+  | Error (Engine.Build (Path_builder.Input_list_too_long { limit = 4; got = 6 })) -> ()
+  | _ -> Alcotest.fail "expected Input_list_too_long {4, 6}");
+  (* Constructed semantics tolerates the same padding. *)
+  let built4 = { Build_params.default with Build_params.length_limit = Build_params.Max_constructed 4 } in
+  Alcotest.(check bool) "constructed limit ignores padding" true
+    (accepted (run ~params:built4 ~store padded));
+  let built3 = { Build_params.default with Build_params.length_limit = Build_params.Max_constructed 3 } in
+  Alcotest.(check bool) "constructed limit of 3 too small" false
+    (accepted (run ~params:built3 ~store chain))
+
+let builder_self_signed_leaf () =
+  let rng = Prng.of_label "ssl-leaf" in
+  let es =
+    Issue.self_signed rng
+      (Issue.spec ~san:[ Extension.Dns "cli.example" ] (Dn.make ~cn:"cli.example" ()))
+  in
+  let store = Root_store.make "s" [] in
+  let forbid = run ~store [ es.Issue.cert ] in
+  (match forbid.Engine.result with
+  | Error (Engine.Build Path_builder.Self_signed_leaf_rejected) -> ()
+  | _ -> Alcotest.fail "expected rejection");
+  let allow =
+    { Build_params.default with Build_params.allow_self_signed_leaf = true }
+  in
+  (match (run ~params:allow ~store [ es.Issue.cert ]).Engine.result with
+  | Error (Engine.Validate Path_validate.Self_signed_leaf) -> ()
+  | _ -> Alcotest.fail "expected self-signed-leaf validation error")
+
+let builder_aia_and_cache () =
+  let _, root, i2, i1, _ = mk "fetch" in
+  let rng = Prng.of_label "client:fetch2" in
+  let leaf =
+    Issue.issue rng ~parent:i1
+      (Issue.spec ~san:[ Extension.Dns "cli.example" ]
+         ~aia_ca_issuers:[ "http://f/i1.crt" ] (Dn.make ~cn:"cli.example" ()))
+  in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let aia = Aia_repo.create () in
+  Aia_repo.publish aia ~uri:"http://f/i1.crt" i1.Issue.cert;
+  Aia_repo.publish aia ~uri:"http://f/i2.crt" i2.Issue.cert;
+  (* i1's own AIA needs to point at i2 for recursive completion; rebuild i1
+     would change keys, so serve chain missing only i2 instead. *)
+  let missing_i2 = [ leaf.Issue.cert; i1.Issue.cert ] in
+  let no_fetch = run ~store missing_i2 in
+  Alcotest.(check bool) "no sources fails" false (accepted no_fetch);
+  let with_cache =
+    { Build_params.default with Build_params.intermediate_cache = true }
+  in
+  let cached = run ~params:with_cache ~cache:[ i2.Issue.cert ] ~store missing_i2 in
+  Alcotest.(check bool) "cache completes" true (accepted cached);
+  (match cached.Engine.accepted_attempt with
+  | Some a -> Alcotest.(check bool) "used cache flag" true a.Path_builder.used_cache
+  | None -> Alcotest.fail "expected accepted attempt");
+  (* Cache disabled by the knob even when provided. *)
+  Alcotest.(check bool) "cache knob gates the cache" false
+    (accepted (run ~cache:[ i2.Issue.cert ] ~store missing_i2));
+  (* The leaf's AIA finds i1; i1 has no AIA of its own, so the cache supplies
+     i2 and the store anchors the path. *)
+  Alcotest.(check bool) "aia + cache combine" true
+    (let o = run ~params:with_cache ~aia ~store ~cache:[ i2.Issue.cert ] [ leaf.Issue.cert ] in
+     accepted o
+     && match o.Engine.accepted_attempt with
+        | Some a -> a.Path_builder.used_aia && a.Path_builder.used_cache
+        | None -> false)
+
+let builder_backtracking () =
+  let rng = Prng.of_label "backtrack" in
+  let trusted = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"BT Trusted" ())) in
+  let hidden = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"BT Hidden" ())) in
+  let inter = Issue.issue rng ~parent:trusted (Issue.spec ~is_ca:true (Dn.make ~cn:"BT I" ())) in
+  let cross = Issue.cross_sign rng ~parent:hidden ~existing:inter () in
+  let leaf =
+    Issue.issue rng ~parent:inter
+      (Issue.spec ~san:[ Extension.Dns "cli.example" ] (Dn.make ~cn:"cli.example" ()))
+  in
+  let store = Root_store.make "s" [ trusted.Issue.cert ] in
+  (* The bad branch first in list order. *)
+  let chain = [ leaf.Issue.cert; cross; hidden.Issue.cert; inter.Issue.cert; trusted.Issue.cert ] in
+  let no_bt =
+    { Build_params.default with Build_params.backtracking = false;
+      prefer_trusted_root = false; prefer_self_signed = false;
+      kid_priority = Build_params.KP_none; validity_priority = Build_params.VP_none }
+  in
+  let committed = run ~params:no_bt ~store chain in
+  Alcotest.(check bool) "committed path fails" false (accepted committed);
+  Alcotest.(check int) "single attempt" 1 committed.Engine.attempts;
+  let bt = { no_bt with Build_params.backtracking = true } in
+  let recovered = run ~params:bt ~store chain in
+  Alcotest.(check bool) "backtracking recovers" true (accepted recovered);
+  Alcotest.(check bool) "needed >1 attempt" true (recovered.Engine.attempts > 1)
+
+let builder_partial_validation () =
+  let rng = Prng.of_label "partial" in
+  let root = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"PV Root" ())) in
+  let real = Issue.issue rng ~parent:root (Issue.spec ~is_ca:true (Dn.make ~cn:"PV I" ())) in
+  (* An impostor with the same subject DN but an unrelated key. *)
+  let impostor_parent = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"PV Root" ())) in
+  let impostor =
+    Issue.issue rng ~parent:impostor_parent (Issue.spec ~is_ca:true (Dn.make ~cn:"PV I" ()))
+  in
+  let leaf =
+    Issue.issue rng ~parent:real
+      (Issue.spec ~san:[ Extension.Dns "cli.example" ] (Dn.make ~cn:"cli.example" ()))
+  in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let chain = [ leaf.Issue.cert; impostor.Issue.cert; real.Issue.cert; root.Issue.cert ] in
+  (* Without partial validation and without KID ranking, the impostor (first
+     in list) is chosen and the committed path fails on signatures. *)
+  let naive =
+    { Build_params.default with Build_params.partial_validation = false;
+      backtracking = false; kid_priority = Build_params.KP_none;
+      validity_priority = Build_params.VP_none; prefer_trusted_root = false;
+      prefer_self_signed = false }
+  in
+  Alcotest.(check bool) "naive picks impostor and fails" false
+    (accepted (run ~params:naive ~store chain));
+  let partial = { naive with Build_params.partial_validation = true } in
+  Alcotest.(check bool) "partial validation skips impostor" true
+    (accepted (run ~params:partial ~store chain))
+
+let builder_dead_end_reporting () =
+  let _, root, _, i1, leaf = mk "deadend" in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  match (run ~store [ leaf.Issue.cert; i1.Issue.cert ]).Engine.result with
+  | Error (Engine.Build (Path_builder.No_issuer_found dn)) ->
+      Alcotest.(check bool) "dead end names i1's issuer" true
+        (Dn.equal dn (Cert.issuer i1.Issue.cert))
+  | _ -> Alcotest.fail "expected No_issuer_found"
+
+(* --- validation --- *)
+
+let validate_errors () =
+  let rng = Prng.of_label "validate" in
+  let root = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"V Root" ())) in
+  let i1 = Issue.issue rng ~parent:root (Issue.spec ~is_ca:true ~path_len:0 (Dn.make ~cn:"V I" ())) in
+  let leaf =
+    Issue.issue rng ~parent:i1
+      (Issue.spec ~san:[ Extension.Dns "v.example" ] (Dn.make ~cn:"v.example" ()))
+  in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let path = [ leaf.Issue.cert; i1.Issue.cert; root.Issue.cert ] in
+  let ok = Path_validate.validate ~store ~now ~host:(Some "v.example") path in
+  Alcotest.(check bool) "valid path" true (Result.is_ok ok);
+  Alcotest.(check bool) "hostname mismatch" true
+    (Path_validate.validate ~store ~now ~host:(Some "other.example") path
+    = Error (Path_validate.Hostname_mismatch "other.example"));
+  Alcotest.(check bool) "untrusted when store empty" true
+    (match Path_validate.validate ~store:(Root_store.make "e" []) ~now ~host:None path with
+    | Error (Path_validate.Untrusted_root _) -> true
+    | _ -> false);
+  let expired_leaf =
+    Issue.issue rng ~parent:i1
+      (Issue.spec ~faults:[ Issue.Expired ] ~san:[ Extension.Dns "v.example" ]
+         (Dn.make ~cn:"v.example" ()))
+  in
+  Alcotest.(check bool) "expired leaf" true
+    (Path_validate.validate ~store ~now ~host:None
+       [ expired_leaf.Issue.cert; i1.Issue.cert; root.Issue.cert ]
+    = Error (Path_validate.Expired 0));
+  (* pathLen violation: i1 has pathLen 0 but another CA sits below it. *)
+  let sub = Issue.issue rng ~parent:i1 (Issue.spec ~is_ca:true (Dn.make ~cn:"V Sub" ())) in
+  let deep_leaf =
+    Issue.issue rng ~parent:sub
+      (Issue.spec ~san:[ Extension.Dns "v.example" ] (Dn.make ~cn:"v.example" ()))
+  in
+  Alcotest.(check bool) "path length exceeded" true
+    (Path_validate.validate ~store ~now ~host:None
+       [ deep_leaf.Issue.cert; sub.Issue.cert; i1.Issue.cert; root.Issue.cert ]
+    = Error (Path_validate.Path_len_exceeded 2));
+  (* keyCertSign missing on an intermediate. *)
+  let badku =
+    Issue.issue rng ~parent:root
+      (Issue.spec ~is_ca:true ~faults:[ Issue.Wrong_key_usage ] (Dn.make ~cn:"V KU" ()))
+  in
+  let ku_leaf =
+    Issue.issue rng ~parent:badku
+      (Issue.spec ~san:[ Extension.Dns "v.example" ] (Dn.make ~cn:"v.example" ()))
+  in
+  Alcotest.(check bool) "bad key usage" true
+    (Path_validate.validate ~store ~now ~host:None
+       [ ku_leaf.Issue.cert; badku.Issue.cert; root.Issue.cert ]
+    = Error (Path_validate.Bad_key_usage 1));
+  (* Not-a-CA intermediate. *)
+  let notca =
+    Issue.issue rng ~parent:root
+      (Issue.spec ~is_ca:true ~faults:[ Issue.Not_a_ca ] (Dn.make ~cn:"V NC" ()))
+  in
+  let nc_leaf =
+    Issue.issue rng ~parent:notca
+      (Issue.spec ~san:[ Extension.Dns "v.example" ] (Dn.make ~cn:"v.example" ()))
+  in
+  Alcotest.(check bool) "not a ca" true
+    (Path_validate.validate ~store ~now ~host:None
+       [ nc_leaf.Issue.cert; notca.Issue.cert; root.Issue.cert ]
+    = Error (Path_validate.Not_a_ca 1))
+
+(* --- Table 9 regression: the headline client result --- *)
+
+let table9_regression () =
+  List.iter
+    (fun client ->
+      List.iter
+        (fun test ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s / %s" client.Clients.name (Capability.test_name test))
+            (Capability.table9_expected client.Clients.id test)
+            (Capability.evaluate client test))
+        Capability.all_tests)
+    Clients.all
+
+let reference_client_all_capable () =
+  (* The RFC 4158 reference builder passes every basic capability. *)
+  List.iter
+    (fun test ->
+      Alcotest.(check string)
+        (Capability.test_name test)
+        "yes"
+        (Capability.evaluate Clients.reference test))
+    [ Capability.Order_reorganization; Capability.Redundancy_elimination;
+      Capability.Aia_completion ]
+
+let client_error_rendering () =
+  let fx = Capability.fixture Capability.Aia_completion in
+  let mbed = Capability.run_client (Clients.by_id Clients.Mbedtls) fx in
+  (match mbed.Engine.result with
+  | Error e ->
+      Alcotest.(check string) "mbedtls vocabulary" "X509_BADCERT_NOT_TRUSTED"
+        (Clients.render_error (Clients.by_id Clients.Mbedtls) e)
+  | Ok _ -> Alcotest.fail "MbedTLS should fail the AIA test");
+  let ff = Capability.run_client (Clients.by_id Clients.Firefox) fx in
+  match ff.Engine.result with
+  | Error e ->
+      Alcotest.(check string) "firefox vocabulary" "SEC_ERROR_UNKNOWN_ISSUER"
+        (Clients.render_error (Clients.by_id Clients.Firefox) e)
+  | Ok _ -> Alcotest.fail "Firefox (empty cache) should fail the AIA test"
+
+let clients_registry () =
+  Alcotest.(check int) "eight clients" 8 (List.length Clients.all);
+  Alcotest.(check int) "four libraries" 4 (List.length Clients.libraries);
+  Alcotest.(check int) "four browsers" 4 (List.length Clients.browsers);
+  Alcotest.(check string) "lookup" "GnuTLS" (Clients.by_id Clients.Gnutls).Clients.name
+
+(* --- permutation property: a fully-capable client is order-insensitive --- *)
+
+let qcheck_permutation_insensitive =
+  QCheck.Test.make ~name:"reorder-capable builder is permutation-insensitive" ~count:40
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let _, root, i2, i1, leaf = mk "perm" in
+      let store = Root_store.make "s" [ root.Issue.cert ] in
+      let g = Prng.create (Int64.of_int seed) in
+      let arr = [| leaf.Issue.cert; i1.Issue.cert; i2.Issue.cert; root.Issue.cert |] in
+      let tail = Array.sub arr 1 3 in
+      Prng.shuffle g tail;
+      let chain = arr.(0) :: Array.to_list tail in
+      accepted (run ~store chain))
+
+let suite =
+  [ Alcotest.test_case "builder reorder flag" `Quick builder_reorder_flag;
+    Alcotest.test_case "builder length limits" `Quick builder_input_vs_constructed_limit;
+    Alcotest.test_case "builder self-signed leaf" `Quick builder_self_signed_leaf;
+    Alcotest.test_case "builder aia and cache" `Quick builder_aia_and_cache;
+    Alcotest.test_case "builder backtracking" `Quick builder_backtracking;
+    Alcotest.test_case "builder partial validation" `Quick builder_partial_validation;
+    Alcotest.test_case "builder dead-end reporting" `Quick builder_dead_end_reporting;
+    Alcotest.test_case "path validation errors" `Quick validate_errors;
+    Alcotest.test_case "Table 9 regression (72 cells)" `Slow table9_regression;
+    Alcotest.test_case "reference client fully capable" `Quick reference_client_all_capable;
+    Alcotest.test_case "client error vocabulary" `Quick client_error_rendering;
+    Alcotest.test_case "clients registry" `Quick clients_registry;
+    QCheck_alcotest.to_alcotest qcheck_permutation_insensitive ]

@@ -1,0 +1,333 @@
+(* Server-side analyses: topology graphs, leaf placement, issuance order,
+   completeness, combined compliance. *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+open Chaoschain_core
+module Prng = Chaoschain_crypto.Prng
+
+let now = Vtime.make ~y:2024 ~m:6 ~d:1 ()
+
+type pki = {
+  root : Issue.signer;
+  i2 : Issue.signer;  (* upper intermediate *)
+  i1 : Issue.signer;  (* issuing intermediate *)
+  leaf : Issue.signer;
+  store : Root_store.t;
+  aia : Aia_repo.t;
+}
+
+let mk label =
+  let rng = Prng.of_label ("server:" ^ label) in
+  let root =
+    Issue.self_signed rng
+      (Issue.spec ~is_ca:true ~not_before:(Vtime.add_years now (-10))
+         ~not_after:(Vtime.add_years now 10) (Dn.make ~o:"S" ~cn:("Root " ^ label) ()))
+  in
+  let aia = Aia_repo.create () in
+  Aia_repo.publish aia ~uri:"http://s/root.crt" root.Issue.cert;
+  let i2 =
+    Issue.issue rng ~parent:root
+      (Issue.spec ~is_ca:true ~not_before:(Vtime.add_years now (-5))
+         ~not_after:(Vtime.add_years now 5) ~aia_ca_issuers:[ "http://s/root.crt" ]
+         (Dn.make ~o:"S" ~cn:("I2 " ^ label) ()))
+  in
+  Aia_repo.publish aia ~uri:"http://s/i2.crt" i2.Issue.cert;
+  let i1 =
+    Issue.issue rng ~parent:i2
+      (Issue.spec ~is_ca:true ~path_len:0 ~not_before:(Vtime.add_years now (-4))
+         ~not_after:(Vtime.add_years now 4) ~aia_ca_issuers:[ "http://s/i2.crt" ]
+         (Dn.make ~o:"S" ~cn:("I1 " ^ label) ()))
+  in
+  Aia_repo.publish aia ~uri:"http://s/i1.crt" i1.Issue.cert;
+  let leaf =
+    Issue.issue rng ~parent:i1
+      (Issue.spec ~san:[ Extension.Dns "srv.example" ]
+         ~aia_ca_issuers:[ "http://s/i1.crt" ] (Dn.make ~cn:"srv.example" ()))
+  in
+  { root; i2; i1; leaf; store = Root_store.make "s" [ root.Issue.cert ]; aia }
+
+let certs p which =
+  List.map
+    (fun w ->
+      match w with
+      | `L -> p.leaf.Issue.cert
+      | `I1 -> p.i1.Issue.cert
+      | `I2 -> p.i2.Issue.cert
+      | `R -> p.root.Issue.cert)
+    which
+
+(* --- Topology --- *)
+
+let topology_basic () =
+  let p = mk "topo" in
+  let t = Topology.build (certs p [ `L; `I1; `I2; `R ]) in
+  Alcotest.(check int) "4 nodes" 4 (Topology.node_count t);
+  Alcotest.(check int) "4 in list" 4 (Topology.list_length t);
+  Alcotest.(check int) "one path" 1 (List.length (Topology.paths t));
+  Alcotest.(check int) "path length" 4 (List.length (List.hd (Topology.paths t)));
+  Alcotest.(check int) "no duplicates" 0 (List.length (Topology.duplicates t));
+  Alcotest.(check int) "no irrelevant" 0 (List.length (Topology.irrelevant t))
+
+let topology_duplicates () =
+  let p = mk "dups" in
+  let t = Topology.build (certs p [ `L; `I1; `I1; `R; `I1 ]) in
+  Alcotest.(check int) "3 unique nodes" 3 (Topology.node_count t);
+  (match Topology.duplicates t with
+  | [ node ] ->
+      Alcotest.(check (list int)) "occurrences" [ 1; 2; 4 ] node.Topology.occurrences
+  | _ -> Alcotest.fail "expected exactly one duplicated node");
+  Alcotest.(check bool) "render shows relabel" true
+    (let r = Topology.render t in
+     String.length r > 0
+     &&
+     let rec contains i =
+       i + 4 <= String.length r && (String.sub r i 4 = "1[1]" || contains (i + 1))
+     in
+     contains 0)
+
+let topology_irrelevant_and_paths () =
+  let p = mk "irr" in
+  let q = mk "irr-other" in
+  let t =
+    Topology.build
+      (certs p [ `L; `I1; `I2 ] @ [ q.i1.Issue.cert; q.root.Issue.cert ])
+  in
+  Alcotest.(check int) "two irrelevant" 2 (List.length (Topology.irrelevant t));
+  Alcotest.(check int) "still one leaf path" 1 (List.length (Topology.paths t))
+
+let topology_cycle_terminates () =
+  (* Two CAs cross-signing each other: the CVE-2024-0567 loop shape. *)
+  let rng = Prng.of_label "cycle" in
+  let a = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"CycleA" ())) in
+  let b = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"CycleB" ())) in
+  let a_by_b = Issue.cross_sign rng ~parent:b ~existing:a () in
+  let b_by_a = Issue.cross_sign rng ~parent:a ~existing:b () in
+  let leaf = Issue.issue rng ~parent:a (Issue.spec (Dn.make ~cn:"cyc.example" ())) in
+  let t = Topology.build [ leaf.Issue.cert; a_by_b; b_by_a ] in
+  (* Must terminate and produce finite paths. *)
+  Alcotest.(check bool) "paths finite" true (List.length (Topology.paths t) >= 1)
+
+let topology_empty_rejected () =
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Topology.build: empty certificate list") (fun () ->
+      ignore (Topology.build []))
+
+(* --- Leaf check --- *)
+
+let leaf_domain_shapes () =
+  Alcotest.(check bool) "domain" true (Leaf_check.is_domain_shaped "www.example.com");
+  Alcotest.(check bool) "wildcard" true (Leaf_check.is_domain_shaped "*.example.com");
+  Alcotest.(check bool) "single label" false (Leaf_check.is_domain_shaped "localhost");
+  Alcotest.(check bool) "underscore" false
+    (Leaf_check.is_domain_shaped "SophosApplianceCertificate_4C1D");
+  Alcotest.(check bool) "numeric tld" false (Leaf_check.is_domain_shaped "example.123");
+  Alcotest.(check bool) "empty" false (Leaf_check.is_domain_shaped "");
+  Alcotest.(check bool) "ip" true (Leaf_check.is_ip_shaped "192.0.2.7");
+  Alcotest.(check bool) "bad ip octet" false (Leaf_check.is_ip_shaped "300.0.2.7");
+  Alcotest.(check bool) "not ip" false (Leaf_check.is_ip_shaped "a.b.c.d")
+
+let leaf_classification () =
+  let p = mk "leaf" in
+  let check name domain chain expected =
+    Alcotest.(check string) name
+      (Leaf_check.verdict_to_string expected)
+      (Leaf_check.verdict_to_string (Leaf_check.classify ~domain chain))
+  in
+  check "matched" "srv.example" (certs p [ `L; `I1 ]) Leaf_check.Correct_matched;
+  check "mismatched" "other.example" (certs p [ `L; `I1 ]) Leaf_check.Correct_mismatched;
+  check "incorrectly placed, matched" "srv.example" (certs p [ `I1; `L ])
+    Leaf_check.Incorrect_matched;
+  (* CA-only chains have O/CN names that are not domain shaped. *)
+  check "other" "srv.example"
+    [ (Issue.self_signed (Prng.of_label "plesk") (Issue.spec (Dn.make ~cn:"Plesk" ()))).Issue.cert ]
+    Leaf_check.Other;
+  Alcotest.(check bool) "compliance split" true
+    (Leaf_check.compliant Leaf_check.Correct_mismatched
+    && not (Leaf_check.compliant Leaf_check.Incorrect_matched))
+
+(* --- Order check --- *)
+
+let order_report chain = Order_check.analyze (Topology.build chain)
+
+let order_compliant () =
+  let p = mk "order-ok" in
+  let r = order_report (certs p [ `L; `I1; `I2; `R ]) in
+  Alcotest.(check bool) "ordered" true r.Order_check.ordered;
+  Alcotest.(check (list string)) "no violations" [] (Order_check.violations r);
+  let no_root = order_report (certs p [ `L; `I1; `I2 ]) in
+  Alcotest.(check bool) "root omission still ordered" true no_root.Order_check.ordered
+
+let order_reversed () =
+  let p = mk "order-rev" in
+  let r = order_report (certs p [ `L; `I2; `I1 ]) in
+  Alcotest.(check bool) "reversed detected" true (Order_check.has_reversed r);
+  Alcotest.(check bool) "all paths reversed" true r.Order_check.all_paths_reversed;
+  Alcotest.(check bool) "not ordered" false r.Order_check.ordered
+
+let order_duplicate_kinds () =
+  let p = mk "order-dup" in
+  let r = order_report (certs p [ `L; `L; `I1; `I2; `R; `R ]) in
+  let kinds = List.map fst r.Order_check.duplicates in
+  Alcotest.(check bool) "dup leaf" true (List.mem Order_check.Dup_leaf kinds);
+  Alcotest.(check bool) "dup root" true (List.mem Order_check.Dup_root kinds);
+  Alcotest.(check bool) "no dup intermediate" false
+    (List.mem Order_check.Dup_intermediate kinds)
+
+let order_irrelevant_kinds () =
+  let p = mk "order-irr" in
+  let q = mk "order-irr2" in
+  let r =
+    order_report (certs p [ `L; `I1; `I2 ] @ [ q.root.Issue.cert ])
+  in
+  (match r.Order_check.irrelevant with
+  | [ (Order_check.Irr_self_signed, _) ] -> ()
+  | _ -> Alcotest.fail "expected one unrelated self-signed");
+  let foreign =
+    order_report (certs p [ `L; `I1; `I2 ] @ [ q.i1.Issue.cert; q.i2.Issue.cert ])
+  in
+  Alcotest.(check bool) "foreign chain recognised" true
+    (List.for_all
+       (fun (k, _) -> k = Order_check.Irr_foreign_chain)
+       foreign.Order_check.irrelevant)
+
+let order_multiple_paths_cross () =
+  (* The Figure 2c shape: the intermediate's parent exists self-signed and as
+     a cross-sign under a legacy root, giving the leaf two candidate paths. *)
+  let rng = Prng.of_label "order-multi" in
+  let r1 = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"MR1" ())) in
+  let legacy = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"MR legacy" ())) in
+  let r1_cross = Issue.cross_sign rng ~parent:legacy ~existing:r1 () in
+  let inter = Issue.issue rng ~parent:r1 (Issue.spec ~is_ca:true (Dn.make ~cn:"MI" ())) in
+  let leaf = Issue.issue rng ~parent:inter (Issue.spec (Dn.make ~cn:"m.example" ())) in
+  let ordered =
+    order_report [ leaf.Issue.cert; inter.Issue.cert; r1.Issue.cert; r1_cross ]
+  in
+  Alcotest.(check bool) "multiple paths" true ordered.Order_check.multiple_paths;
+  Alcotest.(check bool) "cross-sign structure recognised" true
+    ordered.Order_check.cross_sign_paths;
+  Alcotest.(check bool) "no inversion in this arrangement" false
+    (Order_check.has_reversed ordered);
+  let reversed =
+    order_report [ leaf.Issue.cert; r1_cross; inter.Issue.cert; r1.Issue.cert ]
+  in
+  Alcotest.(check bool) "cross before issuer reverses a path" true
+    (Order_check.has_reversed reversed)
+
+(* --- Completeness --- *)
+
+let completeness_cases () =
+  let p = mk "complete" in
+  let analyze chain =
+    Completeness.analyze ~store:p.store ~aia:p.aia (Topology.build chain)
+  in
+  let v chain = (analyze chain).Completeness.verdict in
+  Alcotest.(check string) "with root" "complete chain w/ root"
+    (Completeness.verdict_to_string (v (certs p [ `L; `I1; `I2; `R ])));
+  Alcotest.(check string) "without root" "complete chain w/o root"
+    (Completeness.verdict_to_string (v (certs p [ `L; `I1; `I2 ])));
+  let inc = analyze (certs p [ `L; `I1 ]) in
+  Alcotest.(check string) "missing I2" "incomplete chain"
+    (Completeness.verdict_to_string inc.Completeness.verdict);
+  Alcotest.(check bool) "recoverable with one missing" true
+    (inc.Completeness.cause = Some (Completeness.Recoverable 1));
+  let inc2 = analyze (certs p [ `L ]) in
+  Alcotest.(check bool) "two missing" true
+    (inc2.Completeness.cause = Some (Completeness.Recoverable 2))
+
+let completeness_no_aia_support () =
+  let p = mk "complete-noaia" in
+  (* Terminal I2's AKID matches the root in the store: complete without AIA. *)
+  let r =
+    Completeness.analyze ~aia_enabled:false ~store:p.store ~aia:p.aia
+      (Topology.build (certs p [ `L; `I1; `I2 ]))
+  in
+  Alcotest.(check bool) "store match suffices" true (Completeness.compliant r);
+  Alcotest.(check bool) "not via AIA" false r.Completeness.via_aia;
+  (* But a missing intermediate cannot be recovered without AIA. *)
+  let r2 =
+    Completeness.analyze ~aia_enabled:false ~store:p.store ~aia:p.aia
+      (Topology.build (certs p [ `L; `I1 ]))
+  in
+  Alcotest.(check bool) "incomplete without AIA" false (Completeness.compliant r2)
+
+let completeness_akid_absent_needs_aia () =
+  let rng = Prng.of_label "akid-absent" in
+  let root = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"NA Root" ())) in
+  let aia = Aia_repo.create () in
+  Aia_repo.publish aia ~uri:"http://na/root.crt" root.Issue.cert;
+  let inter =
+    Issue.issue rng ~parent:root
+      (Issue.spec ~is_ca:true ~faults:[ Issue.No_akid ]
+         ~aia_ca_issuers:[ "http://na/root.crt" ] (Dn.make ~cn:"NA I" ()))
+  in
+  let leaf = Issue.issue rng ~parent:inter (Issue.spec (Dn.make ~cn:"na.example" ())) in
+  let store = Root_store.make "na" [ root.Issue.cert ] in
+  let topo = Topology.build [ leaf.Issue.cert; inter.Issue.cert ] in
+  let with_aia = Completeness.analyze ~store ~aia topo in
+  Alcotest.(check bool) "complete via AIA" true (Completeness.compliant with_aia);
+  Alcotest.(check bool) "flagged via_aia" true with_aia.Completeness.via_aia;
+  let without = Completeness.analyze ~aia_enabled:false ~store ~aia topo in
+  Alcotest.(check bool) "incomplete without AIA" false (Completeness.compliant without)
+
+let completeness_failure_causes () =
+  let rng = Prng.of_label "causes" in
+  let root = Issue.self_signed rng (Issue.spec ~is_ca:true (Dn.make ~cn:"C Root" ())) in
+  let inter = Issue.issue rng ~parent:root (Issue.spec ~is_ca:true (Dn.make ~cn:"C I" ())) in
+  let aia = Aia_repo.create () in
+  let store = Root_store.make "c" [ root.Issue.cert ] in
+  let cause leaf_spec =
+    let leaf = Issue.issue rng ~parent:inter leaf_spec in
+    (Completeness.analyze ~store ~aia (Topology.build [ leaf.Issue.cert ])).Completeness.cause
+  in
+  Alcotest.(check bool) "aia missing" true
+    (cause (Issue.spec (Dn.make ~cn:"c1.example" ())) = Some Completeness.Aia_missing);
+  Alcotest.(check bool) "aia fetch failed" true
+    (cause (Issue.spec ~aia_ca_issuers:[ "http://c/gone.crt" ] (Dn.make ~cn:"c2.example" ()))
+    = Some Completeness.Aia_fetch_failed);
+  (* Self-serving URI: wrong certificate. *)
+  let selfish =
+    Issue.issue rng ~parent:inter
+      (Issue.spec ~aia_ca_issuers:[ "http://c/self.crt" ] (Dn.make ~cn:"c3.example" ()))
+  in
+  Aia_repo.publish aia ~uri:"http://c/self.crt" selfish.Issue.cert;
+  Alcotest.(check bool) "wrong cert" true
+    ((Completeness.analyze ~store ~aia (Topology.build [ selfish.Issue.cert ])).Completeness.cause
+    = Some Completeness.Aia_wrong_cert)
+
+(* --- Compliance (combined) --- *)
+
+let compliance_combined () =
+  let p = mk "comp" in
+  let analyze chain = Compliance.analyze ~store:p.store ~aia:p.aia ~domain:"srv.example" chain in
+  Alcotest.(check bool) "good chain compliant" true
+    (Compliance.compliant (analyze (certs p [ `L; `I1; `I2 ])));
+  let bad = analyze (certs p [ `L; `I2; `I1 ]) in
+  Alcotest.(check bool) "reversed not compliant" false (Compliance.compliant bad);
+  Alcotest.(check bool) "reasons mention order" true
+    (List.exists
+       (fun r ->
+         String.length r >= 8 && String.sub r 0 8 = "reversed")
+       (Compliance.non_compliance_reasons bad));
+  (* The report pretty-printer runs without exception. *)
+  Alcotest.(check bool) "report renders" true
+    (String.length (Format.asprintf "%a" Compliance.pp_report bad) > 0)
+
+let suite =
+  [ Alcotest.test_case "topology basic" `Quick topology_basic;
+    Alcotest.test_case "topology duplicates" `Quick topology_duplicates;
+    Alcotest.test_case "topology irrelevant" `Quick topology_irrelevant_and_paths;
+    Alcotest.test_case "topology cross-sign cycle terminates" `Quick topology_cycle_terminates;
+    Alcotest.test_case "topology rejects empty" `Quick topology_empty_rejected;
+    Alcotest.test_case "leaf domain shapes" `Quick leaf_domain_shapes;
+    Alcotest.test_case "leaf classification" `Quick leaf_classification;
+    Alcotest.test_case "order compliant" `Quick order_compliant;
+    Alcotest.test_case "order reversed" `Quick order_reversed;
+    Alcotest.test_case "order duplicate kinds" `Quick order_duplicate_kinds;
+    Alcotest.test_case "order irrelevant kinds" `Quick order_irrelevant_kinds;
+    Alcotest.test_case "order multiple paths" `Quick order_multiple_paths_cross;
+    Alcotest.test_case "completeness cases" `Quick completeness_cases;
+    Alcotest.test_case "completeness without AIA" `Quick completeness_no_aia_support;
+    Alcotest.test_case "completeness AKID-absent needs AIA" `Quick completeness_akid_absent_needs_aia;
+    Alcotest.test_case "completeness failure causes" `Quick completeness_failure_causes;
+    Alcotest.test_case "compliance combined" `Quick compliance_combined ]

@@ -1,0 +1,133 @@
+open Chaoschain_crypto
+
+let check_hex = Alcotest.(check string)
+
+(* FIPS 180-4 / NIST CAVS vectors. *)
+let sha256_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hexdigest "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hexdigest "abc");
+  check_hex "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hexdigest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million-a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hexdigest (String.make 1_000_000 'a'))
+
+let sha256_block_boundaries () =
+  (* Lengths straddling the 55/56/64-byte padding boundaries. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'q' in
+      let ctx = Sha256.init () in
+      String.iter (fun c -> Sha256.feed ctx (String.make 1 c)) s;
+      Alcotest.(check string)
+        (Printf.sprintf "len %d incremental == one-shot" n)
+        (Hex.encode (Sha256.digest s))
+        (Hex.encode (Sha256.finalize ctx)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 127; 128; 129 ]
+
+let sha256_feed_bytes_bounds () =
+  let ctx = Sha256.init () in
+  Alcotest.check_raises "negative offset" (Invalid_argument "Sha256.feed_bytes")
+    (fun () -> Sha256.feed_bytes ctx (Bytes.create 4) (-1) 2);
+  Alcotest.check_raises "overrun" (Invalid_argument "Sha256.feed_bytes") (fun () ->
+      Sha256.feed_bytes ctx (Bytes.create 4) 2 3)
+
+let sha256_finalize_once () =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "x";
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "reuse rejected"
+    (Invalid_argument "Sha256: context already finalized") (fun () ->
+      ignore (Sha256.finalize ctx))
+
+let hex_roundtrip () =
+  Alcotest.(check string) "encode" "00ff10ab" (Hex.encode "\x00\xff\x10\xab");
+  Alcotest.(check string) "decode" "\x00\xff" (Hex.decode_exn "00FF");
+  Alcotest.(check bool) "odd length" true (Result.is_error (Hex.decode "abc"));
+  Alcotest.(check bool) "bad digit" true (Result.is_error (Hex.decode "zz"))
+
+let prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done;
+  let c = Prng.create 43L in
+  Alcotest.(check bool) "different seed differs" true
+    (Prng.next_int64 (Prng.create 42L) <> Prng.next_int64 c)
+
+let prng_ranges () =
+  let g = Prng.of_label "ranges" in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 7);
+    let w = Prng.int_in g (-3) 3 in
+    Alcotest.(check bool) "int_in range" true (w >= -3 && w <= 3);
+    let f = Prng.float g in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let prng_shuffle_is_permutation () =
+  let g = Prng.of_label "shuffle" in
+  let original = List.init 50 Fun.id in
+  let shuffled = Prng.shuffle_list g original in
+  Alcotest.(check (list int)) "same multiset" original (List.sort compare shuffled)
+
+let keys_sign_verify () =
+  let g = Prng.of_label "keys" in
+  let priv = Keys.generate g Keys.Rsa_2048 in
+  let pub = Keys.public_of_private priv in
+  let s = Keys.sign priv "hello" in
+  Alcotest.(check bool) "verifies" true (Keys.verify pub "hello" s);
+  Alcotest.(check bool) "wrong message" false (Keys.verify pub "hellp" s);
+  let other = Keys.public_of_private (Keys.generate g Keys.Rsa_2048) in
+  Alcotest.(check bool) "wrong key" false (Keys.verify other "hello" s);
+  let forged = Keys.forge_garbage g Keys.Rsa_2048 in
+  Alcotest.(check bool) "forged fails" false (Keys.verify pub "hello" forged)
+
+let keys_import () =
+  let g = Prng.of_label "import" in
+  let pub = Keys.public_of_private (Keys.generate g Keys.Ecdsa_p256) in
+  (match Keys.import_public Keys.Ecdsa_p256 pub.Keys.material with
+  | Ok p -> Alcotest.(check bool) "same key" true (Keys.equal_public p pub)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "bad length rejected" true
+    (Result.is_error (Keys.import_public Keys.Ecdsa_p256 "short"))
+
+let keys_ids () =
+  let g = Prng.of_label "ids" in
+  let pub = Keys.public_of_private (Keys.generate g Keys.Rsa_4096) in
+  Alcotest.(check int) "key id is 20 bytes" 20 (String.length (Keys.key_id pub));
+  Alcotest.(check int) "fingerprint is 32 bytes" 32 (String.length (Keys.fingerprint pub));
+  Alcotest.(check bool) "deprecated flag" true (Keys.algorithm_deprecated Keys.Rsa_1024);
+  Alcotest.(check bool) "modern not deprecated" false
+    (Keys.algorithm_deprecated Keys.Ecdsa_p384)
+
+let qcheck_hex =
+  QCheck.Test.make ~name:"hex decode . encode = id" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s -> Hex.decode_exn (Hex.encode s) = s)
+
+let qcheck_b64_alphabet =
+  QCheck.Test.make ~name:"sha256 output always 32 bytes" ~count:100
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s -> String.length (Sha256.digest s) = 32)
+
+let suite =
+  [ Alcotest.test_case "sha256 FIPS vectors" `Quick sha256_vectors;
+    Alcotest.test_case "sha256 incremental boundaries" `Quick sha256_block_boundaries;
+    Alcotest.test_case "sha256 feed bounds" `Quick sha256_feed_bytes_bounds;
+    Alcotest.test_case "sha256 finalize once" `Quick sha256_finalize_once;
+    Alcotest.test_case "hex roundtrip and errors" `Quick hex_roundtrip;
+    Alcotest.test_case "prng deterministic" `Quick prng_deterministic;
+    Alcotest.test_case "prng ranges" `Quick prng_ranges;
+    Alcotest.test_case "prng shuffle permutes" `Quick prng_shuffle_is_permutation;
+    Alcotest.test_case "keys sign/verify" `Quick keys_sign_verify;
+    Alcotest.test_case "keys import" `Quick keys_import;
+    Alcotest.test_case "key identifiers" `Quick keys_ids;
+    QCheck_alcotest.to_alcotest qcheck_hex;
+    QCheck_alcotest.to_alcotest qcheck_b64_alphabet ]

@@ -1,0 +1,149 @@
+open Chaoschain_der
+
+let roundtrip v =
+  match Der.decode (Der.encode v) with
+  | Ok v' -> v' = v
+  | Error _ -> false
+
+let primitives_roundtrip () =
+  List.iter
+    (fun (name, v) -> Alcotest.(check bool) name true (roundtrip v))
+    [ ("bool true", Der.boolean true);
+      ("bool false", Der.boolean false);
+      ("int 0", Der.integer_of_int 0);
+      ("int 127", Der.integer_of_int 127);
+      ("int 128", Der.integer_of_int 128);
+      ("int -1", Der.integer_of_int (-1));
+      ("int -128", Der.integer_of_int (-128));
+      ("int -129", Der.integer_of_int (-129));
+      ("int max", Der.integer_of_int max_int);
+      ("int min", Der.integer_of_int min_int);
+      ("octets", Der.octet_string "\x00\x01\xff");
+      ("null", Der.null);
+      ("utf8", Der.utf8_string "héllo");
+      ("printable", Der.printable_string "US");
+      ("ia5", Der.ia5_string "http://x/");
+      ("bit string", Der.bit_string ~unused:3 "\xa8");
+      ("utc", Der.utc_time "240314000000Z");
+      ("gen", Der.generalized_time "20510314000000Z");
+      ("sequence", Der.sequence [ Der.boolean true; Der.null ]);
+      ("set", Der.set [ Der.integer_of_int 5 ]);
+      ("nested", Der.sequence [ Der.sequence [ Der.sequence [] ] ]);
+      ("context", Der.context 3 [ Der.octet_string "x" ]);
+      ("context prim", Der.context_prim 6 "uri") ]
+
+let integer_values_decode () =
+  List.iter
+    (fun n ->
+      match Der.as_integer_int (Result.get_ok (Der.decode (Der.encode (Der.integer_of_int n)))) with
+      | Ok v -> Alcotest.(check int) (string_of_int n) n v
+      | Error e -> Alcotest.fail e)
+    [ 0; 1; -1; 127; 128; 255; 256; -127; -128; -129; 65535; -65536; max_int; min_int ]
+
+let long_lengths () =
+  let big = Der.octet_string (String.make 300 'x') in
+  Alcotest.(check bool) "300-byte content" true (roundtrip big);
+  let huge = Der.octet_string (String.make 70_000 'y') in
+  Alcotest.(check bool) "70k content" true (roundtrip huge)
+
+let minimal_int_encoding () =
+  (* 127 must be one content octet, 128 needs two (leading zero). *)
+  Alcotest.(check int) "127 is 3 bytes total" 3
+    (String.length (Der.encode (Der.integer_of_int 127)));
+  Alcotest.(check int) "128 is 4 bytes total" 4
+    (String.length (Der.encode (Der.integer_of_int 128)))
+
+let decode_errors () =
+  let is_err s = Result.is_error (Der.decode s) in
+  Alcotest.(check bool) "empty" true (is_err "");
+  Alcotest.(check bool) "truncated content" true (is_err "\x04\x05ab");
+  Alcotest.(check bool) "indefinite length" true (is_err "\x30\x80\x00\x00");
+  Alcotest.(check bool) "non-minimal length" true (is_err "\x04\x81\x05hello");
+  Alcotest.(check bool) "trailing garbage" true
+    (is_err (Der.encode Der.null ^ "\x00"));
+  Alcotest.(check bool) "high tag number" true (is_err "\x1f\x81\x00\x00")
+
+let oid_codec () =
+  let check_oid arcs =
+    let o = Oid.make arcs in
+    match Der.as_oid (Result.get_ok (Der.decode (Der.encode (Der.oid o)))) with
+    | Ok o' -> Alcotest.(check string) (Oid.to_string o) (Oid.to_string o) (Oid.to_string o')
+    | Error e -> Alcotest.fail e
+  in
+  List.iter check_oid
+    [ [ 2; 5; 29; 19 ]; [ 1; 2; 840; 113549; 1; 1; 11 ]; [ 0; 0 ]; [ 2; 999; 3 ];
+      [ 1; 3; 6; 1; 5; 5; 7; 48; 2 ] ]
+
+let oid_strings () =
+  Alcotest.(check string) "dotted" "2.5.29.19" (Oid.to_string Oid.ext_basic_constraints);
+  Alcotest.(check string) "named" "basicConstraints" (Oid.name Oid.ext_basic_constraints);
+  (match Oid.of_string "1.2.840.10045.4.3.2" with
+  | Ok o -> Alcotest.(check bool) "parse" true (Oid.equal o Oid.alg_ecdsa_sha256)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "reject single arc" true (Result.is_error (Oid.of_string "1"));
+  Alcotest.(check bool) "reject junk" true (Result.is_error (Oid.of_string "1.x"));
+  Alcotest.check_raises "first arc range" (Invalid_argument "Oid.make: first arc must be 0..2")
+    (fun () -> ignore (Oid.make [ 3; 1 ]));
+  Alcotest.check_raises "second arc range"
+    (Invalid_argument "Oid.make: second arc must be < 40 when first arc is 0 or 1")
+    (fun () -> ignore (Oid.make [ 1; 40 ]))
+
+let destructor_shape_errors () =
+  Alcotest.(check bool) "bool of int" true
+    (Result.is_error (Der.as_boolean (Der.integer_of_int 1)));
+  Alcotest.(check bool) "seq of prim" true
+    (Result.is_error (Der.as_sequence (Der.octet_string "x")));
+  Alcotest.(check bool) "context number mismatch" true
+    (Result.is_error (Der.as_context 1 (Der.context 2 [])))
+
+(* Random tree generator for the roundtrip property. *)
+let gen_tree =
+  let open QCheck.Gen in
+  let prim =
+    oneof
+      [ map Der.boolean bool;
+        map Der.integer_of_int int;
+        map Der.octet_string (string_size (0 -- 16));
+        map Der.utf8_string (string_size ~gen:(char_range 'a' 'z') (0 -- 12));
+        return Der.null ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then prim
+      else
+        frequency
+          [ (2, prim);
+            (1, map Der.sequence (list_size (0 -- 4) (self (depth - 1))));
+            (1, map Der.set (list_size (0 -- 3) (self (depth - 1))));
+            (1, map (Der.context 0) (list_size (0 -- 2) (self (depth - 1)))) ])
+    3
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"DER decode . encode = id on random trees" ~count:300
+    (QCheck.make gen_tree) roundtrip
+
+let qcheck_encode_many =
+  QCheck.Test.make ~name:"decode_prefix walks encode_many" ~count:100
+    (QCheck.make (QCheck.Gen.list_size QCheck.Gen.(1 -- 5) gen_tree))
+    (fun trees ->
+      let bytes = Der.encode_many trees in
+      let rec walk acc off =
+        if off = String.length bytes then List.rev acc
+        else
+          match Der.decode_prefix bytes off with
+          | Ok (v, off') -> walk (v :: acc) off'
+          | Error _ -> []
+      in
+      walk [] 0 = trees)
+
+let suite =
+  [ Alcotest.test_case "primitive roundtrips" `Quick primitives_roundtrip;
+    Alcotest.test_case "integer value decoding" `Quick integer_values_decode;
+    Alcotest.test_case "long-form lengths" `Quick long_lengths;
+    Alcotest.test_case "minimal integer encoding" `Quick minimal_int_encoding;
+    Alcotest.test_case "decode errors" `Quick decode_errors;
+    Alcotest.test_case "oid codec" `Quick oid_codec;
+    Alcotest.test_case "oid strings" `Quick oid_strings;
+    Alcotest.test_case "destructor shape errors" `Quick destructor_shape_errors;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_encode_many ]

@@ -1,0 +1,103 @@
+(* Differential testing: planted scenarios must be attributed to the paper's
+   findings I-1..I-4. *)
+
+open Chaoschain_core
+open Chaoschain_measurement
+module C = Calibration
+
+let pop = lazy (Population.generate ~scale:0.002 ())
+
+let case_for scenario =
+  let p = Lazy.force pop in
+  let env = Population.env p in
+  match
+    Array.to_list p.Population.domains
+    |> List.find_opt (fun r ->
+           r.Population.scenario = scenario
+           && r.Population.blemish = Population.Pristine)
+  with
+  | None -> None
+  | Some r -> Some (Difftest.run_case env ~domain:r.Population.domain r.Population.chain)
+
+let require scenario =
+  match case_for scenario with
+  | Some c -> c
+  | None -> Alcotest.fail ("no pristine instance of scenario in lab population")
+
+let i1_reversed_noroot () =
+  let case = require C.Rev_noroot_2int in
+  Alcotest.(check bool) "MbedTLS fails" false (Difftest.accepted_by case Clients.Mbedtls);
+  Alcotest.(check bool) "OpenSSL passes" true (Difftest.accepted_by case Clients.Openssl);
+  Alcotest.(check bool) "attributed to I-1" true
+    (List.mem Difftest.I1_no_reorder (Difftest.classify case))
+
+let i2_long_list () =
+  let case = require C.Fig_ns3 in
+  Alcotest.(check bool) "GnuTLS fails on 29 certs" false
+    (Difftest.accepted_by case Clients.Gnutls);
+  Alcotest.(check bool) "Chrome passes" true (Difftest.accepted_by case Clients.Chrome);
+  Alcotest.(check bool) "attributed to I-2" true
+    (List.mem Difftest.I2_list_limit (Difftest.classify case))
+
+let i3_backtracking () =
+  let case = require C.Fig_moex in
+  Alcotest.(check bool) "OpenSSL commits to the bad path" false
+    (Difftest.accepted_by case Clients.Openssl);
+  Alcotest.(check bool) "CryptoAPI backtracks" true
+    (Difftest.accepted_by case Clients.Cryptoapi);
+  Alcotest.(check bool) "MbedTLS survives via forward order" true
+    (Difftest.accepted_by case Clients.Mbedtls);
+  Alcotest.(check bool) "attributed to I-3" true
+    (List.mem Difftest.I3_no_backtracking (Difftest.classify case))
+
+let i4_missing_intermediate () =
+  let case = require C.Inc_missing1 in
+  Alcotest.(check bool) "OpenSSL fails" false (Difftest.accepted_by case Clients.Openssl);
+  Alcotest.(check bool) "MbedTLS fails" false (Difftest.accepted_by case Clients.Mbedtls);
+  Alcotest.(check bool) "Chrome fetches via AIA" true (Difftest.accepted_by case Clients.Chrome);
+  Alcotest.(check bool) "attributed to I-4" true
+    (List.mem Difftest.I4_no_aia (Difftest.classify case))
+
+let agreement_on_compliant () =
+  let case = require C.Ok_plain in
+  Alcotest.(check bool) "everyone passes" true
+    (Difftest.all_browsers_pass case && Difftest.all_libraries_pass case);
+  Alcotest.(check (list string)) "no causes" []
+    (List.map Difftest.cause_to_string (Difftest.classify case))
+
+let restricted_store_difference () =
+  match case_for (C.Ok_restricted C.R_mc_dead_end) with
+  | None -> Alcotest.fail "no restricted instance"
+  | Some case ->
+      (* Trusted by Microsoft/Apple clients, unknown to Mozilla-store ones. *)
+      Alcotest.(check bool) "CryptoAPI passes" true (Difftest.accepted_by case Clients.Cryptoapi);
+      Alcotest.(check bool) "Safari passes" true (Difftest.accepted_by case Clients.Safari);
+      Alcotest.(check bool) "OpenSSL fails" false (Difftest.accepted_by case Clients.Openssl);
+      Alcotest.(check bool) "attributed to store difference" true
+        (List.mem Difftest.Store_difference (Difftest.classify case))
+
+let summary_consistency () =
+  let p = Lazy.force pop in
+  let env = Population.env p in
+  let cases =
+    Array.to_list p.Population.domains
+    |> List.filteri (fun i _ -> i mod 37 = 0)
+    |> List.map (fun r -> Difftest.run_case env ~domain:r.Population.domain r.Population.chain)
+  in
+  let s = Difftest.summarize cases in
+  Alcotest.(check int) "total" (List.length cases) s.Difftest.total;
+  Alcotest.(check bool) "passes bounded by total" true
+    (s.Difftest.browsers_all_pass <= s.Difftest.total
+    && s.Difftest.libraries_all_pass <= s.Difftest.total);
+  Alcotest.(check bool) "discrepancies bounded" true
+    (s.Difftest.browser_discrepancies <= s.Difftest.total
+    && s.Difftest.library_discrepancies <= s.Difftest.total)
+
+let suite =
+  [ Alcotest.test_case "I-1 attribution" `Slow i1_reversed_noroot;
+    Alcotest.test_case "I-2 attribution" `Slow i2_long_list;
+    Alcotest.test_case "I-3 attribution" `Slow i3_backtracking;
+    Alcotest.test_case "I-4 attribution" `Slow i4_missing_intermediate;
+    Alcotest.test_case "compliant chains agree" `Slow agreement_on_compliant;
+    Alcotest.test_case "store-difference attribution" `Slow restricted_store_difference;
+    Alcotest.test_case "summary consistency" `Slow summary_consistency ]

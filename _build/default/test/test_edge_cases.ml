@@ -1,0 +1,173 @@
+(* Edge cases across the public APIs: degenerate inputs, bounds, and
+   invariants not covered by the scenario-driven suites. *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+open Chaoschain_core
+module Prng = Chaoschain_crypto.Prng
+
+let now = Vtime.make ~y:2024 ~m:6 ~d:1 ()
+
+let mk label =
+  let rng = Prng.of_label ("edge:" ^ label) in
+  let root =
+    Issue.self_signed rng
+      (Issue.spec ~is_ca:true ~not_before:(Vtime.add_years now (-10))
+         ~not_after:(Vtime.add_years now 10) (Dn.make ~o:"E" ~cn:("Root " ^ label) ()))
+  in
+  let inter = Issue.issue rng ~parent:root (Issue.spec ~is_ca:true (Dn.make ~cn:("I " ^ label) ())) in
+  let leaf =
+    Issue.issue rng ~parent:inter
+      (Issue.spec ~san:[ Extension.Dns "edge.example" ] (Dn.make ~cn:"edge.example" ()))
+  in
+  (rng, root, inter, leaf)
+
+let engine_empty_chain () =
+  let _, root, _, _ = mk "empty" in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let ctx = Path_builder.context ~now ~params:Build_params.default store in
+  match (Engine.run ctx ~host:None []).Engine.result with
+  | Error (Engine.Build Path_builder.Empty_chain) -> ()
+  | _ -> Alcotest.fail "expected Empty_chain"
+
+let engine_root_only_served () =
+  (* A server serving only its trusted root: the "leaf" is a trusted anchor.
+     Chain construction terminates immediately and validation accepts the
+     anchor (hostname checking against the CA name then fails). *)
+  let _, root, _, _ = mk "root-only" in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let params = { Build_params.default with Build_params.allow_self_signed_leaf = true } in
+  let ctx = Path_builder.context ~now ~params store in
+  match (Engine.run ctx ~host:(Some "edge.example") [ root.Issue.cert ]).Engine.result with
+  | Error (Engine.Validate (Path_validate.Hostname_mismatch _)) -> ()
+  | Ok _ -> Alcotest.fail "CA name should not match the host"
+  | Error e -> Alcotest.fail (Engine.error_to_string e)
+
+let engine_max_attempts_bound () =
+  (* Many same-subject, same-key variants, all failing validation (expired):
+     the engine must stop at max_attempts. *)
+  let rng, root, inter, _ = mk "attempts" in
+  let leaf =
+    Issue.issue rng ~parent:inter
+      (Issue.spec ~faults:[ Issue.Expired ] ~san:[ Extension.Dns "edge.example" ]
+         (Dn.make ~cn:"edge.example" ()))
+  in
+  let variants =
+    List.init 6 (fun i ->
+        Issue.cross_sign rng ~parent:root ~existing:inter
+          ~not_before:(Vtime.add_years now (-1 - i))
+          ~not_after:(Vtime.add_years now (9 - i))
+          ())
+  in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let params = { Build_params.default with Build_params.max_attempts = 3 } in
+  let ctx = Path_builder.context ~now ~params store in
+  let chain = (leaf.Issue.cert :: inter.Issue.cert :: variants) @ [ root.Issue.cert ] in
+  let o = Engine.run ctx ~host:(Some "edge.example") chain in
+  Alcotest.(check bool) "rejected" false (Engine.accepted o);
+  Alcotest.(check bool) "attempts capped at 3" true (o.Engine.attempts <= 3)
+
+let builder_context_defaults () =
+  let _, root, inter, leaf = mk "ctx" in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let ctx = Path_builder.context ~params:Build_params.default store in
+  Alcotest.(check bool) "default now validates a current chain" true
+    (Engine.accepted
+       (Engine.run ctx ~host:(Some "edge.example")
+          [ leaf.Issue.cert; inter.Issue.cert ]))
+
+let capability_tiny_length_fixture () =
+  let fx = Capability.length_fixture 1 in
+  Alcotest.(check int) "3 certificates" 3 (List.length fx.Capability.served);
+  Alcotest.(check bool) "reference accepts" true
+    (Engine.accepted (Capability.run_client Clients.reference fx))
+
+let vtime_order_helpers () =
+  let a = Vtime.make ~y:2020 ~m:1 ~d:1 () and b = Vtime.make ~y:2021 ~m:1 ~d:1 () in
+  Alcotest.(check bool) "min" true (Vtime.equal (Vtime.min a b) a);
+  Alcotest.(check bool) "max" true (Vtime.equal (Vtime.max a b) b);
+  Alcotest.(check bool) "lt" true Vtime.(a < b);
+  Alcotest.(check bool) "le refl" true Vtime.(a <= a)
+
+let dn_compare_total () =
+  let a = Dn.make ~cn:"A" () and b = Dn.make ~cn:"B" () and e = Dn.empty in
+  Alcotest.(check bool) "irreflexive difference" true (Dn.compare a b <> 0);
+  Alcotest.(check int) "reflexive" 0 (Dn.compare a a);
+  Alcotest.(check bool) "antisymmetric" true
+    (Dn.compare a b = -Dn.compare b a);
+  Alcotest.(check bool) "empty is empty" true (Dn.is_empty e);
+  Alcotest.(check bool) "non-empty" false (Dn.is_empty a)
+
+let leaf_names_of () =
+  let _, _, _, leaf = mk "names" in
+  let names = Leaf_check.names_of leaf.Issue.cert in
+  Alcotest.(check bool) "CN and SAN collected" true
+    (List.length names = 2 && List.for_all (String.equal "edge.example") names)
+
+let universe_mint_unique () =
+  let u = Universe.create ~seed:3L () in
+  let a = Universe.mint_leaf u Universe.Lets_encrypt ~domain:"a.example" () in
+  let b = Universe.mint_leaf u Universe.Lets_encrypt ~domain:"a.example" () in
+  Alcotest.(check bool) "same domain, distinct certificates" false
+    (Cert.equal a.Issue.cert b.Issue.cert)
+
+let handshake_version_guard () =
+  let _, root, inter, leaf = mk "hs" in
+  let srv =
+    { Chaoschain_tlssim.Handshake.server_name = "edge.example";
+      chain = [ leaf.Issue.cert; inter.Issue.cert ];
+      supports = [ Chaoschain_tlssim.Handshake.Tls13 ] }
+  in
+  let env =
+    { Difftest.store_of = (fun _ -> Root_store.make "s" [ root.Issue.cert ]);
+      aia = Aia_repo.create (); firefox_cache = []; os_store = []; now }
+  in
+  Alcotest.check_raises "unsupported version"
+    (Invalid_argument "Handshake.connect: version not supported by server")
+    (fun () ->
+      ignore
+        (Chaoschain_tlssim.Handshake.connect env
+           ~client:(Clients.by_id Clients.Chrome)
+           ~version:Chaoschain_tlssim.Handshake.Tls12 srv))
+
+let duplicate_elimination_in_builder () =
+  (* A chain with the same intermediate five times: the used-set prevents the
+     builder from looping or double-counting. *)
+  let _, root, inter, leaf = mk "dups" in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let chain = leaf.Issue.cert :: List.init 5 (fun _ -> inter.Issue.cert) in
+  let ctx = Path_builder.context ~now ~params:Build_params.default store in
+  let o = Engine.run ctx ~host:(Some "edge.example") chain in
+  Alcotest.(check bool) "accepted" true (Engine.accepted o);
+  match o.Engine.result with
+  | Ok path -> Alcotest.(check int) "deduplicated path" 3 (List.length path)
+  | Error _ -> Alcotest.fail "unexpected"
+
+let akid_by_name_is_absent_for_kid () =
+  let rng, root, _, _ = mk "akidname" in
+  let inter =
+    Issue.issue rng ~parent:root
+      (Issue.spec ~is_ca:true ~faults:[ Issue.Akid_by_name ] (Dn.make ~cn:"AN" ()))
+  in
+  (* An AKID carrying issuer-name/serial but no keyid counts as absent in the
+     KID comparison. *)
+  Alcotest.(check string) "absent" "absent"
+    (Relation.kid_status_to_string
+       (Relation.kid_status ~issuer:root.Issue.cert ~child:inter.Issue.cert));
+  match Cert.authority_key_id inter.Issue.cert with
+  | Some { Extension.akid_key_id = None; akid_serial = Some _; _ } -> ()
+  | _ -> Alcotest.fail "expected name+serial AKID"
+
+let suite =
+  [ Alcotest.test_case "engine empty chain" `Quick engine_empty_chain;
+    Alcotest.test_case "root-only served" `Quick engine_root_only_served;
+    Alcotest.test_case "max attempts bound" `Quick engine_max_attempts_bound;
+    Alcotest.test_case "context defaults" `Quick builder_context_defaults;
+    Alcotest.test_case "tiny length fixture" `Quick capability_tiny_length_fixture;
+    Alcotest.test_case "vtime order helpers" `Quick vtime_order_helpers;
+    Alcotest.test_case "dn compare total" `Quick dn_compare_total;
+    Alcotest.test_case "leaf names_of" `Quick leaf_names_of;
+    Alcotest.test_case "universe mint unique" `Quick universe_mint_unique;
+    Alcotest.test_case "handshake version guard" `Quick handshake_version_guard;
+    Alcotest.test_case "duplicates deduplicated" `Quick duplicate_elimination_in_builder;
+    Alcotest.test_case "akid-by-name counts as absent" `Quick akid_by_name_is_absent_for_kid ]

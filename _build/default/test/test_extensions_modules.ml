@@ -1,0 +1,285 @@
+(* Tests for the extension modules: revocation (CRLs and both integration
+   styles), the section 6 recommendations engine, and the structural
+   fuzzer. *)
+
+open Chaoschain_x509
+open Chaoschain_pki
+open Chaoschain_core
+open Chaoschain_measurement
+module Prng = Chaoschain_crypto.Prng
+
+let now = Vtime.make ~y:2024 ~m:6 ~d:1 ()
+
+let mk label =
+  let rng = Prng.of_label ("ext:" ^ label) in
+  let root =
+    Issue.self_signed rng
+      (Issue.spec ~is_ca:true ~not_before:(Vtime.add_years now (-10))
+         ~not_after:(Vtime.add_years now 10) (Dn.make ~o:"E" ~cn:("Root " ^ label) ()))
+  in
+  let inter =
+    Issue.issue rng ~parent:root
+      (Issue.spec ~is_ca:true ~not_before:(Vtime.add_years now (-4))
+         ~not_after:(Vtime.add_years now 6) (Dn.make ~o:"E" ~cn:("I " ^ label) ()))
+  in
+  let leaf =
+    Issue.issue rng ~parent:inter
+      (Issue.spec ~san:[ Extension.Dns "ext.example" ] (Dn.make ~cn:"ext.example" ()))
+  in
+  (rng, root, inter, leaf)
+
+(* --- CRL --- *)
+
+let crl_basics () =
+  let rng, _, inter, leaf = mk "crl" in
+  let crl =
+    Crl.issue rng ~issuer:inter ~this_update:now
+      [ { Crl.serial = Cert.serial leaf.Issue.cert; revoked_at = now;
+          reason = Crl.Key_compromise } ]
+  in
+  Alcotest.(check bool) "signed by issuer" true (Crl.signed_by crl inter.Issue.cert);
+  Alcotest.(check bool) "fresh" false (Crl.is_stale crl now);
+  Alcotest.(check bool) "stale after nextUpdate" true
+    (Crl.is_stale crl (Vtime.add_days now 31));
+  (match Crl.check ~crl:(Some crl) ~issuer:inter.Issue.cert ~now leaf.Issue.cert with
+  | Crl.Revoked e ->
+      Alcotest.(check string) "reason" "keyCompromise" (Crl.reason_to_string e.Crl.reason)
+  | s -> Alcotest.fail (Crl.status_to_string s));
+  (* A different certificate of the same issuer is good. *)
+  let other =
+    Issue.issue rng ~parent:inter (Issue.spec (Dn.make ~cn:"other.example" ()))
+  in
+  Alcotest.(check string) "other is good" "good"
+    (Crl.status_to_string
+       (Crl.check ~crl:(Some crl) ~issuer:inter.Issue.cert ~now other.Issue.cert));
+  (* No CRL / foreign signer are unknown. *)
+  Alcotest.(check bool) "no crl unknown" true
+    (match Crl.check ~crl:None ~issuer:inter.Issue.cert ~now leaf.Issue.cert with
+    | Crl.Unknown_status _ -> true
+    | _ -> false);
+  let _, _, stranger, _ = mk "crl-stranger" in
+  Alcotest.(check bool) "foreign signer unknown" true
+    (match Crl.check ~crl:(Some crl) ~issuer:stranger.Issue.cert ~now leaf.Issue.cert with
+    | Crl.Unknown_status _ -> true
+    | _ -> false)
+
+let crl_registry () =
+  let rng, _, inter, leaf = mk "registry" in
+  let reg = Crl_registry.create () in
+  Alcotest.(check bool) "empty lookup" true
+    (Crl_registry.lookup_for reg ~issuer:inter.Issue.cert = None);
+  Crl_registry.revoke rng reg ~issuer:inter ~now leaf.Issue.cert;
+  (match Crl_registry.status reg ~issuer:inter.Issue.cert ~now leaf.Issue.cert with
+  | Crl.Revoked _ -> ()
+  | s -> Alcotest.fail (Crl.status_to_string s));
+  (* Re-revoking another cert keeps the first entry. *)
+  let second = Issue.issue rng ~parent:inter (Issue.spec (Dn.make ~cn:"b.example" ())) in
+  Crl_registry.revoke rng reg ~issuer:inter ~now second.Issue.cert;
+  (match Crl_registry.lookup_for reg ~issuer:inter.Issue.cert with
+  | Some crl -> Alcotest.(check int) "two entries" 2 (List.length (Crl.entries crl))
+  | None -> Alcotest.fail "CRL expected")
+
+let revocation_during_validation () =
+  let rng, root, inter, leaf = mk "reval" in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let reg = Crl_registry.create () in
+  Crl_registry.revoke rng reg ~issuer:inter ~now leaf.Issue.cert;
+  let chain = [ leaf.Issue.cert; inter.Issue.cert ] in
+  let params = Build_params.default in
+  let run crls =
+    Engine.run
+      (Path_builder.context ~crls:(Option.get crls) ~now ~params store
+       |> fun c -> if crls = None then { c with Path_builder.crls = None } else c)
+      ~host:(Some "ext.example") chain
+  in
+  ignore run;
+  let ctx = Path_builder.context ~crls:reg ~now ~params store in
+  (match (Engine.run ctx ~host:(Some "ext.example") chain).Engine.result with
+  | Error (Engine.Validate (Path_validate.Revoked 0)) -> ()
+  | Ok _ -> Alcotest.fail "revoked leaf accepted"
+  | Error e -> Alcotest.fail (Engine.error_to_string e));
+  (* Without a registry the same chain validates (soft fail). *)
+  let ctx2 = Path_builder.context ~now ~params store in
+  Alcotest.(check bool) "no CRLs -> accepted" true
+    (Engine.accepted (Engine.run ctx2 ~host:(Some "ext.example") chain))
+
+let revocation_during_construction () =
+  (* The three integration styles give three different observable outcomes on
+     a revoked leaf: ignored / rejected at validation / never constructed. *)
+  let rng, root, inter, leaf = mk "rcons" in
+  let store = Root_store.make "s" [ root.Issue.cert ] in
+  let reg = Crl_registry.create () in
+  Crl_registry.revoke rng reg ~issuer:inter ~now leaf.Issue.cert;
+  let chain = [ leaf.Issue.cert; inter.Issue.cert ] in
+  let run mode =
+    let params = { Build_params.default with Build_params.revocation = mode } in
+    Engine.run
+      (Path_builder.context ~crls:reg ~now ~params store)
+      ~host:(Some "ext.example") chain
+  in
+  Alcotest.(check bool) "ignored when revocation is off" true
+    (Engine.accepted (run Build_params.No_revocation));
+  (match (run Build_params.During_validation).Engine.result with
+  | Error (Engine.Validate (Path_validate.Revoked 0)) -> ()
+  | _ -> Alcotest.fail "expected a Revoked validation error");
+  (* MbedTLS style: the revoked link never forms, so construction dead-ends
+     before any path exists. *)
+  let constructed = run Build_params.During_construction in
+  (match constructed.Engine.result with
+  | Error (Engine.Build (Path_builder.No_issuer_found _)) -> ()
+  | Ok _ -> Alcotest.fail "revoked chain accepted"
+  | Error e -> Alcotest.fail (Engine.error_to_string e));
+  Alcotest.(check bool) "no path was ever constructed" true
+    (constructed.Engine.constructed = None)
+
+(* --- Recommend --- *)
+
+let pop = lazy (Population.generate ~scale:0.002 ())
+
+let report_for scenario =
+  let p = Lazy.force pop in
+  let r =
+    Array.to_list p.Population.domains
+    |> List.find (fun r -> r.Population.scenario = scenario)
+  in
+  (p, r, Population.compliance_report p r)
+
+let advice_for_reversed () =
+  let _, _, rep = report_for Calibration.Rev_merge_1int in
+  let advice = Recommend.server_advice rep in
+  Alcotest.(check bool) "mentions reordering" true
+    (List.exists
+       (fun a ->
+         a.Recommend.audience = Recommend.For_administrator
+         && a.Recommend.severity = `Must)
+       advice);
+  Alcotest.(check bool) "blames the CA too" true
+    (List.exists (fun a -> a.Recommend.audience = Recommend.For_ca) advice)
+
+let advice_empty_for_compliant () =
+  let _, _, rep = report_for Calibration.Ok_plain in
+  Alcotest.(check int) "no advice" 0 (List.length (Recommend.server_advice rep))
+
+let corrected_chain_works () =
+  let p, r, rep = report_for Calibration.Rev_merge_1int in
+  match Recommend.corrected_chain rep with
+  | None -> Alcotest.fail "correction expected"
+  | Some fixed ->
+      let u = p.Population.universe in
+      let rep' =
+        Compliance.analyze ~store:(Universe.union_store u) ~aia:(Universe.aia u)
+          ~domain:r.Population.domain fixed
+      in
+      Alcotest.(check bool) "corrected chain compliant" true (Compliance.compliant rep')
+
+let corrected_chain_refuses_incomplete () =
+  let _, _, rep = report_for Calibration.Inc_missing1 in
+  Alcotest.(check bool) "no correction for missing certs" true
+    (Recommend.corrected_chain rep = None)
+
+let ablation_monotone () =
+  let p = Lazy.force pop in
+  let env = Population.env p in
+  let corpus =
+    Array.to_list p.Population.domains
+    |> List.filteri (fun i _ -> i mod 11 = 0)
+    |> List.map (fun r -> (r.Population.domain, r.Population.chain))
+  in
+  let steps =
+    Recommend.capability_ablation
+      ~store:(env.Difftest.store_of Root_store.Mozilla)
+      ~aia:env.Difftest.aia ~now:env.Difftest.now corpus
+  in
+  Alcotest.(check int) "five rungs" 5 (List.length steps);
+  let accepted = List.map (fun s -> s.Recommend.accepted) steps in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "acceptance never decreases up the ladder" true
+    (monotone accepted)
+
+let ambiguity_stats () =
+  let p = Lazy.force pop in
+  let chains =
+    Array.to_list p.Population.domains
+    |> List.map (fun r -> (r.Population.domain, r.Population.chain))
+  in
+  let stats =
+    Recommend.ambiguity_statistics
+      ~store:(Universe.union_store p.Population.universe) chains
+  in
+  Alcotest.(check bool) "ties found" true (stats.Recommend.chains_with_ties > 0);
+  Alcotest.(check bool) "subsets bounded" true
+    (stats.Recommend.tie_with_trusted_root <= stats.Recommend.chains_with_ties
+    && stats.Recommend.tie_validity_variants <= stats.Recommend.chains_with_ties)
+
+(* --- Fuzzer --- *)
+
+let fuzzer_mutations_shape () =
+  let _, root, inter, leaf = mk "fuzz" in
+  let chain = [ leaf.Issue.cert; inter.Issue.cert; root.Issue.cert ] in
+  let pool = [ (Issue.self_signed (Prng.of_label "fuzz-pool") (Issue.spec ~is_ca:true (Dn.make ~cn:"P" ()))).Issue.cert ] in
+  Alcotest.(check int) "drop" 2 (List.length (Fuzzer.apply ~pool chain (Fuzzer.Drop 1)));
+  Alcotest.(check int) "dup" 4 (List.length (Fuzzer.apply ~pool chain (Fuzzer.Duplicate 0)));
+  Alcotest.(check int) "inject" 4
+    (List.length (Fuzzer.apply ~pool chain (Fuzzer.Inject_unrelated 2)));
+  Alcotest.(check int) "truncate" 1 (List.length (Fuzzer.apply ~pool chain (Fuzzer.Truncate 1)));
+  (* Out-of-range mutations are identity. *)
+  Alcotest.(check bool) "oob drop id" true
+    (List.equal Cert.equal chain (Fuzzer.apply ~pool chain (Fuzzer.Drop 99)));
+  Alcotest.(check bool) "swap same index id" true
+    (List.equal Cert.equal chain (Fuzzer.apply ~pool chain (Fuzzer.Swap (1, 1))));
+  let rev = Fuzzer.apply ~pool chain Fuzzer.Reverse_tail in
+  Alcotest.(check bool) "reverse keeps leaf first" true
+    (Cert.equal (List.hd rev) leaf.Issue.cert)
+
+let fuzzer_run_no_crashes () =
+  let p = Lazy.force pop in
+  let env = Population.env p in
+  let seeds =
+    Array.to_list p.Population.domains
+    |> List.filteri (fun i _ -> i mod 97 = 0)
+    |> List.map (fun r -> (r.Population.domain, r.Population.chain))
+  in
+  let rng = Prng.of_label "fuzz-run" in
+  let report = Fuzzer.run ~env ~rng ~iterations:150 seeds in
+  Alcotest.(check int) "iterations recorded" 150 report.Fuzzer.iterations;
+  Alcotest.(check (list (pair (list reject) string))) "no crashes" []
+    (List.map (fun (ms, e) -> (List.map (fun _ -> ()) ms, e)) report.Fuzzer.crashes
+     |> List.map (fun (us, e) -> (us, e)));
+  Alcotest.(check bool) "divergences found" true (report.Fuzzer.divergences <> []);
+  (* Divergences really diverge. *)
+  List.iter
+    (fun d ->
+      let oks = List.filter snd d.Fuzzer.verdicts in
+      Alcotest.(check bool) "mixed verdicts" true
+        (oks <> [] && List.length oks < List.length d.Fuzzer.verdicts))
+    report.Fuzzer.divergences
+
+let fuzzer_deterministic () =
+  let p = Lazy.force pop in
+  let env = Population.env p in
+  let seeds =
+    [ (let r = p.Population.domains.(0) in (r.Population.domain, r.Population.chain)) ]
+  in
+  let a = Fuzzer.run ~env ~rng:(Prng.create 7L) ~iterations:50 seeds in
+  let b = Fuzzer.run ~env ~rng:(Prng.create 7L) ~iterations:50 seeds in
+  Alcotest.(check int) "same divergence count"
+    (List.length a.Fuzzer.divergences)
+    (List.length b.Fuzzer.divergences)
+
+let suite =
+  [ Alcotest.test_case "crl basics" `Quick crl_basics;
+    Alcotest.test_case "crl registry" `Quick crl_registry;
+    Alcotest.test_case "revocation during validation" `Quick revocation_during_validation;
+    Alcotest.test_case "revocation during construction" `Quick revocation_during_construction;
+    Alcotest.test_case "advice for reversed" `Slow advice_for_reversed;
+    Alcotest.test_case "no advice when compliant" `Slow advice_empty_for_compliant;
+    Alcotest.test_case "corrected chain compliant" `Slow corrected_chain_works;
+    Alcotest.test_case "no correction when incomplete" `Slow corrected_chain_refuses_incomplete;
+    Alcotest.test_case "ablation monotone" `Slow ablation_monotone;
+    Alcotest.test_case "ambiguity statistics" `Slow ambiguity_stats;
+    Alcotest.test_case "fuzzer mutations" `Quick fuzzer_mutations_shape;
+    Alcotest.test_case "fuzzer finds divergences, no crashes" `Slow fuzzer_run_no_crashes;
+    Alcotest.test_case "fuzzer deterministic" `Slow fuzzer_deterministic ]

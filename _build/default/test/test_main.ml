@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "chaoschain"
+    [ ("crypto", Test_crypto.suite);
+      ("der", Test_der.suite);
+      ("x509", Test_x509.suite);
+      ("pki", Test_pki.suite);
+      ("core-server", Test_core_server.suite);
+      ("core-client", Test_core_client.suite);
+      ("deployment", Test_deployment.suite);
+      ("tlssim", Test_tlssim.suite);
+      ("measurement", Test_measurement.suite);
+      ("difftest", Test_difftest.suite);
+      ("extensions", Test_extensions_modules.suite);
+      ("edge-cases", Test_edge_cases.suite) ]

@@ -1,0 +1,104 @@
+open Chaoschain_x509
+open Chaoschain_pki
+open Chaoschain_core
+open Chaoschain_tlssim
+
+let lab = lazy (Universe.create ~seed:11L ())
+
+let sample_chain n =
+  let u = Lazy.force lab in
+  let h = Universe.hierarchy u Universe.Digicert in
+  let leaf = Universe.mint_leaf u Universe.Digicert ~domain:"tls.example" () in
+  let base = [ leaf.Issue.cert; h.Universe.issuing.Issue.cert ] in
+  let rec pad k acc = if k = 0 then acc else pad (k - 1) (acc @ [ h.Universe.issuing.Issue.cert ]) in
+  pad (max 0 (n - 2)) base
+
+let certmsg_tls12_roundtrip () =
+  let chain = sample_chain 3 in
+  match Certmsg.decode_tls12 (Certmsg.encode_tls12 chain) with
+  | Ok chain' ->
+      Alcotest.(check int) "count" 3 (List.length chain');
+      List.iter2 (fun a b -> Alcotest.(check bool) "identical" true (Cert.equal a b)) chain chain'
+  | Error e -> Alcotest.fail e
+
+let certmsg_tls13_roundtrip () =
+  let chain = sample_chain 2 in
+  match Certmsg.decode_tls13 (Certmsg.encode_tls13 ~context:"ctx!" chain) with
+  | Ok (ctx, chain') ->
+      Alcotest.(check string) "context" "ctx!" ctx;
+      Alcotest.(check int) "count" 2 (List.length chain')
+  | Error e -> Alcotest.fail e
+
+let certmsg_empty_list () =
+  match Certmsg.decode_tls12 (Certmsg.encode_tls12 []) with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty list must round-trip"
+
+let certmsg_errors () =
+  let good = Certmsg.encode_tls12 (sample_chain 2) in
+  let truncated = String.sub good 0 (String.length good - 5) in
+  Alcotest.(check bool) "truncated rejected" true
+    (Result.is_error (Certmsg.decode_tls12 truncated));
+  Alcotest.(check bool) "garbage appended rejected" true
+    (Result.is_error (Certmsg.decode_tls12 (good ^ "xx")));
+  Alcotest.(check bool) "empty input rejected" true
+    (Result.is_error (Certmsg.decode_tls12 ""))
+
+let env () =
+  let u = Lazy.force lab in
+  { Difftest.store_of = (fun p -> Universe.store u p);
+    aia = Universe.aia u;
+    firefox_cache = [];
+    os_store = [];
+    now = Universe.now u }
+
+let handshake_outcomes () =
+  let chain = sample_chain 2 in
+  let srv = Handshake.server ~name:"tls.example" ~chain in
+  let e = env () in
+  let t = Handshake.connect e ~client:(Clients.by_id Clients.Chrome) srv in
+  Alcotest.(check bool) "chrome connects" true
+    (t.Handshake.client_outcome = Handshake.Connection_established);
+  Alcotest.(check bool) "message non-empty" true (t.Handshake.certificate_msg_bytes > 100);
+  (* A broken chain: browsers warn, libraries refuse. *)
+  let broken = [ List.hd chain ] in
+  let bad_srv = Handshake.server ~name:"tls.example" ~chain:broken in
+  (match (Handshake.connect e ~client:(Clients.by_id Clients.Openssl) bad_srv).Handshake.client_outcome with
+  | Handshake.Connection_refused _ -> ()
+  | _ -> Alcotest.fail "library should refuse");
+  match (Handshake.connect e ~client:(Clients.by_id Clients.Firefox) bad_srv).Handshake.client_outcome with
+  | Handshake.Warning_page _ -> ()
+  | _ -> Alcotest.fail "browser should warn"
+
+let handshake_both_versions_agree () =
+  let chain = sample_chain 2 in
+  let srv = Handshake.server ~name:"tls.example" ~chain in
+  let e = env () in
+  let t12 = Handshake.connect e ~client:(Clients.by_id Clients.Safari) ~version:Handshake.Tls12 srv in
+  let t13 = Handshake.connect e ~client:(Clients.by_id Clients.Safari) ~version:Handshake.Tls13 srv in
+  Alcotest.(check bool) "same verdict across versions" true
+    (t12.Handshake.client_outcome = t13.Handshake.client_outcome)
+
+let availability_impact_shape () =
+  let srv = Handshake.server ~name:"tls.example" ~chain:(sample_chain 2) in
+  Alcotest.(check int) "eight clients" 8
+    (List.length (Handshake.availability_impact (env ()) srv))
+
+let qcheck_certmsg =
+  QCheck.Test.make ~name:"certificate message roundtrip at any width" ~count:15
+    QCheck.(int_range 1 8)
+    (fun n ->
+      let chain = sample_chain n in
+      match Certmsg.decode_tls12 (Certmsg.encode_tls12 chain) with
+      | Ok chain' -> List.length chain' = List.length chain
+      | Error _ -> false)
+
+let suite =
+  [ Alcotest.test_case "tls12 roundtrip" `Quick certmsg_tls12_roundtrip;
+    Alcotest.test_case "tls13 roundtrip" `Quick certmsg_tls13_roundtrip;
+    Alcotest.test_case "empty list" `Quick certmsg_empty_list;
+    Alcotest.test_case "wire errors" `Quick certmsg_errors;
+    Alcotest.test_case "handshake outcomes" `Quick handshake_outcomes;
+    Alcotest.test_case "versions agree" `Quick handshake_both_versions_agree;
+    Alcotest.test_case "availability impact" `Quick availability_impact_shape;
+    QCheck_alcotest.to_alcotest qcheck_certmsg ]
