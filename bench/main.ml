@@ -8,16 +8,28 @@
      main.exe --scale 0.5     choose the population scale (1.0 = Top-1M)
      main.exe --only table9   one experiment (tableN / figureN / section5.2 /
                               dataset)
+     main.exe --jobs 4        Domain-pool size for the measurement pipeline
+                              (-j 4; default: all cores; 1 = sequential)
      main.exe --no-micro      skip the Bechamel micro-benchmarks
      main.exe --micro-only    only the Bechamel micro-benchmarks *)
 
 open Chaoschain_measurement
 open Chaoschain_core
+
+(* Aliased before the Bechamel opens, which shadow [Monotonic_clock]. *)
+module Mclock = Monotonic_clock
+
 open Bechamel
 open Bechamel.Toolkit
 
+(* Wall-clock seconds on the monotonic clock; Sys.time would report CPU time,
+   which overstates elapsed time as soon as the pipeline runs several
+   Domains. *)
+let wall_s () = Int64.to_float (Mclock.now ()) /. 1e9
+
 let parse_args () =
   let scale = ref 0.05 and only = ref None and micro = ref true and tables = ref true in
+  let jobs = ref (Pipeline.default_jobs ()) in
   let rec go = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -25,6 +37,10 @@ let parse_args () =
         go rest
     | "--only" :: v :: rest ->
         only := Some v;
+        go rest
+    | ("--jobs" | "-j") :: v :: rest ->
+        jobs := int_of_string v;
+        if !jobs < 1 then failwith "--jobs must be >= 1";
         go rest
     | "--no-micro" :: rest ->
         micro := false;
@@ -35,16 +51,19 @@ let parse_args () =
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!scale, !only, !micro, !tables)
+  (!scale, !only, !micro, !tables, !jobs)
 
-let run_experiments ~scale ~only =
-  Printf.printf "== Synthetic population (scale %.3f => ~%d domains) ==\n%!" scale
-    (int_of_float (Float.round (float_of_int Calibration.full_population *. scale)));
-  let t0 = Sys.time () in
+let run_experiments ~scale ~only ~jobs =
+  Printf.printf "== Synthetic population (scale %.3f => ~%d domains, %d job%s) ==\n%!"
+    scale
+    (int_of_float (Float.round (float_of_int Calibration.full_population *. scale)))
+    jobs
+    (if jobs = 1 then "" else "s");
+  let t0 = wall_s () in
   let pop = Population.generate ~scale () in
-  Printf.printf "generated in %.1fs; analyzing...\n%!" (Sys.time () -. t0);
-  let analysis = Experiments.analyze pop in
-  Printf.printf "analysis complete at %.1fs\n\n%!" (Sys.time () -. t0);
+  Printf.printf "generated in %.1fs; analyzing...\n%!" (wall_s () -. t0);
+  let analysis = Experiments.analyze ~jobs pop in
+  Printf.printf "analysis complete at %.1fs\n\n%!" (wall_s () -. t0);
   let results = Experiments.run_all analysis in
   let selected =
     match only with
@@ -140,6 +159,6 @@ let run_micro () =
     (micro_tests ())
 
 let () =
-  let scale, only, micro, tables = parse_args () in
-  if tables then run_experiments ~scale ~only;
+  let scale, only, micro, tables, jobs = parse_args () in
+  if tables then run_experiments ~scale ~only ~jobs;
   if micro then run_micro ()

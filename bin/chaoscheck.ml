@@ -236,9 +236,18 @@ let reproduce_cmd =
     Arg.(value & opt (some string) None
          & info [ "only" ] ~doc:"Single experiment id (e.g. table5, figure4).")
   in
-  let run scale only =
+  let jobs_arg =
+    Arg.(value & opt int (Pipeline.default_jobs ())
+         & info [ "jobs"; "j" ]
+             ~doc:"Domain-pool size for the measurement pipeline (1 = purely \
+                   sequential; default: all cores). Output is identical for \
+                   every value.")
+  in
+  let run scale only jobs =
+    if jobs < 1 then `Error (true, "--jobs must be >= 1")
+    else begin
     let pop = Population.generate ~scale () in
-    let analysis = Experiments.analyze pop in
+    let analysis = Experiments.analyze ~jobs pop in
     let results = Experiments.run_all analysis in
     let selected =
       match only with
@@ -254,10 +263,11 @@ let reproduce_cmd =
         selected;
       `Ok ()
     end
+    end
   in
   Cmd.v
     (Cmd.info "reproduce" ~doc:"Regenerate the paper's tables and figures")
-    Term.(ret (const run $ scale_arg $ only_arg))
+    Term.(ret (const run $ scale_arg $ only_arg $ jobs_arg))
 
 let () =
   let doc = "Web PKI certificate-chain deployment and construction analysis" in

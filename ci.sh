@@ -1,0 +1,10 @@
+#!/bin/sh
+# Local CI: full build, test suite, and a parallel-pipeline smoke run.
+# The smoke run is also wired to `dune build @ci` (see bench/dune).
+set -eux
+
+cd "$(dirname "$0")"
+
+dune build
+dune runtest
+dune exec bench/main.exe -- --scale 0.002 --no-micro --jobs 2

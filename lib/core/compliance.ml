@@ -7,13 +7,32 @@ type report = {
   topology : Topology.t;
 }
 
-let analyze ?(aia_enabled = true) ~store ~aia ~domain certs =
+(* The domain-independent part of the report: topology construction, order
+   and completeness analysis all consume only the served certificate list (and
+   the store/AIA environment), so their result can be computed once per unique
+   chain and fanned out to every domain serving it. Only the leaf-placement
+   verdict inspects the scanned domain name, and it is cheap. *)
+type chain_report = {
+  c_order : Order_check.report;
+  c_completeness : Completeness.report;
+  c_topology : Topology.t;
+}
+
+let analyze_chain ?(aia_enabled = true) ~store ~aia certs =
   let topology = Topology.build certs in
+  { c_order = Order_check.analyze topology;
+    c_completeness = Completeness.analyze ~aia_enabled ~store ~aia topology;
+    c_topology = topology }
+
+let localize ~domain certs cr =
   { domain;
     leaf = Leaf_check.classify ~domain certs;
-    order = Order_check.analyze topology;
-    completeness = Completeness.analyze ~aia_enabled ~store ~aia topology;
-    topology }
+    order = cr.c_order;
+    completeness = cr.c_completeness;
+    topology = cr.c_topology }
+
+let analyze ?(aia_enabled = true) ~store ~aia ~domain certs =
+  localize ~domain certs (analyze_chain ~aia_enabled ~store ~aia certs)
 
 let compliant r =
   Leaf_check.compliant r.leaf && r.order.Order_check.ordered

@@ -17,6 +17,25 @@ val analyze :
   ?aia_enabled:bool ->
   store:Root_store.t -> aia:Aia_repo.t -> domain:string -> Cert.t list -> report
 
+type chain_report = {
+  c_order : Order_check.report;
+  c_completeness : Completeness.report;
+  c_topology : Topology.t;
+}
+(** The domain-independent verdicts: everything except leaf placement is a
+    pure function of the served certificate list (plus store and AIA
+    repository), so a deduplicating pipeline can evaluate each unique chain
+    once and reuse the result across all domains serving it. *)
+
+val analyze_chain :
+  ?aia_enabled:bool ->
+  store:Root_store.t -> aia:Aia_repo.t -> Cert.t list -> chain_report
+(** The expensive, chain-keyed analysis (topology, order, completeness). *)
+
+val localize : domain:string -> Cert.t list -> chain_report -> report
+(** Attach the per-domain leaf-placement verdict to a [chain_report].
+    [analyze] is [localize] of [analyze_chain]. *)
+
 val compliant : report -> bool
 (** All three checks pass. *)
 

@@ -62,6 +62,26 @@ let run_case_clients env clients ~domain certs =
 
 let run_case env ~domain certs = run_case_clients env Clients.all ~domain certs
 
+(* Every constructed path starts at the served list's head (the engine never
+   re-picks the leaf), so the scanned domain influences client outcomes only
+   through the single hostname check against that head certificate. Two
+   (domain, chain) inputs with the same chain fingerprint and the same
+   leaf-matches-domain bit therefore produce identical results, which is what
+   makes a chain-keyed memo cache sound. *)
+let chain_key ~domain certs =
+  let chain_fp =
+    Chaoschain_crypto.Sha256.digest
+      (String.concat "" (List.map Cert.fingerprint certs))
+  in
+  let host_bit =
+    match certs with
+    | [] -> "e"
+    | leaf :: _ -> if Cert.matches_hostname leaf domain then "m" else "x"
+  in
+  chain_fp ^ host_bit
+
+let with_domain ~domain case = { case with domain }
+
 let result_of case id =
   List.find (fun r -> r.client.Clients.id = id) case.results
 

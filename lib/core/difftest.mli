@@ -44,6 +44,16 @@ val cause_to_string : cause -> string
 val run_case : env -> domain:string -> Cert.t list -> case
 (** Validate one served list in all eight clients. *)
 
+val chain_key : domain:string -> Cert.t list -> string
+(** Memo key for deduplicating [run_case] across domains: the chain
+    fingerprint (SHA-256 over the certificate fingerprints) extended with the
+    one bit of domain dependence — whether the served head certificate matches
+    the scanned domain. Equal keys guarantee identical client outcomes. *)
+
+val with_domain : domain:string -> case -> case
+(** Relabel a (possibly cached) case with the domain it is being fanned out
+    to; outcomes are unchanged. *)
+
 val run_case_clients : env -> Clients.t list -> domain:string -> Cert.t list -> case
 
 val result_of : case -> Clients.id -> client_result

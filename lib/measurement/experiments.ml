@@ -7,14 +7,40 @@ type analysis = {
   pop : Population.t;
   dataset : Scanner.dataset;
   reports : (Population.record * Compliance.report) array;
+  jobs : int;
+  difftest_memo : Difftest.case Pipeline.Memo.t;
 }
 
-let analyze pop =
-  let dataset = Scanner.scan pop in
+let analyze ?(jobs = 1) pop =
+  let dataset = Scanner.scan ~jobs pop in
+  let store = Universe.union_store pop.Population.universe in
+  let aia = Universe.aia pop.Population.universe in
+  (* Each unique chain is classified once; the per-domain leaf-placement
+     verdict is attached when the cached chain report is fanned back out. *)
+  let memo = Pipeline.Memo.create () in
   let reports =
-    Array.map (fun r -> (r, Population.compliance_report pop r)) pop.Population.domains
+    Pipeline.mapi ~jobs
+      (fun i r ->
+        let cr =
+          Pipeline.Memo.find_or_add memo dataset.Scanner.chain_fps.(i) (fun () ->
+              Compliance.analyze_chain ~store ~aia r.Population.chain)
+        in
+        (r, Compliance.localize ~domain:r.Population.domain r.Population.chain cr))
+      pop.Population.domains
   in
-  { pop; dataset; reports }
+  { pop; dataset; reports; jobs; difftest_memo = Pipeline.Memo.create () }
+
+(* Differential-test one domain, reusing the analysis-wide memo: chains with
+   the same fingerprint (and the same leaf/domain match bit) are tested once
+   and relabelled for every domain serving them. *)
+let difftest_record analysis (r : Population.record) =
+  let env = Population.env analysis.pop in
+  let case =
+    Pipeline.Memo.find_or_add analysis.difftest_memo
+      (Difftest.chain_key ~domain:r.Population.domain r.Population.chain)
+      (fun () -> Difftest.run_case env ~domain:r.Population.domain r.Population.chain)
+  in
+  Difftest.with_domain ~domain:r.Population.domain case
 
 type result = { id : string; title : string; body : string }
 
@@ -232,18 +258,24 @@ let table8 analysis =
   in
   let additional program ~aia_enabled =
     let store = Universe.store u program in
-    let extra = ref 0 in
-    Array.iteri
-      (fun i (_, rep) ->
-        if not baseline_incomplete.(i) then begin
-          let c =
-            Completeness.analyze ~aia_enabled ~store ~aia:aia_repo
-              rep.Compliance.topology
-          in
-          if c.Completeness.verdict = Completeness.Incomplete then incr extra
-        end)
-      analysis.reports;
-    !extra
+    (* Fresh memo per (store, AIA) configuration: completeness is a pure
+       function of the chain under that configuration. *)
+    let memo = Pipeline.Memo.create () in
+    let incomplete =
+      Pipeline.mapi ~jobs:analysis.jobs
+        (fun i (_, rep) ->
+          if baseline_incomplete.(i) then false
+          else
+            let c =
+              Pipeline.Memo.find_or_add memo analysis.dataset.Scanner.chain_fps.(i)
+                (fun () ->
+                  Completeness.analyze ~aia_enabled ~store ~aia:aia_repo
+                    rep.Compliance.topology)
+            in
+            c.Completeness.verdict = Completeness.Incomplete)
+        analysis.reports
+    in
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 incomplete
   in
   let t =
     Stats.table
@@ -429,8 +461,7 @@ let figure2 analysis =
   { id = "figure2"; title = "Figure 2"; body }
 
 let client_outcomes analysis (r : Population.record) =
-  let env = Population.env analysis.pop in
-  let case = Difftest.run_case env ~domain:r.Population.domain r.Population.chain in
+  let case = difftest_record analysis r in
   String.concat "\n"
     (List.map
        (fun cr ->
@@ -479,8 +510,7 @@ let figure5 analysis =
     match find_scenario analysis C.Multi_validity_variants with
     | None -> ""
     | Some (r, _) ->
-        let env = Population.env analysis.pop in
-        let case = Difftest.run_case env ~domain:r.Population.domain r.Population.chain in
+        let case = difftest_record analysis r in
         String.concat "\n"
           (List.map
              (fun cr ->
@@ -503,14 +533,16 @@ let figure5 analysis =
 
 let section5_2 analysis =
   let env = Population.env analysis.pop in
-  let nc_records =
-    Array.to_list analysis.reports |> List.filter paper_non_compliant
+  let nc_arr =
+    Array.to_list analysis.reports |> List.filter paper_non_compliant |> Array.of_list
   in
-  let cases =
-    List.map
-      (fun (r, _) -> Difftest.run_case env ~domain:r.Population.domain r.Population.chain)
-      nc_records
+  (* The expensive sweep: eight client models per unique non-compliant chain,
+     deduplicated through the analysis-wide memo and spread over the Domain
+     pool. Shard-order merge keeps the list in domain order, as before. *)
+  let cases_arr =
+    Pipeline.map ~jobs:analysis.jobs (fun (r, _) -> difftest_record analysis r) nc_arr
   in
+  let cases = Array.to_list cases_arr in
   let s = Difftest.summarize cases in
   let pc part = Stats.pct part s.Difftest.total in
   let b = Buffer.create 1024 in
@@ -558,7 +590,6 @@ let section5_2 analysis =
      chains survive thanks to the OS intermediate store. *)
   let cryptoapi = Clients.by_id Clients.Cryptoapi in
   let no_aia_params = { cryptoapi.Clients.params with Build_params.aia_fetch = false } in
-  let rescued = ref 0 and broke = ref 0 in
   let cryptoapi_used_fetch case =
     match (Difftest.result_of case Clients.Cryptoapi).Difftest.outcome
             .Engine.accepted_attempt
@@ -566,19 +597,30 @@ let section5_2 analysis =
     | Some a -> a.Path_builder.used_aia || a.Path_builder.used_cache
     | None -> false
   in
-  List.iter2
-    (fun (r, _) case ->
-      if Difftest.accepted_by case Clients.Cryptoapi && cryptoapi_used_fetch case
-      then begin
-        let store = env.Difftest.store_of cryptoapi.Clients.root_program in
-        let ctx =
-          { Path_builder.params = no_aia_params; store; aia = None;
-            cache = env.Difftest.os_store; crls = None; now = env.Difftest.now }
-        in
-        let o = Engine.run ctx ~host:(Some r.Population.domain) r.Population.chain in
-        if Engine.accepted o then incr rescued else incr broke
-      end)
-    nc_records cases;
+  let ablation_outcomes =
+    Pipeline.mapi ~jobs:analysis.jobs
+      (fun i (r, _) ->
+        let case = cases_arr.(i) in
+        if Difftest.accepted_by case Clients.Cryptoapi && cryptoapi_used_fetch case
+        then begin
+          let store = env.Difftest.store_of cryptoapi.Clients.root_program in
+          let ctx =
+            { Path_builder.params = no_aia_params; store; aia = None;
+              cache = env.Difftest.os_store; crls = None; now = env.Difftest.now }
+          in
+          let o = Engine.run ctx ~host:(Some r.Population.domain) r.Population.chain in
+          Some (Engine.accepted o)
+        end
+        else None)
+      nc_arr
+  in
+  let rescued = ref 0 and broke = ref 0 in
+  Array.iter
+    (function
+      | Some true -> incr rescued
+      | Some false -> incr broke
+      | None -> ())
+    ablation_outcomes;
   Printf.bprintf b
     "CryptoAPI AIA-disabled ablation: %d of its accepted chains fail, %d rescued by the\n\
      OS intermediate store (paper: 8,373 fail, 180 rescued)\n"

@@ -11,9 +11,20 @@ type analysis = {
   pop : Population.t;
   dataset : Scanner.dataset;
   reports : (Population.record * Compliance.report) array;
+  jobs : int;  (** Domain-pool size the downstream experiments reuse *)
+  difftest_memo : Difftest.case Pipeline.Memo.t;
+      (** analysis-wide cache: each unique chain is diff-tested once *)
 }
 
-val analyze : Population.t -> analysis
+val analyze : ?jobs:int -> Population.t -> analysis
+(** Scan then classify the population on the {!Pipeline}: the corpus is
+    sharded deterministically, a pool of [jobs] Domains (default 1 =
+    sequential) drains the shards, and each unique chain — keyed by its
+    fingerprint from the scan — is classified once and fanned back out. The
+    result is byte-identical for every [jobs] value. *)
+
+val difftest_record : analysis -> Population.record -> Difftest.case
+(** Differential-test one domain through the analysis-wide memo. *)
 
 type result = {
   id : string;       (** e.g. ["table3"] *)

@@ -1,0 +1,84 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Drain [n] tasks with [jobs] Domains pulling indices from a shared atomic
+   counter. The caller's Domain works too, so [jobs = 2] spawns one extra
+   Domain. Worker exceptions propagate through Domain.join. *)
+let run_tasks ~jobs n task =
+  if n > 0 then begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          task i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = min (jobs - 1) (n - 1) in
+    let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end
+
+let map_shards ?(jobs = 1) f arr =
+  let slices = Shard.plan (Array.length arr) in
+  let run_slice (s : Shard.slice) =
+    let out = f ~shard:s.Shard.index (Array.sub arr s.Shard.start (s.Shard.stop - s.Shard.start)) in
+    if Array.length out <> s.Shard.stop - s.Shard.start then
+      invalid_arg "Pipeline.map_shards: callback changed the slice length";
+    out
+  in
+  if jobs <= 1 then Shard.merge (Array.map run_slice slices)
+  else begin
+    let results = Array.make (Array.length slices) [||] in
+    run_tasks ~jobs (Array.length slices) (fun i -> results.(i) <- run_slice slices.(i));
+    Shard.merge results
+  end
+
+let mapi ?jobs f arr =
+  map_shards ?jobs
+    (fun ~shard slice ->
+      let base = shard * Shard.target_size in
+      Array.mapi (fun i x -> f (base + i) x) slice)
+    arr
+
+let map ?jobs f arr = map_shards ?jobs (fun ~shard:_ slice -> Array.map f slice) arr
+
+module Memo = struct
+  type 'a t = {
+    table : (string, 'a) Hashtbl.t;
+    lock : Mutex.t;
+    mutable hit_count : int;
+  }
+
+  let create () = { table = Hashtbl.create 4096; lock = Mutex.create (); hit_count = 0 }
+
+  let find_or_add t key f =
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.table key with
+    | Some v ->
+        t.hit_count <- t.hit_count + 1;
+        Mutex.unlock t.lock;
+        v
+    | None ->
+        Mutex.unlock t.lock;
+        (* Computed outside the lock: [f] may be slow and may itself fetch
+           through the (independently locked) AIA repository. A concurrent
+           duplicate computation returns an equal value; first insert wins. *)
+        let v = f () in
+        Mutex.lock t.lock;
+        let v =
+          match Hashtbl.find_opt t.table key with
+          | Some prior -> prior
+          | None ->
+              Hashtbl.add t.table key v;
+              v
+        in
+        Mutex.unlock t.lock;
+        v
+
+  let size t = Hashtbl.length t.table
+  let hits t = t.hit_count
+end

@@ -7,6 +7,7 @@ type vantage = { name : string; reached : int; unreachable : int }
 type dataset = {
   vantages : vantage list;
   domains : (string * Cert.t list) array;
+  chain_fps : string array;
   unique_chains : int;
   unique_certs : int;
   tls12_tls13_identical_pct : float;
@@ -17,50 +18,69 @@ type dataset = {
 let loss_us = 1.0 -. (870_113.0 /. 906_336.0)
 let loss_au = 1.0 -. (867_374.0 /. 906_336.0)
 
-let scan (p : Population.t) =
-  let rng = Prng.of_label "scanner" in
+(* One scanned domain, before the sequential reduce. *)
+type probe = {
+  p_domain : string;
+  p_certs : Cert.t list;
+  p_fp : string;
+  p_us : bool;
+  p_au : bool;
+  p_identical : bool;
+}
+
+let chain_fingerprint certs =
+  Chaoschain_crypto.Sha256.digest (String.concat "" (List.map Cert.fingerprint certs))
+
+let scan ?(jobs = 1) (p : Population.t) =
   let n = Population.size p in
-  let reached_us = ref 0 and reached_au = ref 0 in
-  let domains =
-    Array.map
-      (fun r ->
-        let us = not (Prng.bernoulli rng loss_us) in
-        let au = not (Prng.bernoulli rng loss_au) in
-        if us then incr reached_us;
-        if au then incr reached_au;
-        (* Round-trip the chain through the TLS 1.2 wire format, exactly as
-           ZGrab would have received it. *)
-        let wire = Certmsg.encode_tls12 r.Population.chain in
-        let certs =
-          match Certmsg.decode_tls12 wire with
-          | Ok certs -> certs
-          | Error e -> invalid_arg ("Scanner: wire round-trip failed: " ^ e)
-        in
-        (r.Population.domain, certs))
+  (* The parallel stage: per-shard PRNG streams (derived from the shard index,
+     never from a shared generator) decide reachability and TLS 1.2/1.3
+     agreement, and every chain takes the TLS 1.2 wire round-trip — exactly
+     what ZGrab would have received. The shard plan depends only on [n], so
+     the dataset is byte-identical for every [jobs]. *)
+  let probes =
+    Pipeline.map_shards ~jobs
+      (fun ~shard slice ->
+        let rng = Prng.of_label (Shard.label ~base:"scanner" shard) in
+        Array.map
+          (fun r ->
+            let us = not (Prng.bernoulli rng loss_us) in
+            let au = not (Prng.bernoulli rng loss_au) in
+            (* 98.8% of dual-stack domains answer TLS 1.2 and 1.3 identically;
+               the simulation serves the same chain on both, minus the same
+               noise the paper attributes to version-specific frontends. *)
+            let identical = Prng.bernoulli rng 0.988 in
+            let wire = Certmsg.encode_tls12 r.Population.chain in
+            let certs =
+              match Certmsg.decode_tls12 wire with
+              | Ok certs -> certs
+              | Error e -> invalid_arg ("Scanner: wire round-trip failed: " ^ e)
+            in
+            { p_domain = r.Population.domain;
+              p_certs = certs;
+              p_fp = chain_fingerprint certs;
+              p_us = us;
+              p_au = au;
+              p_identical = identical })
+          slice)
       p.Population.domains
   in
+  (* The sequential reduce: vantage totals and fingerprint dedup tables. *)
+  let reached_us = ref 0 and reached_au = ref 0 and identical = ref 0 in
   let chain_fps = Hashtbl.create (2 * n) and cert_fps = Hashtbl.create (4 * n) in
   Array.iter
-    (fun (_, certs) ->
-      let chain_fp =
-        Chaoschain_crypto.Sha256.digest
-          (String.concat "" (List.map Cert.fingerprint certs))
-      in
-      Hashtbl.replace chain_fps chain_fp ();
-      List.iter (fun c -> Hashtbl.replace cert_fps (Cert.fingerprint c) ()) certs)
-    domains;
-  (* 98.8% of dual-stack domains answer TLS 1.2 and 1.3 identically; the
-     simulation serves the same chain on both, minus the same noise the paper
-     attributes to version-specific frontends. *)
-  let identical =
-    Array.fold_left
-      (fun acc _ -> if Prng.bernoulli rng 0.988 then acc + 1 else acc)
-      0 domains
-  in
+    (fun pr ->
+      if pr.p_us then incr reached_us;
+      if pr.p_au then incr reached_au;
+      if pr.p_identical then incr identical;
+      Hashtbl.replace chain_fps pr.p_fp ();
+      List.iter (fun c -> Hashtbl.replace cert_fps (Cert.fingerprint c) ()) pr.p_certs)
+    probes;
   { vantages =
       [ { name = "US"; reached = !reached_us; unreachable = n - !reached_us };
         { name = "AU"; reached = !reached_au; unreachable = n - !reached_au } ];
-    domains;
+    domains = Array.map (fun pr -> (pr.p_domain, pr.p_certs)) probes;
+    chain_fps = Array.map (fun pr -> pr.p_fp) probes;
     unique_chains = Hashtbl.length chain_fps;
     unique_certs = Hashtbl.length cert_fps;
-    tls12_tls13_identical_pct = 100.0 *. float_of_int identical /. float_of_int n }
+    tls12_tls13_identical_pct = 100.0 *. float_of_int !identical /. float_of_int n }

@@ -1,7 +1,12 @@
 (** The simulated ZGrab-style collection (section 3.1): two vantage points
     scan the population over TLS 1.2, each missing a small, partially
     overlapping fraction of domains (network noise); the analysis dataset is
-    the union. Certificate messages travel through the real wire codec. *)
+    the union. Certificate messages travel through the real wire codec.
+
+    The scan runs on the {!Pipeline}: domains are cut into the deterministic
+    {!Shard} plan, each shard draws from its own label-derived PRNG stream,
+    and a pool of [jobs] Domains drains the shards. The dataset is
+    byte-identical for every [jobs] value. *)
 
 open Chaoschain_x509
 
@@ -10,13 +15,21 @@ type vantage = { name : string; reached : int; unreachable : int }
 type dataset = {
   vantages : vantage list;
   domains : (string * Cert.t list) array;  (** the union dataset *)
+  chain_fps : string array;
+      (** per-domain chain fingerprint (SHA-256 over the certificate
+          fingerprints), aligned with [domains]; the dedup key downstream
+          stages memoise on *)
   unique_chains : int;
   unique_certs : int;
   tls12_tls13_identical_pct : float;
       (** share of domains answering both versions with the same chain *)
 }
 
-val scan : Population.t -> dataset
-(** Deterministic per population. Every served chain is encoded into a TLS
-    Certificate message and re-parsed, so the dataset contains exactly what
-    the wire carried. *)
+val chain_fingerprint : Cert.t list -> string
+(** SHA-256 of the concatenated certificate fingerprints — the canonical
+    chain identity used by the memo caches. *)
+
+val scan : ?jobs:int -> Population.t -> dataset
+(** Deterministic per population, for any [jobs] (default 1 = sequential).
+    Every served chain is encoded into a TLS Certificate message and
+    re-parsed, so the dataset contains exactly what the wire carried. *)

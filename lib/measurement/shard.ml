@@ -1,0 +1,21 @@
+type slice = { index : int; start : int; stop : int }
+
+(* Small enough that a Top-1M run exposes thousands of units of work (good
+   load balancing for any realistic pool size), large enough that the
+   per-shard spawn/merge overhead is noise. *)
+let target_size = 512
+
+let count n = if n <= 0 then 0 else (n + target_size - 1) / target_size
+
+let plan n =
+  Array.init (count n) (fun i ->
+      { index = i; start = i * target_size; stop = min n ((i + 1) * target_size) })
+
+let split arr =
+  Array.map
+    (fun s -> Array.sub arr s.start (s.stop - s.start))
+    (plan (Array.length arr))
+
+let merge shards = Array.concat (Array.to_list shards)
+
+let label ~base i = Printf.sprintf "%s/shard-%04d" base i

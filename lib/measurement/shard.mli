@@ -1,0 +1,37 @@
+(** Deterministic sharding of the measurement corpus.
+
+    The shard plan is a pure function of the array length alone — never of the
+    worker count — so the per-shard PRNG streams (seeded from the shard index,
+    see {!label}) and therefore every measured number are identical no matter
+    how many Domains execute the plan. A fixed-size Domain pool drains the
+    shards as a work queue; results are merged back in shard order, keeping
+    the output byte-identical to a sequential run. *)
+
+type slice = {
+  index : int;  (** shard number, [0 .. count-1] *)
+  start : int;  (** first element (inclusive) *)
+  stop : int;   (** last element (exclusive) *)
+}
+
+val target_size : int
+(** Elements per shard the planner aims for (the last shard may be smaller). *)
+
+val count : int -> int
+(** [count n] is the number of shards for an [n]-element corpus: at least 1
+    for non-empty input, 0 for [n = 0]. Independent of the worker count. *)
+
+val plan : int -> slice array
+(** [plan n] covers [0 .. n-1] with contiguous, disjoint slices in index
+    order. *)
+
+val split : 'a array -> 'a array array
+(** Materialise the plan: [split arr] is one sub-array per slice, in shard
+    order. [merge (split arr)] reconstructs [arr] exactly. *)
+
+val merge : 'a array array -> 'a array
+(** Concatenate per-shard results back in shard order. *)
+
+val label : base:string -> int -> string
+(** [label ~base i] is the PRNG derivation label for shard [i], e.g.
+    ["scanner/shard-0017"]; feed it to [Prng.of_label] so every shard owns a
+    disjoint, stable random stream. *)

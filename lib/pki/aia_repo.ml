@@ -3,13 +3,23 @@ open Chaoschain_x509
 type entry = Cert_entry of Cert.t | Fail_not_found | Fail_timeout
 type outcome = Served of Cert.t | Http_not_found | Timeout
 
+(* [entries] is written only while the repository is being populated; during a
+   measurement run it is read-only, so concurrent lookups from several Domains
+   are safe. The fetch accounting, by contrast, is written on every lookup and
+   must be serialised. *)
 type t = {
   entries : (string, entry) Hashtbl.t;
   counts : (string, int) Hashtbl.t;
+  counters_lock : Mutex.t;
   mutable total_fetches : int;
 }
 
-let create () = { entries = Hashtbl.create 64; counts = Hashtbl.create 64; total_fetches = 0 }
+let create () =
+  { entries = Hashtbl.create 64;
+    counts = Hashtbl.create 64;
+    counters_lock = Mutex.create ();
+    total_fetches = 0 }
+
 let publish t ~uri cert = Hashtbl.replace t.entries uri (Cert_entry cert)
 
 let inject_failure t ~uri mode =
@@ -17,8 +27,10 @@ let inject_failure t ~uri mode =
     (match mode with `Not_found -> Fail_not_found | `Timeout -> Fail_timeout)
 
 let fetch t uri =
+  Mutex.lock t.counters_lock;
   t.total_fetches <- t.total_fetches + 1;
   Hashtbl.replace t.counts uri (1 + Option.value (Hashtbl.find_opt t.counts uri) ~default:0);
+  Mutex.unlock t.counters_lock;
   match Hashtbl.find_opt t.entries uri with
   | Some (Cert_entry c) -> Served c
   | Some Fail_not_found | None -> Http_not_found
@@ -28,8 +40,10 @@ let fetch_count t = t.total_fetches
 let fetch_count_for t uri = Option.value (Hashtbl.find_opt t.counts uri) ~default:0
 
 let reset_counters t =
+  Mutex.lock t.counters_lock;
   t.total_fetches <- 0;
-  Hashtbl.reset t.counts
+  Hashtbl.reset t.counts;
+  Mutex.unlock t.counters_lock
 
 let chase t ?(limit = 8) cert =
   let rec go acc seen current n =

@@ -9,6 +9,7 @@ let () =
       ("deployment", Test_deployment.suite);
       ("tlssim", Test_tlssim.suite);
       ("measurement", Test_measurement.suite);
+      ("pipeline", Test_pipeline.suite);
       ("difftest", Test_difftest.suite);
       ("extensions", Test_extensions_modules.suite);
       ("edge-cases", Test_edge_cases.suite) ]
