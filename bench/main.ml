@@ -3,18 +3,11 @@
    core machinery (hashing, codecs, topology analysis, one build+validate per
    client profile, and the backtracking ablation).
 
-   Usage:
-     main.exe                 run everything at the default 5% scale
-     main.exe --scale 0.5     choose the population scale (1.0 = Top-1M)
-     main.exe --only table9   one experiment (tableN / figureN / section5.2 /
-                              dataset)
-     main.exe --jobs 4        Domain-pool size for the measurement pipeline
-                              (-j 4; default: all cores; 1 = sequential)
-     main.exe --no-micro      skip the Bechamel micro-benchmarks
-     main.exe --micro-only    only the Bechamel micro-benchmarks *)
+   Usage: see [usage] below (also printed by --help). *)
 
 open Chaoschain_measurement
 open Chaoschain_core
+module Json = Chaoschain_service.Json
 
 (* Aliased before the Bechamel opens, which shadow [Monotonic_clock]. *)
 module Mclock = Monotonic_clock
@@ -27,31 +20,108 @@ open Bechamel.Toolkit
    Domains. *)
 let wall_s () = Int64.to_float (Mclock.now ()) /. 1e9
 
+(* --- argument parsing --- *)
+
+let usage =
+  "usage: main.exe [options]\n\
+   \n\
+   Regenerate the paper's tables and figures over the synthetic population,\n\
+   then run the Bechamel micro-benchmarks.\n\
+   \n\
+   options:\n\
+  \  --scale F      population scale in (0, 1]; 1.0 = Tranco Top-1M\n\
+  \                 (default 0.05)\n\
+  \  --only ID      run a single experiment (tableN / figureN / section5.2 /\n\
+  \                 section6 / dataset)\n\
+  \  --jobs N, -j N Domain-pool size for the measurement pipeline\n\
+  \                 (default: all cores; 1 = purely sequential; the output\n\
+  \                 is identical for every value)\n\
+  \  --json FILE    also write machine-readable wall-clock timings per\n\
+  \                 experiment and micro-benchmark estimates to FILE\n\
+  \  --no-micro     skip the Bechamel micro-benchmarks\n\
+  \  --micro-only   only the Bechamel micro-benchmarks\n\
+  \  --help, -h     print this help\n"
+
+type config = {
+  scale : float;
+  only : string option;
+  micro : bool;
+  tables : bool;
+  jobs : int;
+  json : string option;
+}
+
+let die msg =
+  Printf.eprintf "main.exe: %s\n\n%s" msg usage;
+  exit 2
+
 let parse_args () =
-  let scale = ref 0.05 and only = ref None and micro = ref true and tables = ref true in
-  let jobs = ref (Pipeline.default_jobs ()) in
+  let cfg =
+    ref
+      {
+        scale = 0.05;
+        only = None;
+        micro = true;
+        tables = true;
+        jobs = Pipeline.default_jobs ();
+        json = None;
+      }
+  in
+  let float_value flag v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> die (Printf.sprintf "%s expects a number, got %S" flag v)
+  in
+  let int_value flag v =
+    match int_of_string_opt v with
+    | Some i -> i
+    | None -> die (Printf.sprintf "%s expects an integer, got %S" flag v)
+  in
   let rec go = function
     | [] -> ()
+    | ("--help" | "-h") :: _ ->
+        print_string usage;
+        exit 0
     | "--scale" :: v :: rest ->
-        scale := float_of_string v;
+        let scale = float_value "--scale" v in
+        if not (scale > 0.0 && scale <= 1.0) then
+          die (Printf.sprintf "--scale must be in (0, 1], got %g" scale);
+        cfg := { !cfg with scale };
         go rest
     | "--only" :: v :: rest ->
-        only := Some v;
+        cfg := { !cfg with only = Some v };
         go rest
     | ("--jobs" | "-j") :: v :: rest ->
-        jobs := int_of_string v;
-        if !jobs < 1 then failwith "--jobs must be >= 1";
+        let jobs = int_value "--jobs" v in
+        if jobs < 1 then die "--jobs must be >= 1";
+        cfg := { !cfg with jobs };
+        go rest
+    | "--json" :: v :: rest ->
+        cfg := { !cfg with json = Some v };
         go rest
     | "--no-micro" :: rest ->
-        micro := false;
+        cfg := { !cfg with micro = false };
         go rest
     | "--micro-only" :: rest ->
-        tables := false;
+        cfg := { !cfg with tables = false };
         go rest
-    | arg :: _ -> failwith ("unknown argument " ^ arg)
+    | [ flag ] when flag = "--scale" || flag = "--only" || flag = "--jobs"
+                    || flag = "-j" || flag = "--json" ->
+        die (flag ^ " expects a value")
+    | arg :: _ -> die ("unknown argument " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!scale, !only, !micro, !tables, !jobs)
+  !cfg
+
+(* --- experiments, with per-experiment wall timing --- *)
+
+type exp_timing = { exp_id : string; seconds : float }
+
+type run_report = {
+  generate_s : float;
+  analyze_s : float;
+  timings : exp_timing list;  (* per rendered experiment, in paper order *)
+}
 
 let run_experiments ~scale ~only ~jobs =
   Printf.printf "== Synthetic population (scale %.3f => ~%d domains, %d job%s) ==\n%!"
@@ -61,20 +131,65 @@ let run_experiments ~scale ~only ~jobs =
     (if jobs = 1 then "" else "s");
   let t0 = wall_s () in
   let pop = Population.generate ~scale () in
-  Printf.printf "generated in %.1fs; analyzing...\n%!" (wall_s () -. t0);
+  let generate_s = wall_s () -. t0 in
+  Printf.printf "generated in %.1fs; analyzing...\n%!" generate_s;
+  let t1 = wall_s () in
   let analysis = Experiments.analyze ~jobs pop in
+  let analyze_s = wall_s () -. t1 in
   Printf.printf "analysis complete at %.1fs\n\n%!" (wall_s () -. t0);
-  let results = Experiments.run_all analysis in
+  (* Mirrors [Experiments.run_all], with a wall clock around each entry so
+     --json can record a per-experiment perf trajectory. *)
+  let suite : (unit -> Experiments.result) list =
+    [ (fun () -> Experiments.dataset_overview analysis);
+      (fun () -> Experiments.table1 ());
+      (fun () -> Experiments.table2 ());
+      (fun () -> Experiments.table3 analysis);
+      (fun () -> Experiments.table4 ());
+      (fun () -> Experiments.table5 analysis);
+      (fun () -> Experiments.table6 analysis);
+      (fun () -> Experiments.table7 analysis);
+      (fun () -> Experiments.table8 analysis);
+      (fun () -> Experiments.table9 ());
+      (fun () -> Experiments.table10 analysis);
+      (fun () -> Experiments.table11 analysis);
+      (fun () -> Experiments.figure1 analysis);
+      (fun () -> Experiments.figure2 analysis);
+      (fun () -> Experiments.figure3 analysis);
+      (fun () -> Experiments.figure4 analysis);
+      (fun () -> Experiments.figure5 analysis);
+      (fun () -> Experiments.section5_2 analysis);
+      (fun () -> Experiments.section6 analysis) ]
+  in
+  let timed =
+    List.map
+      (fun f ->
+        let t = wall_s () in
+        let r = f () in
+        (r, wall_s () -. t))
+      suite
+  in
   let selected =
     match only with
-    | None -> results
-    | Some id -> List.filter (fun r -> r.Experiments.id = id) results
+    | None -> timed
+    | Some id -> List.filter (fun (r, _) -> r.Experiments.id = id) timed
   in
+  if selected = [] then die "unknown experiment id";
   List.iter
-    (fun r ->
+    (fun (r, _) ->
       print_endline r.Experiments.body;
       print_newline ())
-    selected
+    selected;
+  {
+    generate_s;
+    analyze_s;
+    timings =
+      List.map
+        (fun ((r : Experiments.result), s) ->
+          { exp_id = r.Experiments.id; seconds = s })
+        selected;
+  }
+
+(* --- micro-benchmarks --- *)
 
 let micro_tests () =
   let fx_order = Capability.fixture Capability.Order_reorganization in
@@ -126,6 +241,8 @@ let micro_tests () =
     Test.make ~name:"ablation/moex-backtracking(CryptoAPI)"
       (Staged.stage (fun () -> ignore (one_client Clients.Cryptoapi))) ]
 
+type micro_result = { bench : string; ns_per_run : float option; r2 : float option }
+
 let run_micro () =
   Printf.printf "== Bechamel micro-benchmarks ==\n%!";
   Printf.printf "%-45s %15s %10s\n" "benchmark" "ns/run" "r^2";
@@ -138,27 +255,77 @@ let run_micro () =
       (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
       Instance.monotonic_clock raw
   in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
       let results = analyze raw in
       Hashtbl.iter
         (fun name ols ->
-          let estimate =
-            match Analyze.OLS.estimates ols with
-            | Some (e :: _) -> Printf.sprintf "%.1f" e
-            | _ -> "n/a"
+          let est =
+            match Analyze.OLS.estimates ols with Some (e :: _) -> Some e | _ -> None
           in
-          let r2 =
-            match Analyze.OLS.r_square ols with
-            | Some r -> Printf.sprintf "%.4f" r
-            | None -> "-"
-          in
-          Printf.printf "%-45s %15s %10s\n%!" name estimate r2)
+          let r2 = Analyze.OLS.r_square ols in
+          Printf.printf "%-45s %15s %10s\n%!" name
+            (match est with Some e -> Printf.sprintf "%.1f" e | None -> "n/a")
+            (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-");
+          collected := { bench = name; ns_per_run = est; r2 } :: !collected)
         results)
-    (micro_tests ())
+    (micro_tests ());
+  List.rev !collected
+
+(* --- machine-readable timing dump (--json) --- *)
+
+let json_of_run ~cfg ~(experiments : run_report option) ~(micro : micro_result list) =
+  let opt_float = function Some f -> Json.Float f | None -> Json.Null in
+  let experiments_json =
+    match experiments with
+    | None -> []
+    | Some rr ->
+        [ ( "phases",
+            Json.Obj
+              [ ("generate_s", Json.Float rr.generate_s);
+                ("analyze_s", Json.Float rr.analyze_s) ] );
+          ( "experiments",
+            Json.List
+              (List.map
+                 (fun t ->
+                   Json.Obj
+                     [ ("id", Json.String t.exp_id);
+                       ("seconds", Json.Float t.seconds) ])
+                 rr.timings) ) ]
+  in
+  let micro_json =
+    match micro with
+    | [] -> []
+    | l ->
+        [ ( "micro",
+            Json.List
+              (List.map
+                 (fun m ->
+                   Json.Obj
+                     [ ("name", Json.String m.bench);
+                       ("ns_per_run", opt_float m.ns_per_run);
+                       ("r_square", opt_float m.r2) ])
+                 l) ) ]
+  in
+  Json.Obj
+    ([ ("scale", Json.Float cfg.scale); ("jobs", Json.Int cfg.jobs) ]
+    @ experiments_json @ micro_json)
 
 let () =
-  let scale, only, micro, tables, jobs = parse_args () in
-  if tables then run_experiments ~scale ~only ~jobs;
-  if micro then run_micro ()
+  let cfg = parse_args () in
+  let experiments =
+    if cfg.tables then
+      Some (run_experiments ~scale:cfg.scale ~only:cfg.only ~jobs:cfg.jobs)
+    else None
+  in
+  let micro = if cfg.micro then run_micro () else [] in
+  match cfg.json with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            (Json.to_string (json_of_run ~cfg ~experiments ~micro));
+          Out_channel.output_char oc '\n');
+      Printf.printf "timings written to %s\n%!" path

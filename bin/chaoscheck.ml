@@ -5,16 +5,34 @@
      analyze   — server-side structural compliance report over a PEM chain
      difftest  — validate a PEM chain in all eight client models
      matrix    — the Table 9 capability matrix
+     serve     — chaind: the online chain-compliance query service
      reproduce — regenerate paper tables/figures (same engine as bench) *)
 
 open Cmdliner
 open Chaoschain_core
 open Chaoschain_measurement
 module Pem = Chaoschain_deployment.Pem
+module Service = Chaoschain_service
 
-(* A shared lab population; scenario/analyze/difftest operate inside the same
-   simulated universe so certificates parse and verify consistently. *)
-let lab = lazy (Population.generate ~scale:0.002 ())
+(* The lab population: scenario/analyze/difftest/serve operate inside the
+   same simulated universe so certificates parse and verify consistently.
+   [--scale] selects its size (default 0.002 keeps the CLI snappy). *)
+let default_lab_scale = 0.002
+
+let scale_arg =
+  let doc =
+    "Lab population scale in (0, 1] (1.0 = the paper's full Tranco Top-1M \
+     universe). All chain-consuming commands run inside this shared \
+     simulated universe."
+  in
+  Arg.(value & opt float default_lab_scale & info [ "scale" ] ~doc)
+
+(* Every command validates the scale before generating; [with_lab] is the
+   single entry point so the validation message is uniform. *)
+let with_lab scale f =
+  if not (scale > 0.0 && scale <= 1.0) then
+    `Error (true, Printf.sprintf "--scale must be in (0, 1] (got %g)" scale)
+  else f (Population.generate ~scale ())
 
 let scenario_names =
   List.filter_map
@@ -22,8 +40,16 @@ let scenario_names =
       if n > 0 then Some (Calibration.scenario_to_string s, s) else None)
     Calibration.ledger
 
-let find_record scenario =
-  let pop = Lazy.force lab in
+let substring_match needle (name, _) =
+  let lower = String.lowercase_ascii needle in
+  let n = String.lowercase_ascii name in
+  let ln = String.length lower and nn = String.length n in
+  let rec contains i =
+    i + ln <= nn && (String.sub n i ln = lower || contains (i + 1))
+  in
+  contains 0
+
+let find_record pop scenario =
   Array.to_list pop.Population.domains
   |> List.find_opt (fun r -> r.Population.scenario = scenario)
 
@@ -38,7 +64,7 @@ let scenario_cmd =
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List all scenario names.")
   in
-  let run list_them name =
+  let run list_them name scale =
     if list_them then begin
       List.iter (fun (n, _) -> print_endline n) scenario_names;
       `Ok ()
@@ -47,28 +73,22 @@ let scenario_cmd =
       match name with
       | None -> `Error (true, "scenario name required (or --list)")
       | Some needle -> (
-          let lower = String.lowercase_ascii needle in
-          let matches (n, _) =
-            let n = String.lowercase_ascii n in
-            let ln = String.length lower and nn = String.length n in
-            let rec contains i =
-              i + ln <= nn && (String.sub n i ln = lower || contains (i + 1))
-            in
-            contains 0
-          in
-          match List.find_opt matches scenario_names with
+          match List.find_opt (substring_match needle) scenario_names with
           | None -> `Error (false, "no scenario matches " ^ needle)
-          | Some (label, scenario) -> (
-              match find_record scenario with
-              | None -> `Error (false, "scenario not present in lab population")
-              | Some r ->
-                  Printf.eprintf "# %s — domain %s\n" label r.Population.domain;
-                  print_string (Pem.encode_certs r.Population.chain);
-                  `Ok ()))
+          | Some (label, scenario) ->
+              with_lab scale (fun pop ->
+                  match find_record pop scenario with
+                  | None ->
+                      `Error (false, "scenario not present in lab population")
+                  | Some r ->
+                      Printf.eprintf "# %s — domain %s\n" label
+                        r.Population.domain;
+                      print_string (Pem.encode_certs r.Population.chain);
+                      `Ok ()))
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Emit the PEM chain a scenario's server serves")
-    Term.(ret (const run $ list_arg $ name_arg))
+    Term.(ret (const run $ list_arg $ name_arg $ scale_arg))
 
 (* --- shared PEM input --- *)
 
@@ -90,33 +110,33 @@ let read_chain path =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run path domain =
+  let run path domain scale =
     match read_chain path with
     | Error e -> `Error (false, e)
     | Ok [] -> `Error (false, "no certificates in input")
     | Ok certs ->
-        let pop = Lazy.force lab in
-        let u = pop.Population.universe in
-        let report =
-          Compliance.analyze
-            ~store:(Chaoschain_pki.Universe.union_store u)
-            ~aia:(Chaoschain_pki.Universe.aia u) ~domain certs
-        in
-        Format.printf "%a@." Compliance.pp_report report;
-        `Ok ()
+        with_lab scale (fun pop ->
+            let u = pop.Population.universe in
+            let report =
+              Compliance.analyze
+                ~store:(Chaoschain_pki.Universe.union_store u)
+                ~aia:(Chaoschain_pki.Universe.aia u) ~domain certs
+            in
+            Format.printf "%a@." Compliance.pp_report report;
+            `Ok ())
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Server-side structural compliance report")
-    Term.(ret (const run $ chain_arg $ domain_arg))
+    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg))
 
 (* --- difftest --- *)
 
 let difftest_cmd =
-  let run path domain =
+  let run path domain scale =
     match read_chain path with
     | Error e -> `Error (false, e)
     | Ok certs ->
-        let pop = Lazy.force lab in
+        with_lab scale (fun pop ->
         let env = Population.env pop in
         let case = Difftest.run_case env ~domain certs in
         List.iter
@@ -130,11 +150,11 @@ let difftest_cmd =
             List.iter
               (fun c -> print_endline ("cause: " ^ Difftest.cause_to_string c))
               causes);
-        `Ok ()
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "difftest" ~doc:"Validate a chain in all eight client models")
-    Term.(ret (const run $ chain_arg $ domain_arg))
+    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg))
 
 (* --- matrix --- *)
 
@@ -150,11 +170,11 @@ let matrix_cmd =
 (* --- recommend --- *)
 
 let recommend_cmd =
-  let run path domain =
+  let run path domain scale =
     match read_chain path with
     | Error e -> `Error (false, e)
     | Ok certs ->
-        let pop = Lazy.force lab in
+        with_lab scale (fun pop ->
         let u = pop.Population.universe in
         let report =
           Compliance.analyze
@@ -176,12 +196,12 @@ let recommend_cmd =
                 Printf.eprintf "# corrected chain follows\n";
                 print_string (Pem.encode_certs fixed)
             | None -> print_endline "(no self-contained correction possible)"));
-        `Ok ()
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "recommend"
        ~doc:"Section 6 remediation advice (and a corrected chain if derivable)")
-    Term.(ret (const run $ chain_arg $ domain_arg))
+    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg))
 
 (* --- fuzz --- *)
 
@@ -192,8 +212,8 @@ let fuzz_cmd =
   let seed_arg =
     Arg.(value & opt int 4242 & info [ "seed" ] ~doc:"PRNG seed.")
   in
-  let run iterations seed =
-    let pop = Lazy.force lab in
+  let run iterations seed scale =
+    with_lab scale (fun pop ->
     let env = Population.env pop in
     let seeds =
       Array.to_list pop.Population.domains
@@ -218,12 +238,88 @@ let fuzz_cmd =
         report.Fuzzer.crashes;
       `Error (false, "fuzzer found crashes")
     end
-    else `Ok ()
+    else `Ok ())
   in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Frankencert-style structural fuzzing of the eight client models")
-    Term.(ret (const run $ iterations_arg $ seed_arg))
+    Term.(ret (const run $ iterations_arg $ seed_arg $ scale_arg))
+
+(* --- serve (chaind) --- *)
+
+let serve_cmd =
+  let cache_arg =
+    Arg.(value & opt int 1024
+         & info [ "cache" ]
+             ~doc:"Verdict LRU-cache capacity (entries; >= 1).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ]
+             ~doc:"Admission-queue bound; frames arriving past it are \
+                   rejected with an 'overloaded' reply instead of buffered.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 8
+         & info [ "batch" ]
+             ~doc:"Micro-batch size: queued requests are drained in groups \
+                   of up to this many and processed in parallel.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int (Pipeline.default_jobs ())
+         & info [ "jobs"; "j" ]
+             ~doc:"Worker-Domain pool size for micro-batch processing \
+                   (verdicts are identical for every value).")
+  in
+  let run scale cache queue batch jobs =
+    if cache < 1 then `Error (true, "--cache must be >= 1")
+    else if queue < 1 then `Error (true, "--queue must be >= 1")
+    else if batch < 1 then `Error (true, "--batch must be >= 1")
+    else if jobs < 1 then `Error (true, "--jobs must be >= 1")
+    else
+      with_lab scale (fun pop ->
+          let u = pop.Population.universe in
+          let env =
+            {
+              Service.Engine.diff_env = Population.env pop;
+              union_store = Chaoschain_pki.Universe.union_store u;
+              program_store = Chaoschain_pki.Universe.store u;
+              aia = Chaoschain_pki.Universe.aia u;
+              find_scenario =
+                (fun needle ->
+                  match
+                    List.find_opt (substring_match needle) scenario_names
+                  with
+                  | None -> None
+                  | Some (_, scenario) ->
+                      Option.map
+                        (fun r -> (r.Population.domain, r.Population.chain))
+                        (find_record pop scenario));
+            }
+          in
+          let engine =
+            Service.Engine.create ~env ~cache_capacity:cache
+              ~queue_capacity:queue ~batch ~jobs ()
+          in
+          Service.Engine.serve engine
+            (module Service.Transport.Fd)
+            (Service.Transport.Fd.stdio ());
+          Service.Engine.shutdown engine;
+          Format.eprintf "%a@." Service.Metrics.pp_summary
+            (Service.Engine.metrics engine);
+          Format.eprintf "cache: %d/%d entries, %d evictions@."
+            (Service.Engine.cache_size engine)
+            (Service.Engine.cache_capacity engine)
+            (Service.Engine.cache_evictions engine);
+          `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"chaind: answer chain-compliance queries over newline-delimited \
+             JSON on stdin/stdout (verdict = analyze + difftest + recommend), \
+             with LRU verdict caching, micro-batching and request metrics")
+    Term.(ret (const run $ scale_arg $ cache_arg $ queue_arg $ batch_arg
+               $ jobs_arg))
 
 (* --- reproduce --- *)
 
@@ -276,4 +372,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ scenario_cmd; analyze_cmd; difftest_cmd; matrix_cmd; recommend_cmd;
-            fuzz_cmd; reproduce_cmd ]))
+            fuzz_cmd; serve_cmd; reproduce_cmd ]))

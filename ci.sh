@@ -1,6 +1,7 @@
 #!/bin/sh
-# Local CI: full build, test suite, and a parallel-pipeline smoke run.
-# The smoke run is also wired to `dune build @ci` (see bench/dune).
+# Local CI: full build, test suite, a parallel-pipeline smoke run, and a
+# chaind (serve) smoke run. The smoke runs are also wired to
+# `dune build @ci` (see bench/dune and bin/dune).
 set -eux
 
 cd "$(dirname "$0")"
@@ -8,3 +9,13 @@ cd "$(dirname "$0")"
 dune build
 dune runtest
 dune exec bench/main.exe -- --scale 0.002 --no-micro --jobs 2
+
+# chaind smoke: two identical scenario checks + a stats probe through the
+# framed stdin/stdout protocol; assert the verdict and the cache-hit counters.
+out=$(dune exec bin/chaoscheck.exe -- serve --scale 0.002 --jobs 2 \
+  < bin/ci_serve_requests.ndjson)
+echo "$out" | grep -q '"compliant":false'
+echo "$out" | grep -q '"ordered":false'
+echo "$out" | grep -q '"hits":1'
+echo "$out" | grep -q '"misses":1'
+echo "$out" | grep -q '"rejects":0'

@@ -1,25 +1,140 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
-(* Drain [n] tasks with [jobs] Domains pulling indices from a shared atomic
-   counter. The caller's Domain works too, so [jobs = 2] spawns one extra
-   Domain. Worker exceptions propagate through Domain.join. *)
-let run_tasks ~jobs n task =
-  if n > 0 then begin
-    let next = Atomic.make 0 in
+(* A reusable pool of worker Domains. Batch runs (the offline measurement
+   path) create one per map call, exactly as before; the long-lived chaind
+   service keeps a single pool alive and pushes micro-batch after micro-batch
+   through it, avoiding a Domain spawn/join per batch. Each [run] is an
+   epoch: the caller publishes (n, task) under the lock, bumps the epoch and
+   wakes the workers; everyone (caller included) drains indices from a shared
+   atomic counter; the caller returns when all workers have retired the
+   epoch. Worker exceptions are captured and re-raised from [run]. *)
+module Pool = struct
+  type t = {
+    jobs : int;
+    lock : Mutex.t;
+    work : Condition.t;   (* a new epoch was published, or shutdown *)
+    retired : Condition.t;(* a worker finished the current epoch *)
+    next : int Atomic.t;
+    mutable epoch : int;
+    mutable n : int;
+    mutable task : int -> unit;
+    mutable busy : int;   (* workers still draining the current epoch *)
+    mutable failure : exn option;
+    mutable closing : bool;
+    mutable domains : unit Domain.t list;
+  }
+
+  let drain t n task =
+    let rec go () =
+      let i = Atomic.fetch_and_add t.next 1 in
+      if i < n then begin
+        (match task i with
+        | () -> ()
+        | exception e ->
+            Mutex.lock t.lock;
+            if t.failure = None then t.failure <- Some e;
+            Mutex.unlock t.lock);
+        go ()
+      end
+    in
+    go ()
+
+  let create ~jobs =
+    let jobs = max 1 jobs in
+    let t =
+      {
+        jobs;
+        lock = Mutex.create ();
+        work = Condition.create ();
+        retired = Condition.create ();
+        next = Atomic.make 0;
+        epoch = 0;
+        n = 0;
+        task = ignore;
+        busy = 0;
+        failure = None;
+        closing = false;
+        domains = [];
+      }
+    in
     let worker () =
+      let seen = ref 0 in
+      Mutex.lock t.lock;
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          task i;
+        if t.closing then Mutex.unlock t.lock
+        else if t.epoch > !seen then begin
+          seen := t.epoch;
+          let n = t.n and task = t.task in
+          Mutex.unlock t.lock;
+          drain t n task;
+          Mutex.lock t.lock;
+          t.busy <- t.busy - 1;
+          if t.busy = 0 then Condition.broadcast t.retired;
+          loop ()
+        end
+        else begin
+          Condition.wait t.work t.lock;
           loop ()
         end
       in
       loop ()
     in
-    let spawned = min (jobs - 1) (n - 1) in
-    let domains = List.init spawned (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains
+    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn worker);
+    t
+
+  let jobs t = t.jobs
+
+  let reraise_failure t =
+    (* Called with the lock held, after the epoch fully retired. *)
+    match t.failure with
+    | None -> Mutex.unlock t.lock
+    | Some e ->
+        t.failure <- None;
+        Mutex.unlock t.lock;
+        raise e
+
+  let run t n task =
+    if n > 0 then
+      if t.jobs = 1 || n = 1 then
+        for i = 0 to n - 1 do
+          task i
+        done
+      else begin
+        Mutex.lock t.lock;
+        t.n <- n;
+        t.task <- task;
+        Atomic.set t.next 0;
+        t.busy <- t.jobs - 1;
+        t.epoch <- t.epoch + 1;
+        Condition.broadcast t.work;
+        Mutex.unlock t.lock;
+        drain t n task;
+        Mutex.lock t.lock;
+        while t.busy > 0 do
+          Condition.wait t.retired t.lock
+        done;
+        reraise_failure t
+      end
+
+  let shutdown t =
+    Mutex.lock t.lock;
+    t.closing <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+end
+
+(* Drain [n] tasks with [jobs] Domains pulling indices from a shared atomic
+   counter, on a pool created for this one call (the caller's Domain works
+   too, so [jobs = 2] spawns one extra Domain). Worker exceptions propagate
+   out of [Pool.run]. *)
+let run_tasks ~jobs n task =
+  if n > 0 then begin
+    let pool = Pool.create ~jobs:(min jobs n) in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> Pool.run pool n task)
   end
 
 let map_shards ?(jobs = 1) f arr =

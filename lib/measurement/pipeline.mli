@@ -14,6 +14,30 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the whole machine. *)
 
+(** A reusable worker-Domain pool. The offline maps below create a transient
+    pool per call; a long-lived consumer (the chaind query service) creates
+    one pool at startup and pushes successive micro-batches through {!Pool.run}
+    without paying a Domain spawn/join per batch. *)
+module Pool : sig
+  type t
+
+  val create : jobs:int -> t
+  (** Spawns [jobs - 1] worker Domains ([jobs] is clamped to [>= 1]); the
+      calling Domain participates in every {!run}. *)
+
+  val jobs : t -> int
+
+  val run : t -> int -> (int -> unit) -> unit
+  (** [run t n task] executes [task 0 .. task (n-1)], drained from a shared
+      atomic counter by all workers plus the caller; returns when every task
+      has finished. [jobs = 1] (or [n = 1]) runs sequentially on the caller.
+      A task exception is captured (the remaining tasks of the batch still
+      run) and re-raised here. Not reentrant: one [run] at a time. *)
+
+  val shutdown : t -> unit
+  (** Joins the workers. The pool must not be used afterwards. *)
+end
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel [Array.map]. [jobs] defaults to 1; any value
     [<= 1] takes the sequential code path ([Array.map] itself). The function

@@ -1,0 +1,424 @@
+open Chaoschain_x509
+open Chaoschain_core
+open Chaoschain_pki
+module Pem = Chaoschain_deployment.Pem
+module Pipeline = Chaoschain_measurement.Pipeline
+module Scanner = Chaoschain_measurement.Scanner
+module Hex = Chaoschain_crypto.Hex
+
+type env = {
+  diff_env : Difftest.env;
+  union_store : Root_store.t;
+  program_store : Root_store.program -> Root_store.t;
+  aia : Aia_repo.t;
+  find_scenario : string -> (string * Cert.t list) option;
+}
+
+type t = {
+  env : env;
+  cache : string Lru.t;          (* options+chain key -> verdict JSON bytes *)
+  metrics : Metrics.t;
+  queue : string Queue.t;        (* admitted raw frames *)
+  queue_capacity : int;
+  batch : int;
+  pool : Pipeline.Pool.t;
+  empty_aia : Aia_repo.t;        (* every fetch 404s: the aia:false world *)
+}
+
+let create ~env ?(cache_capacity = 1024) ?(queue_capacity = 64) ?(batch = 8)
+    ?(jobs = 1) () =
+  if queue_capacity < 1 then invalid_arg "Engine.create: queue_capacity >= 1";
+  if batch < 1 then invalid_arg "Engine.create: batch >= 1";
+  if jobs < 1 then invalid_arg "Engine.create: jobs >= 1";
+  {
+    env;
+    cache = Lru.create ~capacity:cache_capacity;
+    metrics = Metrics.create ();
+    queue = Queue.create ();
+    queue_capacity;
+    batch;
+    pool = Pipeline.Pool.create ~jobs;
+    empty_aia = Aia_repo.create ();
+  }
+
+let metrics t = Metrics.snapshot t.metrics
+let cache_size t = Lru.size t.cache
+let cache_capacity t = Lru.capacity t.cache
+let cache_evictions t = Lru.evictions t.cache
+let pending t = Queue.length t.queue
+let shutdown t = Pipeline.Pool.shutdown t.pool
+
+let now_s () = Unix.gettimeofday ()
+
+(* --- verdict construction --- *)
+
+let json_strings l = Json.List (List.map (fun s -> Json.String s) l)
+
+let compliance_json (report : Compliance.report) =
+  let o = report.Compliance.order in
+  let c = report.Compliance.completeness in
+  Json.Obj
+    [ ("compliant", Json.Bool (Compliance.compliant report));
+      ("reasons", json_strings (Compliance.non_compliance_reasons report));
+      ("leaf", Json.String (Leaf_check.verdict_to_string report.Compliance.leaf));
+      ( "order",
+        Json.Obj
+          [ ("ordered", Json.Bool o.Order_check.ordered);
+            ("violations", json_strings (Order_check.violations o));
+            ("path_count", Json.Int o.Order_check.path_count);
+            ("reversed_paths", Json.Int o.Order_check.reversed_paths) ] );
+      ( "completeness",
+        Json.Obj
+          [ ( "verdict",
+              Json.String (Completeness.verdict_to_string c.Completeness.verdict) );
+            ( "cause",
+              match c.Completeness.cause with
+              | None -> Json.Null
+              | Some cause ->
+                  Json.String (Completeness.incomplete_cause_to_string cause) );
+            ("missing_count", Json.Int c.Completeness.missing_count);
+            ("via_aia", Json.Bool c.Completeness.via_aia) ] ) ]
+
+let difftest_json ~full (case : Difftest.case) =
+  let clients =
+    Json.List
+      (List.map
+         (fun (r : Difftest.client_result) ->
+           Json.Obj
+             [ ("name", Json.String r.Difftest.client.Clients.name);
+               ("version", Json.String r.Difftest.client.Clients.version);
+               ("accepted", Json.Bool (Engine.accepted r.Difftest.outcome));
+               ("message", Json.String r.Difftest.message) ])
+         case.Difftest.results)
+  in
+  let agreement =
+    (* The cause taxonomy and the agreement statistics are defined over the
+       full eight-client panel; a subset request only reports per-client
+       outcomes. *)
+    if not full then []
+    else
+      [ ( "causes",
+          json_strings
+            (List.map Difftest.cause_to_string (Difftest.classify case)) );
+        ("browsers_agree", Json.Bool (Difftest.browsers_agree case));
+        ("libraries_agree", Json.Bool (Difftest.libraries_agree case));
+        ("all_browsers_pass", Json.Bool (Difftest.all_browsers_pass case));
+        ("all_libraries_pass", Json.Bool (Difftest.all_libraries_pass case)) ]
+  in
+  Json.Obj (("clients", clients) :: agreement)
+
+let recommend_json (report : Compliance.report) =
+  let advice =
+    Json.List
+      (List.map
+         (fun (a : Recommend.advice) ->
+           Json.Obj
+             [ ( "audience",
+                 Json.String (Recommend.audience_to_string a.Recommend.audience) );
+               ( "severity",
+                 Json.String
+                   (match a.Recommend.severity with
+                   | `Must -> "must"
+                   | `Should -> "should") );
+               ("text", Json.String a.Recommend.text) ])
+         (Recommend.server_advice report))
+  in
+  let corrected =
+    match Recommend.corrected_chain report with
+    | Some certs -> Json.String (Pem.encode_certs certs)
+    | None -> Json.Null
+  in
+  Json.Obj [ ("advice", advice); ("corrected_pem", corrected) ]
+
+let compute_verdict t (c : Protocol.check) ~domain certs =
+  let store =
+    match c.Protocol.store with
+    | Protocol.Union -> t.env.union_store
+    | Protocol.Program p -> t.env.program_store p
+  in
+  let aia_repo = if c.Protocol.aia then t.env.aia else t.empty_aia in
+  let report =
+    Compliance.analyze ~aia_enabled:c.Protocol.aia ~store ~aia:aia_repo ~domain
+      certs
+  in
+  let denv =
+    let base = t.env.diff_env in
+    let base =
+      match c.Protocol.store with
+      | Protocol.Union -> base
+      | Protocol.Program _ -> { base with Difftest.store_of = (fun _ -> store) }
+    in
+    if c.Protocol.aia then base else { base with Difftest.aia = t.empty_aia }
+  in
+  let full, case =
+    match c.Protocol.clients with
+    | None -> (true, Difftest.run_case denv ~domain certs)
+    | Some ids ->
+        ( false,
+          Difftest.run_case_clients denv
+            (List.map Clients.by_id ids)
+            ~domain certs )
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("domain", Json.String domain);
+         ( "chain",
+           Json.Obj
+             [ ("length", Json.Int (List.length certs));
+               ( "sha256",
+                 Json.String (Hex.encode (Scanner.chain_fingerprint certs)) ) ] );
+         ( "options",
+           Json.Obj
+             [ ("store", Json.String (Protocol.store_choice_to_string c.Protocol.store));
+               ("aia", Json.Bool c.Protocol.aia);
+               ( "clients",
+                 match c.Protocol.clients with
+                 | None -> Json.String "all"
+                 | Some ids ->
+                     json_strings (List.map Protocol.client_id_to_string ids) ) ] );
+         ("compliance", compliance_json report);
+         ("difftest", difftest_json ~full case);
+         ("recommend", recommend_json report) ])
+
+(* The cache key: PR 1's chain fingerprint scheme ([Difftest.chain_key] =
+   chain SHA-256 + the hostname-match bit) extended with the exact request
+   parameters the verdict depends on — the scanned domain (the leaf-placement
+   classification reads it beyond the match bit) and the option set. *)
+let verdict_key (c : Protocol.check) ~domain certs =
+  let opts =
+    Printf.sprintf "%s|%c|%s"
+      (Protocol.store_choice_to_string c.Protocol.store)
+      (if c.Protocol.aia then '1' else '0')
+      (match c.Protocol.clients with
+      | None -> "all"
+      | Some ids ->
+          String.concat ","
+            (List.sort_uniq compare (List.map Protocol.client_id_to_string ids)))
+  in
+  Hex.encode (Difftest.chain_key ~domain certs) ^ "|" ^ domain ^ "|" ^ opts
+
+(* --- batch processing --- *)
+
+(* A prepared frame. Preparation runs sequentially on the serve thread: it
+   parses, resolves the chain, consults the cache and coalesces duplicate
+   keys; only [Fresh] slots reach the parallel pool. *)
+type fresh = { f_id : string option; f_key : string; compute : unit -> string }
+
+type slot =
+  | Ready of string  (* response fully determined (errors, cache hits) *)
+  | Stats of string option
+  | Fresh of fresh
+  | Join of string option * string
+      (* (id, key) of an earlier Fresh in this batch: coalesced, counted hit *)
+
+let resolve_chain t (c : Protocol.check) =
+  match (c.Protocol.pem, c.Protocol.scenario) with
+  | Some pem, _ -> (
+      match Pem.decode_certs pem with
+      | Error e -> Error ("malformed_pem", e)
+      | Ok [] -> Error ("malformed_pem", "no certificates in input")
+      | Ok certs -> (
+          match c.Protocol.domain with
+          | Some d -> Ok (d, certs)
+          | None -> Error ("malformed_frame", "\"domain\" is required")))
+  | None, Some scenario -> (
+      match t.env.find_scenario scenario with
+      | None -> Error ("unknown_scenario", "no scenario matches " ^ scenario)
+      | Some (scenario_domain, certs) ->
+          Ok (Option.value c.Protocol.domain ~default:scenario_domain, certs))
+  | None, None -> Error ("malformed_frame", "no chain source")
+
+let stats_json t =
+  let s = Metrics.snapshot t.metrics in
+  Json.Obj
+    [ ("requests", Json.Int s.Metrics.requests);
+      ("checks", Json.Int s.Metrics.checks);
+      ("hits", Json.Int s.Metrics.hits);
+      ("misses", Json.Int s.Metrics.misses);
+      ("rejects", Json.Int s.Metrics.rejects);
+      ("errors", Json.Int s.Metrics.errors);
+      ( "cache",
+        Json.Obj
+          [ ("size", Json.Int (cache_size t));
+            ("capacity", Json.Int (cache_capacity t));
+            ("evictions", Json.Int (cache_evictions t)) ] );
+      ( "config",
+        Json.Obj
+          [ ("queue_capacity", Json.Int t.queue_capacity);
+            ("batch", Json.Int t.batch);
+            ("jobs", Json.Int (Pipeline.Pool.jobs t.pool)) ] );
+      ( "latency_ms",
+        Json.Obj
+          [ ("count", Json.Int s.Metrics.lat_count);
+            ("mean", Json.Float s.Metrics.lat_mean_ms);
+            ("p50", Json.Float s.Metrics.lat_p50_ms);
+            ("p90", Json.Float s.Metrics.lat_p90_ms);
+            ("max", Json.Float s.Metrics.lat_max_ms);
+            ( "buckets",
+              Json.List
+                (List.map
+                   (fun (bound, count) ->
+                     Json.Obj
+                       [ ( "le",
+                           if Float.is_finite bound then Json.Float bound
+                           else Json.String "inf" );
+                         ("count", Json.Int count) ])
+                   s.Metrics.buckets) ) ] ) ]
+
+let prepare t seen frame =
+  match Protocol.of_frame frame with
+  | Error { Protocol.err_id; code; message } ->
+      Metrics.incr_errors t.metrics;
+      Ready (Protocol.error_response ~id:err_id ~code message)
+  | Ok { Protocol.id; op = Protocol.Stats } -> Stats id
+  | Ok { Protocol.id; op = Protocol.Check c } -> (
+      Metrics.incr_checks t.metrics;
+      match resolve_chain t c with
+      | Error (code, message) ->
+          Metrics.incr_errors t.metrics;
+          Ready (Protocol.error_response ~id ~code message)
+      | Ok (domain, certs) -> (
+          let key = verdict_key c ~domain certs in
+          match Lru.find t.cache key with
+          | Some verdict ->
+              Metrics.incr_hits t.metrics;
+              Ready (Protocol.verdict_response ~id ~verdict)
+          | None ->
+              if Hashtbl.mem seen key then begin
+                Metrics.incr_hits t.metrics;
+                Join (id, key)
+              end
+              else begin
+                Hashtbl.add seen key ();
+                Metrics.incr_misses t.metrics;
+                Fresh
+                  {
+                    f_id = id;
+                    f_key = key;
+                    compute = (fun () -> compute_verdict t c ~domain certs);
+                  }
+              end))
+
+let process_slots t slots =
+  let fresh =
+    List.filter_map (function Fresh f -> Some f | _ -> None) slots
+  in
+  let results = Hashtbl.create (List.length fresh * 2 + 1) in
+  let fresh = Array.of_list fresh in
+  let out = Array.make (Array.length fresh) (Ok "") in
+  Pipeline.Pool.run t.pool (Array.length fresh) (fun i ->
+      let f = fresh.(i) in
+      let t0 = now_s () in
+      (out.(i) <-
+        (match f.compute () with
+        | verdict -> Ok verdict
+        | exception e -> Error (Printexc.to_string e)));
+      Metrics.observe_latency t.metrics (now_s () -. t0));
+  Array.iteri
+    (fun i f ->
+      match out.(i) with
+      | Ok verdict ->
+          Lru.add t.cache f.f_key verdict;
+          Hashtbl.replace results f.f_key (Ok verdict)
+      | Error msg ->
+          Metrics.incr_errors t.metrics;
+          Hashtbl.replace results f.f_key (Error msg))
+    fresh;
+  let render_key id key =
+    match Hashtbl.find_opt results key with
+    | Some (Ok verdict) -> Protocol.verdict_response ~id ~verdict
+    | Some (Error msg) -> Protocol.error_response ~id ~code:"internal" msg
+    | None ->
+        Protocol.error_response ~id ~code:"internal" "lost computation"
+  in
+  List.map
+    (function
+      | Ready response -> response
+      | Fresh { f_id; f_key; _ } -> render_key f_id f_key
+      | Join (id, key) -> render_key id key
+      | Stats id ->
+          let t0 = now_s () in
+          let response = Protocol.stats_response ~id (stats_json t) in
+          Metrics.observe_latency t.metrics (now_s () -. t0);
+          response)
+    slots
+
+(* --- admission and draining --- *)
+
+let overload_response frame =
+  let id =
+    match Protocol.of_frame frame with
+    | Ok { Protocol.id; _ } -> id
+    | Error { Protocol.err_id; _ } -> err_id
+  in
+  Protocol.error_response ~id ~code:"overloaded"
+    "admission queue full; retry later"
+
+let admit t frame =
+  if Queue.length t.queue >= t.queue_capacity then begin
+    Metrics.incr_rejects t.metrics;
+    `Rejected (overload_response frame)
+  end
+  else begin
+    Metrics.incr_requests t.metrics;
+    Queue.add frame t.queue;
+    `Admitted
+  end
+
+let is_stats frame =
+  match Protocol.of_frame frame with
+  | Ok { Protocol.op = Protocol.Stats; _ } -> true
+  | _ -> false
+
+(* Take the next micro-batch: up to [batch] frames, but a stats frame is a
+   barrier — it is taken alone, so its reply observes every check admitted
+   before it (batch members are processed concurrently). *)
+let take_batch t =
+  let rec go acc n =
+    if n >= t.batch || Queue.is_empty t.queue then List.rev acc
+    else
+      let next = Queue.peek t.queue in
+      if is_stats next then
+        if acc = [] then [ Queue.pop t.queue ] else List.rev acc
+      else go (Queue.pop t.queue :: acc) (n + 1)
+  in
+  go [] 0
+
+let drain t =
+  match take_batch t with
+  | [] -> []
+  | frames ->
+      let seen = Hashtbl.create 16 in
+      process_slots t (List.map (prepare t seen) frames)
+
+let handle_frame t frame =
+  let seen = Hashtbl.create 1 in
+  match process_slots t [ prepare t seen frame ] with
+  | [ response ] -> response
+  | _ -> assert false
+
+let serve (type c) t (module T : Transport.S with type conn = c) (conn : c) =
+  let eof = ref false in
+  (* Read everything immediately available, admitting (or rejecting) each
+     frame; with [block:true] wait for at least one frame first. *)
+  let rec fill ~block =
+    if not !eof then
+      match T.recv conn ~block with
+      | `Eof -> eof := true
+      | `Empty -> ()
+      | `Frame frame ->
+          (match admit t frame with
+          | `Admitted -> ()
+          | `Rejected response -> T.send conn response);
+          fill ~block:false
+  in
+  let rec loop () =
+    if Queue.is_empty t.queue && not !eof then fill ~block:true;
+    fill ~block:false;
+    match drain t with
+    | [] -> if not !eof then loop ()
+    | responses ->
+        List.iter (T.send conn) responses;
+        loop ()
+  in
+  loop ()

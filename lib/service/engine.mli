@@ -1,0 +1,85 @@
+(** chaind — the online chain-compliance query engine.
+
+    One request carries a served certificate list (PEM or a named lab
+    scenario) plus options; the reply is a structured verdict combining the
+    server-side compliance report ({!Chaoschain_core.Compliance}), the
+    per-client differential-testing outcomes ({!Chaoschain_core.Difftest})
+    and the section-6 remediation advice ({!Chaoschain_core.Recommend}).
+
+    Built for throughput:
+
+    - a bounded {!Lru} verdict cache keyed by [Difftest.chain_key] extended
+      with the request options — repeated chains are answered with the
+      byte-identical cached verdict;
+    - micro-batching: admitted frames queue up and are drained in batches of
+      [batch] through a persistent {!Chaoschain_measurement.Pipeline.Pool};
+      identical checks inside one batch coalesce onto a single computation;
+    - a bounded admission queue with explicit overload rejections
+      (backpressure instead of unbounded buffering);
+    - per-request {!Metrics} served by the [stats] op and printed on
+      shutdown.
+
+    Verdicts are deterministic: byte-identical across [jobs] values and
+    across the cache hit/miss paths. *)
+
+open Chaoschain_x509
+open Chaoschain_core
+open Chaoschain_pki
+
+type env = {
+  diff_env : Difftest.env;
+  union_store : Root_store.t;
+  program_store : Root_store.program -> Root_store.t;
+  aia : Aia_repo.t;
+  find_scenario : string -> (string * Cert.t list) option;
+      (** Resolve a scenario-name substring to (domain, served chain); the
+          CLI backs this with the lab population, tests with a fixture. *)
+}
+
+type t
+
+val create :
+  env:env ->
+  ?cache_capacity:int ->
+  ?queue_capacity:int ->
+  ?batch:int ->
+  ?jobs:int ->
+  unit ->
+  t
+(** Defaults: [cache_capacity = 1024], [queue_capacity = 64], [batch = 8],
+    [jobs = 1]. All four must be [>= 1] (raises [Invalid_argument]). *)
+
+val admit : t -> string -> [ `Admitted | `Rejected of string ]
+(** Offer one raw frame to the admission queue. [`Rejected response] is
+    returned (and counted) when the queue already holds [queue_capacity]
+    frames; the response is a ready-to-send ["overloaded"] error. *)
+
+val pending : t -> int
+(** Frames currently queued. *)
+
+val drain : t -> string list
+(** Process one micro-batch from the queue and return the responses in
+    request order. At most [batch] checks per call; a [stats] request acts
+    as a batch barrier so its reply reflects every request admitted before
+    it. Empty list when the queue is empty. *)
+
+val handle_frame : t -> string -> string
+(** Convenience: admit-free, single-request processing (used by tests). *)
+
+val metrics : t -> Metrics.snapshot
+val cache_size : t -> int
+val cache_capacity : t -> int
+val cache_evictions : t -> int
+
+val stats_json : t -> Json.t
+(** The payload of a [stats] reply: counters, latency histogram, cache
+    occupancy and the engine's configured bounds. *)
+
+val serve : t -> (module Transport.S with type conn = 'c) -> 'c -> unit
+(** Run the request loop until EOF: read greedily while frames are
+    immediately available (rejecting past the queue bound), then drain
+    micro-batches and reply. Returns after the final queued request is
+    answered. *)
+
+val shutdown : t -> unit
+(** Join the worker pool. *)

@@ -1,0 +1,101 @@
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards MRU *)
+  mutable next : 'a node option;  (* towards LRU *)
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  lock : Mutex.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used *)
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (min capacity 4096);
+    lock = Mutex.create ();
+    head = None;
+    tail = None;
+    evicted = 0;
+  }
+
+let capacity t = t.cap
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+(* List surgery; caller holds the lock. *)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None -> None
+      | Some node ->
+          touch t node;
+          Some node.value)
+
+let add t key value =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+          node.value <- value;
+          touch t node
+      | None ->
+          if Hashtbl.length t.table >= t.cap then (
+            match t.tail with
+            | None -> assert false
+            | Some lru ->
+                unlink t lru;
+                Hashtbl.remove t.table lru.key;
+                t.evicted <- t.evicted + 1);
+          let node = { key; value; prev = None; next = None } in
+          push_front t node;
+          Hashtbl.add t.table key node)
+
+let mem t key = with_lock t (fun () -> Hashtbl.mem t.table key)
+let size t = with_lock t (fun () -> Hashtbl.length t.table)
+let evictions t = with_lock t (fun () -> t.evicted)
+
+let keys_mru_first t =
+  with_lock t (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some node -> go (node.key :: acc) node.next
+      in
+      go [] t.head)

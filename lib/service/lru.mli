@@ -1,0 +1,34 @@
+(** A bounded, thread-safe LRU cache over string keys.
+
+    This is the evicting replacement for [Pipeline.Memo] that a long-lived
+    service needs: the offline pipeline can let its memo grow for the length
+    of one batch run, but chaind serves an unbounded request stream, so the
+    verdict cache must hold a hard capacity. A {!find} refreshes recency; an
+    {!add} past capacity evicts the least-recently-used entry. All operations
+    are [Mutex]-guarded and O(1) (hash table + intrusive doubly-linked
+    list). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity >= 1] (raises [Invalid_argument] otherwise). *)
+
+val capacity : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Returns the cached value and marks the entry most-recently used. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or refresh) a binding. When the cache is full the
+    least-recently-used entry is evicted. Re-adding an existing key updates
+    its value and recency without eviction. *)
+
+val mem : 'a t -> string -> bool
+(** Membership test that does NOT refresh recency (for tests/inspection). *)
+
+val size : 'a t -> int
+val evictions : 'a t -> int
+(** Entries dropped so far to make room. *)
+
+val keys_mru_first : 'a t -> string list
+(** Current keys, most-recently-used first (for tests). *)

@@ -1,0 +1,129 @@
+(* Bucket upper bounds in milliseconds; the implicit last bucket is +inf. *)
+let bounds_ms =
+  [| 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0;
+     500.0; 1000.0; 2500.0; 5000.0 |]
+
+type t = {
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable checks : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable rejects : int;
+  mutable errors : int;
+  histogram : int array;  (* Array.length bounds_ms + 1, last = overflow *)
+  mutable lat_count : int;
+  mutable lat_sum_ms : float;
+  mutable lat_max_ms : float;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    requests = 0;
+    checks = 0;
+    hits = 0;
+    misses = 0;
+    rejects = 0;
+    errors = 0;
+    histogram = Array.make (Array.length bounds_ms + 1) 0;
+    lat_count = 0;
+    lat_sum_ms = 0.0;
+    lat_max_ms = 0.0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  f ();
+  Mutex.unlock t.lock
+
+let incr_requests t = locked t (fun () -> t.requests <- t.requests + 1)
+let incr_checks t = locked t (fun () -> t.checks <- t.checks + 1)
+let incr_hits t = locked t (fun () -> t.hits <- t.hits + 1)
+let incr_misses t = locked t (fun () -> t.misses <- t.misses + 1)
+let incr_rejects t = locked t (fun () -> t.rejects <- t.rejects + 1)
+let incr_errors t = locked t (fun () -> t.errors <- t.errors + 1)
+
+let bucket_of ms =
+  let n = Array.length bounds_ms in
+  let rec go i = if i >= n then n else if ms <= bounds_ms.(i) then i else go (i + 1) in
+  go 0
+
+let observe_latency t seconds =
+  let ms = seconds *. 1000.0 in
+  locked t (fun () ->
+      let b = bucket_of ms in
+      t.histogram.(b) <- t.histogram.(b) + 1;
+      t.lat_count <- t.lat_count + 1;
+      t.lat_sum_ms <- t.lat_sum_ms +. ms;
+      if ms > t.lat_max_ms then t.lat_max_ms <- ms)
+
+type snapshot = {
+  requests : int;
+  checks : int;
+  hits : int;
+  misses : int;
+  rejects : int;
+  errors : int;
+  lat_count : int;
+  lat_mean_ms : float;
+  lat_max_ms : float;
+  lat_p50_ms : float;
+  lat_p90_ms : float;
+  buckets : (float * int) list;
+}
+
+(* Approximate quantile: the upper bound of the first bucket whose cumulative
+   count reaches q * total (the overflow bucket reports the observed max). *)
+let quantile histogram total max_ms q =
+  if total = 0 then 0.0
+  else begin
+    let target = Float.of_int total *. q in
+    let n = Array.length bounds_ms in
+    let rec go i cum =
+      if i >= n then max_ms
+      else
+        let cum = cum + histogram.(i) in
+        if Float.of_int cum >= target then bounds_ms.(i) else go (i + 1) cum
+    in
+    go 0 0
+  end
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let histogram = Array.copy t.histogram in
+  let s =
+    {
+      requests = t.requests;
+      checks = t.checks;
+      hits = t.hits;
+      misses = t.misses;
+      rejects = t.rejects;
+      errors = t.errors;
+      lat_count = t.lat_count;
+      lat_mean_ms =
+        (if t.lat_count = 0 then 0.0
+         else t.lat_sum_ms /. Float.of_int t.lat_count);
+      lat_max_ms = t.lat_max_ms;
+      lat_p50_ms = quantile histogram t.lat_count t.lat_max_ms 0.5;
+      lat_p90_ms = quantile histogram t.lat_count t.lat_max_ms 0.9;
+      buckets =
+        List.init
+          (Array.length histogram)
+          (fun i ->
+            let bound =
+              if i < Array.length bounds_ms then bounds_ms.(i) else infinity
+            in
+            (bound, histogram.(i)));
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>chaind: %d requests (%d checks: %d hits / %d misses; %d rejected, \
+     %d errors)@,latency: mean %.2fms  p50 <=%.2fms  p90 <=%.2fms  max \
+     %.2fms over %d served@]"
+    s.requests s.checks s.hits s.misses s.rejects s.errors s.lat_mean_ms
+    s.lat_p50_ms s.lat_p90_ms s.lat_max_ms s.lat_count

@@ -1,0 +1,47 @@
+(** Request accounting for chaind: monotonically increasing counters plus a
+    fixed-bucket service-latency histogram. All updates are [Mutex]-guarded so
+    the micro-batch workers can record concurrently; reads take a consistent
+    {!snapshot}. *)
+
+type t
+
+val create : unit -> t
+
+val incr_requests : t -> unit
+(** A frame was admitted (check or stats). *)
+
+val incr_checks : t -> unit
+val incr_hits : t -> unit
+(** Check answered from the verdict cache (including requests coalesced onto
+    an identical in-batch computation). *)
+
+val incr_misses : t -> unit
+val incr_rejects : t -> unit
+(** Frame refused because the admission queue was full. *)
+
+val incr_errors : t -> unit
+(** Malformed frame / PEM / scenario, or an internal handler failure. *)
+
+val observe_latency : t -> float -> unit
+(** Record one service time, in seconds. *)
+
+type snapshot = {
+  requests : int;
+  checks : int;
+  hits : int;
+  misses : int;
+  rejects : int;
+  errors : int;
+  lat_count : int;
+  lat_mean_ms : float;
+  lat_max_ms : float;
+  lat_p50_ms : float;  (** upper bound of the bucket holding the median *)
+  lat_p90_ms : float;
+  buckets : (float * int) list;
+      (** (upper bound in ms, count); the last bucket is [infinity] *)
+}
+
+val snapshot : t -> snapshot
+
+val pp_summary : Format.formatter -> snapshot -> unit
+(** The multi-line shutdown summary chaind prints to stderr. *)

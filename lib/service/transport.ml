@@ -1,0 +1,86 @@
+module type S = sig
+  type conn
+
+  val recv : conn -> block:bool -> [ `Frame of string | `Empty | `Eof ]
+  val send : conn -> string -> unit
+end
+
+module Fd = struct
+  type conn = {
+    fd : Unix.file_descr;
+    out : out_channel;
+    buf : Buffer.t;       (* bytes read but not yet returned *)
+    chunk : Bytes.t;
+    mutable eof : bool;   (* the descriptor reported end-of-file *)
+    mutable closed : bool (* eof AND the buffer has been fully drained *)
+  }
+
+  let make fd out =
+    { fd; out; buf = Buffer.create 4096; chunk = Bytes.create 4096;
+      eof = false; closed = false }
+
+  let stdio () = make Unix.stdin stdout
+
+  (* First complete line in [buf], removing it (and its newline). *)
+  let take_line c =
+    let s = Buffer.contents c.buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+        Buffer.clear c.buf;
+        Buffer.add_substring c.buf s (i + 1) (String.length s - i - 1);
+        Some (String.sub s 0 i)
+
+  let readable fd =
+    match Unix.select [ fd ] [] [] 0.0 with
+    | [], _, _ -> false
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+  let rec fill c ~block =
+    match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
+    | 0 -> c.eof <- true
+    | n -> Buffer.add_subbytes c.buf c.chunk 0 n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if block then fill c ~block
+
+  let rec recv c ~block =
+    match take_line c with
+    | Some line -> `Frame line
+    | None ->
+        if c.closed then `Eof
+        else if c.eof then begin
+          (* deliver a trailing unterminated line, then EOF forever *)
+          c.closed <- true;
+          let rest = Buffer.contents c.buf in
+          Buffer.clear c.buf;
+          if rest = "" then `Eof else `Frame rest
+        end
+        else if block || readable c.fd then begin
+          fill c ~block;
+          if (not c.eof) && (not block) && Buffer.length c.buf = 0 then `Empty
+          else recv c ~block
+        end
+        else `Empty
+
+  let send c frame =
+    output_string c.out frame;
+    output_char c.out '\n';
+    flush c.out
+end
+
+module Mem = struct
+  type conn = { mutable input : string list; mutable sent : string list }
+
+  let make input = { input; sent = [] }
+  let output c = List.rev c.sent
+
+  let recv c ~block:_ =
+    match c.input with
+    | [] -> `Eof
+    | frame :: rest ->
+        c.input <- rest;
+        `Frame frame
+
+  let send c frame = c.sent <- frame :: c.sent
+end

@@ -1,0 +1,39 @@
+(** Framed transport for chaind: one request or response per line
+    (newline-delimited JSON). The engine is written against the {!S}
+    signature so a socket backend can slot in later; today there are two
+    implementations — file descriptors (stdin/stdout for [chaoscheck serve])
+    and an in-memory queue for tests. *)
+
+module type S = sig
+  type conn
+
+  val recv : conn -> block:bool -> [ `Frame of string | `Empty | `Eof ]
+  (** Next complete frame. With [block:false], [`Empty] means no complete
+      frame is immediately available — the engine uses this to close a
+      micro-batch instead of waiting for more traffic. After [`Eof] the
+      connection never yields frames again. *)
+
+  val send : conn -> string -> unit
+  (** Write one frame (the implementation appends the newline) and flush. *)
+end
+
+(** File-descriptor transport with its own line buffer; readiness is probed
+    with a zero-timeout [select], so [recv ~block:false] never blocks even
+    though the descriptor is a pipe. A trailing unterminated line is
+    delivered as a final frame at EOF. *)
+module Fd : sig
+  include S
+
+  val make : Unix.file_descr -> out_channel -> conn
+  val stdio : unit -> conn
+end
+
+(** In-memory transport for tests: a fixed list of input frames, captured
+    output. *)
+module Mem : sig
+  include S
+
+  val make : string list -> conn
+  val output : conn -> string list
+  (** Frames sent so far, in order. *)
+end

@@ -12,4 +12,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("difftest", Test_difftest.suite);
       ("extensions", Test_extensions_modules.suite);
+      ("service", Test_service.suite);
       ("edge-cases", Test_edge_cases.suite) ]

@@ -1,0 +1,397 @@
+(* chaind (lib/service): JSON codec, protocol round-trip, LRU bounds and
+   eviction order, verdict-cache hit/miss byte-identity, micro-batch
+   coalescing, jobs-invariance, admission-queue overload, and the serve loop
+   over the in-memory transport. *)
+
+open Chaoschain_measurement
+open Chaoschain_pki
+module S = Chaoschain_service
+module Json = S.Json
+module Protocol = S.Protocol
+module Engine = S.Engine
+
+(* --- JSON codec --- *)
+
+let json_round_trip () =
+  let v =
+    Json.Obj
+      [ ("s", Json.String "line1\nline2 \"quoted\" \\ tab\t");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.String "x"; Json.Obj [] ]) ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Error e -> Alcotest.fail ("round-trip failed: " ^ e)
+  | Ok v' ->
+      Alcotest.(check string) "stable encoding" (Json.to_string v) (Json.to_string v')
+
+let json_decode_escapes () =
+  (match Json.of_string {|"a\u0041\n\u00e9"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "escapes" "aA\n\xc3\xa9" s
+  | _ -> Alcotest.fail "string with escapes");
+  (match Json.of_string {|"\ud83d\ude00"|} with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair");
+  match Json.of_string "  [1, 2.5, {\"k\": null}] " with
+  | Ok (Json.List [ Json.Int 1; Json.Float 2.5; Json.Obj [ ("k", Json.Null) ] ])
+    -> ()
+  | _ -> Alcotest.fail "whitespace + mixed numbers"
+
+let json_rejects_malformed () =
+  let bad = [ "{"; "[1,]"; "{\"a\":1} trailing"; "\"unterminated"; "nul";
+              "{\"a\" 1}"; "\"\\ud800\"" ] in
+  List.iter
+    (fun text ->
+      match Json.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted malformed " ^ text))
+    bad
+
+(* --- protocol --- *)
+
+let proto_round_trip () =
+  let req =
+    {
+      Protocol.id = Some "req-1";
+      op =
+        Protocol.Check
+          {
+            Protocol.domain = Some "example.com";
+            pem = Some "-----BEGIN CERTIFICATE-----\nAAAA\n-----END CERTIFICATE-----\n";
+            scenario = None;
+            aia = false;
+            store = Protocol.Program Root_store.Mozilla;
+            clients = Some [ Chaoschain_core.Clients.Openssl;
+                             Chaoschain_core.Clients.Firefox ];
+          };
+    }
+  in
+  match Protocol.of_frame (Protocol.to_frame req) with
+  | Error e -> Alcotest.fail ("round-trip rejected: " ^ e.Protocol.message)
+  | Ok req' ->
+      Alcotest.(check string) "round-trip" (Protocol.to_frame req)
+        (Protocol.to_frame req');
+      (match req'.Protocol.op with
+      | Protocol.Check c ->
+          Alcotest.(check bool) "aia off" false c.Protocol.aia;
+          Alcotest.(check string) "store" "mozilla"
+            (Protocol.store_choice_to_string c.Protocol.store)
+      | _ -> Alcotest.fail "op changed")
+
+let proto_rejects_malformed () =
+  let expect_code frame code =
+    match Protocol.of_frame frame with
+    | Error e -> Alcotest.(check string) frame code e.Protocol.code
+    | Ok _ -> Alcotest.fail ("accepted " ^ frame)
+  in
+  expect_code "not json" "malformed_frame";
+  expect_code "{}" "malformed_frame";
+  expect_code {|{"op":"launch"}|} "malformed_frame";
+  expect_code {|{"op":"check"}|} "malformed_frame";
+  expect_code {|{"op":"check","pem":"x","scenario":"y","domain":"d"}|}
+    "malformed_frame";
+  expect_code {|{"op":"check","pem":"x"}|} "malformed_frame";
+  expect_code {|{"op":"check","scenario":"s","clients":["netscape"]}|}
+    "malformed_frame";
+  expect_code {|{"op":"check","scenario":"s","store":"curl"}|} "malformed_frame";
+  (* a parsed id is echoed in the error *)
+  match Protocol.of_frame {|{"id":"e1","op":"check"}|} with
+  | Error e -> Alcotest.(check (option string)) "id echoed" (Some "e1") e.Protocol.err_id
+  | Ok _ -> Alcotest.fail "accepted op-less check"
+
+(* --- LRU --- *)
+
+let lru_capacity_bound () =
+  let l = S.Lru.create ~capacity:3 in
+  List.iter (fun k -> S.Lru.add l k (String.length k)) [ "a"; "bb"; "ccc"; "dddd"; "eeeee" ];
+  Alcotest.(check int) "size bounded" 3 (S.Lru.size l);
+  Alcotest.(check int) "evictions" 2 (S.Lru.evictions l);
+  Alcotest.(check bool) "oldest gone" false (S.Lru.mem l "a");
+  Alcotest.(check bool) "newest kept" true (S.Lru.mem l "eeeee")
+
+let lru_eviction_order () =
+  let l = S.Lru.create ~capacity:3 in
+  S.Lru.add l "a" 1;
+  S.Lru.add l "b" 2;
+  S.Lru.add l "c" 3;
+  (* touch "a": now LRU order (mru-first) is a, c, b *)
+  Alcotest.(check (option int)) "find refreshes" (Some 1) (S.Lru.find l "a");
+  Alcotest.(check (list string)) "mru order" [ "a"; "c"; "b" ]
+    (S.Lru.keys_mru_first l);
+  S.Lru.add l "d" 4;
+  Alcotest.(check bool) "b (LRU) evicted" false (S.Lru.mem l "b");
+  Alcotest.(check bool) "a survived via touch" true (S.Lru.mem l "a");
+  (* re-adding an existing key updates in place, no eviction *)
+  S.Lru.add l "c" 33;
+  Alcotest.(check int) "still 3 entries" 3 (S.Lru.size l);
+  Alcotest.(check (option int)) "updated value" (Some 33) (S.Lru.find l "c");
+  Alcotest.(check int) "one eviction total" 1 (S.Lru.evictions l)
+
+(* --- engine fixtures --- *)
+
+let lab = lazy (Population.generate ~scale:0.001 ())
+
+let fixture_record () =
+  let pop = Lazy.force lab in
+  pop.Population.domains.(0)
+
+let make_env () =
+  let pop = Lazy.force lab in
+  let u = pop.Population.universe in
+  let r = fixture_record () in
+  {
+    Engine.diff_env = Population.env pop;
+    union_store = Universe.union_store u;
+    program_store = Universe.store u;
+    aia = Universe.aia u;
+    find_scenario =
+      (fun needle ->
+        if needle = "fixture" then Some (r.Population.domain, r.Population.chain)
+        else None);
+  }
+
+let check_frame ?(id = "q") ?domain ?pem ?scenario () =
+  let opt k = function Some v -> [ (k, Json.String v) ] | None -> [] in
+  Json.to_string
+    (Json.Obj
+       ([ ("id", Json.String id); ("op", Json.String "check") ]
+       @ opt "domain" domain @ opt "pem" pem @ opt "scenario" scenario))
+
+let fixture_pem () = Chaoschain_deployment.Pem.encode_certs (fixture_record ()).Population.chain
+
+let response_field response key =
+  match Json.of_string response with
+  | Ok json -> Json.member key json
+  | Error e -> Alcotest.fail ("unparseable response: " ^ e)
+
+let expect_error response code =
+  (match response_field response "ok" with
+  | Some (Json.Bool false) -> ()
+  | _ -> Alcotest.fail ("expected ok:false in " ^ response));
+  match response_field response "code" with
+  | Some (Json.String c) -> Alcotest.(check string) "error code" code c
+  | _ -> Alcotest.fail ("no code in " ^ response)
+
+(* --- engine: error replies --- *)
+
+let engine_error_replies () =
+  let t = Engine.create ~env:(make_env ()) () in
+  expect_error
+    (Engine.handle_frame t (check_frame ~domain:"a.example" ~pem:"not pem at all" ()))
+    "malformed_pem";
+  expect_error
+    (Engine.handle_frame t
+       (check_frame ~domain:"a.example"
+          ~pem:"-----BEGIN CERTIFICATE-----\n!!!!\n-----END CERTIFICATE-----\n" ()))
+    "malformed_pem";
+  expect_error (Engine.handle_frame t (check_frame ~scenario:"no-such-lab" ())) "unknown_scenario";
+  expect_error (Engine.handle_frame t "{{{{") "malformed_frame";
+  Engine.shutdown t;
+  let m = Engine.metrics t in
+  Alcotest.(check int) "errors counted" 4 m.S.Metrics.errors;
+  Alcotest.(check int) "no verdicts cached" 0 (Engine.cache_size t)
+
+(* --- engine: cache hit is byte-identical to the cold miss --- *)
+
+let engine_hit_identical () =
+  let t = Engine.create ~env:(make_env ()) () in
+  let r = fixture_record () in
+  let frame = check_frame ~domain:r.Population.domain ~pem:(fixture_pem ()) () in
+  let cold = Engine.handle_frame t frame in
+  let warm = Engine.handle_frame t frame in
+  Alcotest.(check string) "hit == miss bytes" cold warm;
+  let m = Engine.metrics t in
+  Alcotest.(check int) "one miss" 1 m.S.Metrics.misses;
+  Alcotest.(check int) "one hit" 1 m.S.Metrics.hits;
+  Alcotest.(check int) "one cached verdict" 1 (Engine.cache_size t);
+  (* the scenario spelling of the same chain+domain also hits the cache *)
+  let via_scenario = Engine.handle_frame t (check_frame ~scenario:"fixture" ()) in
+  Alcotest.(check string) "scenario serves same verdict" cold via_scenario;
+  Alcotest.(check int) "second hit" 2 (Engine.metrics t).S.Metrics.hits;
+  Engine.shutdown t
+
+(* --- engine: verdict content sanity --- *)
+
+let engine_verdict_fields () =
+  let t = Engine.create ~env:(make_env ()) () in
+  let response = Engine.handle_frame t (check_frame ~scenario:"fixture" ()) in
+  (match response_field response "ok" with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.fail ("not ok: " ^ response));
+  (match response_field response "verdict" with
+  | Some verdict ->
+      let has k =
+        match Json.member k verdict with
+        | Some _ -> ()
+        | None -> Alcotest.fail ("verdict lacks " ^ k)
+      in
+      List.iter has [ "domain"; "chain"; "options"; "compliance"; "difftest"; "recommend" ];
+      (match Json.member "difftest" verdict with
+      | Some d -> (
+          match Option.bind (Json.member "clients" d) Json.get_list with
+          | Some clients ->
+              Alcotest.(check int) "eight clients" 8 (List.length clients)
+          | None -> Alcotest.fail "difftest.clients missing")
+      | None -> assert false)
+  | None -> Alcotest.fail "no verdict");
+  Engine.shutdown t
+
+(* --- engine: micro-batch coalescing + jobs invariance --- *)
+
+let batch_frames () =
+  let r = fixture_record () in
+  let pem = fixture_pem () in
+  [ check_frame ~id:"b1" ~domain:r.Population.domain ~pem ();
+    check_frame ~id:"b2" ~domain:r.Population.domain ~pem ();  (* same key *)
+    check_frame ~id:"b3" ~domain:"other.example" ~pem ();       (* new key *)
+    check_frame ~id:"b4" ~scenario:"fixture" () ]               (* same as b1 *)
+
+let run_batch ~jobs =
+  let t = Engine.create ~env:(make_env ()) ~batch:8 ~jobs () in
+  List.iter
+    (fun f ->
+      match Engine.admit t f with
+      | `Admitted -> ()
+      | `Rejected _ -> Alcotest.fail "unexpected rejection")
+    (batch_frames ());
+  let responses = Engine.drain t in
+  let m = Engine.metrics t in
+  Engine.shutdown t;
+  (responses, m)
+
+let engine_batch_coalesces () =
+  let responses, m = run_batch ~jobs:1 in
+  Alcotest.(check int) "all answered" 4 (List.length responses);
+  (* b1/b2/b4 share one verdict computation; b3 is distinct *)
+  Alcotest.(check int) "two misses" 2 m.S.Metrics.misses;
+  Alcotest.(check int) "two coalesced hits" 2 m.S.Metrics.hits;
+  let verdict_of r =
+    match response_field r "verdict" with
+    | Some v -> Json.to_string v
+    | None -> Alcotest.fail ("no verdict in " ^ r)
+  in
+  match responses with
+  | [ r1; r2; _r3; r4 ] ->
+      Alcotest.(check string) "coalesced identical" (verdict_of r1) (verdict_of r2);
+      Alcotest.(check string) "scenario joined too" (verdict_of r1) (verdict_of r4)
+  | _ -> Alcotest.fail "response count"
+
+let engine_jobs_invariant () =
+  let r1, m1 = run_batch ~jobs:1 in
+  let r4, m4 = run_batch ~jobs:4 in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string) (Printf.sprintf "response %d" i) a b)
+    (List.combine r1 r4 |> List.map (fun x -> x));
+  Alcotest.(check int) "same hits" m1.S.Metrics.hits m4.S.Metrics.hits;
+  Alcotest.(check int) "same misses" m1.S.Metrics.misses m4.S.Metrics.misses
+
+(* --- engine: admission-queue overload --- *)
+
+let engine_overload_rejects () =
+  let t = Engine.create ~env:(make_env ()) ~queue_capacity:2 ~batch:8 () in
+  let frame i = check_frame ~id:(Printf.sprintf "o%d" i) ~scenario:"fixture" () in
+  (match Engine.admit t (frame 1) with `Admitted -> () | _ -> Alcotest.fail "1st");
+  (match Engine.admit t (frame 2) with `Admitted -> () | _ -> Alcotest.fail "2nd");
+  (match Engine.admit t (frame 3) with
+  | `Rejected response ->
+      expect_error response "overloaded";
+      (match response_field response "id" with
+      | Some (Json.String id) -> Alcotest.(check string) "id echoed" "o3" id
+      | _ -> Alcotest.fail "no id in rejection")
+  | `Admitted -> Alcotest.fail "queue bound not enforced");
+  Alcotest.(check int) "two pending" 2 (Engine.pending t);
+  let responses = Engine.drain t in
+  Alcotest.(check int) "both served after drain" 2 (List.length responses);
+  Alcotest.(check int) "queue empty" 0 (Engine.pending t);
+  (* capacity is free again *)
+  (match Engine.admit t (frame 4) with `Admitted -> () | _ -> Alcotest.fail "4th");
+  let m = Engine.metrics t in
+  Alcotest.(check int) "one reject" 1 m.S.Metrics.rejects;
+  Alcotest.(check int) "admissions counted" 3 m.S.Metrics.requests;
+  Engine.shutdown t
+
+(* --- serve loop over the in-memory transport --- *)
+
+let serve_loop_mem () =
+  let t = Engine.create ~env:(make_env ()) ~batch:2 ~jobs:2 () in
+  let frames =
+    [ check_frame ~id:"m1" ~scenario:"fixture" ();
+      check_frame ~id:"m2" ~scenario:"fixture" ();
+      "garbage frame";
+      Json.to_string (Json.Obj [ ("id", Json.String "m3"); ("op", Json.String "stats") ]) ]
+  in
+  let conn = S.Transport.Mem.make frames in
+  Engine.serve t (module S.Transport.Mem) conn;
+  Engine.shutdown t;
+  let out = S.Transport.Mem.output conn in
+  Alcotest.(check int) "four replies" 4 (List.length out);
+  (* stats is the last reply and reflects the whole stream *)
+  let stats = List.nth out 3 in
+  (match response_field stats "stats" with
+  | Some s ->
+      let get k =
+        match Json.member k s with
+        | Some (Json.Int i) -> i
+        | _ -> Alcotest.fail ("stats lacks " ^ k)
+      in
+      Alcotest.(check int) "hits" 1 (get "hits");
+      Alcotest.(check int) "misses" 1 (get "misses");
+      Alcotest.(check int) "errors" 1 (get "errors");
+      Alcotest.(check int) "rejects" 0 (get "rejects")
+  | None -> Alcotest.fail ("no stats in " ^ stats));
+  match out with
+  | r1 :: r2 :: rbad :: _ ->
+      Alcotest.(check string) "m1/m2 verdicts identical"
+        (Json.to_string (Option.get (response_field r1 "verdict")))
+        (Json.to_string (Option.get (response_field r2 "verdict")));
+      expect_error rbad "malformed_frame"
+  | _ -> Alcotest.fail "reply order"
+
+(* --- pipeline pool (tentpole refactor): reuse across batches --- *)
+
+let pool_reusable () =
+  let pool = Pipeline.Pool.create ~jobs:4 in
+  let total = ref 0 in
+  let lock = Mutex.create () in
+  for round = 1 to 5 do
+    let n = 100 * round in
+    let acc = Array.make n 0 in
+    Pipeline.Pool.run pool n (fun i -> acc.(i) <- i + round);
+    let sum = Array.fold_left ( + ) 0 acc in
+    Mutex.lock lock;
+    total := !total + sum;
+    Mutex.unlock lock;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d" round)
+      ((n * (n - 1) / 2) + (n * round))
+      sum
+  done;
+  (* exceptions surface from run and do not poison the pool *)
+  (match Pipeline.Pool.run pool 8 (fun i -> if i = 3 then failwith "boom") with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Failure msg -> Alcotest.(check string) "propagated" "boom" msg);
+  let arr = Array.make 16 0 in
+  Pipeline.Pool.run pool 16 (fun i -> arr.(i) <- 1);
+  Alcotest.(check int) "pool still works" 16 (Array.fold_left ( + ) 0 arr);
+  Pipeline.Pool.shutdown pool
+
+let suite =
+  [ Alcotest.test_case "json round-trip" `Quick json_round_trip;
+    Alcotest.test_case "json decode escapes" `Quick json_decode_escapes;
+    Alcotest.test_case "json rejects malformed" `Quick json_rejects_malformed;
+    Alcotest.test_case "protocol round-trip" `Quick proto_round_trip;
+    Alcotest.test_case "protocol rejects malformed" `Quick proto_rejects_malformed;
+    Alcotest.test_case "lru capacity bound" `Quick lru_capacity_bound;
+    Alcotest.test_case "lru eviction order" `Quick lru_eviction_order;
+    Alcotest.test_case "engine error replies" `Slow engine_error_replies;
+    Alcotest.test_case "cache hit byte-identical" `Slow engine_hit_identical;
+    Alcotest.test_case "verdict fields" `Slow engine_verdict_fields;
+    Alcotest.test_case "micro-batch coalescing" `Slow engine_batch_coalesces;
+    Alcotest.test_case "jobs-invariant responses" `Slow engine_jobs_invariant;
+    Alcotest.test_case "overload rejection" `Slow engine_overload_rejects;
+    Alcotest.test_case "serve loop (mem transport)" `Slow serve_loop_mem;
+    Alcotest.test_case "pipeline pool reusable" `Quick pool_reusable ]
