@@ -40,6 +40,9 @@ let usage =
   \                 experiment and micro-benchmark estimates to FILE\n\
   \  --no-micro     skip the Bechamel micro-benchmarks\n\
   \  --micro-only   only the Bechamel micro-benchmarks\n\
+  \  --smoke        correctness cross-checks of the fast paths (digest and\n\
+  \                 decode must match the reference paths), then a tiny-scale\n\
+  \                 micro-bench pass; exits non-zero on any mismatch\n\
   \  --help, -h     print this help\n"
 
 type config = {
@@ -47,6 +50,7 @@ type config = {
   only : string option;
   micro : bool;
   tables : bool;
+  smoke : bool;
   jobs : int;
   json : string option;
 }
@@ -63,6 +67,7 @@ let parse_args () =
         only = None;
         micro = true;
         tables = true;
+        smoke = false;
         jobs = Pipeline.default_jobs ();
         json = None;
       }
@@ -104,6 +109,9 @@ let parse_args () =
         go rest
     | "--micro-only" :: rest ->
         cfg := { !cfg with tables = false };
+        go rest
+    | "--smoke" :: rest ->
+        cfg := { !cfg with smoke = true; tables = false };
         go rest
     | [ flag ] when flag = "--scale" || flag = "--only" || flag = "--jobs"
                     || flag = "-j" || flag = "--json" ->
@@ -191,7 +199,9 @@ let run_experiments ~scale ~only ~jobs =
 
 (* --- micro-benchmarks --- *)
 
-let micro_tests () =
+(* Workloads are (name, thunk) pairs so the harness can warm each one up
+   directly before handing it to Bechamel. *)
+let micro_workloads () =
   let fx_order = Capability.fixture Capability.Order_reorganization in
   let fx_aia = Capability.fixture Capability.Aia_completion in
   let chain_bytes = Chaoschain_tlssim.Certmsg.encode_tls12 fx_order.Capability.served in
@@ -205,74 +215,175 @@ let micro_tests () =
     |> List.find (fun r -> r.Population.scenario = Calibration.Fig_moex)
   in
   let client_bench (client : Clients.t) fx =
-    Test.make
-      ~name:(Printf.sprintf "build+validate/%s" client.Clients.name)
-      (Staged.stage (fun () -> ignore (Capability.run_client client fx)))
+    ( Printf.sprintf "build+validate/%s" client.Clients.name,
+      fun () -> ignore (Capability.run_client client fx) )
   in
   let one_client id =
     Difftest.run_case_clients env [ Clients.by_id id ] ~domain:moex.Population.domain
       moex.Population.chain
   in
-  [ Test.make ~name:"sha256/1KiB"
-      (Staged.stage
-         (let buf = String.make 1024 'x' in
-          fun () -> ignore (Chaoschain_crypto.Sha256.digest buf)));
-    Test.make ~name:"der/decode-certificate"
-      (Staged.stage (fun () -> ignore (Chaoschain_x509.Cert.of_der sample_der)));
-    Test.make ~name:"pem/decode-chain"
-      (Staged.stage (fun () -> ignore (Chaoschain_deployment.Pem.decode_certs pem_text)));
-    Test.make ~name:"tls/certificate-message-decode"
-      (Staged.stage (fun () -> ignore (Chaoschain_tlssim.Certmsg.decode_tls12 chain_bytes)));
-    Test.make ~name:"topology/build+paths"
-      (Staged.stage (fun () ->
-           let t = Topology.build topo_chain in
-           ignore (Topology.paths t)));
+  let sha_buf = String.make 1024 'x' in
+  let compliance_rec = mini_pop.Population.domains.(0) in
+  [ ("sha256/1KiB", fun () -> ignore (Chaoschain_crypto.Sha256.digest sha_buf));
+    ( "der/decode-certificate",
+      fun () -> ignore (Chaoschain_x509.Cert.of_der sample_der) );
+    ( "pem/decode-chain",
+      fun () -> ignore (Chaoschain_deployment.Pem.decode_certs pem_text) );
+    ( "pem/decode-chain(no-intern)",
+      fun () ->
+        Chaoschain_pki.Intern.set_enabled false;
+        ignore (Chaoschain_deployment.Pem.decode_certs pem_text);
+        Chaoschain_pki.Intern.set_enabled true );
+    ( "tls/certificate-message-decode",
+      fun () -> ignore (Chaoschain_tlssim.Certmsg.decode_tls12 chain_bytes) );
+    ( "topology/build+paths",
+      fun () ->
+        let t = Topology.build topo_chain in
+        ignore (Topology.paths t) );
     client_bench (Clients.by_id Clients.Openssl) fx_order;
     client_bench (Clients.by_id Clients.Mbedtls) fx_order;
     client_bench (Clients.by_id Clients.Cryptoapi) fx_aia;
     client_bench (Clients.by_id Clients.Chrome) fx_order;
     client_bench Clients.reference fx_order;
-    Test.make ~name:"compliance/full-report"
-      (Staged.stage
-         (let r = mini_pop.Population.domains.(0) in
-          fun () -> ignore (Population.compliance_report mini_pop r)));
-    Test.make ~name:"ablation/moex-no-backtracking(OpenSSL)"
-      (Staged.stage (fun () -> ignore (one_client Clients.Openssl)));
-    Test.make ~name:"ablation/moex-backtracking(CryptoAPI)"
-      (Staged.stage (fun () -> ignore (one_client Clients.Cryptoapi))) ]
+    ( "compliance/full-report",
+      fun () -> ignore (Population.compliance_report mini_pop compliance_rec) );
+    ( "ablation/moex-no-backtracking(OpenSSL)",
+      fun () -> ignore (one_client Clients.Openssl) );
+    ( "ablation/moex-backtracking(CryptoAPI)",
+      fun () -> ignore (one_client Clients.Cryptoapi) ) ]
 
-type micro_result = { bench : string; ns_per_run : float option; r2 : float option }
+type micro_result = {
+  bench : string;
+  ns_per_run : float option;
+  r2 : float option;
+  minor_words : float option;  (* minor-heap words allocated per run *)
+}
 
-let run_micro () =
+(* Warmup + a min-runs floor: each workload runs for [warmup_s] before
+   measurement (fills caches, triggers any lazy initialisation, lets the
+   allocator reach steady state), and the sampling quota is high enough that
+   fast workloads get thousands of measured runs; r^2 of the OLS fit is
+   reported so a noisy estimate is visible in the output. *)
+let run_micro ?(quota_s = 1.0) ?(warmup_s = 0.05) () =
   Printf.printf "== Bechamel micro-benchmarks ==\n%!";
-  Printf.printf "%-45s %15s %10s\n" "benchmark" "ns/run" "r^2";
+  Printf.printf "%-45s %15s %10s %12s\n" "benchmark" "ns/run" "r^2" "mnr-w/run";
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:5000 ~quota:(Time.second quota_s) ~stabilize:true ()
   in
+  (* Bechamel's minor-allocated instance reads [Gc.quick_stat], which OCaml 5
+     only refreshes at collection boundaries — it reports 0 for workloads that
+     fit in the minor heap.  Allocation is measured directly instead:
+     [Gc.minor_words] around a counted loop. *)
   let instances = [ Instance.monotonic_clock ] in
-  let analyze raw =
-    Analyze.all
-      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
-      Instance.monotonic_clock raw
+  let estimate_of instance raw =
+    let results =
+      Analyze.all
+        (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+        instance raw
+    in
+    let found = ref None in
+    Hashtbl.iter (fun _ ols -> found := Some ols) results;
+    match !found with
+    | None -> (None, None)
+    | Some ols ->
+        ( (match Analyze.OLS.estimates ols with Some (e :: _) -> Some e | _ -> None),
+          Analyze.OLS.r_square ols )
   in
   let collected = ref [] in
   List.iter
-    (fun test ->
+    (fun (name, fn) ->
+      let t0 = wall_s () in
+      while wall_s () -. t0 < warmup_s do
+        fn ()
+      done;
+      let mw =
+        let runs = 64 in
+        let m0 = Gc.minor_words () in
+        for _ = 1 to runs do fn () done;
+        let m1 = Gc.minor_words () in
+        Some ((m1 -. m0) /. float_of_int runs)
+      in
+      let test = Test.make ~name (Staged.stage fn) in
       let raw = Benchmark.all cfg instances test in
-      let results = analyze raw in
-      Hashtbl.iter
-        (fun name ols ->
-          let est =
-            match Analyze.OLS.estimates ols with Some (e :: _) -> Some e | _ -> None
-          in
-          let r2 = Analyze.OLS.r_square ols in
-          Printf.printf "%-45s %15s %10s\n%!" name
-            (match est with Some e -> Printf.sprintf "%.1f" e | None -> "n/a")
-            (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-");
-          collected := { bench = name; ns_per_run = est; r2 } :: !collected)
-        results)
-    (micro_tests ());
+      let ns, r2 = estimate_of Instance.monotonic_clock raw in
+      Printf.printf "%-45s %15s %10s %12s\n%!" name
+        (match ns with Some e -> Printf.sprintf "%.1f" e | None -> "n/a")
+        (match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-")
+        (match mw with Some w -> Printf.sprintf "%.1f" w | None -> "n/a");
+      collected :=
+        { bench = name; ns_per_run = ns; r2; minor_words = mw } :: !collected)
+    (micro_workloads ());
   List.rev !collected
+
+(* --- smoke: fast paths must agree with the reference paths --- *)
+
+let smoke_checks () =
+  let module Sha256 = Chaoschain_crypto.Sha256 in
+  let module Der = Chaoschain_der.Der in
+  let module Cert = Chaoschain_x509.Cert in
+  let module Intern = Chaoschain_pki.Intern in
+  let module Pem = Chaoschain_deployment.Pem in
+  let module Base64 = Chaoschain_deployment.Base64 in
+  let failures = ref 0 in
+  let check what ok =
+    if not ok then begin
+      incr failures;
+      Printf.eprintf "SMOKE FAIL: %s\n%!" what
+    end
+  in
+  (* FIPS 180-4 vectors. *)
+  List.iter
+    (fun (msg, hex) -> check ("sha256 " ^ hex) (Sha256.hexdigest msg = hex))
+    [ ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" ) ];
+  (* Streaming equals one-shot across split points. *)
+  let msg = String.init 300 (fun i -> Char.chr (i land 0xFF)) in
+  List.iter
+    (fun cut ->
+      let ctx = Sha256.init () in
+      Sha256.feed ctx (String.sub msg 0 cut);
+      Sha256.feed ctx (String.sub msg cut (String.length msg - cut));
+      check
+        (Printf.sprintf "sha256 streaming split %d" cut)
+        (Sha256.finalize ctx = Sha256.digest msg))
+    [ 0; 1; 63; 64; 65; 128; 300 ];
+  check "sha256 digest_sub"
+    (Sha256.digest_sub msg 17 100 = Sha256.digest (String.sub msg 17 100));
+  (* Slice decode equals tree decode on fixture certificates. *)
+  let fx = Capability.fixture Capability.Order_reorganization in
+  List.iter
+    (fun cert ->
+      let raw = Cert.to_der cert in
+      check "der slice=tree"
+        (Der.decode_slice (Der.slice_of_string raw) = Der.decode raw))
+    fx.Capability.served;
+  (* Interned decode is byte-identical to a fresh parse. *)
+  let pem_text = Pem.encode_certs fx.Capability.served in
+  let ders certs = List.map Cert.to_der certs in
+  Intern.set_enabled false;
+  let plain = Pem.decode_certs pem_text in
+  Intern.set_enabled true;
+  let interned = Pem.decode_certs pem_text in
+  check "intern on/off byte-identity"
+    (match (plain, interned) with
+    | Ok a, Ok b -> ders a = ders b
+    | _ -> false);
+  (* Base64 round-trip. *)
+  let blob = String.init 257 (fun i -> Char.chr ((i * 7) land 0xFF)) in
+  check "base64 round-trip" (Base64.decode (Base64.encode blob) = Ok blob);
+  check "base64 malformed length" (Base64.decode "abc" = Error "base64: length not a multiple of 4");
+  !failures
+
+let run_smoke () =
+  Printf.printf "== smoke: fast-path cross-checks ==\n%!";
+  let failures = smoke_checks () in
+  if failures > 0 then begin
+    Printf.eprintf "%d smoke check(s) failed\n%!" failures;
+    exit 1
+  end;
+  Printf.printf "all fast-path cross-checks passed\n%!"
 
 (* --- machine-readable timing dump (--json) --- *)
 
@@ -306,7 +417,8 @@ let json_of_run ~cfg ~(experiments : run_report option) ~(micro : micro_result l
                    Json.Obj
                      [ ("name", Json.String m.bench);
                        ("ns_per_run", opt_float m.ns_per_run);
-                       ("r_square", opt_float m.r2) ])
+                       ("r_square", opt_float m.r2);
+                       ("minor_words_per_run", opt_float m.minor_words) ])
                  l) ) ]
   in
   Json.Obj
@@ -315,12 +427,17 @@ let json_of_run ~cfg ~(experiments : run_report option) ~(micro : micro_result l
 
 let () =
   let cfg = parse_args () in
+  if cfg.smoke then run_smoke ();
   let experiments =
     if cfg.tables then
       Some (run_experiments ~scale:cfg.scale ~only:cfg.only ~jobs:cfg.jobs)
     else None
   in
-  let micro = if cfg.micro then run_micro () else [] in
+  let micro =
+    if cfg.smoke then run_micro ~quota_s:0.02 ~warmup_s:0.005 ()
+    else if cfg.micro then run_micro ()
+    else []
+  in
   match cfg.json with
   | None -> ()
   | Some path ->

@@ -100,6 +100,17 @@ let domain_arg =
   let doc = "Domain name the chain was served for." in
   Arg.(value & opt string "example.com" & info [ "domain"; "d" ] ~doc)
 
+let no_intern_arg =
+  let doc =
+    "Disable the process-wide certificate intern cache (every decode parses \
+     from scratch). Results are identical either way; the flag exists for \
+     A/B debugging and timing."
+  in
+  Arg.(value & flag & info [ "no-intern" ] ~doc)
+
+let apply_intern no_intern =
+  if no_intern then Chaoschain_pki.Intern.set_enabled false
+
 let read_chain path =
   let text =
     if path = "-" then In_channel.input_all stdin
@@ -110,7 +121,8 @@ let read_chain path =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run path domain scale =
+  let run path domain scale no_intern =
+    apply_intern no_intern;
     match read_chain path with
     | Error e -> `Error (false, e)
     | Ok [] -> `Error (false, "no certificates in input")
@@ -127,12 +139,13 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Server-side structural compliance report")
-    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg))
+    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg $ no_intern_arg))
 
 (* --- difftest --- *)
 
 let difftest_cmd =
-  let run path domain scale =
+  let run path domain scale no_intern =
+    apply_intern no_intern;
     match read_chain path with
     | Error e -> `Error (false, e)
     | Ok certs ->
@@ -154,7 +167,7 @@ let difftest_cmd =
   in
   Cmd.v
     (Cmd.info "difftest" ~doc:"Validate a chain in all eight client models")
-    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg))
+    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg $ no_intern_arg))
 
 (* --- matrix --- *)
 
@@ -170,7 +183,8 @@ let matrix_cmd =
 (* --- recommend --- *)
 
 let recommend_cmd =
-  let run path domain scale =
+  let run path domain scale no_intern =
+    apply_intern no_intern;
     match read_chain path with
     | Error e -> `Error (false, e)
     | Ok certs ->
@@ -201,7 +215,7 @@ let recommend_cmd =
   Cmd.v
     (Cmd.info "recommend"
        ~doc:"Section 6 remediation advice (and a corrected chain if derivable)")
-    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg))
+    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg $ no_intern_arg))
 
 (* --- fuzz --- *)
 
@@ -212,7 +226,8 @@ let fuzz_cmd =
   let seed_arg =
     Arg.(value & opt int 4242 & info [ "seed" ] ~doc:"PRNG seed.")
   in
-  let run iterations seed scale =
+  let run iterations seed scale no_intern =
+    apply_intern no_intern;
     with_lab scale (fun pop ->
     let env = Population.env pop in
     let seeds =
@@ -243,7 +258,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Frankencert-style structural fuzzing of the eight client models")
-    Term.(ret (const run $ iterations_arg $ seed_arg $ scale_arg))
+    Term.(ret (const run $ iterations_arg $ seed_arg $ scale_arg $ no_intern_arg))
 
 (* --- serve (chaind) --- *)
 
@@ -271,7 +286,8 @@ let serve_cmd =
              ~doc:"Worker-Domain pool size for micro-batch processing \
                    (verdicts are identical for every value).")
   in
-  let run scale cache queue batch jobs =
+  let run scale cache queue batch jobs no_intern =
+    apply_intern no_intern;
     if cache < 1 then `Error (true, "--cache must be >= 1")
     else if queue < 1 then `Error (true, "--queue must be >= 1")
     else if batch < 1 then `Error (true, "--batch must be >= 1")
@@ -311,6 +327,10 @@ let serve_cmd =
             (Service.Engine.cache_size engine)
             (Service.Engine.cache_capacity engine)
             (Service.Engine.cache_evictions engine);
+          let i = Chaoschain_pki.Intern.stats () in
+          Format.eprintf "intern: %d certificates, %d/%d lookups reused@."
+            i.Chaoschain_pki.Intern.entries i.Chaoschain_pki.Intern.hits
+            i.Chaoschain_pki.Intern.lookups;
           `Ok ())
   in
   Cmd.v
@@ -319,7 +339,7 @@ let serve_cmd =
              JSON on stdin/stdout (verdict = analyze + difftest + recommend), \
              with LRU verdict caching, micro-batching and request metrics")
     Term.(ret (const run $ scale_arg $ cache_arg $ queue_arg $ batch_arg
-               $ jobs_arg))
+               $ jobs_arg $ no_intern_arg))
 
 (* --- reproduce --- *)
 
@@ -339,7 +359,8 @@ let reproduce_cmd =
                    sequential; default: all cores). Output is identical for \
                    every value.")
   in
-  let run scale only jobs =
+  let run scale only jobs no_intern =
+    apply_intern no_intern;
     if jobs < 1 then `Error (true, "--jobs must be >= 1")
     else begin
     let pop = Population.generate ~scale () in
@@ -363,7 +384,7 @@ let reproduce_cmd =
   in
   Cmd.v
     (Cmd.info "reproduce" ~doc:"Regenerate the paper's tables and figures")
-    Term.(ret (const run $ scale_arg $ only_arg $ jobs_arg))
+    Term.(ret (const run $ scale_arg $ only_arg $ jobs_arg $ no_intern_arg))
 
 let () =
   let doc = "Web PKI certificate-chain deployment and construction analysis" in

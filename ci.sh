@@ -10,6 +10,11 @@ dune build
 dune runtest
 dune exec bench/main.exe -- --scale 0.002 --no-micro --jobs 2
 
+# Perf smoke: cross-check the hand-optimised fast paths (SHA-256, slice DER
+# decode, intern cache, base64) against the reference paths; exits non-zero
+# on any digest or decode mismatch.
+dune exec bench/main.exe -- --smoke
+
 # chaind smoke: two identical scenario checks + a stats probe through the
 # framed stdin/stdout protocol; assert the verdict and the cache-hit counters.
 out=$(dune exec bin/chaoscheck.exe -- serve --scale 0.002 --jobs 2 \

@@ -1,160 +1,184 @@
 (* SHA-256 per FIPS 180-4.  The message schedule and compression loop work on
-   boxed int32 values; this is fast enough for the corpus sizes used by the
-   measurement experiments (a few hundred MB per full run). *)
+   unboxed native [int]s masked to 32 bits: on a 64-bit OCaml runtime every
+   word of the schedule, the eight working variables and all intermediate
+   sums live in registers, with a single [land 0xFFFFFFFF] normalisation per
+   assignment instead of one boxed [Int32.t] allocation per operation.  Word
+   loads from the block use [Bytes.unsafe_get] (the 64-byte block is owned by
+   the context and offsets are derived from the loop counter). *)
 
 let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
-     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
-     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
-     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
-     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
-     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
-     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
-     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
-     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
-     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
-     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b;
+     0x59f111f1; 0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01;
+     0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe; 0x9bdc06a7;
+     0xc19bf174; 0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc;
+     0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da; 0x983e5152;
+     0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc;
+     0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85;
+     0xa2bfe8a1; 0xa81a664b; 0xc24b8b70; 0xc76c51a3; 0xd192e819;
+     0xd6990624; 0xf40e3585; 0x106aa070; 0x19a4c116; 0x1e376c08;
+     0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f;
+     0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
 type ctx = {
-  h : int32 array;          (* 8 working hash values *)
+  h : int array;            (* 8 working hash values, each in [0, 2^32) *)
   block : Bytes.t;          (* 64-byte input block being filled *)
   mutable block_len : int;  (* bytes currently in [block] *)
-  mutable total_len : int64;(* total message length in bytes *)
-  w : int32 array;          (* 64-entry message schedule, reused *)
+  mutable total_len : int;  (* total message length in bytes *)
+  w : int array;            (* 64-entry message schedule, reused *)
   mutable finalized : bool;
 }
 
 let init () =
   {
     h =
-      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
-         0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
     block = Bytes.create 64;
     block_len = 0;
-    total_len = 0L;
-    w = Array.make 64 0l;
+    total_len = 0;
+    w = Array.make 64 0;
     finalized = false;
   }
 
-let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let mask = 0xFFFFFFFF
 
-let compress ctx =
+(* Unsafe 32-bit big-endian load: one mov + bswap instead of four byte loads.
+   The directly-nested primitive chain compiles without boxing the [int32]. *)
+external get_32u : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external bswap_32 : int32 -> int32 = "%bswap_int32"
+
+let[@inline] load_be b o = Int32.to_int (bswap_32 (get_32u b o)) land mask
+
+(* 32-bit right-rotations use the doubled-word trick: with
+   [xx = x lor (x lsl 32)] (x clean below 2^32), the low 32 bits of
+   [xx lsr n] are exactly [rot_r(x, n)] for any n <= 30 — one shift per
+   rotation instead of two shifts and an or.  Bits above 31 of the result are
+   garbage, which every consumer tolerates: sums are normalised with
+   [land mask] exactly where a clean value is next needed. *)
+
+(* [compress_at ctx b o] runs one compression round over the 64 bytes of [b]
+   starting at [o]; whole blocks are consumed straight from the caller's
+   buffer without staging through [ctx.block]. *)
+let compress_at ctx b off =
   let w = ctx.w in
-  let b = ctx.block in
   for i = 0 to 15 do
-    let o = i * 4 in
-    w.(i) <-
-      Int32.logor
-        (Int32.shift_left (Int32.of_int (Char.code (Bytes.get b o))) 24)
-        (Int32.logor
-           (Int32.shift_left (Int32.of_int (Char.code (Bytes.get b (o + 1)))) 16)
-           (Int32.logor
-              (Int32.shift_left (Int32.of_int (Char.code (Bytes.get b (o + 2)))) 8)
-              (Int32.of_int (Char.code (Bytes.get b (o + 3))))))
+    Array.unsafe_set w i (load_be b (off + (i * 4)))
   done;
   for i = 16 to 63 do
-    let s0 =
-      Int32.logxor
-        (Int32.logxor (rotr w.(i - 15) 7) (rotr w.(i - 15) 18))
-        (Int32.shift_right_logical w.(i - 15) 3)
-    in
-    let s1 =
-      Int32.logxor
-        (Int32.logxor (rotr w.(i - 2) 17) (rotr w.(i - 2) 19))
-        (Int32.shift_right_logical w.(i - 2) 10)
-    in
-    w.(i) <- Int32.add (Int32.add w.(i - 16) s0) (Int32.add w.(i - 7) s1)
+    let w15 = Array.unsafe_get w (i - 15) in
+    let w2 = Array.unsafe_get w (i - 2) in
+    let ww15 = w15 lor (w15 lsl 32) and ww2 = w2 lor (w2 lsl 32) in
+    let s0 = (ww15 lsr 7) lxor (ww15 lsr 18) lxor (w15 lsr 3)
+    and s1 = (ww2 lsr 17) lxor (ww2 lsr 19) lxor (w2 lsr 10) in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + Array.unsafe_get w (i - 7) + s0 + s1)
+       land mask)
   done;
-  let a = ref ctx.h.(0) and b' = ref ctx.h.(1) and c = ref ctx.h.(2)
-  and d = ref ctx.h.(3) and e = ref ctx.h.(4) and f = ref ctx.h.(5)
-  and g = ref ctx.h.(6) and h' = ref ctx.h.(7) in
-  for i = 0 to 63 do
-    let s1 = Int32.logxor (Int32.logxor (rotr !e 6) (rotr !e 11)) (rotr !e 25) in
-    let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
-    let t1 = Int32.add (Int32.add (Int32.add !h' s1) (Int32.add ch k.(i))) w.(i) in
-    let s0 = Int32.logxor (Int32.logxor (rotr !a 2) (rotr !a 13)) (rotr !a 22) in
-    let maj =
-      Int32.logxor
-        (Int32.logxor (Int32.logand !a !b') (Int32.logand !a !c))
-        (Int32.logand !b' !c)
-    in
-    let t2 = Int32.add s0 maj in
-    h' := !g;
-    g := !f;
-    f := !e;
-    e := Int32.add !d t1;
-    d := !c;
-    c := !b';
-    b' := !a;
-    a := Int32.add t1 t2
-  done;
-  ctx.h.(0) <- Int32.add ctx.h.(0) !a;
-  ctx.h.(1) <- Int32.add ctx.h.(1) !b';
-  ctx.h.(2) <- Int32.add ctx.h.(2) !c;
-  ctx.h.(3) <- Int32.add ctx.h.(3) !d;
-  ctx.h.(4) <- Int32.add ctx.h.(4) !e;
-  ctx.h.(5) <- Int32.add ctx.h.(5) !f;
-  ctx.h.(6) <- Int32.add ctx.h.(6) !g;
-  ctx.h.(7) <- Int32.add ctx.h.(7) !h'
+  let h = ctx.h in
+  (* The eight working variables are immediate-int accumulators of a
+     tail-recursive loop: they live in registers for the whole block, with no
+     ref-cell traffic.  Intermediate sums like [t1] are left unmasked — high
+     garbage bits can never carry down into the low 32 — and normalised only
+     at the two assignments that need it. *)
+  let rec rounds a b' c d e f g h' i =
+    if i = 64 then begin
+      Array.unsafe_set h 0 ((Array.unsafe_get h 0 + a) land mask);
+      Array.unsafe_set h 1 ((Array.unsafe_get h 1 + b') land mask);
+      Array.unsafe_set h 2 ((Array.unsafe_get h 2 + c) land mask);
+      Array.unsafe_set h 3 ((Array.unsafe_get h 3 + d) land mask);
+      Array.unsafe_set h 4 ((Array.unsafe_get h 4 + e) land mask);
+      Array.unsafe_set h 5 ((Array.unsafe_get h 5 + f) land mask);
+      Array.unsafe_set h 6 ((Array.unsafe_get h 6 + g) land mask);
+      Array.unsafe_set h 7 ((Array.unsafe_get h 7 + h') land mask)
+    end
+    else begin
+      let ee = e lor (e lsl 32) in
+      let s1 = (ee lsr 6) lxor (ee lsr 11) lxor (ee lsr 25) in
+      let ch = (e land f) lxor (lnot e land g) in
+      let t1 = h' + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i in
+      let aa = a lor (a lsl 32) in
+      let s0 = (aa lsr 2) lxor (aa lsr 13) lxor (aa lsr 22) in
+      let maj = (a land b') lxor (a land c) lxor (b' land c) in
+      rounds ((t1 + s0 + maj) land mask) a b' c ((d + t1) land mask) e f g
+        (i + 1)
+    end
+  in
+  rounds (Array.unsafe_get h 0) (Array.unsafe_get h 1) (Array.unsafe_get h 2)
+    (Array.unsafe_get h 3) (Array.unsafe_get h 4) (Array.unsafe_get h 5)
+    (Array.unsafe_get h 6) (Array.unsafe_get h 7) 0
 
 let feed_bytes ctx src off len =
   if off < 0 || len < 0 || off + len > Bytes.length src then
     invalid_arg "Sha256.feed_bytes";
   if ctx.finalized then invalid_arg "Sha256: context already finalized";
-  ctx.total_len <- Int64.add ctx.total_len (Int64.of_int len);
+  ctx.total_len <- ctx.total_len + len;
   let pos = ref off and remaining = ref len in
-  while !remaining > 0 do
+  (* Fill a partial block first (or a full one when small inputs stream in). *)
+  while !remaining > 0 && (ctx.block_len > 0 || !remaining < 64) do
     let take = min !remaining (64 - ctx.block_len) in
     Bytes.blit src !pos ctx.block ctx.block_len take;
     ctx.block_len <- ctx.block_len + take;
     pos := !pos + take;
     remaining := !remaining - take;
     if ctx.block_len = 64 then begin
-      compress ctx;
+      compress_at ctx ctx.block 0;
       ctx.block_len <- 0
     end
-  done
+  done;
+  (* Whole blocks straight from the source buffer, no staging blit. *)
+  while !remaining >= 64 do
+    compress_at ctx src !pos;
+    pos := !pos + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit src !pos ctx.block 0 !remaining;
+    ctx.block_len <- !remaining
+  end
 
 let feed ctx s = feed_bytes ctx (Bytes.unsafe_of_string s) 0 (String.length s)
 
 let finalize ctx =
   if ctx.finalized then invalid_arg "Sha256: context already finalized";
   ctx.finalized <- true;
-  let bitlen = Int64.mul ctx.total_len 8L in
+  let bitlen = ctx.total_len * 8 in
   (* 0x80 terminator, zero pad to 56 mod 64, then 64-bit big-endian length. *)
   Bytes.set ctx.block ctx.block_len '\x80';
   ctx.block_len <- ctx.block_len + 1;
   if ctx.block_len > 56 then begin
     Bytes.fill ctx.block ctx.block_len (64 - ctx.block_len) '\x00';
-    compress ctx;
+    compress_at ctx ctx.block 0;
     ctx.block_len <- 0
   end;
   Bytes.fill ctx.block ctx.block_len (56 - ctx.block_len) '\x00';
   for i = 0 to 7 do
     Bytes.set ctx.block (56 + i)
-      (Char.chr
-         (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen ((7 - i) * 8)) 0xFFL)))
+      (Char.unsafe_chr ((bitlen lsr ((7 - i) * 8)) land 0xFF))
   done;
   ctx.block_len <- 64;
-  compress ctx;
+  compress_at ctx ctx.block 0;
   let out = Bytes.create 32 in
   for i = 0 to 7 do
-    let v = ctx.h.(i) in
-    Bytes.set out (i * 4)
-      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 24) 0xFFl)));
-    Bytes.set out ((i * 4) + 1)
-      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 16) 0xFFl)));
-    Bytes.set out ((i * 4) + 2)
-      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 8) 0xFFl)));
-    Bytes.set out ((i * 4) + 3) (Char.chr (Int32.to_int (Int32.logand v 0xFFl)))
+    let v = Array.unsafe_get ctx.h i in
+    Bytes.unsafe_set out (i * 4) (Char.unsafe_chr ((v lsr 24) land 0xFF));
+    Bytes.unsafe_set out ((i * 4) + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set out ((i * 4) + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set out ((i * 4) + 3) (Char.unsafe_chr (v land 0xFF))
   done;
   Bytes.unsafe_to_string out
 
 let digest s =
   let ctx = init () in
   feed ctx s;
+  finalize ctx
+
+let digest_sub s off len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Sha256.digest_sub";
+  let ctx = init () in
+  feed_bytes ctx (Bytes.unsafe_of_string s) off len;
   finalize ctx
 
 let hexdigest s = Hex.encode (digest s)

@@ -26,5 +26,10 @@ val finalize : ctx -> string
 val digest : string -> string
 (** One-shot hash: 32-byte raw digest of the whole input. *)
 
+val digest_sub : string -> int -> int -> string
+(** [digest_sub s off len]: 32-byte raw digest of [len] bytes of [s] starting
+    at [off], without copying the window first. Raises [Invalid_argument] if
+    the range is out of bounds. *)
+
 val hexdigest : string -> string
 (** [digest] rendered as 64 lowercase hex characters. *)

@@ -27,13 +27,13 @@ let encode s =
   | _ -> ());
   Buffer.contents out
 
-let value_of = function
-  | 'A' .. 'Z' as c -> Some (Char.code c - Char.code 'A')
-  | 'a' .. 'z' as c -> Some (Char.code c - Char.code 'a' + 26)
-  | '0' .. '9' as c -> Some (Char.code c - Char.code '0' + 52)
-  | '+' -> Some 62
-  | '/' -> Some 63
-  | _ -> None
+(* Decoding uses a 256-entry value table (-1 = not in the alphabet) and
+   writes straight into an exactly-sized [Bytes] buffer: each 4-character
+   group becomes one 24-bit accumulator and three stores. *)
+let decode_table =
+  let t = Array.make 256 (-1) in
+  String.iteri (fun i c -> t.(Char.code c) <- i) alphabet;
+  t
 
 let decode s =
   let n = String.length s in
@@ -45,30 +45,33 @@ let decode s =
       else if s.[n - 1] = '=' then 1
       else 0
     in
-    let out = Buffer.create (n / 4 * 3) in
+    let groups = n / 4 in
+    let out = Bytes.create (groups * 3) in
     let err = ref None in
-    let quad = Array.make 4 0 in
     (try
-       for group = 0 to (n / 4) - 1 do
-         for k = 0 to 3 do
-           let c = s.[(group * 4) + k] in
-           let last_group = group = (n / 4) - 1 in
-           if c = '=' && last_group && k >= 4 - padding then quad.(k) <- 0
+       for g = 0 to groups - 1 do
+         let o = g * 4 in
+         let dec k =
+           let c = String.unsafe_get s (o + k) in
+           if c = '=' && g = groups - 1 && k >= 4 - padding then 0
            else
-             match value_of c with
-             | Some v -> quad.(k) <- v
-             | None ->
-                 err := Some (Printf.sprintf "base64: invalid character %C" c);
-                 raise Exit
-         done;
-         Buffer.add_char out (Char.chr ((quad.(0) lsl 2) lor (quad.(1) lsr 4)));
-         Buffer.add_char out (Char.chr (((quad.(1) land 0xF) lsl 4) lor (quad.(2) lsr 2)));
-         Buffer.add_char out (Char.chr (((quad.(2) land 0x3) lsl 6) lor quad.(3)))
+             let v = Array.unsafe_get decode_table (Char.code c) in
+             if v < 0 then begin
+               err := Some (Printf.sprintf "base64: invalid character %C" c);
+               raise Exit
+             end
+             else v
+         in
+         let triple =
+           (dec 0 lsl 18) lor (dec 1 lsl 12) lor (dec 2 lsl 6) lor dec 3
+         in
+         Bytes.unsafe_set out (g * 3) (Char.unsafe_chr (triple lsr 16));
+         Bytes.unsafe_set out ((g * 3) + 1)
+           (Char.unsafe_chr ((triple lsr 8) land 0xFF));
+         Bytes.unsafe_set out ((g * 3) + 2) (Char.unsafe_chr (triple land 0xFF))
        done
      with Exit -> ());
     match !err with
     | Some e -> Error e
-    | None ->
-        let full = Buffer.contents out in
-        Ok (String.sub full 0 (String.length full - padding))
+    | None -> Ok (Bytes.sub_string out 0 ((groups * 3) - padding))
   end

@@ -1,4 +1,5 @@
 open Chaoschain_x509
+module Intern = Chaoschain_pki.Intern
 
 let header = "-----BEGIN CERTIFICATE-----"
 let footer = "-----END CERTIFICATE-----"
@@ -20,23 +21,32 @@ let encode_certs certs = String.concat "" (List.map encode_cert certs)
 let ( let* ) = Result.bind
 
 let decode_certs text =
+  (* Body lines accumulate into one reused [Buffer] (no per-block list of
+     line strings), and each decoded DER blob goes through the intern table
+     so a certificate repeated across chains is parsed once. *)
   let lines = String.split_on_char '\n' text in
-  let rec scan acc current lines =
-    match (lines, current) with
-    | [], None -> Ok (List.rev acc)
-    | [], Some _ -> Error "PEM: unterminated CERTIFICATE block"
-    | line :: rest, current -> (
+  let body = Buffer.create 4096 in
+  let rec scan acc in_block lines =
+    match lines with
+    | [] ->
+        if in_block then Error "PEM: unterminated CERTIFICATE block"
+        else Ok (List.rev acc)
+    | line :: rest ->
         let line = String.trim line in
-        match current with
-        | None -> if String.equal line header then scan acc (Some []) rest else scan acc None rest
-        | Some body ->
-            if String.equal line footer then begin
-              let b64 = String.concat "" (List.rev body) in
-              let* der = Base64.decode b64 in
-              let* cert = Cert.of_der der in
-              scan (cert :: acc) None rest
-            end
-            else if String.equal line "" then scan acc current rest
-            else scan acc (Some (line :: body)) rest)
+        if not in_block then
+          if String.equal line header then begin
+            Buffer.clear body;
+            scan acc true rest
+          end
+          else scan acc false rest
+        else if String.equal line footer then begin
+          let* der = Base64.decode (Buffer.contents body) in
+          let* cert = Intern.cert_of_der der in
+          scan (cert :: acc) false rest
+        end
+        else begin
+          Buffer.add_string body line;
+          scan acc true rest
+        end
   in
-  scan [] None lines
+  scan [] false lines

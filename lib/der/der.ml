@@ -35,7 +35,9 @@ let integer_of_int v =
     else octets rest acc
   in
   let chars = octets v [] in
-  Prim (utag tn_integer, String.init (List.length chars) (List.nth chars))
+  let b = Bytes.create (List.length chars) in
+  List.iteri (Bytes.set b) chars;
+  Prim (utag tn_integer, Bytes.unsafe_to_string b)
 
 let integer_bytes s =
   if String.length s = 0 then invalid_arg "Der.integer_bytes: empty";
@@ -243,10 +245,14 @@ let encode_many vs =
 
 (* --- Decoding --- *)
 
-let read_tag s off =
-  if off >= String.length s then Error "truncated: no tag byte"
+(* The header readers are bounded by an explicit [limit] (one past the last
+   readable byte) instead of the buffer length, so the same code serves both
+   whole-string decoding and the zero-copy slice reader below. *)
+
+let read_tag_at s ~limit off =
+  if off >= limit then Error "truncated: no tag byte"
   else begin
-    let b = Char.code s.[off] in
+    let b = Char.code (String.unsafe_get s off) in
     let cls =
       match b land 0xC0 with
       | 0x00 -> Universal
@@ -260,20 +266,20 @@ let read_tag s off =
     else Ok ({ cls; constructed; number }, off + 1)
   end
 
-let read_length s off =
-  if off >= String.length s then Error "truncated: no length byte"
+let read_length_at s ~limit off =
+  if off >= limit then Error "truncated: no length byte"
   else begin
-    let b = Char.code s.[off] in
+    let b = Char.code (String.unsafe_get s off) in
     if b < 0x80 then Ok (b, off + 1)
     else if b = 0x80 then Error "indefinite length not allowed in DER"
     else begin
       let n = b land 0x7F in
       if n > 4 then Error "length too large"
-      else if off + 1 + n > String.length s then Error "truncated length octets"
+      else if off + 1 + n > limit then Error "truncated length octets"
       else begin
         let len = ref 0 in
         for i = 1 to n do
-          len := (!len lsl 8) lor Char.code s.[off + i]
+          len := (!len lsl 8) lor Char.code (String.unsafe_get s (off + i))
         done;
         if !len < 0x80 || (n > 1 && !len < 1 lsl ((n - 1) * 8)) then
           Error "non-minimal length encoding"
@@ -281,6 +287,9 @@ let read_length s off =
       end
     end
   end
+
+let read_tag s off = read_tag_at s ~limit:(String.length s) off
+let read_length s off = read_length_at s ~limit:(String.length s) off
 
 let rec decode_prefix s off =
   let* tag, off = read_tag s off in
@@ -305,6 +314,117 @@ let decode s =
   if stop <> String.length s then
     Error (Printf.sprintf "trailing garbage: %d bytes" (String.length s - stop))
   else Ok v
+
+(* --- Zero-copy slice reader --- *)
+
+type slice = { buf : string; off : int; len : int }
+
+let slice_of_string s = { buf = s; off = 0; len = String.length s }
+
+let slice_string { buf; off; len } =
+  if off = 0 && len = String.length buf then buf else String.sub buf off len
+
+type node = { n_tag : tag; n_raw : slice; n_content : slice }
+
+let node_tag n = n.n_tag
+let node_content n = slice_string n.n_content
+let node_raw n = slice_string n.n_raw
+
+let read_node { buf; off; len } =
+  let limit = off + len in
+  let* tag, p = read_tag_at buf ~limit off in
+  let* clen, p = read_length_at buf ~limit p in
+  if p + clen > limit then Error "truncated content"
+  else
+    Ok
+      ( { n_tag = tag;
+          n_raw = { buf; off; len = p + clen - off };
+          n_content = { buf; off = p; len = clen } },
+        { buf; off = p + clen; len = limit - p - clen } )
+
+let node_children n =
+  if not n.n_tag.constructed then
+    Error
+      (Printf.sprintf "expected constructed value, found %s" (tag_name n.n_tag))
+  else begin
+    let rec go acc rest =
+      if rest.len = 0 then Ok (List.rev acc)
+      else
+        let* child, rest = read_node rest in
+        go (child :: acc) rest
+    in
+    go [] n.n_content
+  end
+
+let rec tree_of_node n =
+  if n.n_tag.constructed then
+    let* kids = node_children n in
+    let* trees = map_result_tree kids in
+    Ok (Cons (n.n_tag, trees))
+  else Ok (Prim (n.n_tag, slice_string n.n_content))
+
+and map_result_tree = function
+  | [] -> Ok []
+  | n :: rest ->
+      let* t = tree_of_node n in
+      let* ts = map_result_tree rest in
+      Ok (t :: ts)
+
+let decode_slice s =
+  let* n, rest = read_node s in
+  if rest.len <> 0 then
+    Error (Printf.sprintf "trailing garbage: %d bytes" rest.len)
+  else tree_of_node n
+
+(* Typed node destructors, mirroring the tree [as_*] family (same error
+   strings, so the slice-based certificate decoder reports malformed input
+   exactly like the tree-based one). *)
+
+let node_wrong_shape expected n =
+  Error (Printf.sprintf "expected %s, found %s" expected (tag_name n.n_tag))
+
+let as_sequence_n n =
+  match n.n_tag with
+  | { cls = Universal; number = 16; constructed = true } -> node_children n
+  | _ -> node_wrong_shape "SEQUENCE" n
+
+let as_integer_bytes_n n =
+  match n.n_tag with
+  | { cls = Universal; number = 2; constructed = false } when n.n_content.len > 0 ->
+      Ok (slice_string n.n_content)
+  | _ -> node_wrong_shape "INTEGER" n
+
+let as_integer_int_n n =
+  let* c = as_integer_bytes_n n in
+  if String.length c > 8 then Error "INTEGER too large for int"
+  else begin
+    let acc = ref (if Char.code c.[0] >= 0x80 then -1 else 0) in
+    String.iter (fun ch -> acc := (!acc lsl 8) lor Char.code ch) c;
+    Ok !acc
+  end
+
+let as_bit_string_n n =
+  match n.n_tag with
+  | { cls = Universal; number = 3; constructed = false } when n.n_content.len >= 1 ->
+      let { buf; off; len } = n.n_content in
+      Ok (Char.code buf.[off], String.sub buf (off + 1) (len - 1))
+  | _ -> node_wrong_shape "BIT STRING" n
+
+let as_oid_n n =
+  match n.n_tag with
+  | { cls = Universal; number = 6; constructed = false } ->
+      decode_oid (slice_string n.n_content)
+  | _ -> node_wrong_shape "OBJECT IDENTIFIER" n
+
+let as_context_n num n =
+  match n.n_tag with
+  | { cls = Context_specific; number; _ } when number = num -> node_children n
+  | _ -> node_wrong_shape (Printf.sprintf "[%d]" num) n
+
+let is_context_n num n =
+  match n.n_tag with
+  | { cls = Context_specific; number; _ } -> number = num
+  | _ -> false
 
 let rec pp ppf v =
   match v with

@@ -75,6 +75,10 @@ val as_context_prim : int -> t -> string or_error
 
 val tag_of : t -> tag
 
+val tag_name : tag -> string
+(** Human-readable tag name ("SEQUENCE", "[3]", ...), as used in decode
+    error messages. *)
+
 val is_context : int -> t -> bool
 (** Whether the value carries context-specific tag [n] (either form). *)
 
@@ -92,6 +96,66 @@ val decode : string -> t or_error
 val decode_prefix : string -> int -> (t * int) or_error
 (** [decode_prefix s off] decodes one value starting at [off]; returns it and
     the offset one past its last byte. *)
+
+(** {1 Zero-copy slice reader}
+
+    The hot decode path (certificate parsing, TLS certificate messages) walks
+    TLV structure directly over the original buffer: a {!slice} is a
+    [{buf; off; len}] window, a {!node} is one decoded TLV whose header has
+    been read but whose bytes have not been copied. Content is only
+    materialised ([String.sub]) at the leaves a caller actually keeps.
+    [decode_slice (slice_of_string s)] accepts exactly the inputs [decode s]
+    accepts and returns the same value; on malformed input both fail, though
+    the lazy reader may describe an overrun differently than the eager
+    decoder. *)
+
+type slice = { buf : string; off : int; len : int }
+(** A window into [buf]; never copied by the reader itself. *)
+
+val slice_of_string : string -> slice
+
+val slice_string : slice -> string
+(** Materialise the window (returns [buf] itself when the window covers it). *)
+
+type node = {
+  n_tag : tag;
+  n_raw : slice;      (** the full TLV: header + content octets *)
+  n_content : slice;  (** the content octets only *)
+}
+
+val read_node : slice -> (node * slice) or_error
+(** Read the TLV at the head of the slice; returns the node and the remaining
+    bytes after it. No content bytes are copied. *)
+
+val node_children : node -> node list or_error
+(** One-level child nodes of a constructed TLV (zero-copy). *)
+
+val node_tag : node -> tag
+
+val node_content : node -> string
+(** Copy of the node's content octets. *)
+
+val node_raw : node -> string
+(** Copy of the node's full TLV bytes (header + content). *)
+
+val tree_of_node : node -> t or_error
+(** Materialise the node as a tree (for reuse of the typed tree
+    destructors on small sub-structures). *)
+
+val decode_slice : slice -> t or_error
+(** Decode exactly one value occupying the whole slice;
+    equals [decode (slice_string s)]. *)
+
+(** Typed destructors over nodes, mirroring the [as_*] family above (same
+    error strings). *)
+
+val as_sequence_n : node -> node list or_error
+val as_integer_bytes_n : node -> string or_error
+val as_integer_int_n : node -> int or_error
+val as_bit_string_n : node -> (int * string) or_error
+val as_oid_n : node -> Oid.t or_error
+val as_context_n : int -> node -> node list or_error
+val is_context_n : int -> node -> bool
 
 val pp : Format.formatter -> t -> unit
 (** Debugging pretty-printer (openssl asn1parse flavoured). *)

@@ -1,0 +1,125 @@
+module Cert = Chaoschain_x509.Cert
+module Sha256 = Chaoschain_crypto.Sha256
+
+(* A Domain-safe certificate intern table.
+
+   Every decode path that receives raw certificate DER (PEM files, TLS
+   certificate messages, service requests) funnels through here: the raw
+   bytes are fingerprinted (SHA-256, the same digest the certificate record
+   carries as its identity) and each distinct certificate is parsed exactly
+   once; later sightings share the immutable [Cert.t].
+
+   The table is sharded by the first fingerprint byte so Domains hammering
+   distinct certificates rarely contend on the same mutex.  Parsing happens
+   OUTSIDE the shard lock — only the lookup and the insert hold it — so a
+   slow parse never blocks other shard traffic; two Domains racing on the
+   same new certificate may both parse it, and the first insert wins (the
+   loser's equal value is dropped), keeping results deterministic either
+   way.  On a fingerprint hit the stored certificate's raw DER is compared
+   to the probe bytes, so even a SHA-256 collision could not alias two
+   different certificates. *)
+
+let shard_bits = 6
+let shard_count = 1 lsl shard_bits (* 64 *)
+
+type shard = {
+  lock : Mutex.t;
+  table : (string, Cert.t) Hashtbl.t;
+  mutable s_lookups : int;
+  mutable s_hits : int;
+}
+
+type stats = { entries : int; lookups : int; hits : int }
+
+let shards =
+  Array.init shard_count (fun _ ->
+      { lock = Mutex.create ();
+        table = Hashtbl.create 64;
+        s_lookups = 0;
+        s_hits = 0 })
+
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let shard_of_fp fp = shards.(Char.code (String.unsafe_get fp 0) land (shard_count - 1))
+
+let with_lock shard f =
+  Mutex.lock shard.lock;
+  match f () with
+  | v -> Mutex.unlock shard.lock; v
+  | exception e -> Mutex.unlock shard.lock; raise e
+
+(* [raw_matches c s off len] — the stored certificate's DER equals the probe
+   window, compared without materialising the window. *)
+let raw_matches c s off len =
+  let raw = Cert.to_der c in
+  String.length raw = len
+  &&
+  let i = ref 0 in
+  while !i < len && String.unsafe_get raw !i = String.unsafe_get s (off + !i) do
+    incr i
+  done;
+  !i = len
+
+let lookup shard fp s off len =
+  with_lock shard (fun () ->
+      shard.s_lookups <- shard.s_lookups + 1;
+      match Hashtbl.find_opt shard.table fp with
+      | Some c when raw_matches c s off len ->
+          shard.s_hits <- shard.s_hits + 1;
+          Some c
+      | _ -> None)
+
+let insert shard fp c =
+  (* First insert wins: a concurrent Domain may have parsed the same bytes;
+     return whichever value is in the table so all callers share one. *)
+  with_lock shard (fun () ->
+      match Hashtbl.find_opt shard.table fp with
+      | Some existing -> existing
+      | None -> Hashtbl.add shard.table fp c; c)
+
+let cert_of_sub s ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Intern.cert_of_sub";
+  if not (enabled ()) then Cert.of_der (String.sub s off len)
+  else
+    let fp = Sha256.digest_sub s off len in
+    let shard = shard_of_fp fp in
+    match lookup shard fp s off len with
+    | Some c -> Ok c
+    | None -> (
+        match Cert.of_der_keyed ~fp (String.sub s off len) with
+        | Error _ as e -> e
+        | Ok c -> Ok (insert shard fp c))
+
+let cert_of_der raw =
+  if not (enabled ()) then Cert.of_der raw
+  else
+    let fp = Sha256.digest raw in
+    let shard = shard_of_fp fp in
+    match lookup shard fp raw 0 (String.length raw) with
+    | Some c -> Ok c
+    | None -> (
+        match Cert.of_der_keyed ~fp raw with
+        | Error _ as e -> e
+        | Ok c -> Ok (insert shard fp c))
+
+let stats () =
+  Array.fold_left
+    (fun acc shard ->
+      with_lock shard (fun () ->
+          { entries = acc.entries + Hashtbl.length shard.table;
+            lookups = acc.lookups + shard.s_lookups;
+            hits = acc.hits + shard.s_hits }))
+    { entries = 0; lookups = 0; hits = 0 }
+    shards
+
+let clear () =
+  Array.iter
+    (fun shard ->
+      with_lock shard (fun () ->
+          Hashtbl.reset shard.table;
+          shard.s_lookups <- 0;
+          shard.s_hits <- 0))
+    shards

@@ -242,6 +242,17 @@ let stats_json t =
           [ ("size", Json.Int (cache_size t));
             ("capacity", Json.Int (cache_capacity t));
             ("evictions", Json.Int (cache_evictions t)) ] );
+      ( "intern",
+        (* The process-wide certificate intern table (distinct from the
+           verdict LRU above): the LRU caches whole responses keyed by
+           chain + options, the intern table shares parsed [Cert.t] values
+           keyed by DER fingerprint, so even LRU misses skip re-parsing any
+           certificate seen before. *)
+        let i = Intern.stats () in
+        Json.Obj
+          [ ("entries", Json.Int i.Intern.entries);
+            ("lookups", Json.Int i.Intern.lookups);
+            ("reused", Json.Int i.Intern.hits) ] );
       ( "config",
         Json.Obj
           [ ("queue_capacity", Json.Int t.queue_capacity);

@@ -1,4 +1,5 @@
 open Chaoschain_x509
+module Intern = Chaoschain_pki.Intern
 
 let add_u24 buf n =
   Buffer.add_char buf (Char.chr ((n lsr 16) land 0xFF));
@@ -44,8 +45,9 @@ let decode_tls12 s =
         let* len = read_u24 s off in
         if off + 3 + len > String.length s then Error "truncated certificate entry"
         else
-          let der = String.sub s (off + 3) len in
-          let* cert = Cert.of_der der in
+          (* Interned by window: on a cache hit the entry's DER is never
+             copied out of the message. *)
+          let* cert = Intern.cert_of_sub s ~off:(off + 3) ~len in
           entries (cert :: acc) (off + 3 + len)
     in
     entries [] 3
@@ -84,8 +86,7 @@ let decode_tls13 s =
             let* len = read_u24 s off in
             if off + 3 + len + 2 > String.length s then Error "truncated entry"
             else
-              let der = String.sub s (off + 3) len in
-              let* cert = Cert.of_der der in
+              let* cert = Intern.cert_of_sub s ~off:(off + 3) ~len in
               let* ext_len = read_u16 s (off + 3 + len) in
               entries (cert :: acc) (off + 3 + len + 2 + ext_len)
         in

@@ -95,18 +95,6 @@ let rec map_result f = function
       let* ys = map_result f rest in
       Ok (y :: ys)
 
-let alg_of_identifier v =
-  let* fields = Der.as_sequence v in
-  match fields with
-  | oid_v :: _ ->
-      let* oid = Der.as_oid oid_v in
-      if Oid.equal oid Oid.alg_sha256_rsa then Ok `Sha256_rsa
-      else if Oid.equal oid Oid.alg_sha1_rsa then Ok `Sha1_rsa
-      else if Oid.equal oid Oid.alg_ecdsa_sha256 then Ok `Ecdsa_sha256
-      else if Oid.equal oid Oid.alg_ecdsa_sha384 then Ok `Ecdsa_sha384
-      else Error ("unknown signature algorithm " ^ Oid.to_string oid)
-  | [] -> Error "AlgorithmIdentifier: empty"
-
 let sig_family_to_alg family (material_len : int option) =
   (* Disambiguate RSA-2048 vs RSA-4096 (same OID) by key material size when
      decoding an SPKI; for signature fields, default to RSA-2048. *)
@@ -117,17 +105,36 @@ let sig_family_to_alg family (material_len : int option) =
   | `Sha256_rsa, Some 512 -> Ok Keys.Rsa_4096
   | `Sha256_rsa, _ -> Ok Keys.Rsa_2048
 
-let spki_of_der v =
-  let* fields = Der.as_sequence v in
+(* Decoding runs on the zero-copy slice reader: TLV structure is walked over
+   the original buffer and [raw_tbs] is the TBS window of [raw] itself
+   (header included), so nothing is re-encoded and large blobs (signature
+   bits, key material) are copied exactly once.  Small sub-structures — names,
+   extensions — are materialised with [Der.tree_of_node] and reuse the
+   tree-based decoders; they are a small share of the bytes. *)
+
+let alg_of_identifier_n n =
+  let* fields = Der.as_sequence_n n in
   match fields with
-  | [ alg_v; key_v ] ->
-      let* alg_fields = Der.as_sequence alg_v in
+  | oid_n :: _ ->
+      let* oid = Der.as_oid_n oid_n in
+      if Oid.equal oid Oid.alg_sha256_rsa then Ok `Sha256_rsa
+      else if Oid.equal oid Oid.alg_sha1_rsa then Ok `Sha1_rsa
+      else if Oid.equal oid Oid.alg_ecdsa_sha256 then Ok `Ecdsa_sha256
+      else if Oid.equal oid Oid.alg_ecdsa_sha384 then Ok `Ecdsa_sha384
+      else Error ("unknown signature algorithm " ^ Oid.to_string oid)
+  | [] -> Error "AlgorithmIdentifier: empty"
+
+let spki_of_node n =
+  let* fields = Der.as_sequence_n n in
+  match fields with
+  | [ alg_n; key_n ] ->
+      let* alg_fields = Der.as_sequence_n alg_n in
       let* key_oid =
         match alg_fields with
-        | oid_v :: _ -> Der.as_oid oid_v
+        | oid_n :: _ -> Der.as_oid_n oid_n
         | [] -> Error "SPKI AlgorithmIdentifier: empty"
       in
-      let* _unused, material = Der.as_bit_string key_v in
+      let* _unused, material = Der.as_bit_string_n key_n in
       let* alg =
         if Oid.equal key_oid Oid.alg_rsa_encryption then
           match String.length material with
@@ -145,63 +152,83 @@ let spki_of_der v =
       Keys.import_public alg material
   | _ -> Error "SubjectPublicKeyInfo: expected 2 fields"
 
-let tbs_of_der v =
-  let* fields = Der.as_sequence v in
+let time_of_node n =
+  match Der.node_tag n with
+  | { Der.cls = Universal; constructed = false; number = 23 } ->
+      Vtime.of_utctime (Der.node_content n)
+  | { Der.cls = Universal; constructed = false; number = 24 } ->
+      Vtime.of_generalized (Der.node_content n)
+  | _ -> Error "expected UTCTime or GeneralizedTime"
+
+let dn_of_node n =
+  let* v = Der.tree_of_node n in
+  Dn.of_der v
+
+let ext_of_node n =
+  let* v = Der.tree_of_node n in
+  Extension.of_der v
+
+let tbs_of_node tbs_n =
+  let* fields = Der.as_sequence_n tbs_n in
   let* version, rest =
     match fields with
-    | first :: rest when Der.is_context 0 first ->
-        let* kids = Der.as_context 0 first in
+    | first :: rest when Der.is_context_n 0 first ->
+        let* kids = Der.as_context_n 0 first in
         let* v =
           match kids with
-          | [ iv ] -> Der.as_integer_int iv
+          | [ iv ] -> Der.as_integer_int_n iv
           | _ -> Error "version: expected one INTEGER"
         in
         Ok (v, rest)
     | rest -> Ok (0, rest)
   in
   match rest with
-  | serial_v :: alg_v :: issuer_v :: validity_v :: subject_v :: spki_v :: tail ->
-      let* serial = Der.as_integer_bytes serial_v in
-      let* family = alg_of_identifier alg_v in
-      let* issuer = Dn.of_der issuer_v in
-      let* validity = Der.as_sequence validity_v in
+  | serial_n :: alg_n :: issuer_n :: validity_n :: subject_n :: spki_n :: tail ->
+      let* serial = Der.as_integer_bytes_n serial_n in
+      let* family = alg_of_identifier_n alg_n in
+      let* issuer = dn_of_node issuer_n in
+      let* validity = Der.as_sequence_n validity_n in
       let* not_before, not_after =
         match validity with
         | [ nb; na ] ->
-            let* nb = Vtime.of_der_time nb in
-            let* na = Vtime.of_der_time na in
+            let* nb = time_of_node nb in
+            let* na = time_of_node na in
             Ok (nb, na)
         | _ -> Error "Validity: expected 2 times"
       in
-      let* subject = Dn.of_der subject_v in
-      let* public_key = spki_of_der spki_v in
+      let* subject = dn_of_node subject_n in
+      let* public_key = spki_of_node spki_n in
       let* sig_alg = sig_family_to_alg family (Some (String.length public_key.Keys.material)) in
       let* extensions =
         match tail with
         | [] -> Ok []
-        | [ ext_wrapper ] when Der.is_context 3 ext_wrapper ->
-            let* kids = Der.as_context 3 ext_wrapper in
+        | [ ext_wrapper ] when Der.is_context_n 3 ext_wrapper ->
+            let* kids = Der.as_context_n 3 ext_wrapper in
             let* exts_seq =
               match kids with
-              | [ s ] -> Der.as_sequence s
+              | [ s ] -> Der.as_sequence_n s
               | _ -> Error "extensions: expected one SEQUENCE"
             in
-            map_result Extension.of_der exts_seq
+            map_result ext_of_node exts_seq
         | _ -> Error "TBSCertificate: unexpected trailing fields"
       in
       Ok { version; serial; sig_alg; issuer; not_before; not_after; subject;
            public_key; extensions }
   | _ -> Error "TBSCertificate: too few fields"
 
-let of_der raw =
-  let* outer = Der.decode raw in
-  let* fields = Der.as_sequence outer in
+let of_der_impl ~fp raw =
+  let* outer, rest = Der.read_node (Der.slice_of_string raw) in
+  let* () =
+    if rest.Der.len = 0 then Ok ()
+    else Error (Printf.sprintf "trailing garbage: %d bytes" rest.Der.len)
+  in
+  let* fields = Der.as_sequence_n outer in
   match fields with
-  | [ tbs_v; sig_alg_v; sig_v ] ->
-      let* tbs = tbs_of_der tbs_v in
-      let* family = alg_of_identifier sig_alg_v in
+  | [ tbs_n; sig_alg_n; sig_n ] ->
+      let* tbs = tbs_of_node tbs_n in
+      let* family = alg_of_identifier_n sig_alg_n in
       let* sig_alg = sig_family_to_alg family None in
-      let* _unused, sig_bytes = Der.as_bit_string sig_v in
+      let* _unused, sig_bytes = Der.as_bit_string_n sig_n in
       (* Recover the exact signature algorithm: the outer field must agree
          with the TBS inner field, which knows key sizes. *)
       let sig_alg =
@@ -209,14 +236,14 @@ let of_der raw =
           tbs.sig_alg
         else sig_alg
       in
-      let raw_tbs = Der.encode tbs_v in
-      Ok
-        { tbs;
-          signature = { Keys.sig_alg; sig_bytes };
-          raw;
-          raw_tbs;
-          fp = Sha256.digest raw }
+      let raw_tbs = Der.slice_string tbs_n.Der.n_raw in
+      let fp = match fp with Some fp -> fp | None -> Sha256.digest raw in
+      Ok { tbs; signature = { Keys.sig_alg; sig_bytes }; raw; raw_tbs; fp }
   | _ -> Error "Certificate: expected 3 fields"
+
+let of_der raw = of_der_impl ~fp:None raw
+
+let of_der_keyed ~fp raw = of_der_impl ~fp:(Some fp) raw
 
 let subject t = t.tbs.subject
 let issuer t = t.tbs.issuer

@@ -11,9 +11,44 @@ let sha256_vectors () =
   check_hex "448-bit"
     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
     (Sha256.hexdigest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "896-bit two-block"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (Sha256.hexdigest
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu");
   check_hex "million-a"
     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
     (Sha256.hexdigest (String.make 1_000_000 'a'))
+
+let sha256_streaming_splits () =
+  (* Two-part feeds at every interesting split point equal the one-shot
+     digest; exercises the partial-block, whole-block and tail paths of
+     [feed_bytes]. *)
+  let msg = String.init 300 (fun i -> Char.chr ((i * 11) land 0xFF)) in
+  List.iter
+    (fun cut ->
+      let ctx = Sha256.init () in
+      Sha256.feed ctx (String.sub msg 0 cut);
+      Sha256.feed ctx (String.sub msg cut (String.length msg - cut));
+      Alcotest.(check string)
+        (Printf.sprintf "split at %d" cut)
+        (Hex.encode (Sha256.digest msg))
+        (Hex.encode (Sha256.finalize ctx)))
+    [ 0; 1; 17; 55; 56; 63; 64; 65; 100; 128; 192; 256; 299; 300 ]
+
+let sha256_digest_sub () =
+  let s = String.init 200 (fun i -> Char.chr ((i * 13) land 0xFF)) in
+  List.iter
+    (fun (off, len) ->
+      Alcotest.(check string)
+        (Printf.sprintf "window %d+%d" off len)
+        (Hex.encode (Sha256.digest (String.sub s off len)))
+        (Hex.encode (Sha256.digest_sub s off len)))
+    [ (0, 0); (0, 200); (1, 64); (3, 65); (100, 100); (199, 1) ];
+  Alcotest.check_raises "negative offset" (Invalid_argument "Sha256.digest_sub")
+    (fun () -> ignore (Sha256.digest_sub s (-1) 4));
+  Alcotest.check_raises "overrun" (Invalid_argument "Sha256.digest_sub")
+    (fun () -> ignore (Sha256.digest_sub s 150 51))
 
 let sha256_block_boundaries () =
   (* Lengths straddling the 55/56/64-byte padding boundaries. *)
@@ -120,6 +155,8 @@ let qcheck_b64_alphabet =
 let suite =
   [ Alcotest.test_case "sha256 FIPS vectors" `Quick sha256_vectors;
     Alcotest.test_case "sha256 incremental boundaries" `Quick sha256_block_boundaries;
+    Alcotest.test_case "sha256 streaming splits" `Quick sha256_streaming_splits;
+    Alcotest.test_case "sha256 digest_sub" `Quick sha256_digest_sub;
     Alcotest.test_case "sha256 feed bounds" `Quick sha256_feed_bytes_bounds;
     Alcotest.test_case "sha256 finalize once" `Quick sha256_finalize_once;
     Alcotest.test_case "hex roundtrip and errors" `Quick hex_roundtrip;

@@ -17,7 +17,25 @@ let base64_vectors () =
 
 let base64_errors () =
   Alcotest.(check bool) "bad length" true (Result.is_error (Base64.decode "abc"));
-  Alcotest.(check bool) "bad char" true (Result.is_error (Base64.decode "ab!d"))
+  Alcotest.(check bool) "bad char" true (Result.is_error (Base64.decode "ab!d"));
+  (* Exact messages: callers surface them verbatim in PEM errors. *)
+  Alcotest.(check string) "length message"
+    "base64: length not a multiple of 4"
+    (Result.fold ~ok:(fun _ -> "ok") ~error:Fun.id (Base64.decode "abcde"));
+  Alcotest.(check string) "char message" "base64: invalid character '!'"
+    (Result.fold ~ok:(fun _ -> "ok") ~error:Fun.id (Base64.decode "ab!d"));
+  (* '=' anywhere before the final padding positions is an invalid char. *)
+  Alcotest.(check bool) "all padding" true (Result.is_error (Base64.decode "===="));
+  Alcotest.(check bool) "pad in first group" true
+    (Result.is_error (Base64.decode "a=aaAAAA"))
+
+let qcheck_base64_decode_total =
+  (* decode never raises: any 4k-length ASCII string yields Ok or Error. *)
+  QCheck.Test.make ~name:"base64 decode is total" ~count:300
+    QCheck.(string_of_size Gen.(map (fun n -> n * 4) (0 -- 50)))
+    (fun s ->
+      match Base64.decode s with
+      | Ok _ | Error _ -> true)
 
 let qcheck_base64 =
   QCheck.Test.make ~name:"base64 decode . encode = id" ~count:300
@@ -181,6 +199,7 @@ let suite =
   [ Alcotest.test_case "base64 vectors" `Quick base64_vectors;
     Alcotest.test_case "base64 errors" `Quick base64_errors;
     QCheck_alcotest.to_alcotest qcheck_base64;
+    QCheck_alcotest.to_alcotest qcheck_base64_decode_total;
     Alcotest.test_case "pem roundtrip" `Quick pem_roundtrip;
     Alcotest.test_case "pem tolerates headers" `Quick pem_tolerates_headers;
     Alcotest.test_case "pem errors" `Quick pem_errors;

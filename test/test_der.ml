@@ -122,6 +122,71 @@ let qcheck_roundtrip =
   QCheck.Test.make ~name:"DER decode . encode = id on random trees" ~count:300
     (QCheck.make gen_tree) roundtrip
 
+(* The zero-copy slice reader must be observably identical to the tree
+   decoder: same values on valid input, an error on the same malformed
+   inputs. *)
+let qcheck_slice_differential =
+  QCheck.Test.make ~name:"decode_slice = decode on random encodings" ~count:300
+    (QCheck.make gen_tree)
+    (fun tree ->
+      let bytes = Der.encode tree in
+      Der.decode_slice (Der.slice_of_string bytes) = Der.decode bytes)
+
+let qcheck_slice_differential_malformed =
+  (* Truncations and single-byte corruptions of valid encodings: the two
+     decoders accept exactly the same inputs (and agree on the value), though
+     an eager depth-first and a lazy reader may describe the same overrun
+     differently, so error text is not compared. *)
+  QCheck.Test.make ~name:"decode_slice agrees with decode on mangled input"
+    ~count:300
+    QCheck.(pair (QCheck.make gen_tree) (pair small_nat small_nat))
+    (fun (tree, (pos, byte)) ->
+      let bytes = Der.encode tree in
+      let n = String.length bytes in
+      let mangled =
+        if n = 0 then ""
+        else
+          let b = Bytes.of_string bytes in
+          Bytes.set b (pos mod n) (Char.chr (byte land 0xFF));
+          Bytes.to_string b
+      in
+      let truncated = String.sub bytes 0 (if n = 0 then 0 else pos mod n) in
+      List.for_all
+        (fun s ->
+          match (Der.decode s, Der.decode_slice (Der.slice_of_string s)) with
+          | Ok a, Ok b -> a = b
+          | Error _, Error _ -> true
+          | _ -> false)
+        [ mangled; truncated ])
+
+let slice_node_walk () =
+  (* read_node walks a concatenation exactly like decode_prefix. *)
+  let trees = [ Der.integer_of_int 42; Der.sequence [ Der.null ]; Der.octet_string "xy" ] in
+  let bytes = Der.encode_many trees in
+  let rec walk acc s =
+    if s.Der.len = 0 then List.rev acc
+    else
+      match Der.read_node s with
+      | Ok (n, rest) -> walk (n :: acc) rest
+      | Error e -> Alcotest.fail e
+  in
+  let nodes = walk [] (Der.slice_of_string bytes) in
+  Alcotest.(check int) "three nodes" 3 (List.length nodes);
+  List.iter2
+    (fun tree node ->
+      Alcotest.(check string) "raw bytes" (Der.encode tree) (Der.node_raw node);
+      Alcotest.(check bool) "tree_of_node" true (Der.tree_of_node node = Ok tree))
+    trees nodes;
+  (* Typed node destructors agree with the tree destructors. *)
+  let int_node =
+    match Der.read_node (Der.slice_of_string (Der.encode (Der.integer_of_int 7))) with
+    | Ok (n, _) -> n
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "as_integer_int_n" true (Der.as_integer_int_n int_node = Ok 7);
+  Alcotest.(check bool) "as_sequence_n rejects prim" true
+    (Result.is_error (Der.as_sequence_n int_node))
+
 let qcheck_encode_many =
   QCheck.Test.make ~name:"decode_prefix walks encode_many" ~count:100
     (QCheck.make (QCheck.Gen.list_size QCheck.Gen.(1 -- 5) gen_tree))
@@ -145,5 +210,8 @@ let suite =
     Alcotest.test_case "oid codec" `Quick oid_codec;
     Alcotest.test_case "oid strings" `Quick oid_strings;
     Alcotest.test_case "destructor shape errors" `Quick destructor_shape_errors;
+    Alcotest.test_case "slice node walk" `Quick slice_node_walk;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
-    QCheck_alcotest.to_alcotest qcheck_encode_many ]
+    QCheck_alcotest.to_alcotest qcheck_encode_many;
+    QCheck_alcotest.to_alcotest qcheck_slice_differential;
+    QCheck_alcotest.to_alcotest qcheck_slice_differential_malformed ]

@@ -214,8 +214,100 @@ let universe_deterministic () =
   Alcotest.(check bool) "different seed differs" false
     (Cert.equal (Universe.sectigo_usertrust_self a) (Universe.sectigo_usertrust_self c))
 
+(* --- certificate intern table --- *)
+
+let intern_chain () =
+  let root = mk_root "intern-root" in
+  let leaf =
+    Issue.issue_cert (Prng.of_label "intern-leaf") ~parent:root
+      (Issue.spec (Dn.make ~cn:"intern.example" ()))
+  in
+  [ leaf; root.Issue.cert ]
+
+let intern_shares_physically () =
+  Intern.clear ();
+  let der = Cert.to_der (List.hd (intern_chain ())) in
+  let a = Result.get_ok (Intern.cert_of_der der) in
+  let b = Result.get_ok (Intern.cert_of_der der) in
+  Alcotest.(check bool) "same physical value" true (a == b);
+  let s = Intern.stats () in
+  Alcotest.(check int) "one entry" 1 s.Intern.entries;
+  Alcotest.(check int) "two lookups" 2 s.Intern.lookups;
+  Alcotest.(check int) "one hit" 1 s.Intern.hits
+
+let intern_sub_window () =
+  Intern.clear ();
+  let der = Cert.to_der (List.hd (intern_chain ())) in
+  let framed = "\x00\x01\x02" ^ der ^ "trailer" in
+  let a = Result.get_ok (Intern.cert_of_der der) in
+  let b = Result.get_ok (Intern.cert_of_sub framed ~off:3 ~len:(String.length der)) in
+  Alcotest.(check bool) "window hit shares" true (a == b);
+  Alcotest.check_raises "bad window" (Invalid_argument "Intern.cert_of_sub")
+    (fun () -> ignore (Intern.cert_of_sub framed ~off:3 ~len:(String.length framed)))
+
+let intern_disabled_parses_fresh () =
+  Intern.clear ();
+  let der = Cert.to_der (List.hd (intern_chain ())) in
+  Intern.set_enabled false;
+  Fun.protect ~finally:(fun () -> Intern.set_enabled true) (fun () ->
+      let a = Result.get_ok (Intern.cert_of_der der) in
+      let b = Result.get_ok (Intern.cert_of_der der) in
+      Alcotest.(check bool) "not shared when disabled" true (not (a == b));
+      Alcotest.(check bool) "still equal" true (Cert.equal a b);
+      Alcotest.(check int) "no entries" 0 (Intern.stats ()).Intern.entries)
+
+let intern_byte_identity () =
+  (* The interned value is byte-for-byte the value a fresh parse produces. *)
+  Intern.clear ();
+  List.iter
+    (fun c ->
+      let der = Cert.to_der c in
+      let interned = Result.get_ok (Intern.cert_of_der der) in
+      let fresh = Result.get_ok (Cert.of_der der) in
+      Alcotest.(check bool) "raw equal" true (Cert.equal interned fresh);
+      Alcotest.(check bool) "fp equal" true
+        (Cert.fingerprint interned = Cert.fingerprint fresh);
+      Alcotest.(check bool) "tbs equal" true
+        (Cert.tbs_der interned = Cert.tbs_der fresh))
+    (intern_chain ())
+
+let intern_errors_not_cached () =
+  Intern.clear ();
+  Alcotest.(check bool) "malformed errors" true
+    (Result.is_error (Intern.cert_of_der "not a certificate"));
+  Alcotest.(check int) "no entry for failure" 0 (Intern.stats ()).Intern.entries
+
+let intern_domain_hammer () =
+  (* Domains racing on the same certificates all end up sharing one value
+     per distinct DER. *)
+  Intern.clear ();
+  let ders = List.map Cert.to_der (intern_chain ()) in
+  let worker () =
+    Domain.spawn (fun () ->
+        List.init 200 (fun i ->
+            let der = List.nth ders (i mod List.length ders) in
+            Result.get_ok (Intern.cert_of_der der)))
+  in
+  let results = List.map Domain.join (List.map worker [ (); (); (); () ]) in
+  let canon = List.map (fun der -> Result.get_ok (Intern.cert_of_der der)) ders in
+  List.iter
+    (fun per_domain ->
+      List.iteri
+        (fun i c ->
+          Alcotest.(check bool) "shared across Domains" true
+            (c == List.nth canon (i mod List.length canon)))
+        per_domain)
+    results;
+  Alcotest.(check int) "two entries" 2 (Intern.stats ()).Intern.entries
+
 let suite =
   [ Alcotest.test_case "root store lookups" `Quick root_store_lookups;
+    Alcotest.test_case "intern shares physically" `Quick intern_shares_physically;
+    Alcotest.test_case "intern window lookup" `Quick intern_sub_window;
+    Alcotest.test_case "intern disabled" `Quick intern_disabled_parses_fresh;
+    Alcotest.test_case "intern byte-identity" `Quick intern_byte_identity;
+    Alcotest.test_case "intern errors not cached" `Quick intern_errors_not_cached;
+    Alcotest.test_case "intern Domain hammer" `Quick intern_domain_hammer;
     Alcotest.test_case "root store union dedup" `Quick root_store_union_dedup;
     Alcotest.test_case "aia repo behaviour" `Quick aia_repo_behaviour;
     Alcotest.test_case "aia chase" `Quick aia_chase_success_and_failures;

@@ -151,7 +151,9 @@ let cert_der_roundtrip () =
           Alcotest.(check bool) (name ^ " fp") true
             (Cert.fingerprint c = Cert.fingerprint c');
           Alcotest.(check bool) (name ^ " skid") true
-            (Cert.subject_key_id c = Cert.subject_key_id c')
+            (Cert.subject_key_id c = Cert.subject_key_id c');
+          Alcotest.(check bool) (name ^ " tbs bytes") true
+            (Cert.tbs_der c = Cert.tbs_der c')
       | Error e -> Alcotest.fail (name ^ ": " ^ e))
     [ ("root", root.Issue.cert); ("inter", inter.Issue.cert); ("leaf", leaf.Issue.cert) ]
 
