@@ -224,6 +224,26 @@ let micro_workloads () =
   in
   let sha_buf = String.make 1024 'x' in
   let compliance_rec = mini_pop.Population.domains.(0) in
+  (* chainstore codec: one ~200 B observation-sized payload per run. The
+     append side frames + CRCs into a reused buffer; the replay side decodes
+     (and CRC-checks) frames off a prebuilt segment, cycling through it. *)
+  let module Frame = Chaoschain_store.Frame in
+  let module Merkle = Chaoschain_store.Merkle in
+  let store_payload = String.init 200 (fun i -> Char.chr (i * 7 land 0xff)) in
+  let append_buf = Buffer.create (1 lsl 16) in
+  let replay_seg =
+    let b = Buffer.create (256 * (200 + Frame.header_size)) in
+    for _ = 1 to 256 do
+      Frame.add b ~kind:2 store_payload
+    done;
+    Buffer.contents b
+  in
+  let replay_off = ref 0 in
+  let merkle_leaves =
+    Array.init 1024 (fun i -> Merkle.leaf_hash (Printf.sprintf "leaf %d" i))
+  in
+  let merkle_root = Merkle.root merkle_leaves in
+  let merkle_idx = ref 0 in
   [ ("sha256/1KiB", fun () -> ignore (Chaoschain_crypto.Sha256.digest sha_buf));
     ( "der/decode-certificate",
       fun () -> ignore (Chaoschain_x509.Cert.of_der sample_der) );
@@ -250,7 +270,27 @@ let micro_workloads () =
     ( "ablation/moex-no-backtracking(OpenSSL)",
       fun () -> ignore (one_client Clients.Openssl) );
     ( "ablation/moex-backtracking(CryptoAPI)",
-      fun () -> ignore (one_client Clients.Cryptoapi) ) ]
+      fun () -> ignore (one_client Clients.Cryptoapi) );
+    ( "store/append-record",
+      fun () ->
+        if Buffer.length append_buf > 1 lsl 20 then Buffer.clear append_buf;
+        Frame.add append_buf ~kind:2 store_payload );
+    ( "store/replay-record",
+      fun () ->
+        match Frame.read replay_seg !replay_off with
+        | Frame.Frame { next; _ } ->
+            replay_off := if next >= String.length replay_seg then 0 else next
+        | _ -> replay_off := 0 );
+    ( "store/merkle-proof(1024)",
+      fun () ->
+        let i = !merkle_idx in
+        merkle_idx := (i + 41) land 1023;
+        let path = Merkle.proof merkle_leaves i in
+        if
+          not
+            (Merkle.verify ~root:merkle_root ~index:i ~count:1024
+               merkle_leaves.(i) path)
+        then failwith "merkle bench proof rejected" ) ]
 
 type micro_result = {
   bench : string;

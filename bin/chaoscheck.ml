@@ -5,6 +5,9 @@
      analyze   — server-side structural compliance report over a PEM chain
      difftest  — validate a PEM chain in all eight client models
      matrix    — the Table 9 capability matrix
+     scan      — run the measurement scan, optionally persisting a corpus
+     replay    — re-run the compliance tables from a persisted corpus
+     audit     — verify (and repair) a corpus store's integrity
      serve     — chaind: the online chain-compliance query service
      reproduce — regenerate paper tables/figures (same engine as bench) *)
 
@@ -260,13 +263,147 @@ let fuzz_cmd =
        ~doc:"Frankencert-style structural fuzzing of the eight client models")
     Term.(ret (const run $ iterations_arg $ seed_arg $ scale_arg $ no_intern_arg))
 
+(* --- scan / replay / audit (chainstore) --- *)
+
+let jobs_pipeline_arg =
+  Arg.(value & opt int (Pipeline.default_jobs ())
+       & info [ "jobs"; "j" ]
+           ~doc:"Domain-pool size for the measurement pipeline (1 = purely \
+                 sequential; default: all cores). Output is identical for \
+                 every value.")
+
+let print_results results =
+  List.iter
+    (fun r ->
+      print_endline r.Experiments.body;
+      print_newline ())
+    results
+
+let scan_cmd =
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Persist the scanned corpus as an append-only, \
+                   content-addressed chainstore under $(docv): every \
+                   certificate once, one observation record per domain, the \
+                   full trust environment, and a Merkle root over the \
+                   observation log.")
+  in
+  let run scale jobs store no_intern =
+    apply_intern no_intern;
+    if jobs < 1 then `Error (true, "--jobs must be >= 1")
+    else
+      with_lab scale (fun pop ->
+          let analysis = Experiments.analyze ~jobs pop in
+          print_results (Experiments.scan_results (Experiments.view analysis));
+          (match store with
+          | None -> ()
+          | Some dir ->
+              let s = Corpus.save ~dir analysis in
+              Printf.eprintf
+                "store: %d observation records, %d certificates, merkle root \
+                 %s -> %s\n"
+                s.Corpus.s_records s.Corpus.s_certs s.Corpus.s_root_hex dir);
+          `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:"Run the two-vantage measurement scan and print the \
+             chain-compliance tables (dataset, tables 3/5/7, section 5.2); \
+             with --store, also persist the corpus for replay and audit")
+    Term.(ret (const run $ scale_arg $ jobs_pipeline_arg $ store_arg
+               $ no_intern_arg))
+
+let replay_cmd =
+  let store_arg =
+    Arg.(required & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Chainstore directory written by 'scan --store'.")
+  in
+  let run store jobs no_intern =
+    apply_intern no_intern;
+    if jobs < 1 then `Error (true, "--jobs must be >= 1")
+    else
+      match Corpus.load ~dir:store with
+      | Error e -> `Error (false, e)
+      | Ok loaded ->
+          let view = Corpus.analyze ~jobs loaded in
+          print_results (Experiments.scan_results view);
+          Printf.eprintf
+            "replayed %d observation records (%d certificates, scale %g, \
+             merkle root %s)\n"
+            loaded.Corpus.l_records loaded.Corpus.l_certs
+            loaded.Corpus.l_scale loaded.Corpus.l_root_hex;
+          `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-run the compliance and differential-testing tables from a \
+             persisted corpus, without regenerating the population; stdout \
+             is byte-identical to the scan that wrote the store")
+    Term.(ret (const run $ store_arg $ jobs_pipeline_arg $ no_intern_arg))
+
+let audit_cmd =
+  let store_arg =
+    Arg.(required & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Chainstore directory to audit.")
+  in
+  let dry_run_arg =
+    Arg.(value & flag
+         & info [ "dry-run" ]
+             ~doc:"Report findings without repairing (no truncation, no \
+                   MANIFEST/ROOT rewrite).")
+  in
+  let samples_arg =
+    Arg.(value & opt int 8
+         & info [ "samples" ]
+             ~doc:"Number of observation records whose Merkle inclusion \
+                   proofs are verified (evenly spread).")
+  in
+  let run store dry_run samples =
+    if samples < 1 then `Error (true, "--samples must be >= 1")
+    else begin
+      let r = Corpus.Store.audit ~repair:(not dry_run) ~samples store in
+      List.iter print_endline r.Corpus.Store.a_messages;
+      if r.Corpus.Store.a_repaired then print_endline "store repaired";
+      if r.Corpus.Store.a_ok then begin
+        print_endline "audit ok";
+        `Ok ()
+      end
+      else `Error (false, "audit found unrecoverable damage")
+    end
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Verify a corpus store: segment CRCs, record counts, the Merkle \
+             root and its authentication tag, and sampled inclusion proofs; \
+             a truncated segment tail (crash artifact) is repaired by \
+             cutting back to the last whole record unless --dry-run")
+    Term.(ret (const run $ store_arg $ dry_run_arg $ samples_arg))
+
 (* --- serve (chaind) --- *)
 
 let serve_cmd =
   let cache_arg =
     Arg.(value & opt int 1024
          & info [ "cache" ]
-             ~doc:"Verdict LRU-cache capacity (entries; >= 1).")
+             ~doc:"Verdict LRU-cache capacity (entries; 0 disables caching).")
+  in
+  let max_frame_arg =
+    Arg.(value & opt int Service.Transport.default_max_frame
+         & info [ "max-frame" ]
+             ~doc:"Longest accepted request line in bytes; longer lines are \
+                   dropped with a structured 'overlong' error instead of \
+                   being buffered.")
+  in
+  let warm_store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "warm-store" ] ~docv:"DIR"
+             ~doc:"Pre-fill the verdict cache and the certificate intern \
+                   table from a chainstore corpus written by 'scan --store' \
+                   (must match --scale), and report a 'store' block in \
+                   stats replies.")
   in
   let queue_arg =
     Arg.(value & opt int 64
@@ -286,12 +423,13 @@ let serve_cmd =
              ~doc:"Worker-Domain pool size for micro-batch processing \
                    (verdicts are identical for every value).")
   in
-  let run scale cache queue batch jobs no_intern =
+  let run scale cache queue batch jobs max_frame warm_store no_intern =
     apply_intern no_intern;
-    if cache < 1 then `Error (true, "--cache must be >= 1")
+    if cache < 0 then `Error (true, "--cache must be >= 0")
     else if queue < 1 then `Error (true, "--queue must be >= 1")
     else if batch < 1 then `Error (true, "--batch must be >= 1")
     else if jobs < 1 then `Error (true, "--jobs must be >= 1")
+    else if max_frame < 1 then `Error (true, "--max-frame must be >= 1")
     else
       with_lab scale (fun pop ->
           let u = pop.Population.universe in
@@ -313,13 +451,50 @@ let serve_cmd =
                         (find_record pop scenario));
             }
           in
+          let warm_corpus =
+            match warm_store with
+            | None -> Ok None
+            | Some dir -> (
+                match Corpus.load ~dir with
+                | Error e -> Error e
+                | Ok l ->
+                    if l.Corpus.l_scale <> scale then
+                      Error
+                        (Printf.sprintf
+                           "--warm-store was written at scale %g, serve is \
+                            running at scale %g"
+                           l.Corpus.l_scale scale)
+                    else Ok (Some l))
+          in
+          match warm_corpus with
+          | Error msg -> `Error (false, msg)
+          | Ok warm_corpus ->
           let engine =
             Service.Engine.create ~env ~cache_capacity:cache
               ~queue_capacity:queue ~batch ~jobs ()
           in
+          (match warm_corpus with
+          | None -> ()
+          | Some l ->
+              let t0 = Unix.gettimeofday () in
+              let warmed =
+                Service.Engine.warm engine
+                  (Array.to_list l.Corpus.l_dataset.Scanner.domains)
+              in
+              let dt = Unix.gettimeofday () -. t0 in
+              Service.Engine.set_store_stats engine
+                [ ("records", Service.Json.Int l.Corpus.l_records);
+                  ("certs", Service.Json.Int l.Corpus.l_certs);
+                  ("root", Service.Json.String l.Corpus.l_root_hex);
+                  ("warmed", Service.Json.Int warmed);
+                  ("warm_seconds", Service.Json.Float dt) ];
+              Printf.eprintf
+                "warm-store: %d verdicts pre-computed from %d records in \
+                 %.2fs\n%!"
+                warmed l.Corpus.l_records dt);
           Service.Engine.serve engine
             (module Service.Transport.Fd)
-            (Service.Transport.Fd.stdio ());
+            (Service.Transport.Fd.stdio ~max_frame ());
           Service.Engine.shutdown engine;
           Format.eprintf "%a@." Service.Metrics.pp_summary
             (Service.Engine.metrics engine);
@@ -339,7 +514,7 @@ let serve_cmd =
              JSON on stdin/stdout (verdict = analyze + difftest + recommend), \
              with LRU verdict caching, micro-batching and request metrics")
     Term.(ret (const run $ scale_arg $ cache_arg $ queue_arg $ batch_arg
-               $ jobs_arg $ no_intern_arg))
+               $ jobs_arg $ max_frame_arg $ warm_store_arg $ no_intern_arg))
 
 (* --- reproduce --- *)
 
@@ -393,4 +568,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ scenario_cmd; analyze_cmd; difftest_cmd; matrix_cmd; recommend_cmd;
-            fuzz_cmd; serve_cmd; reproduce_cmd ]))
+            fuzz_cmd; scan_cmd; replay_cmd; audit_cmd; serve_cmd;
+            reproduce_cmd ]))

@@ -24,3 +24,32 @@ echo "$out" | grep -q '"ordered":false'
 echo "$out" | grep -q '"hits":1'
 echo "$out" | grep -q '"misses":1'
 echo "$out" | grep -q '"rejects":0'
+
+# chainstore smoke: scan to a store, replay from it byte-identically (at a
+# different parallelism), audit clean, then chop the observation segment
+# mid-frame and check audit repairs the crash artifact.
+store=$(mktemp -d)
+trap 'rm -rf "$store"' EXIT
+dune exec bin/chaoscheck.exe -- scan --scale 0.002 --jobs 2 \
+  --store "$store" > "$store/scan.out"
+dune exec bin/chaoscheck.exe -- replay --store "$store" --jobs 3 \
+  > "$store/replay.out"
+cmp "$store/scan.out" "$store/replay.out"
+dune exec bin/chaoscheck.exe -- audit --store "$store" | grep -q '^audit ok'
+obs="$store/obs.seg"
+size=$(wc -c < "$obs")
+dd if=/dev/null of="$obs" bs=1 seek=$((size - 5)) 2>/dev/null
+dune exec bin/chaoscheck.exe -- audit --store "$store" --dry-run \
+  | grep -q 'truncated tail'
+dune exec bin/chaoscheck.exe -- audit --store "$store" | grep -q '^store repaired'
+dune exec bin/chaoscheck.exe -- audit --store "$store" | grep -q '^audit ok'
+dune exec bin/chaoscheck.exe -- replay --store "$store" > /dev/null
+
+# warm-store smoke: a warmed chaind must serve byte-identical check replies,
+# with the warm fill showing up as cache hits.
+dune exec bin/chaoscheck.exe -- serve --scale 0.002 --jobs 2 \
+  --warm-store "$store" < bin/ci_serve_requests.ndjson > "$store/warm.out"
+head -2 "$store/warm.out" > "$store/warm2.out"
+printf '%s\n' "$out" | head -2 | cmp - "$store/warm2.out"
+grep -q '"hits":2' "$store/warm.out"
+grep -q '"warmed":' "$store/warm.out"

@@ -1,0 +1,46 @@
+(** Persisting a measurement run as a chainstore corpus, and replaying it.
+
+    [save] walks an analysis in dataset order and writes three kinds of
+    content-addressed records: every certificate's DER exactly once
+    (deduplicated by SHA-256 fingerprint), one observation record per domain
+    (domain, probe-outcome flags, chain as a fingerprint list), and the full
+    trust environment — the four program root stores plus their union, the
+    AIA repository including injected failures, the Firefox intermediate
+    cache, the Windows OS store and the measurement timestamp — so that
+    [load] can rebuild a {!Difftest.env} without regenerating the synthetic
+    population. Certificates are re-decoded through {!Intern}, so a replay
+    deduplicates parses exactly like the live decode path.
+
+    [analyze] then reproduces the compliance classification over the loaded
+    corpus as an {!Experiments.view}: rendered through
+    {!Experiments.scan_results} it is byte-identical to the direct scan, for
+    any [jobs]. *)
+
+open Chaoschain_core
+open Chaoschain_pki
+module Store = Chaoschain_store.Store
+
+type summary = { s_records : int; s_certs : int; s_root_hex : string }
+
+val save : dir:string -> Experiments.analysis -> summary
+(** Write the corpus under [dir] (created if needed, truncating any previous
+    store there). Deterministic: byte-identical output for any [jobs] the
+    analysis ran with. *)
+
+type loaded = {
+  l_dataset : Scanner.dataset;  (** rebuilt from observation records *)
+  l_env : Difftest.env;
+  l_union_store : Root_store.t;
+  l_scale : float;  (** population scale recorded at save time *)
+  l_records : int;
+  l_certs : int;
+  l_root_hex : string;  (** the verified Merkle root *)
+}
+
+val load : dir:string -> (loaded, string) result
+(** Strict open + decode; any integrity or format problem is an [Error]. *)
+
+val analyze : ?jobs:int -> loaded -> Experiments.view
+(** Re-run the compliance classification from disk, sharded over [jobs]
+    Domains (default 1), memoised per unique chain fingerprint — mirroring
+    [Experiments.analyze] over the live population. *)

@@ -47,13 +47,46 @@ type result = { id : string; title : string; body : string }
 let count_where analysis p =
   Array.fold_left (fun acc rc -> if p rc then acc + 1 else acc) 0 analysis.reports
 
-let total analysis = Array.length analysis.reports
-
 (* The paper's non-compliance notion for the 26,361 total: order violation or
    incomplete chain (leaf "Other" chains are excluded, as in section 4). *)
-let paper_non_compliant (_, rep) =
+let paper_non_compliant_report rep =
   (not rep.Compliance.order.Order_check.ordered)
   || rep.Compliance.completeness.Completeness.verdict = Completeness.Incomplete
+
+let paper_non_compliant (_, rep) = paper_non_compliant_report rep
+
+(* A [view] is the slice of an analysis the persisted corpus can reproduce:
+   no [Population.record]s (vendor and software labels are synthetic and not
+   stored), just each domain's served chain and its compliance report plus
+   the trust environment. Both the live path ([view] below) and the replay
+   path ([Corpus.analyze]) build one, so the replayed tables render through
+   exactly the code the direct scan used — byte-identical by construction. *)
+type view = {
+  v_dataset : Scanner.dataset;
+  v_env : Difftest.env;
+  v_items : (string * Cert.t list * Compliance.report) array;
+  v_jobs : int;
+  v_memo : Difftest.case Pipeline.Memo.t;
+}
+
+let view analysis =
+  {
+    v_dataset = analysis.dataset;
+    v_env = Population.env analysis.pop;
+    v_items =
+      Array.map
+        (fun (r, rep) -> (r.Population.domain, r.Population.chain, rep))
+        analysis.reports;
+    v_jobs = analysis.jobs;
+    v_memo = analysis.difftest_memo;
+  }
+
+let difftest_item view ~domain chain =
+  let case =
+    Pipeline.Memo.find_or_add view.v_memo (Difftest.chain_key ~domain chain)
+      (fun () -> Difftest.run_case view.v_env ~domain chain)
+  in
+  Difftest.with_domain ~domain case
 
 (* --- Table 1 --- *)
 
@@ -89,9 +122,16 @@ let table2 () =
 
 (* --- Table 3 --- *)
 
-let table3 analysis =
-  let n = total analysis in
-  let count v = count_where analysis (fun (_, rep) -> rep.Compliance.leaf = v) in
+(* The compliance tables (3, 5, 7) depend only on the report array, so they
+   have report-level cores shared between the live analysis and a replayed
+   corpus view. *)
+
+let count_reports reports p =
+  Array.fold_left (fun acc rep -> if p rep then acc + 1 else acc) 0 reports
+
+let table3_reports reports =
+  let n = Array.length reports in
+  let count v = count_reports reports (fun rep -> rep.Compliance.leaf = v) in
   let t =
     Stats.table ~title:"Table 3: leaf certificate deployment"
       ~header:[ "Place"; "Match"; "# domains (measured)"; "paper" ]
@@ -105,6 +145,8 @@ let table3 analysis =
   row "no" "no" Leaf_check.Incorrect_mismatched "1 (~0%)";
   row "Other" "" Leaf_check.Other "5,445 (0.6%)";
   { id = "table3"; title = "Table 3"; body = Stats.render t }
+
+let table3 analysis = table3_reports (Array.map snd analysis.reports)
 
 (* --- Table 4 --- *)
 
@@ -128,15 +170,13 @@ let table4 () =
 
 (* --- Table 5 --- *)
 
-let order_reports analysis =
-  Array.to_list analysis.reports
-  |> List.filter_map (fun (r, rep) ->
-         if rep.Compliance.order.Order_check.ordered then None else Some (r, rep))
-
-let table5 analysis =
-  let bad = order_reports analysis in
+let table5_reports reports =
+  let bad =
+    Array.to_list reports
+    |> List.filter (fun rep -> not rep.Compliance.order.Order_check.ordered)
+  in
   let nbad = List.length bad in
-  let c p = List.length (List.filter (fun (_, rep) -> p rep.Compliance.order) bad) in
+  let c p = List.length (List.filter (fun rep -> p rep.Compliance.order) bad) in
   let t =
     Stats.table ~title:"Table 5: chains with non-compliant issuance order"
       ~header:[ "Type"; "measured"; "paper" ]
@@ -159,13 +199,13 @@ let table5 analysis =
   let dup_kind k =
     List.length
       (List.filter
-         (fun (_, rep) ->
+         (fun rep ->
            List.exists (fun (kind, _) -> kind = k) rep.Compliance.order.Order_check.duplicates)
          bad)
   in
   let all_rev =
     List.length
-      (List.filter (fun (_, rep) -> rep.Compliance.order.Order_check.all_paths_reversed) bad)
+      (List.filter (fun rep -> rep.Compliance.order.Order_check.all_paths_reversed) bad)
   in
   let extra =
     Printf.sprintf
@@ -175,6 +215,8 @@ let table5 analysis =
       (dup_kind Order_check.Dup_root) all_rev
   in
   { id = "table5"; title = "Table 5"; body = Stats.render t ^ extra }
+
+let table5 analysis = table5_reports (Array.map snd analysis.reports)
 
 (* --- Table 6 --- *)
 
@@ -199,10 +241,10 @@ let table6 analysis =
 
 (* --- Table 7 --- *)
 
-let table7 analysis =
-  let n = total analysis in
+let table7_reports reports =
+  let n = Array.length reports in
   let c v =
-    count_where analysis (fun (_, rep) ->
+    count_reports reports (fun rep ->
         rep.Compliance.completeness.Completeness.verdict = v)
   in
   let t =
@@ -218,8 +260,8 @@ let table7 analysis =
   Stats.add_row t
     [ "Incomplete Chain"; Stats.count_pct (c Completeness.Incomplete) n; "12,087 (1.3%)" ];
   let inc =
-    Array.to_list analysis.reports
-    |> List.filter_map (fun (_, rep) ->
+    Array.to_list reports
+    |> List.filter_map (fun rep ->
            match rep.Compliance.completeness.Completeness.verdict with
            | Completeness.Incomplete -> Some rep.Compliance.completeness
            | _ -> None)
@@ -244,6 +286,8 @@ let table7 analysis =
       (cause (fun c -> c.Completeness.cause = Some Completeness.Aia_wrong_cert))
   in
   { id = "table7"; title = "Table 7"; body = Stats.render t ^ extra }
+
+let table7 analysis = table7_reports (Array.map snd analysis.reports)
 
 (* --- Table 8 --- *)
 
@@ -531,16 +575,20 @@ let figure5 analysis =
 
 (* --- Section 5.2 --- *)
 
-let section5_2 analysis =
-  let env = Population.env analysis.pop in
+let section5_2_view v =
+  let env = v.v_env in
   let nc_arr =
-    Array.to_list analysis.reports |> List.filter paper_non_compliant |> Array.of_list
+    Array.to_list v.v_items
+    |> List.filter (fun (_, _, rep) -> paper_non_compliant_report rep)
+    |> Array.of_list
   in
   (* The expensive sweep: eight client models per unique non-compliant chain,
      deduplicated through the analysis-wide memo and spread over the Domain
      pool. Shard-order merge keeps the list in domain order, as before. *)
   let cases_arr =
-    Pipeline.map ~jobs:analysis.jobs (fun (r, _) -> difftest_record analysis r) nc_arr
+    Pipeline.map ~jobs:v.v_jobs
+      (fun (domain, chain, _) -> difftest_item v ~domain chain)
+      nc_arr
   in
   let cases = Array.to_list cases_arr in
   let s = Difftest.summarize cases in
@@ -598,8 +646,8 @@ let section5_2 analysis =
     | None -> false
   in
   let ablation_outcomes =
-    Pipeline.mapi ~jobs:analysis.jobs
-      (fun i (r, _) ->
+    Pipeline.mapi ~jobs:v.v_jobs
+      (fun i (domain, chain, _) ->
         let case = cases_arr.(i) in
         if Difftest.accepted_by case Clients.Cryptoapi && cryptoapi_used_fetch case
         then begin
@@ -608,7 +656,7 @@ let section5_2 analysis =
             { Path_builder.params = no_aia_params; store; aia = None;
               cache = env.Difftest.os_store; crls = None; now = env.Difftest.now }
           in
-          let o = Engine.run ctx ~host:(Some r.Population.domain) r.Population.chain in
+          let o = Engine.run ctx ~host:(Some domain) chain in
           Some (Engine.accepted o)
         end
         else None)
@@ -626,6 +674,8 @@ let section5_2 analysis =
      OS intermediate store (paper: 8,373 fail, 180 rescued)\n"
     !broke !rescued;
   { id = "section5.2"; title = "Section 5.2"; body = Buffer.contents b }
+
+let section5_2 analysis = section5_2_view (view analysis)
 
 (* --- Section 6: recommendations made executable --- *)
 
@@ -700,8 +750,7 @@ let section6 analysis =
     (Stats.with_commas stats.Recommend.tie_validity_variants);
   { id = "section6"; title = "Section 6"; body = Buffer.contents b }
 
-let dataset_overview analysis =
-  let d = analysis.dataset in
+let dataset_overview_of d =
   let b = Buffer.create 256 in
   Printf.bprintf b "Collection (simulated two-vantage ZGrab over TLS 1.2):\n";
   List.iter
@@ -717,6 +766,14 @@ let dataset_overview analysis =
   Printf.bprintf b "  TLS 1.2 vs 1.3 identical chains: %.1f%% (paper: 98.8%%)\n"
     d.Scanner.tls12_tls13_identical_pct;
   { id = "dataset"; title = "Section 3.1 dataset"; body = Buffer.contents b }
+
+let dataset_overview analysis = dataset_overview_of analysis.dataset
+
+let scan_results v =
+  let reports = Array.map (fun (_, _, rep) -> rep) v.v_items in
+  [ dataset_overview_of v.v_dataset;
+    table3_reports reports; table5_reports reports; table7_reports reports;
+    section5_2_view v ]
 
 let run_all analysis =
   [ dataset_overview analysis;

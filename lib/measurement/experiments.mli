@@ -5,6 +5,7 @@
     population; individual experiments reuse that shared analysis. [run_all]
     is what [bench/main.exe] and EXPERIMENTS.md generation call. *)
 
+open Chaoschain_x509
 open Chaoschain_core
 
 type analysis = {
@@ -25,6 +26,26 @@ val analyze : ?jobs:int -> Population.t -> analysis
 
 val difftest_record : analysis -> Population.record -> Difftest.case
 (** Differential-test one domain through the analysis-wide memo. *)
+
+type view = {
+  v_dataset : Scanner.dataset;
+  v_env : Difftest.env;
+  v_items : (string * Cert.t list * Compliance.report) array;
+      (** one (domain, served chain, report) per domain, in dataset order *)
+  v_jobs : int;
+  v_memo : Difftest.case Pipeline.Memo.t;
+}
+(** The slice of an analysis that a persisted corpus can reproduce: served
+    chains, compliance reports and the trust environment — no synthetic
+    population labels. The live scan builds one with {!view}; replay builds
+    one from disk ([Corpus.analyze]); {!scan_results} renders both through
+    the same code, which is what makes replayed tables byte-identical. *)
+
+val view : analysis -> view
+
+val difftest_item : view -> domain:string -> Cert.t list -> Difftest.case
+(** {!difftest_record} for a view item: memoised by
+    [Difftest.chain_key], relabelled with [domain]. *)
 
 type result = {
   id : string;       (** e.g. ["table3"] *)
@@ -57,6 +78,11 @@ val section6 : analysis -> result
 val dataset_overview : analysis -> result
 (** The section 3.1 collection statistics (vantage totals, unique chains and
     certificates, TLS 1.2/1.3 agreement). *)
+
+val scan_results : view -> result list
+(** The store-reproducible subset, in paper order: dataset overview, tables
+    3, 5 and 7, and section 5.2. [chaoscheck scan] and [chaoscheck replay]
+    both print exactly this list. *)
 
 val run_all : analysis -> result list
 (** Every experiment, in paper order. *)

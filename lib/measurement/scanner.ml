@@ -8,10 +8,15 @@ type dataset = {
   vantages : vantage list;
   domains : (string * Cert.t list) array;
   chain_fps : string array;
+  flags : int array;
   unique_chains : int;
   unique_certs : int;
   tls12_tls13_identical_pct : float;
 }
+
+let flag_us = 1
+let flag_au = 2
+let flag_identical = 4
 
 (* Loss rates chosen to reproduce the paper's per-vantage totals:
    870,113 / 906,336 and 867,374 / 906,336. *)
@@ -81,6 +86,13 @@ let scan ?(jobs = 1) (p : Population.t) =
         { name = "AU"; reached = !reached_au; unreachable = n - !reached_au } ];
     domains = Array.map (fun pr -> (pr.p_domain, pr.p_certs)) probes;
     chain_fps = Array.map (fun pr -> pr.p_fp) probes;
+    flags =
+      Array.map
+        (fun pr ->
+          (if pr.p_us then flag_us else 0)
+          lor (if pr.p_au then flag_au else 0)
+          lor if pr.p_identical then flag_identical else 0)
+        probes;
     unique_chains = Hashtbl.length chain_fps;
     unique_certs = Hashtbl.length cert_fps;
     tls12_tls13_identical_pct = 100.0 *. float_of_int !identical /. float_of_int n }

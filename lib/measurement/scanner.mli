@@ -19,11 +19,25 @@ type dataset = {
       (** per-domain chain fingerprint (SHA-256 over the certificate
           fingerprints), aligned with [domains]; the dedup key downstream
           stages memoise on *)
+  flags : int array;
+      (** per-domain probe outcome bits ({!flag_us}, {!flag_au},
+          {!flag_identical}), aligned with [domains] — enough to rebuild the
+          vantage totals and the TLS 1.2/1.3 agreement statistic from a
+          persisted corpus *)
   unique_chains : int;
   unique_certs : int;
   tls12_tls13_identical_pct : float;
       (** share of domains answering both versions with the same chain *)
 }
+
+val flag_us : int
+(** The domain answered the US vantage. *)
+
+val flag_au : int
+(** The domain answered the AU vantage. *)
+
+val flag_identical : int
+(** TLS 1.2 and 1.3 served the same chain. *)
 
 val chain_fingerprint : Cert.t list -> string
 (** SHA-256 of the concatenated certificate fingerprints — the canonical

@@ -36,6 +36,19 @@ let fetch t uri =
   | Some Fail_not_found | None -> Http_not_found
   | Some Fail_timeout -> Timeout
 
+let entries t =
+  Hashtbl.fold
+    (fun uri entry acc ->
+      let e =
+        match entry with
+        | Cert_entry c -> `Cert c
+        | Fail_not_found -> `Not_found
+        | Fail_timeout -> `Timeout
+      in
+      (uri, e) :: acc)
+    t.entries []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let fetch_count t = t.total_fetches
 let fetch_count_for t uri = Option.value (Hashtbl.find_opt t.counts uri) ~default:0
 

@@ -25,6 +25,11 @@ val publish : t -> uri:string -> Cert.t -> unit
 val inject_failure : t -> uri:string -> [ `Not_found | `Timeout ] -> unit
 (** Make [uri] fail. Overrides any published certificate. *)
 
+val entries : t -> (string * [ `Cert of Cert.t | `Not_found | `Timeout ]) list
+(** Everything published or injected, sorted by URI (the backing table's own
+    iteration order is nondeterministic) — what a persisted corpus stores so
+    replay can rebuild the repository exactly. *)
+
 val fetch : t -> string -> outcome
 (** One simulated HTTP GET. URIs never published behave as {!Http_not_found}.
     Every call is counted. *)

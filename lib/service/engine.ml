@@ -23,10 +23,14 @@ type t = {
   batch : int;
   pool : Pipeline.Pool.t;
   empty_aia : Aia_repo.t;        (* every fetch 404s: the aia:false world *)
+  now : unit -> float;           (* injectable clock for latency timing *)
+  mutable store_stats : (string * Json.t) list option;
+      (* extra "store" block in stats replies, set by --warm-store *)
 }
 
 let create ~env ?(cache_capacity = 1024) ?(queue_capacity = 64) ?(batch = 8)
-    ?(jobs = 1) () =
+    ?(jobs = 1) ?(now = Unix.gettimeofday) () =
+  if cache_capacity < 0 then invalid_arg "Engine.create: cache_capacity >= 0";
   if queue_capacity < 1 then invalid_arg "Engine.create: queue_capacity >= 1";
   if batch < 1 then invalid_arg "Engine.create: batch >= 1";
   if jobs < 1 then invalid_arg "Engine.create: jobs >= 1";
@@ -39,6 +43,8 @@ let create ~env ?(cache_capacity = 1024) ?(queue_capacity = 64) ?(batch = 8)
     batch;
     pool = Pipeline.Pool.create ~jobs;
     empty_aia = Aia_repo.create ();
+    now;
+    store_stats = None;
   }
 
 let metrics t = Metrics.snapshot t.metrics
@@ -47,8 +53,7 @@ let cache_capacity t = Lru.capacity t.cache
 let cache_evictions t = Lru.evictions t.cache
 let pending t = Queue.length t.queue
 let shutdown t = Pipeline.Pool.shutdown t.pool
-
-let now_s () = Unix.gettimeofday ()
+let set_store_stats t fields = t.store_stats <- Some fields
 
 (* --- verdict construction --- *)
 
@@ -197,6 +202,43 @@ let verdict_key (c : Protocol.check) ~domain certs =
   in
   Hex.encode (Difftest.chain_key ~domain certs) ^ "|" ^ domain ^ "|" ^ opts
 
+(* --- cache warming --- *)
+
+(* Pre-fill the verdict LRU from a corpus: compute the default-options
+   verdict (union store, AIA on, all clients) for each distinct chain and
+   install it under the same key a live request would probe. Metrics are NOT
+   touched — warming is not traffic, and a warmed engine must answer with
+   bytes identical to a cold one (the warm fill shows up only as cache hits
+   on later requests, and in the "store" stats block). *)
+let warm t pairs =
+  let check =
+    { Protocol.domain = None; pem = None; scenario = None; aia = true;
+      store = Protocol.Union; clients = None }
+  in
+  let cap = Lru.capacity t.cache in
+  if cap = 0 then 0
+  else begin
+    let seen = Hashtbl.create 1024 in
+    let todo = ref [] in
+    List.iter
+      (fun (domain, certs) ->
+        if Hashtbl.length seen < cap then begin
+          let key = verdict_key check ~domain certs in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            todo := (key, domain, certs) :: !todo
+          end
+        end)
+      pairs;
+    let todo = Array.of_list (List.rev !todo) in
+    let out = Array.make (Array.length todo) "" in
+    Pipeline.Pool.run t.pool (Array.length todo) (fun i ->
+        let _, domain, certs = todo.(i) in
+        out.(i) <- compute_verdict t check ~domain certs);
+    Array.iteri (fun i (key, _, _) -> Lru.add t.cache key out.(i)) todo;
+    Array.length todo
+  end
+
 (* --- batch processing --- *)
 
 (* A prepared frame. Preparation runs sequentially on the serve thread: it
@@ -230,8 +272,13 @@ let resolve_chain t (c : Protocol.check) =
 
 let stats_json t =
   let s = Metrics.snapshot t.metrics in
+  let store_block =
+    match t.store_stats with
+    | None -> []
+    | Some fields -> [ ("store", Json.Obj fields) ]
+  in
   Json.Obj
-    [ ("requests", Json.Int s.Metrics.requests);
+    ([ ("requests", Json.Int s.Metrics.requests);
       ("checks", Json.Int s.Metrics.checks);
       ("hits", Json.Int s.Metrics.hits);
       ("misses", Json.Int s.Metrics.misses);
@@ -275,6 +322,7 @@ let stats_json t =
                            else Json.String "inf" );
                          ("count", Json.Int count) ])
                    s.Metrics.buckets) ) ] ) ]
+    @ store_block)
 
 let prepare t seen frame =
   match Protocol.of_frame frame with
@@ -319,12 +367,12 @@ let process_slots t slots =
   let out = Array.make (Array.length fresh) (Ok "") in
   Pipeline.Pool.run t.pool (Array.length fresh) (fun i ->
       let f = fresh.(i) in
-      let t0 = now_s () in
+      let t0 = t.now () in
       (out.(i) <-
         (match f.compute () with
         | verdict -> Ok verdict
         | exception e -> Error (Printexc.to_string e)));
-      Metrics.observe_latency t.metrics (now_s () -. t0));
+      Metrics.observe_latency t.metrics (t.now () -. t0));
   Array.iteri
     (fun i f ->
       match out.(i) with
@@ -348,9 +396,9 @@ let process_slots t slots =
       | Fresh { f_id; f_key; _ } -> render_key f_id f_key
       | Join (id, key) -> render_key id key
       | Stats id ->
-          let t0 = now_s () in
+          let t0 = t.now () in
           let response = Protocol.stats_response ~id (stats_json t) in
-          Metrics.observe_latency t.metrics (now_s () -. t0);
+          Metrics.observe_latency t.metrics (t.now () -. t0);
           response)
     slots
 
@@ -417,6 +465,14 @@ let serve (type c) t (module T : Transport.S with type conn = c) (conn : c) =
       match T.recv conn ~block with
       | `Eof -> eof := true
       | `Empty -> ()
+      | `Overlong ->
+          (* The transport already dropped the line; answer with a
+             structured error instead of buffering without bound. *)
+          Metrics.incr_errors t.metrics;
+          T.send conn
+            (Protocol.error_response ~id:None ~code:"overlong"
+               "request line exceeds the transport's frame-length bound");
+          fill ~block:false
       | `Frame frame ->
           (match admit t frame with
           | `Admitted -> ()

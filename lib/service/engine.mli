@@ -44,10 +44,27 @@ val create :
   ?queue_capacity:int ->
   ?batch:int ->
   ?jobs:int ->
+  ?now:(unit -> float) ->
   unit ->
   t
 (** Defaults: [cache_capacity = 1024], [queue_capacity = 64], [batch = 8],
-    [jobs = 1]. All four must be [>= 1] (raises [Invalid_argument]). *)
+    [jobs = 1]. [cache_capacity] must be [>= 0] (0 disables caching), the
+    other three [>= 1] (raises [Invalid_argument]). [now] is the clock used
+    for latency timing (default [Unix.gettimeofday]); injecting a scripted
+    clock makes the latency histogram deterministic in tests. *)
+
+val warm : t -> (string * Cert.t list) list -> int
+(** [warm t pairs] pre-fills the verdict cache from [(domain, chain)] pairs
+    (typically a loaded corpus): each distinct default-options verdict key
+    is computed once, over the engine's worker pool, and installed in the
+    LRU — at most [cache_capacity] entries, surplus pairs skipped. Returns
+    the number of entries computed. Metrics are untouched, so a warmed
+    engine's replies are byte-identical to a cold one's; the warm fill
+    surfaces as cache hits on later requests. *)
+
+val set_store_stats : t -> (string * Json.t) list -> unit
+(** Attach a ["store"] block (e.g. corpus record counts, Merkle root, warm
+    fill) that {!stats_json} will append to every stats reply. *)
 
 val admit : t -> string -> [ `Admitted | `Rejected of string ]
 (** Offer one raw frame to the admission queue. [`Rejected response] is

@@ -15,10 +15,10 @@ type 'a t = {
 }
 
 let create ~capacity =
-  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  if capacity < 0 then invalid_arg "Lru.create: capacity must be >= 0";
   {
     cap = capacity;
-    table = Hashtbl.create (min capacity 4096);
+    table = Hashtbl.create (min (max capacity 1) 4096);
     lock = Mutex.create ();
     head = None;
     tail = None;
@@ -71,6 +71,8 @@ let find t key =
           Some node.value)
 
 let add t key value =
+  if t.cap = 0 then ()  (* capacity 0: caching disabled, nothing to evict *)
+  else
   with_lock t (fun () ->
       match Hashtbl.find_opt t.table key with
       | Some node ->

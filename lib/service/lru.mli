@@ -11,7 +11,9 @@
 type 'a t
 
 val create : capacity:int -> 'a t
-(** [capacity >= 1] (raises [Invalid_argument] otherwise). *)
+(** [capacity >= 0] (raises [Invalid_argument] otherwise). Capacity 0 is a
+    valid degenerate cache: {!find} always misses and {!add} is a no-op —
+    how chaind runs with caching disabled. *)
 
 val capacity : 'a t -> int
 

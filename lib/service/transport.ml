@@ -1,9 +1,11 @@
 module type S = sig
   type conn
 
-  val recv : conn -> block:bool -> [ `Frame of string | `Empty | `Eof ]
+  val recv : conn -> block:bool -> [ `Frame of string | `Empty | `Eof | `Overlong ]
   val send : conn -> string -> unit
 end
+
+let default_max_frame = 1 lsl 20
 
 module Fd = struct
   type conn = {
@@ -11,15 +13,19 @@ module Fd = struct
     out : out_channel;
     buf : Buffer.t;       (* bytes read but not yet returned *)
     chunk : Bytes.t;
+    max_frame : int;      (* longest line accepted as a frame *)
+    mutable discarding : bool;
+        (* an overlong line was reported; drop bytes through its newline *)
     mutable eof : bool;   (* the descriptor reported end-of-file *)
     mutable closed : bool (* eof AND the buffer has been fully drained *)
   }
 
-  let make fd out =
+  let make ?(max_frame = default_max_frame) fd out =
+    if max_frame < 1 then invalid_arg "Transport.Fd.make: max_frame >= 1";
     { fd; out; buf = Buffer.create 4096; chunk = Bytes.create 4096;
-      eof = false; closed = false }
+      max_frame; discarding = false; eof = false; closed = false }
 
-  let stdio () = make Unix.stdin stdout
+  let stdio ?max_frame () = make ?max_frame Unix.stdin stdout
 
   (* First complete line in [buf], removing it (and its newline). *)
   let take_line c =
@@ -45,23 +51,56 @@ module Fd = struct
         if block then fill c ~block
 
   let rec recv c ~block =
-    match take_line c with
-    | Some line -> `Frame line
-    | None ->
-        if c.closed then `Eof
-        else if c.eof then begin
-          (* deliver a trailing unterminated line, then EOF forever *)
-          c.closed <- true;
-          let rest = Buffer.contents c.buf in
+    if c.discarding then begin
+      (* Drop the rest of an already-reported overlong line. The buffer is
+         cleared on every pass, so memory stays bounded by the read chunk no
+         matter how long the line runs. *)
+      let s = Buffer.contents c.buf in
+      match String.index_opt s '\n' with
+      | Some i ->
           Buffer.clear c.buf;
-          if rest = "" then `Eof else `Frame rest
-        end
-        else if block || readable c.fd then begin
-          fill c ~block;
-          if (not c.eof) && (not block) && Buffer.length c.buf = 0 then `Empty
-          else recv c ~block
-        end
-        else `Empty
+          Buffer.add_substring c.buf s (i + 1) (String.length s - i - 1);
+          c.discarding <- false;
+          recv c ~block
+      | None ->
+          Buffer.clear c.buf;
+          if c.eof then begin
+            c.closed <- true;
+            `Eof
+          end
+          else if block || readable c.fd then begin
+            fill c ~block;
+            if (not c.eof) && (not block) && Buffer.length c.buf = 0 then `Empty
+            else recv c ~block
+          end
+          else `Empty
+    end
+    else
+      match take_line c with
+      | Some line ->
+          if String.length line > c.max_frame then `Overlong else `Frame line
+      | None ->
+          if Buffer.length c.buf > c.max_frame then begin
+            (* No newline yet and already past the bound: report now and
+               switch to discard mode rather than buffering without limit. *)
+            Buffer.clear c.buf;
+            c.discarding <- true;
+            `Overlong
+          end
+          else if c.closed then `Eof
+          else if c.eof then begin
+            (* deliver a trailing unterminated line, then EOF forever *)
+            c.closed <- true;
+            let rest = Buffer.contents c.buf in
+            Buffer.clear c.buf;
+            if rest = "" then `Eof else `Frame rest
+          end
+          else if block || readable c.fd then begin
+            fill c ~block;
+            if (not c.eof) && (not block) && Buffer.length c.buf = 0 then `Empty
+            else recv c ~block
+          end
+          else `Empty
 
   let send c frame =
     output_string c.out frame;
@@ -70,9 +109,15 @@ module Fd = struct
 end
 
 module Mem = struct
-  type conn = { mutable input : string list; mutable sent : string list }
+  type conn = {
+    mutable input : string list;
+    mutable sent : string list;
+    max_frame : int;
+  }
 
-  let make input = { input; sent = [] }
+  let make ?(max_frame = default_max_frame) input =
+    { input; sent = []; max_frame }
+
   let output c = List.rev c.sent
 
   let recv c ~block:_ =
@@ -80,7 +125,7 @@ module Mem = struct
     | [] -> `Eof
     | frame :: rest ->
         c.input <- rest;
-        `Frame frame
+        if String.length frame > c.max_frame then `Overlong else `Frame frame
 
   let send c frame = c.sent <- frame :: c.sent
 end

@@ -2,16 +2,26 @@
     (newline-delimited JSON). The engine is written against the {!S}
     signature so a socket backend can slot in later; today there are two
     implementations — file descriptors (stdin/stdout for [chaoscheck serve])
-    and an in-memory queue for tests. *)
+    and an in-memory queue for tests.
+
+    Request lines are bounded: a line longer than the transport's
+    [max_frame] yields [`Overlong] (once, at the point the bound is crossed)
+    and is otherwise discarded without ever being buffered whole — the
+    engine answers it with a structured ["overlong"] error instead of
+    growing its buffer without limit. *)
+
+val default_max_frame : int
+(** 1 MiB. *)
 
 module type S = sig
   type conn
 
-  val recv : conn -> block:bool -> [ `Frame of string | `Empty | `Eof ]
+  val recv : conn -> block:bool -> [ `Frame of string | `Empty | `Eof | `Overlong ]
   (** Next complete frame. With [block:false], [`Empty] means no complete
       frame is immediately available — the engine uses this to close a
-      micro-batch instead of waiting for more traffic. After [`Eof] the
-      connection never yields frames again. *)
+      micro-batch instead of waiting for more traffic. [`Overlong] reports
+      a request line past the length bound (the line itself is consumed and
+      dropped). After [`Eof] the connection never yields frames again. *)
 
   val send : conn -> string -> unit
   (** Write one frame (the implementation appends the newline) and flush. *)
@@ -20,20 +30,24 @@ end
 (** File-descriptor transport with its own line buffer; readiness is probed
     with a zero-timeout [select], so [recv ~block:false] never blocks even
     though the descriptor is a pipe. A trailing unterminated line is
-    delivered as a final frame at EOF. *)
+    delivered as a final frame at EOF. An overlong line is reported as soon
+    as the buffer crosses [max_frame] and its remaining bytes are dropped
+    chunk-by-chunk through the closing newline, keeping memory bounded. *)
 module Fd : sig
   include S
 
-  val make : Unix.file_descr -> out_channel -> conn
-  val stdio : unit -> conn
+  val make : ?max_frame:int -> Unix.file_descr -> out_channel -> conn
+  (** [max_frame] defaults to {!default_max_frame}. *)
+
+  val stdio : ?max_frame:int -> unit -> conn
 end
 
 (** In-memory transport for tests: a fixed list of input frames, captured
-    output. *)
+    output. Frames longer than [max_frame] yield [`Overlong]. *)
 module Mem : sig
   include S
 
-  val make : string list -> conn
+  val make : ?max_frame:int -> string list -> conn
   val output : conn -> string list
   (** Frames sent so far, in order. *)
 end

@@ -1,0 +1,27 @@
+(* Reflected CRC-32, polynomial 0xEDB88320 (the PNG/gzip/802.3 one). OCaml
+   ints are at least 63 bits on every platform we target, so the running
+   register fits a plain [int] with a mask after each table step. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let digest_sub s off len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32.digest_sub";
+  let crc = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    crc :=
+      Array.unsafe_get table ((!crc lxor Char.code (String.unsafe_get s i)) land 0xFF)
+      lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let digest s = digest_sub s 0 (String.length s)

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the frame
+    checksum of the chainstore record codec. Implemented from scratch with a
+    precomputed 256-entry table; digests are returned as non-negative [int]s
+    in [0, 2^32). *)
+
+val digest : string -> int
+(** CRC-32 of the whole string. *)
+
+val digest_sub : string -> int -> int -> int
+(** [digest_sub s off len] — CRC-32 of [len] bytes of [s] starting at [off],
+    without copying. Raises [Invalid_argument] if the range is out of
+    bounds. *)

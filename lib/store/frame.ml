@@ -1,0 +1,110 @@
+let header_size = 9
+
+let put_u32 b v =
+  Buffer.add_char b (Char.chr (v land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF))
+
+let get_u32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let add b ~kind payload =
+  if kind < 0 || kind > 0xFF then invalid_arg "Frame.add: kind";
+  Buffer.add_char b (Char.chr kind);
+  put_u32 b (String.length payload);
+  put_u32 b (Crc32.digest payload);
+  Buffer.add_string b payload
+
+type read_result =
+  | Frame of { kind : int; payload : string; next : int }
+  | End
+  | Truncated
+  | Corrupt of string
+
+let read seg off =
+  let len = String.length seg in
+  if off = len then End
+  else if off > len then Corrupt "offset past end of segment"
+  else if len - off < header_size then Truncated
+  else
+    let kind = Char.code seg.[off] in
+    let plen = get_u32 seg (off + 1) in
+    let crc = get_u32 seg (off + 5) in
+    let body = off + header_size in
+    if plen < 0 || plen > len - body then Truncated
+    else if Crc32.digest_sub seg body plen <> crc then
+      Corrupt (Printf.sprintf "CRC mismatch at offset %d" off)
+    else
+      Frame { kind; payload = String.sub seg body plen; next = body + plen }
+
+type tail = Clean | Truncated_at of int | Corrupt_at of int * string
+
+let fold seg ~init ~f =
+  let rec go acc off =
+    match read seg off with
+    | End -> (acc, Clean)
+    | Truncated -> (acc, Truncated_at off)
+    | Corrupt msg -> (acc, Corrupt_at (off, msg))
+    | Frame { kind; payload; next } -> go (f acc ~kind ~payload) next
+  in
+  go init 0
+
+module Wire = struct
+  exception Short
+
+  let u8 b v =
+    if v < 0 || v > 0xFF then invalid_arg "Wire.u8";
+    Buffer.add_char b (Char.chr v)
+
+  let u16 b v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Wire.u16";
+    Buffer.add_char b (Char.chr (v land 0xFF));
+    Buffer.add_char b (Char.chr (v lsr 8))
+
+  let u32 b v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire.u32";
+    put_u32 b v
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  type cursor = { src : string; mutable pos : int }
+
+  let cursor src = { src; pos = 0 }
+  let remaining c = String.length c.src - c.pos
+  let at_end c = remaining c = 0
+
+  let r_u8 c =
+    if remaining c < 1 then raise Short;
+    let v = Char.code c.src.[c.pos] in
+    c.pos <- c.pos + 1;
+    v
+
+  let r_u16 c =
+    if remaining c < 2 then raise Short;
+    let v = Char.code c.src.[c.pos] lor (Char.code c.src.[c.pos + 1] lsl 8) in
+    c.pos <- c.pos + 2;
+    v
+
+  let r_u32 c =
+    if remaining c < 4 then raise Short;
+    let v = get_u32 c.src c.pos in
+    if v < 0 then raise Short;
+    c.pos <- c.pos + 4;
+    v
+
+  let r_fixed c n =
+    if n < 0 || remaining c < n then raise Short;
+    let s = String.sub c.src c.pos n in
+    c.pos <- c.pos + n;
+    s
+
+  let r_str c =
+    let n = r_u32 c in
+    r_fixed c n
+end

@@ -1,0 +1,70 @@
+(** Versioned binary record codec: length-prefixed, CRC-protected frames.
+
+    A segment file is a flat concatenation of frames. Each frame is
+
+    {v
+      u8  kind        record kind tag (segment-specific)
+      u32 length      payload length, little-endian
+      u32 crc         CRC-32 of the payload bytes, little-endian
+      ... payload
+    v}
+
+    Decoding distinguishes a {e truncated tail} (the file ends mid-frame —
+    the expected outcome of a crash during append, recoverable by truncating
+    back to the last good frame) from {e corruption} (a CRC mismatch inside
+    the file — not recoverable). *)
+
+val header_size : int
+(** Bytes of framing overhead per record (9). *)
+
+val add : Buffer.t -> kind:int -> string -> unit
+(** Append one frame to a buffer. [kind] must fit a byte. *)
+
+type read_result =
+  | Frame of { kind : int; payload : string; next : int }
+      (** A complete, CRC-valid frame; [next] is the offset just past it. *)
+  | End  (** Exactly at end of input: a clean segment boundary. *)
+  | Truncated  (** Input ends before the frame completes. *)
+  | Corrupt of string  (** CRC mismatch or nonsensical header. *)
+
+val read : string -> int -> read_result
+(** [read seg off] decodes the frame starting at byte [off] of [seg]. *)
+
+type tail = Clean | Truncated_at of int | Corrupt_at of int * string
+(** How a segment scan ended: cleanly at EOF, with a partial frame whose
+    last good byte offset is given, or with corruption at an offset. *)
+
+val fold :
+  string -> init:'a -> f:('a -> kind:int -> payload:string -> 'a) -> 'a * tail
+(** Scan every frame of a segment from offset 0, accumulating with [f], and
+    report how the scan ended. *)
+
+(** Payload serialization helpers: little-endian fixed-width integers and
+    length-prefixed strings over [Buffer]/cursor pairs. *)
+module Wire : sig
+  val u8 : Buffer.t -> int -> unit
+  val u16 : Buffer.t -> int -> unit
+  val u32 : Buffer.t -> int -> unit
+
+  val str : Buffer.t -> string -> unit
+  (** u32 length followed by the raw bytes. *)
+
+  type cursor
+
+  val cursor : string -> cursor
+
+  val r_u8 : cursor -> int
+  val r_u16 : cursor -> int
+  val r_u32 : cursor -> int
+
+  val r_str : cursor -> string
+  (** Inverse of {!str}. *)
+
+  val r_fixed : cursor -> int -> string
+  (** Read exactly [n] raw bytes. *)
+
+  val at_end : cursor -> bool
+
+  exception Short
+  (** Raised by the [r_*] readers on malformed or short input. *)
+end

@@ -1,0 +1,83 @@
+open Chaoschain_crypto
+
+let leaf_hash payload =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "\x00";
+  Sha256.feed ctx payload;
+  Sha256.finalize ctx
+
+let node_hash l r =
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "\x01";
+  Sha256.feed ctx l;
+  Sha256.feed ctx r;
+  Sha256.finalize ctx
+
+(* Largest power of two strictly less than [n] (n >= 2). *)
+let split_point n =
+  let k = ref 1 in
+  while !k * 2 < n do
+    k := !k * 2
+  done;
+  !k
+
+let root leaves =
+  let rec mth lo n =
+    if n = 1 then leaves.(lo)
+    else
+      let k = split_point n in
+      node_hash (mth lo k) (mth (lo + k) (n - k))
+  in
+  let n = Array.length leaves in
+  if n = 0 then Sha256.digest "" else mth 0 n
+
+let proof leaves i =
+  let n = Array.length leaves in
+  if i < 0 || i >= n then invalid_arg "Merkle.proof";
+  (* Audit path ordered leaf-to-root: at each split, record the sibling
+     subtree's root and recurse into the side holding [i]. *)
+  let rec path lo n i =
+    if n = 1 then []
+    else
+      let k = split_point n in
+      let sub lo n =
+        let rec mth lo n =
+          if n = 1 then leaves.(lo)
+          else
+            let k = split_point n in
+            node_hash (mth lo k) (mth (lo + k) (n - k))
+        in
+        mth lo n
+      in
+      if i < k then path lo k i @ [ sub (lo + k) (n - k) ]
+      else path (lo + k) (n - k) (i - k) @ [ sub lo k ]
+  in
+  path 0 n i
+
+let verify ~root ~index ~count leaf path =
+  if count <= 0 || index < 0 || index >= count then false
+  else
+    (* Walk the path root-downwards by peeling siblings off the far end,
+       mirroring the split structure of [proof]. *)
+    let split_last l =
+      match List.rev l with
+      | [] -> None
+      | last :: rev_rest -> Some (List.rev rev_rest, last)
+    in
+    let rec recompute index count path =
+      if count = 1 then match path with [] -> Some leaf | _ -> None
+      else
+        match split_last path with
+        | None -> None
+        | Some (rest, sib) ->
+            let k = split_point count in
+            if index < k then
+              Option.map (fun h -> node_hash h sib) (recompute index k rest)
+            else
+              Option.map
+                (fun h -> node_hash sib h)
+                (recompute (index - k) (count - k) rest)
+    in
+    match recompute index count path with
+    | Some h -> String.equal h root
+    | None -> false

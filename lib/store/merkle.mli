@@ -1,0 +1,28 @@
+(** RFC 6962-style Merkle tree over record payloads.
+
+    Leaves are hashed with a [0x00] domain-separation prefix and interior
+    nodes with [0x01], so a leaf can never be confused for a node. The tree
+    over [n] leaves splits at [k], the largest power of two strictly less
+    than [n], exactly as Certificate Transparency does — which keeps audit
+    paths stable as the log grows. Inclusion proofs are O(log n). *)
+
+val leaf_hash : string -> string
+(** SHA-256(0x00 ‖ payload), 32 raw bytes. *)
+
+val node_hash : string -> string -> string
+(** SHA-256(0x01 ‖ left ‖ right). *)
+
+val root : string array -> string
+(** Merkle tree hash of an array of {e leaf hashes} (as produced by
+    {!leaf_hash}). The empty tree hashes to SHA-256 of the empty string. *)
+
+val proof : string array -> int -> string list
+(** [proof leaves i] is the audit path for leaf [i]: sibling hashes ordered
+    from the leaf up to (but excluding) the root. Raises [Invalid_argument]
+    if [i] is out of range. *)
+
+val verify :
+  root:string -> index:int -> count:int -> string -> string list -> bool
+(** [verify ~root ~index ~count leaf path] checks an inclusion proof: does
+    [path] connect the [index]-th of [count] leaves, with leaf hash [leaf],
+    to [root]? *)

@@ -1,0 +1,390 @@
+open Chaoschain_crypto
+
+(* Segment record kinds. Each segment file carries exactly one kind, so a
+   frame of the wrong kind is as fatal as a bad CRC. *)
+let kind_cert = 1
+let kind_obs = 2
+let kind_env = 3
+
+let manifest_file = "MANIFEST"
+let root_file = "ROOT"
+let cert_seg = "certs.seg"
+let obs_seg = "obs.seg"
+let env_seg = "env.seg"
+let format_version = 1
+
+let ( // ) = Filename.concat
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* The "signature" over the Merkle root: a keyed self-authentication tag, so
+   a ROOT file can't be swapped in from a different record count without
+   detection. A real deployment would sign this with [Keys]. *)
+let root_auth ~count ~root_hex =
+  Sha256.hexdigest (Printf.sprintf "chainstore-root\n%d\n%s\n" count root_hex)
+
+let manifest_text ~scale ~certs ~obs ~env =
+  Printf.sprintf "chainstore %d\nscale %h\ncerts %d\nobs %d\nenv %d\n"
+    format_version scale certs obs env
+
+let root_text ~count ~root_hex =
+  Printf.sprintf "count %d\nroot %s\nauth %s\n" count root_hex
+    (root_auth ~count ~root_hex)
+
+type manifest = { m_scale : float; m_certs : int; m_obs : int; m_env : int }
+
+let parse_kv text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         match String.index_opt line ' ' with
+         | None -> None
+         | Some i ->
+             Some
+               ( String.sub line 0 i,
+                 String.sub line (i + 1) (String.length line - i - 1) ))
+
+let parse_manifest text =
+  let kv = parse_kv text in
+  let get k = List.assoc_opt k kv in
+  match (get "chainstore", get "scale", get "certs", get "obs", get "env") with
+  | Some v, Some scale, Some certs, Some obs, Some env -> (
+      match
+        ( int_of_string_opt v,
+          float_of_string_opt scale,
+          int_of_string_opt certs,
+          int_of_string_opt obs,
+          int_of_string_opt env )
+      with
+      | Some v, Some m_scale, Some m_certs, Some m_obs, Some m_env
+        when v = format_version ->
+          Ok { m_scale; m_certs; m_obs; m_env }
+      | Some v, _, _, _, _ when v <> format_version ->
+          Error (Printf.sprintf "unsupported chainstore format version %d" v)
+      | _ -> Error "malformed MANIFEST")
+  | _ -> Error "malformed MANIFEST"
+
+let parse_root text =
+  let kv = parse_kv text in
+  let get k = List.assoc_opt k kv in
+  match (get "count", get "root", get "auth") with
+  | Some count, Some root, Some auth -> (
+      match int_of_string_opt count with
+      | Some count -> Ok (count, root, auth)
+      | None -> Error "malformed ROOT")
+  | _ -> Error "malformed ROOT"
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  w_dir : string;
+  cert_oc : out_channel;
+  obs_oc : out_channel;
+  env_oc : out_channel;
+  scratch : Buffer.t;
+  seen : (string, unit) Hashtbl.t;  (** cert fingerprints already stored *)
+  mutable n_certs : int;
+  mutable n_obs : int;
+  mutable n_env : int;
+  mutable leaves_rev : string list;  (** obs leaf hashes, newest first *)
+}
+
+let create dir =
+  (if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   else if not (Sys.is_directory dir) then
+     invalid_arg (Printf.sprintf "Store.create: %s is not a directory" dir));
+  let open_seg name = open_out_bin (dir // name) in
+  {
+    w_dir = dir;
+    cert_oc = open_seg cert_seg;
+    obs_oc = open_seg obs_seg;
+    env_oc = open_seg env_seg;
+    scratch = Buffer.create 4096;
+    seen = Hashtbl.create 256;
+    n_certs = 0;
+    n_obs = 0;
+    n_env = 0;
+    leaves_rev = [];
+  }
+
+let append w oc ~kind payload =
+  Buffer.clear w.scratch;
+  Frame.add w.scratch ~kind payload;
+  Buffer.output_buffer oc w.scratch
+
+let add_cert w der =
+  let fp = Sha256.digest der in
+  if not (Hashtbl.mem w.seen fp) then begin
+    Hashtbl.add w.seen fp ();
+    append w w.cert_oc ~kind:kind_cert der;
+    w.n_certs <- w.n_certs + 1
+  end;
+  fp
+
+let add_obs w payload =
+  append w w.obs_oc ~kind:kind_obs payload;
+  w.leaves_rev <- Merkle.leaf_hash payload :: w.leaves_rev;
+  w.n_obs <- w.n_obs + 1
+
+let add_env w payload =
+  append w w.env_oc ~kind:kind_env payload;
+  w.n_env <- w.n_env + 1
+
+let close w ~scale =
+  close_out w.cert_oc;
+  close_out w.obs_oc;
+  close_out w.env_oc;
+  let leaves = Array.of_list (List.rev w.leaves_rev) in
+  let root_hex = Hex.encode (Merkle.root leaves) in
+  write_file (w.w_dir // manifest_file)
+    (manifest_text ~scale ~certs:w.n_certs ~obs:w.n_obs ~env:w.n_env);
+  write_file (w.w_dir // root_file) (root_text ~count:w.n_obs ~root_hex);
+  root_hex
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  obs : string array;
+  env : string array;
+  certs : (string, string) Hashtbl.t;  (** fingerprint -> DER *)
+  t_scale : float;
+  t_root_hex : string;
+}
+
+let observations t = t.obs
+let env_entries t = t.env
+let find_cert t fp = Hashtbl.find_opt t.certs fp
+let cert_count t = Hashtbl.length t.certs
+let scale t = t.t_scale
+let root_hex t = t.t_root_hex
+
+(* Strict segment read: every frame whole, CRC-valid and of the expected
+   kind, or a message saying what is wrong and where. *)
+let read_segment dir name ~kind =
+  match read_file (dir // name) with
+  | None -> Error (Printf.sprintf "%s: missing" name)
+  | Some data -> (
+      let payloads, tail =
+        Frame.fold data ~init:[] ~f:(fun acc ~kind:k ~payload ->
+            (k, payload) :: acc)
+      in
+      match tail with
+      | Frame.Truncated_at off ->
+          Error
+            (Printf.sprintf
+               "%s: truncated tail at offset %d; run `chaoscheck audit`" name
+               off)
+      | Frame.Corrupt_at (off, msg) ->
+          Error (Printf.sprintf "%s: corrupt at offset %d (%s)" name off msg)
+      | Frame.Clean -> (
+          let payloads = List.rev payloads in
+          match List.find_opt (fun (k, _) -> k <> kind) payloads with
+          | Some (k, _) ->
+              Error (Printf.sprintf "%s: unexpected record kind %d" name k)
+          | None -> Ok (Array.of_list (List.map snd payloads))))
+
+let ( let* ) = Result.bind
+
+let open_ dir =
+  let* manifest =
+    match read_file (dir // manifest_file) with
+    | None -> Error "MANIFEST: missing"
+    | Some text -> parse_manifest text
+  in
+  let* cert_ders = read_segment dir cert_seg ~kind:kind_cert in
+  let* obs = read_segment dir obs_seg ~kind:kind_obs in
+  let* env = read_segment dir env_seg ~kind:kind_env in
+  let check_count name actual expected =
+    if actual = expected then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: %d records but MANIFEST says %d" name actual
+           expected)
+  in
+  let* () = check_count cert_seg (Array.length cert_ders) manifest.m_certs in
+  let* () = check_count obs_seg (Array.length obs) manifest.m_obs in
+  let* () = check_count env_seg (Array.length env) manifest.m_env in
+  let* count, stored_root, stored_auth =
+    match read_file (dir // root_file) with
+    | None -> Error "ROOT: missing"
+    | Some text -> parse_root text
+  in
+  let* () =
+    if String.equal stored_auth (root_auth ~count ~root_hex:stored_root) then
+      Ok ()
+    else Error "ROOT: authentication tag mismatch"
+  in
+  let* () =
+    if count = Array.length obs then Ok ()
+    else
+      Error
+        (Printf.sprintf "ROOT: count %d but %d observation records" count
+           (Array.length obs))
+  in
+  let computed = Hex.encode (Merkle.root (Array.map Merkle.leaf_hash obs)) in
+  let* () =
+    if String.equal computed stored_root then Ok ()
+    else Error "ROOT: Merkle root mismatch; run `chaoscheck audit`"
+  in
+  let certs = Hashtbl.create (Array.length cert_ders) in
+  Array.iter (fun der -> Hashtbl.replace certs (Sha256.digest der) der) cert_ders;
+  Ok
+    {
+      obs;
+      env;
+      certs;
+      t_scale = manifest.m_scale;
+      t_root_hex = computed;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Audit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type audit_report = {
+  a_ok : bool;
+  a_repaired : bool;
+  a_messages : string list;
+}
+
+let audit ?(repair = true) ?(samples = 8) dir =
+  let ok = ref true in
+  let repaired = ref false in
+  let messages = ref [] in
+  let say fmt = Printf.ksprintf (fun m -> messages := m :: !messages) fmt in
+  let manifest =
+    match read_file (dir // manifest_file) with
+    | None ->
+        ok := false;
+        say "MANIFEST: missing";
+        None
+    | Some text -> (
+        match parse_manifest text with
+        | Ok m -> Some m
+        | Error msg ->
+            ok := false;
+            say "%s" msg;
+            None)
+  in
+  (* Scan one segment; truncated tails are the expected crash artifact and
+     repairable, CRC damage inside the good prefix is not. Returns the
+     good-prefix payloads (i.e. segment content after any repair). *)
+  let scan name ~kind =
+    match read_file (dir // name) with
+    | None ->
+        ok := false;
+        say "%s: missing" name;
+        [||]
+    | Some data ->
+        let payloads, tail =
+          Frame.fold data ~init:[] ~f:(fun acc ~kind:k ~payload ->
+              if k <> kind then begin
+                ok := false;
+                say "%s: unexpected record kind %d" name k
+              end;
+              payload :: acc)
+        in
+        let payloads = Array.of_list (List.rev payloads) in
+        (match tail with
+        | Frame.Clean -> ()
+        | Frame.Corrupt_at (off, msg) ->
+            ok := false;
+            say "%s: unrecoverable corruption at offset %d (%s)" name off msg
+        | Frame.Truncated_at off ->
+            say "%s: truncated tail at offset %d (%d whole records)" name off
+              (Array.length payloads);
+            if repair then begin
+              Unix.truncate (dir // name) off;
+              repaired := true;
+              say "%s: cut back to last whole record" name
+            end);
+        payloads
+  in
+  let cert_ders = scan cert_seg ~kind:kind_cert in
+  let obs = scan obs_seg ~kind:kind_obs in
+  let env = scan env_seg ~kind:kind_env in
+  let leaves = Array.map Merkle.leaf_hash obs in
+  let computed_root = Hex.encode (Merkle.root leaves) in
+  let n = Array.length obs in
+  (* MANIFEST counts must match the (possibly repaired) segments. *)
+  (match manifest with
+  | None -> ()
+  | Some m ->
+      let stale =
+        m.m_certs <> Array.length cert_ders
+        || m.m_obs <> n
+        || m.m_env <> Array.length env
+      in
+      if stale then
+        if repair && !ok then begin
+          write_file (dir // manifest_file)
+            (manifest_text ~scale:m.m_scale ~certs:(Array.length cert_ders)
+               ~obs:n ~env:(Array.length env));
+          repaired := true;
+          say "MANIFEST: record counts rewritten"
+        end
+        else say "MANIFEST: record counts are stale");
+  (* ROOT: the auth tag guards against a swapped-in root; a merely stale
+     root (e.g. after tail truncation) is re-anchored under repair. *)
+  (match read_file (dir // root_file) with
+  | None ->
+      ok := false;
+      say "ROOT: missing"
+  | Some text -> (
+      match parse_root text with
+      | Error msg ->
+          ok := false;
+          say "%s" msg
+      | Ok (count, stored_root, stored_auth) ->
+          if not (String.equal stored_auth (root_auth ~count ~root_hex:stored_root))
+          then begin
+            ok := false;
+            say "ROOT: authentication tag mismatch"
+          end
+          else if count <> n || not (String.equal stored_root computed_root)
+          then
+            (* Never re-anchor over a store with unrecoverable damage: the
+               authentic ROOT is the only evidence of what the full corpus
+               hashed to. *)
+            if repair && !ok then begin
+              write_file (dir // root_file)
+                (root_text ~count:n ~root_hex:computed_root);
+              repaired := true;
+              say "ROOT: Merkle root re-anchored over %d records" n
+            end
+            else say "ROOT: Merkle root is stale (%d records on disk)" n));
+  (* Inclusion proofs for a deterministic, evenly spread sample. *)
+  if n > 0 then begin
+    let k = min samples n in
+    let idx i = if k = 1 then 0 else i * (n - 1) / (k - 1) in
+    let raw_root = Merkle.root leaves in
+    let failures = ref 0 in
+    for i = 0 to k - 1 do
+      let j = idx i in
+      let path = Merkle.proof leaves j in
+      if not (Merkle.verify ~root:raw_root ~index:j ~count:n leaves.(j) path)
+      then incr failures
+    done;
+    if !failures = 0 then
+      say "verified %d Merkle inclusion proofs over %d records" k n
+    else begin
+      ok := false;
+      say "%d of %d Merkle inclusion proofs FAILED" !failures k
+    end
+  end;
+  { a_ok = !ok; a_repaired = !repaired; a_messages = List.rev !messages }

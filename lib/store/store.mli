@@ -1,0 +1,83 @@
+(** chainstore: an append-only, content-addressed, Merkle-indexed corpus
+    store on disk.
+
+    A store directory holds three segment files of CRC-protected {!Frame}s —
+    [certs.seg] (raw certificate DER, content-addressed by SHA-256
+    fingerprint and written exactly once), [obs.seg] (per-domain observation
+    records referencing certificates by fingerprint) and [env.seg] (the
+    trust environment needed to replay verification) — plus two small text
+    files: [MANIFEST] (format version, population scale, record counts) and
+    [ROOT] (the RFC 6962-style Merkle root over observation payloads, with a
+    keyed self-authentication tag standing in for a log signature).
+
+    Writers are append-only; readers are strict (any CRC, count or Merkle
+    mismatch refuses to open and points at {!audit}); {!audit} distinguishes
+    a truncated tail — the expected crash artifact, repairable by truncating
+    back to the last whole frame and re-anchoring the root — from interior
+    corruption, which is reported as unrecoverable. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val create : string -> writer
+(** [create dir] starts a fresh store, creating [dir] if needed and
+    truncating any previous segments in it. *)
+
+val add_cert : writer -> string -> string
+(** [add_cert w der] content-addresses one certificate: returns its 32-byte
+    SHA-256 fingerprint, appending a frame only the first time a given DER
+    blob is seen. *)
+
+val add_obs : writer -> string -> unit
+(** Append one observation payload (see {!Frame.Wire} for the encoding
+    helpers); it becomes the next Merkle leaf. *)
+
+val add_env : writer -> string -> unit
+(** Append one trust-environment payload. *)
+
+val close : writer -> scale:float -> string
+(** Flush segments, write [MANIFEST] and [ROOT], and return the Merkle root
+    in hex. The writer must not be used afterwards. *)
+
+(** {1 Reading} *)
+
+type t
+
+val open_ : string -> (t, string) result
+(** Strict open: verifies every frame CRC, the manifest counts, and the
+    Merkle root (including its authentication tag). Any mismatch — including
+    a truncated tail — yields [Error] with a message naming the problem. *)
+
+val observations : t -> string array
+(** Observation payloads in append order. *)
+
+val env_entries : t -> string array
+(** Environment payloads in append order. *)
+
+val find_cert : t -> string -> string option
+(** Look up a certificate's DER by its 32-byte fingerprint. *)
+
+val cert_count : t -> int
+
+val scale : t -> float
+(** The population scale recorded at {!close} time. *)
+
+val root_hex : t -> string
+(** The verified Merkle root, in hex. *)
+
+(** {1 Audit} *)
+
+type audit_report = {
+  a_ok : bool;  (** No unrecoverable damage found. *)
+  a_repaired : bool;  (** At least one repair was performed. *)
+  a_messages : string list;  (** Human-readable findings, in order. *)
+}
+
+val audit : ?repair:bool -> ?samples:int -> string -> audit_report
+(** [audit dir] scans every segment frame-by-frame, verifies the Merkle
+    root and its authentication tag, and checks inclusion proofs for
+    [samples] (default 8) evenly spread observation records. With [repair]
+    (default [true]) a truncated segment tail is cut back to the last whole
+    frame and [MANIFEST]/[ROOT] are rewritten to match; CRC corruption
+    inside a segment is never repaired and makes [a_ok] false. *)

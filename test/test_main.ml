@@ -12,5 +12,6 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("difftest", Test_difftest.suite);
       ("extensions", Test_extensions_modules.suite);
+      ("store", Test_store.suite);
       ("service", Test_service.suite);
       ("edge-cases", Test_edge_cases.suite) ]

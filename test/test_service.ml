@@ -379,6 +379,151 @@ let pool_reusable () =
   Alcotest.(check int) "pool still works" 16 (Array.fold_left ( + ) 0 arr);
   Pipeline.Pool.shutdown pool
 
+(* --- satellite: degenerate LRU capacities --- *)
+
+let lru_degenerate_capacities () =
+  (* capacity 0: a valid cache that never holds anything *)
+  let l0 = S.Lru.create ~capacity:0 in
+  S.Lru.add l0 "k" 1;
+  S.Lru.add l0 "k" 2;
+  Alcotest.(check int) "cap 0 stays empty" 0 (S.Lru.size l0);
+  Alcotest.(check (option int)) "cap 0 always misses" None (S.Lru.find l0 "k");
+  Alcotest.(check int) "cap 0 never evicts" 0 (S.Lru.evictions l0);
+  (* capacity 1: every insert of a new key displaces the old one *)
+  let l1 = S.Lru.create ~capacity:1 in
+  S.Lru.add l1 "a" 1;
+  Alcotest.(check (option int)) "single entry" (Some 1) (S.Lru.find l1 "a");
+  S.Lru.add l1 "b" 2;
+  Alcotest.(check int) "still one entry" 1 (S.Lru.size l1);
+  Alcotest.(check bool) "a displaced" false (S.Lru.mem l1 "a");
+  S.Lru.add l1 "b" 22;
+  Alcotest.(check (option int)) "update in place" (Some 22) (S.Lru.find l1 "b");
+  Alcotest.(check int) "one eviction" 1 (S.Lru.evictions l1);
+  Alcotest.(check (list string)) "mru list" [ "b" ] (S.Lru.keys_mru_first l1);
+  match S.Lru.create ~capacity:(-1) with
+  | _ -> Alcotest.fail "negative capacity accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- satellite: astral-plane JSON round-trips --- *)
+
+let utf8_of_astral cp =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr (0xF0 lor (cp lsr 18)));
+  Bytes.set b 1 (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+  Bytes.set b 2 (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+  Bytes.set b 3 (Char.chr (0x80 lor (cp land 0x3F)));
+  Bytes.to_string b
+
+let qcheck_json_astral =
+  QCheck.Test.make ~name:"astral code points survive surrogate decoding"
+    ~count:300
+    QCheck.(int_range 0x10000 0x10FFFF)
+    (fun cp ->
+      let u = cp - 0x10000 in
+      let hi = 0xD800 lor (u lsr 10) and lo = 0xDC00 lor (u land 0x3FF) in
+      let text = Printf.sprintf "\"\\u%04x\\u%04x\"" hi lo in
+      match Json.of_string text with
+      | Ok (Json.String s) ->
+          (* the surrogate pair decodes to the 4-byte UTF-8 sequence ... *)
+          String.equal s (utf8_of_astral cp)
+          (* ... and the encoder emits something that parses back to it *)
+          && (match Json.of_string (Json.to_string (Json.String s)) with
+             | Ok (Json.String s') -> String.equal s s'
+             | _ -> false)
+      | _ -> false)
+
+(* --- satellite: scripted engine clock makes latency deterministic --- *)
+
+let engine_scripted_clock () =
+  let script = ref [ 100.0; 100.010; 200.0; 200.0025 ] in
+  let now () =
+    match !script with
+    | [] -> Alcotest.fail "clock consulted more often than scripted"
+    | t :: rest ->
+        script := rest;
+        t
+  in
+  let t = Engine.create ~env:(make_env ()) ~now () in
+  (* miss: timed (ticks 1-2); hit: served without consulting the clock *)
+  let cold = Engine.handle_frame t (check_frame ~scenario:"fixture" ()) in
+  let hot = Engine.handle_frame t (check_frame ~scenario:"fixture" ()) in
+  Alcotest.(check string) "clock does not leak into verdicts" cold hot;
+  (* stats: timed (ticks 3-4) *)
+  let _ =
+    Engine.handle_frame t
+      (Json.to_string (Json.Obj [ ("op", Json.String "stats") ]))
+  in
+  let m = Engine.metrics t in
+  Engine.shutdown t;
+  Alcotest.(check int) "two timed services" 2 m.S.Metrics.lat_count;
+  Alcotest.(check (float 1e-6)) "mean from the script" 6.25 m.S.Metrics.lat_mean_ms;
+  Alcotest.(check (float 1e-6)) "max from the script" 10.0 m.S.Metrics.lat_max_ms;
+  Alcotest.(check bool) "script fully consumed" true (!script = [])
+
+(* --- satellite: bounded request lines --- *)
+
+let transport_overlong_mem () =
+  let conn =
+    S.Transport.Mem.make ~max_frame:8 [ "short"; "waaaay too long"; "ok" ]
+  in
+  let next () = S.Transport.Mem.recv conn ~block:false in
+  (match next () with `Frame "short" -> () | _ -> Alcotest.fail "first frame");
+  (match next () with `Overlong -> () | _ -> Alcotest.fail "overlong frame");
+  (match next () with `Frame "ok" -> () | _ -> Alcotest.fail "after overlong");
+  match next () with `Eof -> () | _ -> Alcotest.fail "eof"
+
+let transport_overlong_fd () =
+  let r, w = Unix.pipe () in
+  let devnull = open_out Filename.null in
+  let conn = S.Transport.Fd.make ~max_frame:32 r devnull in
+  let wr s = ignore (Unix.write_substring w s 0 (String.length s)) in
+  (* one line far past the bound, then a short one, then an overlong line
+     assembled from two writes, then a short tail *)
+  wr (String.make 200 'x');
+  wr "\n";
+  wr "hello\n";
+  wr (String.make 40 'y');
+  wr (String.make 40 'y');
+  wr "\ntail\n";
+  Unix.close w;
+  let next () = S.Transport.Fd.recv conn ~block:true in
+  (match next () with
+  | `Overlong -> ()
+  | _ -> Alcotest.fail "long line not reported");
+  (match next () with
+  | `Frame "hello" -> ()
+  | _ -> Alcotest.fail "short line after overlong");
+  (match next () with
+  | `Overlong -> ()
+  | _ -> Alcotest.fail "split overlong not reported");
+  (match next () with
+  | `Frame "tail" -> ()
+  | _ -> Alcotest.fail "tail after second overlong");
+  (match next () with `Eof -> () | _ -> Alcotest.fail "eof");
+  (* a closed connection stays closed *)
+  (match next () with `Eof -> () | _ -> Alcotest.fail "eof is sticky");
+  close_out devnull;
+  Unix.close r
+
+let serve_overlong_reply () =
+  let t = Engine.create ~env:(make_env ()) () in
+  let frames =
+    [ String.make 300 'z'; check_frame ~id:"s1" ~scenario:"fixture" () ]
+  in
+  let conn = S.Transport.Mem.make ~max_frame:200 frames in
+  Engine.serve t (module S.Transport.Mem) conn;
+  Engine.shutdown t;
+  (match S.Transport.Mem.output conn with
+  | [ r1; r2 ] ->
+      expect_error r1 "overlong";
+      (match response_field r2 "ok" with
+      | Some (Json.Bool true) -> ()
+      | _ -> Alcotest.fail "check after overlong failed")
+  | out -> Alcotest.fail (Printf.sprintf "%d replies" (List.length out)));
+  let m = Engine.metrics t in
+  Alcotest.(check int) "overlong counted as error" 1 m.S.Metrics.errors;
+  Alcotest.(check int) "check still served" 1 m.S.Metrics.misses
+
 let suite =
   [ Alcotest.test_case "json round-trip" `Quick json_round_trip;
     Alcotest.test_case "json decode escapes" `Quick json_decode_escapes;
@@ -394,4 +539,10 @@ let suite =
     Alcotest.test_case "jobs-invariant responses" `Slow engine_jobs_invariant;
     Alcotest.test_case "overload rejection" `Slow engine_overload_rejects;
     Alcotest.test_case "serve loop (mem transport)" `Slow serve_loop_mem;
-    Alcotest.test_case "pipeline pool reusable" `Quick pool_reusable ]
+    Alcotest.test_case "pipeline pool reusable" `Quick pool_reusable;
+    Alcotest.test_case "lru degenerate capacities" `Quick lru_degenerate_capacities;
+    QCheck_alcotest.to_alcotest qcheck_json_astral;
+    Alcotest.test_case "scripted engine clock" `Slow engine_scripted_clock;
+    Alcotest.test_case "overlong line (mem transport)" `Quick transport_overlong_mem;
+    Alcotest.test_case "overlong line (fd transport)" `Quick transport_overlong_fd;
+    Alcotest.test_case "overlong reply from serve" `Slow serve_overlong_reply ]

@@ -1,0 +1,371 @@
+(* chainstore (lib/store): CRC-32 vectors, frame codec round-trip and
+   damage taxonomy, Merkle proofs across tree shapes, store writer/reader
+   round-trip with content-address deduplication, corpus save -> load ->
+   replay byte-identity (jobs-invariant), truncated-tail crash recovery via
+   audit, and warm-store cache pre-fill. *)
+
+open Chaoschain_measurement
+module Store = Chaoschain_store.Store
+module Frame = Chaoschain_store.Frame
+module Merkle = Chaoschain_store.Merkle
+module Crc32 = Chaoschain_store.Crc32
+module S = Chaoschain_service
+module Engine = S.Engine
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "chainstore-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (try
+       Array.iter
+         (fun f -> Sys.remove (Filename.concat dir f))
+         (Sys.readdir dir)
+     with Sys_error _ -> ());
+    dir
+
+(* --- CRC-32 --- *)
+
+let crc_vectors () =
+  (* The standard check value, plus a couple of knowns. *)
+  Alcotest.(check int) "empty" 0 (Crc32.digest "");
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc32.digest "123456789");
+  Alcotest.(check int) "single byte" 0xE8B7BE43 (Crc32.digest "a");
+  Alcotest.(check int) "sub = whole" (Crc32.digest "456")
+    (Crc32.digest_sub "123456789" 3 3);
+  (match Crc32.digest_sub "abc" 2 2 with
+  | _ -> Alcotest.fail "out-of-range accepted"
+  | exception Invalid_argument _ -> ())
+
+let qcheck_crc_sub =
+  QCheck.Test.make ~name:"digest_sub agrees with digest of the copy" ~count:200
+    QCheck.(
+      triple (string_of_size Gen.(0 -- 64)) small_nat small_nat)
+    (fun (s, a, b) ->
+      let n = String.length s in
+      let off = if n = 0 then 0 else a mod (n + 1) in
+      let len = if n - off = 0 then 0 else b mod (n - off + 1) in
+      Crc32.digest_sub s off len = Crc32.digest (String.sub s off len))
+
+(* --- frame codec --- *)
+
+let frame_payloads = [ (1, ""); (1, "x"); (2, String.make 300 '\xff'); (3, "der bytes") ]
+
+let frame_segment () =
+  let b = Buffer.create 64 in
+  List.iter (fun (kind, p) -> Frame.add b ~kind p) frame_payloads;
+  Buffer.contents b
+
+let frame_round_trip () =
+  let seg = frame_segment () in
+  let frames, tail =
+    Frame.fold seg ~init:[] ~f:(fun acc ~kind ~payload -> (kind, payload) :: acc)
+  in
+  (match tail with Frame.Clean -> () | _ -> Alcotest.fail "tail not clean");
+  Alcotest.(check (list (pair int string))) "payloads preserved" frame_payloads
+    (List.rev frames);
+  (* stepping by hand agrees with fold *)
+  match Frame.read seg 0 with
+  | Frame.Frame { kind; payload; next } ->
+      Alcotest.(check int) "kind" 1 kind;
+      Alcotest.(check string) "payload" "" payload;
+      Alcotest.(check int) "next" Frame.header_size next
+  | _ -> Alcotest.fail "first frame unreadable"
+
+let frame_truncated_tail () =
+  let seg = frame_segment () in
+  (* every strictly-shorter prefix that cuts a frame reports Truncated_at
+     with the offset of the last whole frame *)
+  let cut = String.sub seg 0 (String.length seg - 3) in
+  let n_whole = ref 0 in
+  let _, tail =
+    Frame.fold cut ~init:() ~f:(fun () ~kind:_ ~payload:_ -> incr n_whole)
+  in
+  (match tail with
+  | Frame.Truncated_at off ->
+      Alcotest.(check int) "three whole frames" 3 !n_whole;
+      (* offset points at the start of the partial frame *)
+      (match Frame.read seg off with
+      | Frame.Frame { kind = 3; payload = "der bytes"; _ } -> ()
+      | _ -> Alcotest.fail "offset does not resume at the cut frame")
+  | _ -> Alcotest.fail "truncation not detected");
+  (* a bare partial header is also a truncated tail, not corruption *)
+  match Frame.fold (String.sub seg 0 4) ~init:() ~f:(fun () ~kind:_ ~payload:_ -> ()) with
+  | (), Frame.Truncated_at 0 -> ()
+  | _ -> Alcotest.fail "partial header"
+
+let frame_corruption () =
+  let seg = Bytes.of_string (frame_segment ()) in
+  (* flip one payload byte of the third frame *)
+  let off = (3 * Frame.header_size) + 1 + 20 in
+  Bytes.set seg off (Char.chr (Char.code (Bytes.get seg off) lxor 0xFF));
+  let _, tail =
+    Frame.fold (Bytes.to_string seg) ~init:() ~f:(fun () ~kind:_ ~payload:_ -> ())
+  in
+  match tail with
+  | Frame.Corrupt_at (_, _) -> ()
+  | _ -> Alcotest.fail "CRC damage not detected"
+
+(* --- Merkle tree --- *)
+
+let merkle_proofs_all_shapes () =
+  for n = 1 to 17 do
+    let leaves =
+      Array.init n (fun i -> Merkle.leaf_hash (Printf.sprintf "record %d" i))
+    in
+    let root = Merkle.root leaves in
+    for i = 0 to n - 1 do
+      let path = Merkle.proof leaves i in
+      if not (Merkle.verify ~root ~index:i ~count:n leaves.(i) path) then
+        Alcotest.fail (Printf.sprintf "proof %d/%d rejected" i n);
+      (* the proof binds the index: the same path fails elsewhere *)
+      if n > 1 then begin
+        let j = (i + 1) mod n in
+        if Merkle.verify ~root ~index:j ~count:n leaves.(i) path then
+          Alcotest.fail (Printf.sprintf "proof %d/%d verified at index %d" i n j)
+      end;
+      (* ... and the leaf *)
+      if
+        Merkle.verify ~root ~index:i ~count:n
+          (Merkle.leaf_hash "someone else") path
+        && n > 1
+      then Alcotest.fail "foreign leaf accepted"
+    done
+  done
+
+let merkle_domain_separation () =
+  (* leaf and node prefixes differ, so a 64-byte payload that happens to be
+     a concatenation of two hashes cannot be replayed as an interior node *)
+  let a = Merkle.leaf_hash "a" and b = Merkle.leaf_hash "b" in
+  let as_leaf = Merkle.leaf_hash (a ^ b) in
+  let as_node = Merkle.node_hash a b in
+  Alcotest.(check bool) "prefixes separate" false (String.equal as_leaf as_node);
+  (* empty tree is the hash of the empty string *)
+  Alcotest.(check string) "empty tree"
+    (Chaoschain_crypto.Hex.encode (Chaoschain_crypto.Sha256.digest ""))
+    (Chaoschain_crypto.Hex.encode (Merkle.root [||]))
+
+(* --- store round-trip --- *)
+
+let fake_der i = Printf.sprintf "not-really-DER-%04d-%s" i (String.make 40 'q')
+
+let store_round_trip () =
+  let dir = tmp_dir () in
+  let w = Store.create dir in
+  let fp0 = Store.add_cert w (fake_der 0) in
+  let fp1 = Store.add_cert w (fake_der 1) in
+  let fp0' = Store.add_cert w (fake_der 0) in
+  Alcotest.(check string) "dedup returns same fp" fp0 fp0';
+  Store.add_obs w "obs one";
+  Store.add_obs w "obs two";
+  Store.add_env w "env entry";
+  let root = Store.close w ~scale:0.125 in
+  match Store.open_ dir with
+  | Error e -> Alcotest.fail ("strict open failed: " ^ e)
+  | Ok t ->
+      Alcotest.(check int) "two certs (dedup)" 2 (Store.cert_count t);
+      Alcotest.(check (array string)) "obs order" [| "obs one"; "obs two" |]
+        (Store.observations t);
+      Alcotest.(check (array string)) "env order" [| "env entry" |]
+        (Store.env_entries t);
+      Alcotest.(check (option string)) "find_cert" (Some (fake_der 1))
+        (Store.find_cert t fp1);
+      Alcotest.(check (option string)) "unknown fp" None
+        (Store.find_cert t (String.make 32 '\x00'));
+      Alcotest.(check string) "root echoed" root (Store.root_hex t);
+      (* 0.125 is representable: the hex-float manifest round-trips it *)
+      Alcotest.(check (float 0.)) "scale exact" 0.125 (Store.scale t)
+
+let store_rejects_tampering () =
+  let dir = tmp_dir () in
+  let w = Store.create dir in
+  ignore (Store.add_cert w (fake_der 7));
+  Store.add_obs w "only record";
+  let _ = Store.close w ~scale:1.0 in
+  (* flip a payload byte in obs.seg: strict open must refuse *)
+  let path = Filename.concat dir "obs.seg" in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  let b = Bytes.of_string data in
+  Bytes.set b (len - 1) (Char.chr (Char.code (Bytes.get b (len - 1)) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  (match Store.open_ dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered segment opened");
+  (* audit agrees: interior damage is unrecoverable and nothing is rewritten *)
+  let rep = Store.audit ~repair:true dir in
+  Alcotest.(check bool) "unrecoverable" false rep.Store.a_ok;
+  Alcotest.(check bool) "no destructive repair" false rep.Store.a_repaired
+
+(* --- corpus: save -> load -> replay --- *)
+
+let lab = lazy (Population.generate ~scale:0.001 ())
+
+let render view =
+  Experiments.scan_results view
+  |> List.map (fun r -> r.Experiments.body)
+  |> String.concat "\n"
+
+let saved =
+  lazy
+    (let pop = Lazy.force lab in
+     let analysis = Experiments.analyze ~jobs:2 pop in
+     let dir = tmp_dir () in
+     let summary = Corpus.save ~dir analysis in
+     (analysis, dir, summary))
+
+let corpus_replay_identical () =
+  let analysis, dir, summary = Lazy.force saved in
+  Alcotest.(check int) "one record per domain"
+    (Array.length analysis.Experiments.dataset.Scanner.domains)
+    summary.Corpus.s_records;
+  match Corpus.load ~dir with
+  | Error e -> Alcotest.fail ("load failed: " ^ e)
+  | Ok loaded ->
+      Alcotest.(check (float 0.)) "scale survives" 0.001 loaded.Corpus.l_scale;
+      Alcotest.(check string) "root matches save" summary.Corpus.s_root_hex
+        loaded.Corpus.l_root_hex;
+      let live = render (Experiments.view analysis) in
+      let replay1 = render (Corpus.analyze ~jobs:1 loaded) in
+      Alcotest.(check string) "replay == live scan" live replay1;
+      (* jobs-invariance of the replay path itself *)
+      match Corpus.load ~dir with
+      | Error e -> Alcotest.fail e
+      | Ok loaded' ->
+          Alcotest.(check string) "replay jobs-invariant" replay1
+            (render (Corpus.analyze ~jobs:4 loaded'))
+
+let corpus_save_deterministic () =
+  let analysis, _, summary = Lazy.force saved in
+  (* a second save of the same analysis lands on the identical Merkle root *)
+  let dir2 = tmp_dir () in
+  let summary2 = Corpus.save ~dir:dir2 analysis in
+  Alcotest.(check string) "byte-identical store" summary.Corpus.s_root_hex
+    summary2.Corpus.s_root_hex;
+  (* ... and so does a save of a fresh analysis at different parallelism *)
+  let analysis3 = Experiments.analyze ~jobs:3 (Lazy.force lab) in
+  let dir3 = tmp_dir () in
+  let summary3 = Corpus.save ~dir:dir3 analysis3 in
+  Alcotest.(check string) "jobs-invariant store" summary.Corpus.s_root_hex
+    summary3.Corpus.s_root_hex
+
+let corpus_truncated_tail_recovery () =
+  let _, dir0, _ = Lazy.force saved in
+  (* work on a copy so the shared fixture stays intact *)
+  let dir = tmp_dir () in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Array.iter
+    (fun f ->
+      let src = Filename.concat dir0 f and dst = Filename.concat dir f in
+      let ic = open_in_bin src in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin dst in
+      output_string oc data;
+      close_out oc)
+    (Sys.readdir dir0);
+  let obs = Filename.concat dir "obs.seg" in
+  let full = (Unix.stat obs).Unix.st_size in
+  Unix.truncate obs (full - 5);
+  (* strict open refuses the crashed store *)
+  (match Store.open_ dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated store opened");
+  (* audit without repair detects but does not touch the files *)
+  let dry = Store.audit ~repair:false dir in
+  Alcotest.(check bool) "tail is recoverable" true dry.Store.a_ok;
+  Alcotest.(check bool) "dry run repairs nothing" false dry.Store.a_repaired;
+  Alcotest.(check int) "file untouched" (full - 5) (Unix.stat obs).Unix.st_size;
+  (* repair truncates back and re-anchors *)
+  let rep = Store.audit ~repair:true dir in
+  Alcotest.(check bool) "repaired ok" true rep.Store.a_ok;
+  Alcotest.(check bool) "repair happened" true rep.Store.a_repaired;
+  match (Store.open_ dir, Store.open_ dir0) with
+  | Ok t, Ok t0 ->
+      Alcotest.(check int) "one record lost"
+        (Array.length (Store.observations t0) - 1)
+        (Array.length (Store.observations t));
+      (* follow-up audit is clean and silent about repairs *)
+      let again = Store.audit ~repair:true dir in
+      Alcotest.(check bool) "stable after repair" true
+        (again.Store.a_ok && not again.Store.a_repaired)
+  | _ -> Alcotest.fail "repaired store does not open"
+
+(* --- warm-store: cache pre-fill makes the first request a hit --- *)
+
+let corpus_warm_engine () =
+  let _, dir, _ = Lazy.force saved in
+  match Corpus.load ~dir with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+      let pop = Lazy.force lab in
+      let u = pop.Population.universe in
+      let r = pop.Population.domains.(0) in
+      let env =
+        {
+          Engine.diff_env = loaded.Corpus.l_env;
+          union_store = loaded.Corpus.l_union_store;
+          program_store = Chaoschain_pki.Universe.store u;
+          aia = Chaoschain_pki.Universe.aia u;
+          find_scenario = (fun _ -> None);
+        }
+      in
+      let domains = Array.to_list loaded.Corpus.l_dataset.Scanner.domains in
+      let t = Engine.create ~env ~jobs:2 () in
+      let warmed = Engine.warm t domains in
+      Alcotest.(check bool) "warm fill bounded" true
+        (warmed > 0 && warmed <= Engine.cache_capacity t);
+      Alcotest.(check int) "cache holds the fill" warmed (Engine.cache_size t);
+      (* metrics untouched: a warmed engine looks cold from the outside *)
+      let m = Engine.metrics t in
+      Alcotest.(check int) "no hits yet" 0 m.S.Metrics.hits;
+      Alcotest.(check int) "no misses yet" 0 m.S.Metrics.misses;
+      (* first live request for a stored domain is served from the cache *)
+      let frame =
+        S.Json.to_string
+          (S.Json.Obj
+             [ ("id", S.Json.String "w1");
+               ("op", S.Json.String "check");
+               ("domain", S.Json.String r.Population.domain);
+               ( "pem",
+                 S.Json.String
+                   (Chaoschain_deployment.Pem.encode_certs r.Population.chain)
+               ) ])
+      in
+      let response = Engine.handle_frame t frame in
+      let m = Engine.metrics t in
+      Alcotest.(check int) "hit from warm fill" 1 m.S.Metrics.hits;
+      Alcotest.(check int) "no miss" 0 m.S.Metrics.misses;
+      (match S.Json.of_string response with
+      | Ok j -> (
+          match S.Json.member "ok" j with
+          | Some (S.Json.Bool true) -> ()
+          | _ -> Alcotest.fail "warm reply not ok")
+      | Error e -> Alcotest.fail e);
+      (* a zero-capacity engine accepts but skips the warm fill *)
+      let t0 = Engine.create ~env ~cache_capacity:0 () in
+      Alcotest.(check int) "cap 0 warms nothing" 0 (Engine.warm t0 domains);
+      Engine.shutdown t0;
+      Engine.shutdown t
+
+let suite =
+  [ Alcotest.test_case "crc32 vectors" `Quick crc_vectors;
+    QCheck_alcotest.to_alcotest qcheck_crc_sub;
+    Alcotest.test_case "frame round-trip" `Quick frame_round_trip;
+    Alcotest.test_case "frame truncated tail" `Quick frame_truncated_tail;
+    Alcotest.test_case "frame corruption" `Quick frame_corruption;
+    Alcotest.test_case "merkle proofs n=1..17" `Quick merkle_proofs_all_shapes;
+    Alcotest.test_case "merkle domain separation" `Quick merkle_domain_separation;
+    Alcotest.test_case "store round-trip" `Quick store_round_trip;
+    Alcotest.test_case "store rejects tampering" `Quick store_rejects_tampering;
+    Alcotest.test_case "corpus replay byte-identical" `Slow corpus_replay_identical;
+    Alcotest.test_case "corpus save deterministic" `Slow corpus_save_deterministic;
+    Alcotest.test_case "truncated-tail recovery" `Slow corpus_truncated_tail_recovery;
+    Alcotest.test_case "warm-store pre-fill" `Slow corpus_warm_engine ]
