@@ -184,7 +184,7 @@ let run_experiments ~scale ~only ~jobs =
   if selected = [] then die "unknown experiment id";
   List.iter
     (fun (r, _) ->
-      print_endline r.Experiments.body;
+      print_endline (Chaoschain_report.Report.to_text r);
       print_newline ())
     selected;
   {

@@ -7,6 +7,7 @@
      matrix    — the Table 9 capability matrix
      scan      — run the measurement scan, optionally persisting a corpus
      replay    — re-run the compliance tables from a persisted corpus
+     diff      — per-cell comparison of two persisted corpora
      audit     — verify (and repair) a corpus store's integrity
      serve     — chaind: the online chain-compliance query service
      reproduce — regenerate paper tables/figures (same engine as bench) *)
@@ -16,6 +17,7 @@ open Chaoschain_core
 open Chaoschain_measurement
 module Pem = Chaoschain_deployment.Pem
 module Service = Chaoschain_service
+module Report = Chaoschain_report.Report
 
 (* The lab population: scenario/analyze/difftest/serve operate inside the
    same simulated universe so certificates parse and verify consistently.
@@ -123,8 +125,14 @@ let read_chain path =
 
 (* --- analyze --- *)
 
+let analyze_format_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json); ("md", `Md) ] in
+  Arg.(value & opt fmt `Text
+       & info [ "format" ] ~docv:"FORMAT"
+           ~doc:"Output renderer: $(b,text), $(b,json) or $(b,md).")
+
 let analyze_cmd =
-  let run path domain scale no_intern =
+  let run path domain scale fmt no_intern =
     apply_intern no_intern;
     match read_chain path with
     | Error e -> `Error (false, e)
@@ -137,12 +145,21 @@ let analyze_cmd =
                 ~store:(Chaoschain_pki.Universe.union_store u)
                 ~aia:(Chaoschain_pki.Universe.aia u) ~domain certs
             in
-            Format.printf "%a@." Compliance.pp_report report;
+            (match fmt with
+            | `Text -> Format.printf "%a@." Compliance.pp_report report
+            | `Json ->
+                print_endline
+                  (Report.Json.pretty
+                     (Report.to_json (Compliance.report_ir report)))
+            | `Md ->
+                print_string
+                  (Report.to_markdown (Compliance.report_ir report)));
             `Ok ())
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Server-side structural compliance report")
-    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg $ no_intern_arg))
+    Term.(ret (const run $ chain_arg $ domain_arg $ scale_arg
+               $ analyze_format_arg $ no_intern_arg))
 
 (* --- difftest --- *)
 
@@ -176,7 +193,7 @@ let difftest_cmd =
 
 let matrix_cmd =
   let run () =
-    print_endline (Experiments.table9 ()).Experiments.body;
+    print_endline (Report.to_text (Experiments.table9 ()));
     `Ok ()
   in
   Cmd.v
@@ -272,12 +289,63 @@ let jobs_pipeline_arg =
                  sequential; default: all cores). Output is identical for \
                  every value.")
 
-let print_results results =
-  List.iter
-    (fun r ->
-      print_endline r.Experiments.body;
-      print_newline ())
-    results
+(* Experiment results are the typed report IR; --format selects the
+   renderer. Text keeps the historical byte-exact framing (body, blank
+   line). JSON prints one deterministic document — stable key order, fixed
+   float formatting — so scan and replay agree byte-for-byte at any
+   --jobs. *)
+let format_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json); ("md", `Md) ] in
+  Arg.(value & opt fmt `Text
+       & info [ "format" ] ~docv:"FORMAT"
+           ~doc:"Output renderer: $(b,text) (the classic ASCII tables), \
+                 $(b,json) (deterministic machine-readable cells) or $(b,md) \
+                 (Markdown, what EXPERIMENTS.md embeds).")
+
+let print_results fmt results =
+  match fmt with
+  | `Text ->
+      List.iter
+        (fun r ->
+          print_endline (Report.to_text r);
+          print_newline ())
+        results
+  | `Md -> List.iter (fun r -> print_string (Report.to_markdown r)) results
+  | `Json ->
+      print_endline
+        (Report.Json.pretty
+           (Report.Json.List (List.map Report.to_json results)))
+
+let check_paper_arg =
+  Arg.(value & flag
+       & info [ "check-paper" ]
+           ~doc:"After printing, compare every tolerance-carrying cell \
+                 against the paper's reported value and exit non-zero if any \
+                 falls outside its tolerance.")
+
+let inject_deviation_arg =
+  Arg.(value & flag
+       & info [ "inject-deviation" ]
+           ~doc:"Perturb one checked cell far outside its tolerance before \
+                 rendering (CI hook: proves --check-paper really fails on a \
+                 deviation).")
+
+let run_paper_check results =
+  match Report.check_paper results with
+  | [] ->
+      Printf.eprintf "check-paper: %d checked cell(s) within tolerance\n"
+        (Report.checked_cell_count results);
+      `Ok ()
+  | devs ->
+      List.iter
+        (fun d ->
+          Printf.eprintf "check-paper: %s: expected %s, measured %s\n"
+            d.Report.dev_path d.Report.dev_expected d.Report.dev_actual)
+        devs;
+      `Error
+        ( false,
+          Printf.sprintf "%d cell(s) outside paper tolerance"
+            (List.length devs) )
 
 let scan_cmd =
   let store_arg =
@@ -289,13 +357,19 @@ let scan_cmd =
                    full trust environment, and a Merkle root over the \
                    observation log.")
   in
-  let run scale jobs store no_intern =
+  let run scale jobs store fmt check_paper inject no_intern =
     apply_intern no_intern;
     if jobs < 1 then `Error (true, "--jobs must be >= 1")
     else
       with_lab scale (fun pop ->
           let analysis = Experiments.analyze ~jobs pop in
-          print_results (Experiments.scan_results (Experiments.view analysis));
+          let results =
+            Experiments.scan_results (Experiments.view analysis)
+          in
+          let results =
+            if inject then Report.inject_deviation results else results
+          in
+          print_results fmt results;
           (match store with
           | None -> ()
           | Some dir ->
@@ -304,7 +378,7 @@ let scan_cmd =
                 "store: %d observation records, %d certificates, merkle root \
                  %s -> %s\n"
                 s.Corpus.s_records s.Corpus.s_certs s.Corpus.s_root_hex dir);
-          `Ok ())
+          if check_paper then run_paper_check results else `Ok ())
   in
   Cmd.v
     (Cmd.info "scan"
@@ -312,6 +386,7 @@ let scan_cmd =
              chain-compliance tables (dataset, tables 3/5/7, section 5.2); \
              with --store, also persist the corpus for replay and audit")
     Term.(ret (const run $ scale_arg $ jobs_pipeline_arg $ store_arg
+               $ format_arg $ check_paper_arg $ inject_deviation_arg
                $ no_intern_arg))
 
 let replay_cmd =
@@ -320,7 +395,7 @@ let replay_cmd =
          & info [ "store" ] ~docv:"DIR"
              ~doc:"Chainstore directory written by 'scan --store'.")
   in
-  let run store jobs no_intern =
+  let run store jobs fmt check_paper no_intern =
     apply_intern no_intern;
     if jobs < 1 then `Error (true, "--jobs must be >= 1")
     else
@@ -328,20 +403,76 @@ let replay_cmd =
       | Error e -> `Error (false, e)
       | Ok loaded ->
           let view = Corpus.analyze ~jobs loaded in
-          print_results (Experiments.scan_results view);
+          let results = Experiments.scan_results view in
+          print_results fmt results;
           Printf.eprintf
             "replayed %d observation records (%d certificates, scale %g, \
              merkle root %s)\n"
             loaded.Corpus.l_records loaded.Corpus.l_certs
             loaded.Corpus.l_scale loaded.Corpus.l_root_hex;
-          `Ok ()
+          if check_paper then run_paper_check results else `Ok ()
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Re-run the compliance and differential-testing tables from a \
              persisted corpus, without regenerating the population; stdout \
              is byte-identical to the scan that wrote the store")
-    Term.(ret (const run $ store_arg $ jobs_pipeline_arg $ no_intern_arg))
+    Term.(ret (const run $ store_arg $ jobs_pipeline_arg $ format_arg
+               $ check_paper_arg $ no_intern_arg))
+
+(* --- diff: per-cell comparison of two persisted corpora --- *)
+
+let diff_cmd =
+  let store_a_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"STORE-A" ~doc:"First chainstore directory.")
+  in
+  let store_b_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"STORE-B" ~doc:"Second chainstore directory.")
+  in
+  let run a b jobs no_intern =
+    apply_intern no_intern;
+    if jobs < 1 then `Error (true, "--jobs must be >= 1")
+    else
+      match (Corpus.load ~dir:a, Corpus.load ~dir:b) with
+      | Error e, _ -> `Error (false, a ^ ": " ^ e)
+      | _, Error e -> `Error (false, b ^ ": " ^ e)
+      | Ok la, Ok lb ->
+          let results l =
+            Experiments.table_results (Corpus.analyze ~jobs l)
+          in
+          let ra = results la and rb = results lb in
+          (match Report.diff ra rb with
+          | [] ->
+              let cells = List.concat_map Report.flatten ra in
+              Printf.printf "corpora agree (%d cells compared)\n"
+                (List.length cells);
+              `Ok ()
+          | deltas ->
+              List.iter
+                (fun d ->
+                  match (d.Report.d_a, d.Report.d_b) with
+                  | Some va, Some vb ->
+                      Printf.printf "%s: %s -> %s\n" d.Report.d_path va vb
+                  | Some va, None ->
+                      Printf.printf "%s: %s -> (absent)\n" d.Report.d_path va
+                  | None, Some vb ->
+                      Printf.printf "%s: (absent) -> %s\n" d.Report.d_path vb
+                  | None, None -> ())
+                deltas;
+              `Error
+                ( false,
+                  Printf.sprintf "%d cell(s) differ" (List.length deltas) ))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Replay the compliance tables (dataset overview, tables 3/5/7) \
+             from two persisted corpora and report per-cell deltas by stable \
+             cell path; identical corpora print nothing but a summary and \
+             exit 0, any difference exits non-zero")
+    Term.(ret (const run $ store_a_arg $ store_b_arg $ jobs_pipeline_arg
+               $ no_intern_arg))
 
 let audit_cmd =
   let store_arg =
@@ -488,6 +619,14 @@ let serve_cmd =
                   ("root", Service.Json.String l.Corpus.l_root_hex);
                   ("warmed", Service.Json.Int warmed);
                   ("warm_seconds", Service.Json.Float dt) ];
+              (* The corpus's compliance tables ride along in stats replies
+                 as structured report-IR JSON (cheap: no differential
+                 testing). *)
+              Service.Engine.set_experiments engine
+                (Service.Json.List
+                   (List.map Report.to_json
+                      (Experiments.table_results
+                         (Corpus.analyze ~jobs:1 l))));
               Printf.eprintf
                 "warm-store: %d verdicts pre-computed from %d records in \
                  %.2fs\n%!"
@@ -534,7 +673,7 @@ let reproduce_cmd =
                    sequential; default: all cores). Output is identical for \
                    every value.")
   in
-  let run scale only jobs no_intern =
+  let run scale only jobs fmt check_paper inject no_intern =
     apply_intern no_intern;
     if jobs < 1 then `Error (true, "--jobs must be >= 1")
     else begin
@@ -548,18 +687,18 @@ let reproduce_cmd =
     in
     if selected = [] then `Error (false, "unknown experiment id")
     else begin
-      List.iter
-        (fun r ->
-          print_endline r.Experiments.body;
-          print_newline ())
-        selected;
-      `Ok ()
+      let selected =
+        if inject then Report.inject_deviation selected else selected
+      in
+      print_results fmt selected;
+      if check_paper then run_paper_check selected else `Ok ()
     end
     end
   in
   Cmd.v
     (Cmd.info "reproduce" ~doc:"Regenerate the paper's tables and figures")
-    Term.(ret (const run $ scale_arg $ only_arg $ jobs_arg $ no_intern_arg))
+    Term.(ret (const run $ scale_arg $ only_arg $ jobs_arg $ format_arg
+               $ check_paper_arg $ inject_deviation_arg $ no_intern_arg))
 
 let () =
   let doc = "Web PKI certificate-chain deployment and construction analysis" in
@@ -568,5 +707,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ scenario_cmd; analyze_cmd; difftest_cmd; matrix_cmd; recommend_cmd;
-            fuzz_cmd; scan_cmd; replay_cmd; audit_cmd; serve_cmd;
+            fuzz_cmd; scan_cmd; replay_cmd; diff_cmd; audit_cmd; serve_cmd;
             reproduce_cmd ]))

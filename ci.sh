@@ -29,7 +29,8 @@ echo "$out" | grep -q '"rejects":0'
 # different parallelism), audit clean, then chop the observation segment
 # mid-frame and check audit repairs the crash artifact.
 store=$(mktemp -d)
-trap 'rm -rf "$store"' EXIT
+rstore=$(mktemp -d)
+trap 'rm -rf "$store" "$rstore"' EXIT
 dune exec bin/chaoscheck.exe -- scan --scale 0.002 --jobs 2 \
   --store "$store" > "$store/scan.out"
 dune exec bin/chaoscheck.exe -- replay --store "$store" --jobs 3 \
@@ -53,3 +54,37 @@ head -2 "$store/warm.out" > "$store/warm2.out"
 printf '%s\n' "$out" | head -2 | cmp - "$store/warm2.out"
 grep -q '"hits":2' "$store/warm.out"
 grep -q '"warmed":' "$store/warm.out"
+
+# report smoke: --format json must be byte-identical across parallelism and
+# across scan vs replay; jq can parse it; --check-paper is green on the seed
+# population and red (naming the deviating cell) under --inject-deviation;
+# `chaoscheck diff` agrees a corpus with itself and flags a divergent one.
+dune exec bin/chaoscheck.exe -- scan --scale 0.002 --jobs 1 --format json \
+  --store "$rstore" > "$rstore/scan.json"
+dune exec bin/chaoscheck.exe -- replay --store "$rstore" --jobs 3 --format json \
+  > "$rstore/replay.json"
+cmp "$rstore/scan.json" "$rstore/replay.json"
+jq -e '.[0].id == "dataset"' "$rstore/scan.json" > /dev/null
+jq -e '[.[].blocks[] | select(.kind == "table")] | length == 3' \
+  "$rstore/scan.json" > /dev/null
+dune exec bin/chaoscheck.exe -- scan --scale 0.002 --jobs 2 --check-paper \
+  > /dev/null
+if dune exec bin/chaoscheck.exe -- scan --scale 0.002 --jobs 2 --check-paper \
+    --inject-deviation > /dev/null 2> "$rstore/inject.err"; then
+  echo "inject-deviation unexpectedly passed --check-paper" >&2
+  exit 1
+fi
+grep -q 'check-paper: dataset/TLS 1.2 vs 1.3 identical chains' "$rstore/inject.err"
+dune exec bin/chaoscheck.exe -- diff "$rstore" "$rstore" | grep -q 'corpora agree'
+# $store lost one observation to the audit-repair test above, so the two
+# corpora must diff (non-zero exit, dataset cells named).
+if dune exec bin/chaoscheck.exe -- diff "$rstore" "$store" > "$rstore/diff.out"; then
+  echo "diff of divergent corpora unexpectedly reported agreement" >&2
+  exit 1
+fi
+grep -q '^dataset/' "$rstore/diff.out"
+
+# EXPERIMENTS.md is generated (doc/EXPERIMENTS.head.md + Report.to_markdown);
+# regenerate and fail if the committed copy is stale.
+./gen_experiments.sh "$rstore/EXPERIMENTS.md"
+cmp EXPERIMENTS.md "$rstore/EXPERIMENTS.md"

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerate EXPERIMENTS.md: the hand-written commentary in
+# doc/EXPERIMENTS.head.md followed by the Markdown rendering of every
+# experiment report at the seed scale. CI regenerates into a temp file and
+# fails if the committed copy differs (see ci.sh).
+#
+# Usage: ./gen_experiments.sh [output-file]   (default: EXPERIMENTS.md)
+set -eu
+
+cd "$(dirname "$0")"
+out="${1:-EXPERIMENTS.md}"
+
+dune build bin/chaoscheck.exe
+
+{
+  cat doc/EXPERIMENTS.head.md
+  echo
+  dune exec --no-build bin/chaoscheck.exe -- reproduce --scale 0.002 --jobs 2 --format md
+} > "$out"

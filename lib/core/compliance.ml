@@ -50,20 +50,48 @@ let non_compliance_reasons r =
         | Some c -> " (" ^ Completeness.incomplete_cause_to_string c ^ ")"
         | None -> "") ]
 
+(* The audit report as report IR: typed cells for the counts and the verdict,
+   the topology drawing as a raw block. [pp_report] prints its text
+   rendering, so the CLI bytes are unchanged; [--format json] and [md] reuse
+   the other renderers. *)
+let report_ir r =
+  let module R = Chaoschain_report.Report in
+  {
+    R.id = "compliance";
+    title = "Compliance report";
+    blocks =
+      [ R.line [ R.S "domain: "; R.C (R.text r.domain) ];
+        R.line
+          [ R.S "certificates: ";
+            R.C (R.int (Topology.list_length r.topology)); R.S " (";
+            R.C (R.int (Topology.node_count r.topology)); R.S " unique)" ];
+        R.line
+          [ R.S "leaf placement: ";
+            R.C (R.text (Leaf_check.verdict_to_string r.leaf)) ];
+        R.line
+          [ R.S "issuance order: ";
+            R.C
+              (R.text
+                 (if r.order.Order_check.ordered then "compliant"
+                  else String.concat "; " (Order_check.violations r.order))) ];
+        R.line
+          [ R.S "completeness: ";
+            R.C
+              (R.text
+                 (Completeness.verdict_to_string
+                    r.completeness.Completeness.verdict
+                 ^
+                 match r.completeness.Completeness.cause with
+                 | Some c ->
+                     " — " ^ Completeness.incomplete_cause_to_string c
+                 | None -> "")) ];
+        R.line
+          [ R.S "verdict: ";
+            R.C
+              (R.verdict (compliant r) ~yes:"COMPLIANT" ~no:"NON-COMPLIANT") ];
+        R.line [];
+        R.raw (Topology.render r.topology) ];
+  }
+
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v>domain: %s@,certificates: %d (%d unique)@,"
-    r.domain
-    (Topology.list_length r.topology)
-    (Topology.node_count r.topology);
-  Format.fprintf ppf "leaf placement: %s@," (Leaf_check.verdict_to_string r.leaf);
-  Format.fprintf ppf "issuance order: %s@,"
-    (if r.order.Order_check.ordered then "compliant"
-     else String.concat "; " (Order_check.violations r.order));
-  Format.fprintf ppf "completeness: %s%s@,"
-    (Completeness.verdict_to_string r.completeness.Completeness.verdict)
-    (match r.completeness.Completeness.cause with
-    | Some c -> " — " ^ Completeness.incomplete_cause_to_string c
-    | None -> "");
-  Format.fprintf ppf "verdict: %s@,@,%s@]"
-    (if compliant r then "COMPLIANT" else "NON-COMPLIANT")
-    (Topology.render r.topology)
+  Format.pp_print_string ppf (Chaoschain_report.Report.to_text (report_ir r))

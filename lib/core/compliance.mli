@@ -41,5 +41,10 @@ val compliant : report -> bool
 
 val non_compliance_reasons : report -> string list
 
+val report_ir : report -> Chaoschain_report.Report.t
+(** The audit report as typed report IR (one line per check, the topology
+    drawing as a raw block). [pp_report] is its text rendering; the CLI's
+    [analyze --format json|md] use the other renderers. *)
+
 val pp_report : Format.formatter -> report -> unit
 (** Multi-line audit output (used by the CLI's [analyze] command). *)

@@ -2,6 +2,7 @@ open Chaoschain_x509
 open Chaoschain_core
 open Chaoschain_pki
 module C = Calibration
+module R = Chaoschain_report.Report
 
 type analysis = {
   pop : Population.t;
@@ -42,7 +43,13 @@ let difftest_record analysis (r : Population.record) =
   in
   Difftest.with_domain ~domain:r.Population.domain case
 
-type result = { id : string; title : string; body : string }
+(* One [result] per table/figure: the typed report IR, rendered downstream
+   with [Report.to_text] / [to_json] / [to_markdown]. *)
+type result = R.t = {
+  id : string;
+  title : string;
+  blocks : R.block list;
+}
 
 let count_where analysis p =
   Array.fold_left (fun acc rc -> if p rc then acc + 1 else acc) 0 analysis.reports
@@ -92,33 +99,33 @@ let difftest_item view ~domain chain =
 
 let table1 () =
   let t =
-    Stats.table ~title:"Table 1: client chain-building coverage, BetterTLS vs this work"
+    R.Table.create ~title:"Table 1: client chain-building coverage, BetterTLS vs this work"
       ~header:[ "Capability"; "BetterTLS"; "This work" ]
   in
   List.iter
     (fun c ->
-      Stats.add_row t
-        [ c.Capability.capability;
-          (if c.Capability.better_tls then "yes" else "no");
-          (if c.Capability.this_work then "yes" else "no") ])
+      R.Table.row t
+        [ R.text c.Capability.capability;
+          R.text (if c.Capability.better_tls then "yes" else "no");
+          R.text (if c.Capability.this_work then "yes" else "no") ])
     Capability.betterlts_comparison;
-  { id = "table1"; title = "Table 1"; body = Stats.render t }
+  { id = "table1"; title = "Table 1"; blocks = [ R.Table.block t ] }
 
 (* --- Table 2 --- *)
 
 let table2 () =
   let t =
-    Stats.table ~title:"Table 2: certificate chain construction capability tests"
+    R.Table.create ~title:"Table 2: certificate chain construction capability tests"
       ~header:[ "#"; "Capability"; "Test case" ]
   in
   List.iteri
     (fun i test ->
-      Stats.add_row t
-        [ string_of_int (i + 1);
-          Capability.test_name test;
-          Capability.test_case_notation test ])
+      R.Table.row t
+        [ R.int (i + 1);
+          R.text (Capability.test_name test);
+          R.text (Capability.test_case_notation test) ])
     Capability.all_tests;
-  { id = "table2"; title = "Table 2"; body = Stats.render t }
+  { id = "table2"; title = "Table 2"; blocks = [ R.Table.block t ] }
 
 (* --- Table 3 --- *)
 
@@ -133,18 +140,25 @@ let table3_reports reports =
   let n = Array.length reports in
   let count v = count_reports reports (fun rep -> rep.Compliance.leaf = v) in
   let t =
-    Stats.table ~title:"Table 3: leaf certificate deployment"
+    R.Table.create ~title:"Table 3: leaf certificate deployment"
       ~header:[ "Place"; "Match"; "# domains (measured)"; "paper" ]
   in
-  let row place mat v paper =
-    Stats.add_row t [ place; mat; Stats.count_pct (count v) n; paper ]
+  let row place mat v ~paper ~pct ~tol =
+    R.Table.row t
+      [ R.text place; R.text mat;
+        R.count_pct ~num:(count v) ~den:n |> R.near ~paper ~pct ~tol;
+        R.text paper ]
   in
-  row "yes" "yes" Leaf_check.Correct_matched "838,354 (92.5%)";
-  row "yes" "no" Leaf_check.Correct_mismatched "62,536 (6.9%)";
-  row "no" "yes" Leaf_check.Incorrect_matched "0 (~0%)";
-  row "no" "no" Leaf_check.Incorrect_mismatched "1 (~0%)";
-  row "Other" "" Leaf_check.Other "5,445 (0.6%)";
-  { id = "table3"; title = "Table 3"; body = Stats.render t }
+  row "yes" "yes" Leaf_check.Correct_matched
+    ~paper:"838,354 (92.5%)" ~pct:92.5 ~tol:2.0;
+  row "yes" "no" Leaf_check.Correct_mismatched
+    ~paper:"62,536 (6.9%)" ~pct:6.9 ~tol:2.0;
+  row "no" "yes" Leaf_check.Incorrect_matched
+    ~paper:"0 (~0%)" ~pct:0.0 ~tol:0.5;
+  row "no" "no" Leaf_check.Incorrect_mismatched
+    ~paper:"1 (~0%)" ~pct:0.0 ~tol:0.5;
+  row "Other" "" Leaf_check.Other ~paper:"5,445 (0.6%)" ~pct:0.6 ~tol:1.0;
+  { id = "table3"; title = "Table 3"; blocks = [ R.Table.block t ] }
 
 let table3 analysis = table3_reports (Array.map snd analysis.reports)
 
@@ -157,16 +171,16 @@ let table4 () =
   in
   let labels = List.map (fun s -> List.map fst (H.table4_row s)) softwares |> List.hd in
   let t =
-    Stats.table ~title:"Table 4: SSL deployment characteristics across HTTP servers"
+    R.Table.create ~title:"Table 4: SSL deployment characteristics across HTTP servers"
       ~header:("Characteristic" :: List.map H.software_to_string softwares)
   in
   List.iter
     (fun label ->
-      Stats.add_row t
-        (label
-        :: List.map (fun s -> List.assoc label (H.table4_row s)) softwares))
+      R.Table.row t
+        (R.text label
+        :: List.map (fun s -> R.text (List.assoc label (H.table4_row s))) softwares))
     labels;
-  { id = "table4"; title = "Table 4"; body = Stats.render t }
+  { id = "table4"; title = "Table 4"; blocks = [ R.Table.block t ] }
 
 (* --- Table 5 --- *)
 
@@ -178,23 +192,26 @@ let table5_reports reports =
   let nbad = List.length bad in
   let c p = List.length (List.filter (fun rep -> p rep.Compliance.order) bad) in
   let t =
-    Stats.table ~title:"Table 5: chains with non-compliant issuance order"
+    R.Table.create ~title:"Table 5: chains with non-compliant issuance order"
       ~header:[ "Type"; "measured"; "paper" ]
   in
-  Stats.add_row t
-    [ "Duplicate Certificates";
-      Stats.count_pct (c Order_check.has_duplicates) nbad; "5,974 (35.2%)" ];
-  Stats.add_row t
-    [ "Irrelevant Certificates";
-      Stats.count_pct (c Order_check.has_irrelevant) nbad; "3,032 (17.9%)" ];
-  Stats.add_row t
-    [ "Multiple Paths";
-      Stats.count_pct (c (fun o -> o.Order_check.multiple_paths)) nbad; "246 (1.5%)" ];
-  Stats.add_row t
-    [ "Reversed Sequences";
-      Stats.count_pct (c Order_check.has_reversed) nbad; "8,566 (50.5%)" ];
-  Stats.add_separator t;
-  Stats.add_row t [ "Total"; Stats.with_commas nbad; "16,952" ];
+  let row label num ~paper ~pct ~tol =
+    R.Table.row t
+      [ R.text label;
+        R.count_pct ~num ~den:nbad |> R.near ~paper ~pct ~tol;
+        R.text paper ]
+  in
+  row "Duplicate Certificates" (c Order_check.has_duplicates)
+    ~paper:"5,974 (35.2%)" ~pct:35.2 ~tol:10.0;
+  row "Irrelevant Certificates" (c Order_check.has_irrelevant)
+    ~paper:"3,032 (17.9%)" ~pct:17.9 ~tol:10.0;
+  row "Multiple Paths" (c (fun o -> o.Order_check.multiple_paths))
+    ~paper:"246 (1.5%)" ~pct:1.5 ~tol:12.0;
+  row "Reversed Sequences" (c Order_check.has_reversed)
+    ~paper:"8,566 (50.5%)" ~pct:50.5 ~tol:12.0;
+  R.Table.sep t;
+  R.Table.row t
+    [ R.text "Total"; R.count nbad; R.text "16,952" |> R.paper "16,952" ];
   (* The section 4.2 sub-statistics. *)
   let dup_kind k =
     List.length
@@ -207,14 +224,21 @@ let table5_reports reports =
     List.length
       (List.filter (fun rep -> rep.Compliance.order.Order_check.all_paths_reversed) bad)
   in
-  let extra =
-    Printf.sprintf
-      "duplicate leaf / intermediate / root chains: %d / %d / %d (paper: 4,730 / 1,354 / 401)\n\
-       chains with every path reversed: %d (paper: 8,370 of 8,566)\n"
-      (dup_kind Order_check.Dup_leaf) (dup_kind Order_check.Dup_intermediate)
-      (dup_kind Order_check.Dup_root) all_rev
-  in
-  { id = "table5"; title = "Table 5"; body = Stats.render t ^ extra }
+  {
+    id = "table5";
+    title = "Table 5";
+    blocks =
+      [ R.Table.block t;
+        R.line
+          [ R.S "duplicate leaf / intermediate / root chains: ";
+            R.C (R.int (dup_kind Order_check.Dup_leaf)); R.S " / ";
+            R.C (R.int (dup_kind Order_check.Dup_intermediate)); R.S " / ";
+            R.C (R.int (dup_kind Order_check.Dup_root));
+            R.S " (paper: 4,730 / 1,354 / 401)" ];
+        R.line
+          [ R.S "chains with every path reversed: "; R.C (R.int all_rev);
+            R.S " (paper: 8,370 of 8,566)" ] ];
+  }
 
 let table5 analysis = table5_reports (Array.map snd analysis.reports)
 
@@ -230,14 +254,16 @@ let table6 analysis =
   let rows = List.map (fun v -> (v, V.table6_row u v)) vendors in
   let labels = List.map fst (snd (List.hd rows)) in
   let t =
-    Stats.table ~title:"Table 6: SSL issuance characteristics of CAs/resellers"
+    R.Table.create ~title:"Table 6: SSL issuance characteristics of CAs/resellers"
       ~header:("Characteristic" :: List.map Universe.vendor_to_string vendors)
   in
   List.iter
     (fun label ->
-      Stats.add_row t (label :: List.map (fun (_, row) -> List.assoc label row) rows))
+      R.Table.row t
+        (R.text label
+        :: List.map (fun (_, row) -> R.text (List.assoc label row)) rows))
     labels;
-  { id = "table6"; title = "Table 6"; body = Stats.render t }
+  { id = "table6"; title = "Table 6"; blocks = [ R.Table.block t ] }
 
 (* --- Table 7 --- *)
 
@@ -248,17 +274,21 @@ let table7_reports reports =
         rep.Compliance.completeness.Completeness.verdict = v)
   in
   let t =
-    Stats.table ~title:"Table 7: completeness of certificate chains"
+    R.Table.create ~title:"Table 7: completeness of certificate chains"
       ~header:[ "Type"; "measured"; "paper" ]
   in
-  Stats.add_row t
-    [ "Complete Chain w/ Root";
-      Stats.count_pct (c Completeness.Complete_with_root) n; "79,144 (8.7%)" ];
-  Stats.add_row t
-    [ "Complete Chain w/o Root";
-      Stats.count_pct (c Completeness.Complete_without_root) n; "815,105 (89.9%)" ];
-  Stats.add_row t
-    [ "Incomplete Chain"; Stats.count_pct (c Completeness.Incomplete) n; "12,087 (1.3%)" ];
+  let row label num ~paper ~pct ~tol =
+    R.Table.row t
+      [ R.text label;
+        R.count_pct ~num ~den:n |> R.near ~paper ~pct ~tol;
+        R.text paper ]
+  in
+  row "Complete Chain w/ Root" (c Completeness.Complete_with_root)
+    ~paper:"79,144 (8.7%)" ~pct:8.7 ~tol:2.0;
+  row "Complete Chain w/o Root" (c Completeness.Complete_without_root)
+    ~paper:"815,105 (89.9%)" ~pct:89.9 ~tol:2.0;
+  row "Incomplete Chain" (c Completeness.Incomplete)
+    ~paper:"12,087 (1.3%)" ~pct:1.3 ~tol:2.0;
   let inc =
     Array.to_list reports
     |> List.filter_map (fun rep ->
@@ -274,18 +304,32 @@ let table7_reports reports =
   let missing1 =
     cause (fun c -> c.Completeness.cause = Some (Completeness.Recoverable 1))
   in
-  let extra =
-    Printf.sprintf
-      "incomplete chains missing a single intermediate: %s (paper: 8,729 / 72.2%%)\n\
-       recoverable via recursive AIA: %s (paper: 11,419 / 94.5%%)\n\
-       AIA missing: %d (paper: 579)   AIA URI fails: %d (paper: 88)   wrong cert served: %d (paper: 1)\n"
-      (Stats.count_pct missing1 ninc)
-      (Stats.count_pct recoverable ninc)
-      (cause (fun c -> c.Completeness.cause = Some Completeness.Aia_missing))
-      (cause (fun c -> c.Completeness.cause = Some Completeness.Aia_fetch_failed))
-      (cause (fun c -> c.Completeness.cause = Some Completeness.Aia_wrong_cert))
-  in
-  { id = "table7"; title = "Table 7"; body = Stats.render t ^ extra }
+  {
+    id = "table7";
+    title = "Table 7";
+    blocks =
+      [ R.Table.block t;
+        R.line
+          [ R.S "incomplete chains missing a single intermediate: ";
+            R.C
+              (R.count_pct ~num:missing1 ~den:ninc
+              |> R.near ~paper:"8,729 / 72.2%" ~pct:72.2 ~tol:10.0);
+            R.S " (paper: 8,729 / 72.2%)" ];
+        R.line
+          [ R.S "recoverable via recursive AIA: ";
+            R.C
+              (R.count_pct ~num:recoverable ~den:ninc
+              |> R.near ~paper:"11,419 / 94.5%" ~pct:94.5 ~tol:10.0);
+            R.S " (paper: 11,419 / 94.5%)" ];
+        R.line
+          [ R.S "AIA missing: ";
+            R.C (R.int (cause (fun c -> c.Completeness.cause = Some Completeness.Aia_missing)));
+            R.S " (paper: 579)   AIA URI fails: ";
+            R.C (R.int (cause (fun c -> c.Completeness.cause = Some Completeness.Aia_fetch_failed)));
+            R.S " (paper: 88)   wrong cert served: ";
+            R.C (R.int (cause (fun c -> c.Completeness.cause = Some Completeness.Aia_wrong_cert)));
+            R.S " (paper: 1)" ] ];
+  }
 
 let table7 analysis = table7_reports (Array.map snd analysis.reports)
 
@@ -322,46 +366,48 @@ let table8 analysis =
     Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 incomplete
   in
   let t =
-    Stats.table
+    R.Table.create
       ~title:
         "Table 8: additional incomplete chains per root store, with and without AIA"
       ~header:
         ("Root Store" :: List.map Root_store.program_to_string Root_store.all_programs)
   in
   let row label ~aia_enabled =
-    Stats.add_row t
-      (label
+    R.Table.row t
+      (R.text label
       :: List.map
-           (fun p -> Stats.with_commas (additional p ~aia_enabled))
+           (fun p -> R.count (additional p ~aia_enabled))
            Root_store.all_programs)
   in
   row "AIA Supported (measured)" ~aia_enabled:true;
-  Stats.add_row t [ "AIA Supported (paper)"; "66"; "66"; "5"; "4" ];
-  Stats.add_separator t;
+  R.Table.row t
+    (R.text "AIA Supported (paper)" :: List.map R.text [ "66"; "66"; "5"; "4" ]);
+  R.Table.sep t;
   row "AIA Not Supported (measured)" ~aia_enabled:false;
-  Stats.add_row t
-    [ "AIA Not Supported (paper)"; "225,608"; "225,608"; "225,538"; "225,360" ];
-  { id = "table8"; title = "Table 8"; body = Stats.render t }
+  R.Table.row t
+    (R.text "AIA Not Supported (paper)"
+    :: List.map R.text [ "225,608"; "225,608"; "225,538"; "225,360" ]);
+  { id = "table8"; title = "Table 8"; blocks = [ R.Table.block t ] }
 
 (* --- Table 9 --- *)
 
 let table9 () =
   let t =
-    Stats.table ~title:"Table 9: capabilities of TLS implementations (measured == paper?)"
+    R.Table.create ~title:"Table 9: capabilities of TLS implementations (measured == paper?)"
       ~header:("Type" :: List.map (fun c -> c.Clients.name) Clients.all)
   in
   List.iter
     (fun test ->
-      Stats.add_row t
-        (Capability.test_name test
+      R.Table.row t
+        (R.text (Capability.test_name test)
         :: List.map
              (fun client ->
                let got = Capability.evaluate client test in
                let want = Capability.table9_expected client.Clients.id test in
-               if got = want then got else Printf.sprintf "%s (paper: %s)" got want)
+               R.text got |> R.same_text ~paper:want)
              Clients.all))
     Capability.all_tests;
-  { id = "table9"; title = "Table 9"; body = Stats.render t }
+  { id = "table9"; title = "Table 9"; blocks = [ R.Table.block t ] }
 
 (* --- Tables 10 and 11: cross-tabs --- *)
 
@@ -399,22 +445,22 @@ let table10 analysis =
         r.Population.software = server && paper_non_compliant (r, rep))
   in
   let t =
-    Stats.table
+    R.Table.create
       ~title:"Table 10: HTTP servers of domains with non-compliant chains (fingerprinted)"
       ~header:("Type" :: List.map C.server_key_to_string servers @ [ "Total" ])
   in
   let ov = List.map overview servers in
-  Stats.add_row t
-    ("Overview" :: List.map Stats.with_commas ov
-    @ [ Stats.with_commas (List.fold_left ( + ) 0 ov) ]);
+  R.Table.row t
+    (R.text "Overview" :: List.map R.count ov
+    @ [ R.count (List.fold_left ( + ) 0 ov) ]);
   List.iter
     (fun v ->
       let cells = List.map (count v) servers in
-      Stats.add_row t
-        (violation_label v :: List.map Stats.with_commas cells
-        @ [ Stats.with_commas (List.fold_left ( + ) 0 cells) ]))
+      R.Table.row t
+        (R.text (violation_label v) :: List.map R.count cells
+        @ [ R.count (List.fold_left ( + ) 0 cells) ]))
     [ V_dup; V_irr; V_multi; V_rev; V_inc ];
-  { id = "table10"; title = "Table 10"; body = Stats.render t }
+  { id = "table10"; title = "Table 10"; blocks = [ R.Table.block t ] }
 
 let table11 analysis =
   let vendors =
@@ -431,21 +477,21 @@ let table11 analysis =
         r.Population.vendor = v && paper_non_compliant (r, rep))
   in
   let t =
-    Stats.table ~title:"Table 11: CAs/resellers of non-compliant certificate chains"
+    R.Table.create ~title:"Table 11: CAs/resellers of non-compliant certificate chains"
       ~header:("Type" :: List.map C.vendor_key_to_string vendors)
   in
-  Stats.add_row t
-    ("Non-compliant"
-    :: List.map (fun v -> Stats.count_pct (nc v) (max 1 (issued v))) vendors);
+  R.Table.row t
+    (R.text "Non-compliant"
+    :: List.map (fun v -> R.count_pct ~num:(nc v) ~den:(max 1 (issued v))) vendors);
   List.iter
     (fun violation ->
-      Stats.add_row t
-        (violation_label violation
-        :: List.map (fun v -> Stats.with_commas (count violation v)) vendors))
+      R.Table.row t
+        (R.text (violation_label violation)
+        :: List.map (fun v -> R.count (count violation v)) vendors))
     [ V_dup; V_irr; V_multi; V_rev; V_inc ];
-  Stats.add_separator t;
-  Stats.add_row t ("Total issued" :: List.map (fun v -> Stats.with_commas (issued v)) vendors);
-  { id = "table11"; title = "Table 11"; body = Stats.render t }
+  R.Table.sep t;
+  R.Table.row t ("Total issued" |> R.text |> fun c -> c :: List.map (fun v -> R.count (issued v)) vendors);
+  { id = "table11"; title = "Table 11"; blocks = [ R.Table.block t ] }
 
 (* --- Figures --- *)
 
@@ -473,36 +519,50 @@ let figure1 analysis =
       ~aia:env.Difftest.aia ~cache:[] ~now:env.Difftest.now
   in
   let outcome = Engine.run ctx ~host:(Some r.Population.domain) r.Population.chain in
-  let body =
-    Printf.sprintf
-      "Certification path processing for %s (client: %s):\n\
-      \  step 1, path construction: %d certificate(s) served, candidate path of length %s built\n\
-      \  step 2, path validation: %s\n"
-      r.Population.domain client.Clients.name
-      (List.length r.Population.chain)
-      (match outcome.Engine.constructed with
-      | Some p -> string_of_int (List.length p)
-      | None -> "-")
-      (match outcome.Engine.result with
-      | Ok p -> Printf.sprintf "valid (anchored at %s)"
-                  (Dn.to_string (Cert.subject (List.nth p (List.length p - 1))))
-      | Error e -> Engine.error_to_string e)
-  in
-  { id = "figure1"; title = "Figure 1"; body }
+  {
+    id = "figure1";
+    title = "Figure 1";
+    blocks =
+      [ R.line
+          [ R.S "Certification path processing for ";
+            R.C (R.text r.Population.domain); R.S " (client: ";
+            R.C (R.text client.Clients.name); R.S "):" ];
+        R.line
+          [ R.S "  step 1, path construction: ";
+            R.C (R.int (List.length r.Population.chain));
+            R.S " certificate(s) served, candidate path of length ";
+            R.C
+              (R.text
+                 (match outcome.Engine.constructed with
+                 | Some p -> string_of_int (List.length p)
+                 | None -> "-"));
+            R.S " built" ];
+        R.line
+          [ R.S "  step 2, path validation: ";
+            R.C
+              (R.text
+                 (match outcome.Engine.result with
+                 | Ok p ->
+                     Printf.sprintf "valid (anchored at %s)"
+                       (Dn.to_string (Cert.subject (List.nth p (List.length p - 1))))
+                 | Error e -> Engine.error_to_string e)) ] ];
+  }
 
 let figure2 analysis =
   let pick scenario label =
     match find_scenario analysis scenario with
-    | Some case -> Printf.sprintf "(%s) %s\n" label (render_record case)
-    | None -> Printf.sprintf "(%s) no instance at this scale\n" label
+    | Some case -> R.raw (Printf.sprintf "(%s) %s\n" label (render_record case))
+    | None -> R.raw (Printf.sprintf "(%s) no instance at this scale\n" label)
   in
-  let body =
-    pick C.Ok_with_root "a: compliant chain"
-    ^ pick (C.Irr_stale_leaves 4) "b: stale leaves (webcanny.com shape)"
-    ^ pick C.Multi_cross_reversed "c: cross-signing, multiple paths"
-    ^ pick C.Irr_foreign_chain "d: foreign chain appended (archives.gov.tw shape)"
-  in
-  { id = "figure2"; title = "Figure 2"; body }
+  {
+    id = "figure2";
+    title = "Figure 2";
+    blocks =
+      [ pick C.Ok_with_root "a: compliant chain";
+        pick (C.Irr_stale_leaves 4) "b: stale leaves (webcanny.com shape)";
+        pick C.Multi_cross_reversed "c: cross-signing, multiple paths";
+        pick C.Irr_foreign_chain "d: foreign chain appended (archives.gov.tw shape)" ];
+  }
 
 let client_outcomes analysis (r : Population.record) =
   let case = difftest_record analysis r in
@@ -517,29 +577,37 @@ let client_outcomes analysis (r : Population.record) =
 
 let figure3 analysis =
   match find_scenario analysis C.Fig_serpro with
-  | None -> { id = "figure3"; title = "Figure 3"; body = "not generated" }
+  | None -> { id = "figure3"; title = "Figure 3"; blocks = [ R.raw "not generated" ] }
   | Some (r, _) ->
-      let body =
-        Printf.sprintf
-          "%s\nServed list has %d certificates; GnuTLS's input-list limit is 16.\n%s\n"
-          (render_record (r, snd (Option.get (find_scenario analysis C.Fig_serpro))))
-          (List.length r.Population.chain)
-          (client_outcomes analysis r)
-      in
-      { id = "figure3"; title = "Figure 3"; body }
+      {
+        id = "figure3";
+        title = "Figure 3";
+        blocks =
+          [ R.raw
+              (render_record (r, snd (Option.get (find_scenario analysis C.Fig_serpro)))
+              ^ "\n");
+            R.line
+              [ R.S "Served list has ";
+                R.C (R.int (List.length r.Population.chain));
+                R.S " certificates; GnuTLS's input-list limit is 16." ];
+            R.raw (client_outcomes analysis r ^ "\n") ];
+      }
 
 let figure4 analysis =
   match find_scenario analysis C.Fig_moex with
-  | None -> { id = "figure4"; title = "Figure 4"; body = "not generated" }
+  | None -> { id = "figure4"; title = "Figure 4"; blocks = [ R.raw "not generated" ] }
   | Some ((r, _) as case) ->
-      let body =
-        Printf.sprintf
-          "%s\nNode 1 is a root certificate absent from every store; the correct path\n\
-           runs through the cross-signed alternative. Clients without backtracking\n\
-           commit to the untrusted path:\n%s\n"
-          (render_record case) (client_outcomes analysis r)
-      in
-      { id = "figure4"; title = "Figure 4"; body }
+      {
+        id = "figure4";
+        title = "Figure 4";
+        blocks =
+          [ R.raw (render_record case ^ "\n");
+            R.raw
+              "Node 1 is a root certificate absent from every store; the correct path\n\
+               runs through the cross-signed alternative. Clients without backtracking\n\
+               commit to the untrusted path:\n";
+            R.raw (client_outcomes analysis r ^ "\n") ];
+      }
 
 let figure5 analysis =
   let u = analysis.pop.Population.universe in
@@ -569,9 +637,14 @@ let figure5 analysis =
                Printf.sprintf "  %-14s picks %s" cr.Difftest.client.Clients.name chosen)
              case.Difftest.results)
   in
-  { id = "figure5";
+  {
+    id = "figure5";
     title = "Figure 5";
-    body = render_candidate "Candidate A" a ^ render_candidate "Candidate B" b ^ picks ^ "\n" }
+    blocks =
+      [ R.raw (render_candidate "Candidate A" a);
+        R.raw (render_candidate "Candidate B" b);
+        R.raw (picks ^ "\n") ];
+  }
 
 (* --- Section 5.2 --- *)
 
@@ -592,22 +665,40 @@ let section5_2_view v =
   in
   let cases = Array.to_list cases_arr in
   let s = Difftest.summarize cases in
-  let pc part = Stats.pct part s.Difftest.total in
-  let b = Buffer.create 1024 in
-  Printf.bprintf b "Differential testing over %s non-compliant chains (paper: 26,361)\n"
-    (Stats.with_commas s.Difftest.total);
-  Printf.bprintf b "  pass in all 3 browsers:   %s %s   (paper: 61.1%%)\n"
-    (Stats.with_commas s.Difftest.browsers_all_pass) (pc s.Difftest.browsers_all_pass);
-  Printf.bprintf b "  pass in all 4 libraries:  %s %s   (paper: 47.4%%)\n"
-    (Stats.with_commas s.Difftest.libraries_all_pass) (pc s.Difftest.libraries_all_pass);
-  Printf.bprintf b "  browser discrepancies:    %s %s   (paper: 3,295 / 12.5%%)\n"
-    (Stats.with_commas s.Difftest.browser_discrepancies) (pc s.Difftest.browser_discrepancies);
-  Printf.bprintf b "  library discrepancies:    %s %s   (paper: 10,804 / 41.0%%)\n"
-    (Stats.with_commas s.Difftest.library_discrepancies) (pc s.Difftest.library_discrepancies);
-  Printf.bprintf b "  chains rejected by >=1 library: %s %s\n"
-    (Stats.with_commas s.Difftest.library_build_issue) (pc s.Difftest.library_build_issue);
-  Printf.bprintf b "  chains rejected by >=1 browser: %s %s\n"
-    (Stats.with_commas s.Difftest.browser_build_issue) (pc s.Difftest.browser_build_issue);
+  let total = s.Difftest.total in
+  let blocks = ref [] in
+  let add b = blocks := b :: !blocks in
+  add
+    (R.line
+       [ R.S "Differential testing over "; R.C (R.count total);
+         R.S " non-compliant chains (paper: 26,361)" ]);
+  let share label gap n ~paper_suffix ~paper ~pct ~tol =
+    add
+      (R.line
+         [ R.S ("  " ^ label ^ gap); R.C (R.count n); R.S " ";
+           R.C (R.percent ~num:n ~den:total |> R.near ~paper ~pct ~tol);
+           R.S paper_suffix ])
+  in
+  share "pass in all 3 browsers:" "   " s.Difftest.browsers_all_pass
+    ~paper_suffix:"   (paper: 61.1%)" ~paper:"61.1%" ~pct:61.1 ~tol:15.0;
+  share "pass in all 4 libraries:" "  " s.Difftest.libraries_all_pass
+    ~paper_suffix:"   (paper: 47.4%)" ~paper:"47.4%" ~pct:47.4 ~tol:10.0;
+  share "browser discrepancies:" "    " s.Difftest.browser_discrepancies
+    ~paper_suffix:"   (paper: 3,295 / 12.5%)" ~paper:"3,295 / 12.5%" ~pct:12.5
+    ~tol:10.0;
+  share "library discrepancies:" "    " s.Difftest.library_discrepancies
+    ~paper_suffix:"   (paper: 10,804 / 41.0%)" ~paper:"10,804 / 41.0%" ~pct:41.0
+    ~tol:16.0;
+  add
+    (R.line
+       [ R.S "  chains rejected by >=1 library: ";
+         R.C (R.count s.Difftest.library_build_issue); R.S " ";
+         R.C (R.percent ~num:s.Difftest.library_build_issue ~den:total) ]);
+  add
+    (R.line
+       [ R.S "  chains rejected by >=1 browser: ";
+         R.C (R.count s.Difftest.browser_build_issue); R.S " ";
+         R.C (R.percent ~num:s.Difftest.browser_build_issue ~den:total) ]);
   let firefox_gap =
     List.length
       (List.filter
@@ -617,10 +708,11 @@ let section5_2_view v =
            && not (Difftest.accepted_by case Clients.Firefox))
          cases)
   in
-  Printf.bprintf b
-    "  Chrome+Edge pass but Firefox fails (intermediate-cache miss): %s   (paper: 1,074)\n"
-    (Stats.with_commas firefox_gap);
-  Printf.bprintf b "Attribution (a chain can carry several causes):\n";
+  add
+    (R.line
+       [ R.S "  Chrome+Edge pass but Firefox fails (intermediate-cache miss): ";
+         R.C (R.count firefox_gap); R.S "   (paper: 1,074)" ]);
+  add (R.line [ R.S "Attribution (a chain can carry several causes):" ]);
   List.iter
     (fun (cause, n) ->
       let paper =
@@ -631,8 +723,10 @@ let section5_2_view v =
         | Difftest.I4_no_aia -> "paper: 8,553 chains"
         | _ -> ""
       in
-      Printf.bprintf b "  %-40s %6s   %s\n" (Difftest.cause_to_string cause)
-        (Stats.with_commas n) paper)
+      add
+        (R.line
+           [ R.S "  "; R.Cw (-40, R.text (Difftest.cause_to_string cause));
+             R.S " "; R.Cw (6, R.count n); R.S "   "; R.S paper ]))
     s.Difftest.by_cause;
   (* The CryptoAPI AIA-ablation: disable AIA and count which of its accepted
      chains survive thanks to the OS intermediate store. *)
@@ -669,11 +763,13 @@ let section5_2_view v =
       | Some false -> incr broke
       | None -> ())
     ablation_outcomes;
-  Printf.bprintf b
-    "CryptoAPI AIA-disabled ablation: %d of its accepted chains fail, %d rescued by the\n\
-     OS intermediate store (paper: 8,373 fail, 180 rescued)\n"
-    !broke !rescued;
-  { id = "section5.2"; title = "Section 5.2"; body = Buffer.contents b }
+  add
+    (R.line
+       [ R.S "CryptoAPI AIA-disabled ablation: "; R.C (R.int !broke);
+         R.S " of its accepted chains fail, "; R.C (R.int !rescued);
+         R.S " rescued by the" ]);
+  add (R.line [ R.S "OS intermediate store (paper: 8,373 fail, 180 rescued)" ]);
+  { id = "section5.2"; title = "Section 5.2"; blocks = List.rev !blocks }
 
 let section5_2 analysis = section5_2_view (view analysis)
 
@@ -681,21 +777,33 @@ let section5_2 analysis = section5_2_view (view analysis)
 
 let section6 analysis =
   let env = Population.env analysis.pop in
-  let b = Buffer.create 1024 in
+  let blocks = ref [] in
+  let add b = blocks := b :: !blocks in
   (* 6.1: remediation advice for one concrete non-compliant deployment. *)
   (match
      Array.to_list analysis.reports
      |> List.find_opt (fun (r, _) -> r.Population.scenario = C.Rev_merge_1int)
    with
   | Some (r, rep) ->
-      Printf.bprintf b "Section 6.1 — advice for %s (%s):\n" r.Population.domain
-        (C.scenario_to_string r.Population.scenario);
+      add
+        (R.line
+           [ R.S "Section 6.1 — advice for "; R.C (R.text r.Population.domain);
+             R.S " (";
+             R.C (R.text (C.scenario_to_string r.Population.scenario));
+             R.S "):" ]);
       List.iter
         (fun a ->
-          Printf.bprintf b "  [%s] (%s) %s\n"
-            (match a.Recommend.severity with `Must -> "MUST" | `Should -> "SHOULD")
-            (Recommend.audience_to_string a.Recommend.audience)
-            a.Recommend.text)
+          add
+            (R.line
+               [ R.S "  [";
+                 R.C
+                   (R.text
+                      (match a.Recommend.severity with
+                      | `Must -> "MUST"
+                      | `Should -> "SHOULD"));
+                 R.S "] (";
+                 R.C (R.text (Recommend.audience_to_string a.Recommend.audience));
+                 R.S ") "; R.C (R.text a.Recommend.text) ]))
         (Recommend.server_advice rep);
       (match Recommend.corrected_chain rep with
       | Some fixed ->
@@ -705,19 +813,29 @@ let section6 analysis =
               ~aia:(Universe.aia analysis.pop.Population.universe)
               ~domain:r.Population.domain fixed
           in
-          Printf.bprintf b "  auto-corrected chain is %s\n"
-            (if Compliance.compliant fixed_report then "COMPLIANT" else "still broken")
-      | None -> Printf.bprintf b "  no self-contained correction (certificates missing)\n")
-  | None -> Printf.bprintf b "Section 6.1: no reversed instance at this scale\n");
+          add
+            (R.line
+               [ R.S "  auto-corrected chain is ";
+                 R.C
+                   (R.verdict
+                      (Compliance.compliant fixed_report)
+                      ~yes:"COMPLIANT" ~no:"still broken") ])
+      | None ->
+          add
+            (R.line
+               [ R.S "  no self-contained correction (certificates missing)" ]))
+  | None -> add (R.line [ R.S "Section 6.1: no reversed instance at this scale" ]));
   (* 6.2: the capability ablation over the non-compliant corpus. *)
   let corpus =
     Array.to_list analysis.reports
     |> List.filter paper_non_compliant
     |> List.map (fun (r, _) -> (r.Population.domain, r.Population.chain))
   in
-  Printf.bprintf b
-    "\nSection 6.2 — capability ablation over the %s non-compliant chains\n"
-    (Stats.with_commas (List.length corpus));
+  add (R.line []);
+  add
+    (R.line
+       [ R.S "Section 6.2 — capability ablation over the ";
+         R.C (R.count (List.length corpus)); R.S " non-compliant chains" ]);
   let steps =
     Recommend.capability_ablation
       ~store:(env.Difftest.store_of Chaoschain_pki.Root_store.Mozilla)
@@ -725,10 +843,13 @@ let section6 analysis =
   in
   List.iter
     (fun s ->
-      Printf.bprintf b "  %-34s accepts %s of %s (%s)\n" s.Recommend.label
-        (Stats.with_commas s.Recommend.accepted)
-        (Stats.with_commas s.Recommend.total)
-        (Stats.pct s.Recommend.accepted s.Recommend.total))
+      add
+        (R.line
+           [ R.S "  "; R.Cw (-34, R.text s.Recommend.label); R.S " accepts ";
+             R.C (R.count s.Recommend.accepted); R.S " of ";
+             R.C (R.count s.Recommend.total); R.S " (";
+             R.C (R.percent ~num:s.Recommend.accepted ~den:s.Recommend.total);
+             R.S ")" ]))
     steps;
   (* Prioritization ambiguity statistics (the paper's 785 / 744 / 42). *)
   let all_chains =
@@ -740,40 +861,65 @@ let section6 analysis =
       ~store:(Universe.union_store analysis.pop.Population.universe)
       all_chains
   in
-  Printf.bprintf b
-    "\nIssuer-candidate ties (same subject_DN, compatible KID):\n\
-    \  chains with ties: %s (paper: 785)\n\
-    \  tie includes a trusted self-signed root -> prefer it: %s (paper: 744)\n\
-    \  tie between validity variants -> prefer most recent: %s (paper: 42)\n"
-    (Stats.with_commas stats.Recommend.chains_with_ties)
-    (Stats.with_commas stats.Recommend.tie_with_trusted_root)
-    (Stats.with_commas stats.Recommend.tie_validity_variants);
-  { id = "section6"; title = "Section 6"; body = Buffer.contents b }
+  add (R.line []);
+  add (R.line [ R.S "Issuer-candidate ties (same subject_DN, compatible KID):" ]);
+  add
+    (R.line
+       [ R.S "  chains with ties: ";
+         R.C (R.count stats.Recommend.chains_with_ties); R.S " (paper: 785)" ]);
+  add
+    (R.line
+       [ R.S "  tie includes a trusted self-signed root -> prefer it: ";
+         R.C (R.count stats.Recommend.tie_with_trusted_root);
+         R.S " (paper: 744)" ]);
+  add
+    (R.line
+       [ R.S "  tie between validity variants -> prefer most recent: ";
+         R.C (R.count stats.Recommend.tie_validity_variants);
+         R.S " (paper: 42)" ]);
+  { id = "section6"; title = "Section 6"; blocks = List.rev !blocks }
 
 let dataset_overview_of d =
-  let b = Buffer.create 256 in
-  Printf.bprintf b "Collection (simulated two-vantage ZGrab over TLS 1.2):\n";
+  let blocks = ref [] in
+  let add b = blocks := b :: !blocks in
+  add (R.line [ R.S "Collection (simulated two-vantage ZGrab over TLS 1.2):" ]);
   List.iter
     (fun v ->
-      Printf.bprintf b "  vantage %s: %s domains reached (paper: US 870,113 / AU 867,374)\n"
-        v.Scanner.name (Stats.with_commas v.Scanner.reached))
+      add
+        (R.line
+           [ R.S "  vantage "; R.C (R.text v.Scanner.name); R.S ": ";
+             R.C (R.count v.Scanner.reached);
+             R.S " domains reached (paper: US 870,113 / AU 867,374)" ]))
     d.Scanner.vantages;
-  Printf.bprintf b "  union dataset: %s domains, %s unique chains, %s unique certificates\n"
-    (Stats.with_commas (Array.length d.Scanner.domains))
-    (Stats.with_commas d.Scanner.unique_chains)
-    (Stats.with_commas d.Scanner.unique_certs);
-  Printf.bprintf b "  (paper: 906,336 unique chains, 861,747 unique certificates)\n";
-  Printf.bprintf b "  TLS 1.2 vs 1.3 identical chains: %.1f%% (paper: 98.8%%)\n"
-    d.Scanner.tls12_tls13_identical_pct;
-  { id = "dataset"; title = "Section 3.1 dataset"; body = Buffer.contents b }
+  add
+    (R.line
+       [ R.S "  union dataset: ";
+         R.C (R.count (Array.length d.Scanner.domains)); R.S " domains, ";
+         R.C (R.count d.Scanner.unique_chains); R.S " unique chains, ";
+         R.C (R.count d.Scanner.unique_certs); R.S " unique certificates" ]);
+  add
+    (R.line
+       [ R.S "  (paper: 906,336 unique chains, 861,747 unique certificates)" ]);
+  add
+    (R.line
+       [ R.S "  TLS 1.2 vs 1.3 identical chains: ";
+         R.C
+           (R.cell
+              (R.Cell.Float
+                 { value = d.Scanner.tls12_tls13_identical_pct; digits = 1;
+                   suffix = "%" })
+           |> R.near ~paper:"98.8%" ~pct:98.8 ~tol:1.0);
+         R.S " (paper: 98.8%)" ]);
+  { id = "dataset"; title = "Section 3.1 dataset"; blocks = List.rev !blocks }
 
 let dataset_overview analysis = dataset_overview_of analysis.dataset
 
-let scan_results v =
+let table_results v =
   let reports = Array.map (fun (_, _, rep) -> rep) v.v_items in
   [ dataset_overview_of v.v_dataset;
-    table3_reports reports; table5_reports reports; table7_reports reports;
-    section5_2_view v ]
+    table3_reports reports; table5_reports reports; table7_reports reports ]
+
+let scan_results v = table_results v @ [ section5_2_view v ]
 
 let run_all analysis =
   [ dataset_overview analysis;

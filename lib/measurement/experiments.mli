@@ -47,10 +47,12 @@ val difftest_item : view -> domain:string -> Cert.t list -> Difftest.case
 (** {!difftest_record} for a view item: memoised by
     [Difftest.chain_key], relabelled with [domain]. *)
 
-type result = {
-  id : string;       (** e.g. ["table3"] *)
+type result = Chaoschain_report.Report.t = {
+  id : string;  (** e.g. ["table3"] *)
   title : string;
-  body : string;     (** rendered ASCII *)
+  blocks : Chaoschain_report.Report.block list;
+      (** the typed document; render with [Report.to_text] (ASCII, what the
+          sprintf bodies used to be), [to_json] or [to_markdown] *)
 }
 
 val table1 : unit -> result
@@ -78,6 +80,11 @@ val section6 : analysis -> result
 val dataset_overview : analysis -> result
 (** The section 3.1 collection statistics (vantage totals, unique chains and
     certificates, TLS 1.2/1.3 agreement). *)
+
+val table_results : view -> result list
+(** The cheap store-reproducible subset (no differential testing): dataset
+    overview and tables 3, 5 and 7. [chaoscheck diff] and the chaind
+    [experiments] stats block use this. *)
 
 val scan_results : view -> result list
 (** The store-reproducible subset, in paper order: dataset overview, tables

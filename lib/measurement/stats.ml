@@ -1,23 +1,11 @@
-let with_commas n =
-  let s = string_of_int (abs n) in
-  let len = String.length s in
-  let buf = Buffer.create (len + (len / 3)) in
-  if n < 0 then Buffer.add_char buf '-';
-  String.iteri
-    (fun i c ->
-      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
-      Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+module Report = Chaoschain_report.Report
 
-let pct part whole =
-  if whole = 0 then "0%"
-  else begin
-    let p = 100.0 *. float_of_int part /. float_of_int whole in
-    if part > 0 && p < 0.05 then "~0%" else Printf.sprintf "%.1f%%" p
-  end
-
-let count_pct part whole = Printf.sprintf "%s (%s)" (with_commas part) (pct part whole)
+(* Formatting is centralised in [Report.Cell]; these aliases keep the
+   historical call sites (and make [pct] total: a zero denominator renders
+   "n/a" instead of a NaN). *)
+let with_commas = Report.Cell.with_commas
+let pct = Report.Cell.pct_string
+let count_pct = Report.Cell.count_pct_string
 
 let apportion ~total ~weights =
   let wsum = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
@@ -43,56 +31,3 @@ let apportion ~total ~weights =
     in
     List.map (fun (_, k, v) -> (k, v)) bumped
   end
-
-type table = {
-  title : string;
-  header : string list;
-  mutable rows : [ `Row of string list | `Sep ] list;
-}
-
-let table ~title ~header = { title; header; rows = [] }
-let add_row t cells = t.rows <- `Row cells :: t.rows
-let add_separator t = t.rows <- `Sep :: t.rows
-
-let render t =
-  let rows = List.rev t.rows in
-  let all_cell_rows =
-    t.header :: List.filter_map (function `Row r -> Some r | `Sep -> None) rows
-  in
-  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all_cell_rows in
-  let widths = Array.make ncols 0 in
-  List.iter
-    (fun r ->
-      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) r)
-    all_cell_rows;
-  let buf = Buffer.create 1024 in
-  let total_width =
-    Array.fold_left ( + ) 0 widths + (3 * (max 1 ncols - 1))
-  in
-  let hline = String.make (max total_width (String.length t.title)) '-' in
-  Buffer.add_string buf t.title;
-  Buffer.add_char buf '\n';
-  Buffer.add_string buf hline;
-  Buffer.add_char buf '\n';
-  let emit_row r =
-    List.iteri
-      (fun i cell ->
-        Buffer.add_string buf cell;
-        if i < List.length r - 1 then begin
-          Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' ');
-          Buffer.add_string buf "   "
-        end)
-      r;
-    Buffer.add_char buf '\n'
-  in
-  emit_row t.header;
-  Buffer.add_string buf hline;
-  Buffer.add_char buf '\n';
-  List.iter
-    (function
-      | `Row r -> emit_row r
-      | `Sep ->
-          Buffer.add_string buf hline;
-          Buffer.add_char buf '\n')
-    rows;
-  Buffer.contents buf

@@ -1,7 +1,12 @@
-(** Counting and ASCII table rendering shared by the experiment suite. *)
+(** Counting helpers shared by the experiment suite.
+
+    Formatting lives in [Chaoschain_report.Report.Cell] (these are aliases);
+    table construction and rendering moved to the report IR
+    ([Chaoschain_report.Report]) entirely. *)
 
 val pct : int -> int -> string
-(** [pct part whole] like ["92.5%"]; ["~0%"] for tiny non-zero shares. *)
+(** [pct part whole] like ["92.5%"]; ["~0%"] for tiny non-zero shares;
+    ["n/a"] when [whole] is zero (total — never ["nan%"]). *)
 
 val count_pct : int -> int -> string
 (** ["838,354 (92.5%)"]. *)
@@ -12,11 +17,3 @@ val with_commas : int -> string
 val apportion : total:int -> weights:(string * int) list -> (string * int) list
 (** Largest-remainder apportionment of [total] across the weighted buckets;
     the result sums exactly to [total]. Weights of zero receive zero. *)
-
-type table
-
-val table : title:string -> header:string list -> table
-val add_row : table -> string list -> unit
-val add_separator : table -> unit
-val render : table -> string
-(** Column-aligned ASCII with a title banner. *)

@@ -1,0 +1,48 @@
+(** A small from-scratch JSON codec (RFC 8259 subset) shared by the report
+    renderers ([Report.to_json]), the chaind wire protocol
+    ([Chaoschain_service] re-exports this module) and the bench timing dumps.
+
+    The encoder is compact (no whitespace) and deterministic: object members
+    are emitted in construction order, so equal values produce byte-identical
+    text — the property the service's verdict cache and the CI smoke test
+    rely on. The decoder accepts standard JSON with arbitrary whitespace and
+    [\uXXXX] escapes (surrogate pairs included). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialization. Non-finite floats encode as [null] (JSON has no
+    NaN/infinity). *)
+
+val sort_keys : t -> t
+(** Recursively sort object members by key — the canonical member order
+    {!pretty} emits. *)
+
+val pretty : t -> string
+(** Deterministic human-readable rendering: two-space indentation, object
+    members sorted by key ({!sort_keys}), the same fixed float formatting as
+    {!to_string}, no trailing newline. Equal values (up to member order)
+    produce byte-identical text, which is what lets [--format json] output be
+    compared with [cmp] across [--jobs] values and across scan vs. replay. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. Numbers
+    without fraction or exponent that fit [int] decode as [Int], everything
+    else as [Float]. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] — [None] for absent keys and non-objects. *)
+
+val get_string : t -> string option
+val get_bool : t -> bool option
+val get_int : t -> int option
+val get_list : t -> t list option

@@ -1,0 +1,501 @@
+(* The typed report IR.
+
+   A report is a tree: sections (one [t] per table/figure of the paper) made
+   of blocks — tables whose cells are typed values, lines of interleaved
+   literal text and cells, and raw pre-rendered text for narrative passages
+   (topology drawings, client transcripts). Three renderers walk the tree:
+
+     to_text      the ASCII bodies the CLI prints (byte-identical to the
+                  sprintf-built strings this IR replaced — the golden test
+                  in test/golden pins that)
+     to_json      machine-readable cells for --format json and chaind stats
+     to_markdown  EXPERIMENTS.md
+
+   Cells optionally carry the paper's reported value plus a tolerance, which
+   is what makes [check_paper] (the --check-paper flag) and [diff] (the
+   chaoscheck diff subcommand) possible without re-parsing rendered text. *)
+
+module Json = Json
+
+module Cell = struct
+  type value =
+    | Count of int  (* thousands separators: "16,952" *)
+    | Int of int    (* plain digits *)
+    | Percent of { num : int; den : int }    (* "92.5%", "~0%", "n/a" *)
+    | Count_pct of { num : int; den : int }  (* "838,354 (92.5%)" *)
+    | Float of { value : float; digits : int; suffix : string }
+    | Text of string
+    | Verdict of { v : bool; yes : string; no : string }
+
+  let with_commas n =
+    let s = string_of_int (abs n) in
+    let len = String.length s in
+    let buf = Buffer.create (len + (len / 3)) in
+    if n < 0 then Buffer.add_char buf '-';
+    String.iteri
+      (fun i c ->
+        if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* Total: a zero denominator renders "n/a" rather than propagating a NaN
+     into the tables (a zero numerator still renders "0.0%"). *)
+  let pct_string num den =
+    if den = 0 then "n/a"
+    else begin
+      let p = 100.0 *. float_of_int num /. float_of_int den in
+      if num > 0 && p < 0.05 then "~0%" else Printf.sprintf "%.1f%%" p
+    end
+
+  let count_pct_string num den =
+    Printf.sprintf "%s (%s)" (with_commas num) (pct_string num den)
+
+  let render = function
+    | Count n -> with_commas n
+    | Int n -> string_of_int n
+    | Percent { num; den } -> pct_string num den
+    | Count_pct { num; den } -> count_pct_string num den
+    | Float { value; digits; suffix } -> Printf.sprintf "%.*f%s" digits value suffix
+    | Text s -> s
+    | Verdict { v; yes; no } -> if v then yes else no
+
+  (* The share a [Near_pct] paper check compares against; [None] when the
+     value carries no percentage (or the denominator is zero). *)
+  let measured_pct = function
+    | Percent { num; den } | Count_pct { num; den } ->
+        if den = 0 then None
+        else Some (100.0 *. float_of_int num /. float_of_int den)
+    | Float { value; _ } -> Some value
+    | _ -> None
+end
+
+(* --- cells with paper references --- *)
+
+type check =
+  | Same_text of string  (* the measured rendering must equal the paper's *)
+  | Near_pct of { pct : float; tol : float }
+      (* measured percentage within [tol] percentage points of the paper's.
+         Percentages are the scale-invariant quantity of the quota-sampled
+         population, so they are what --check-paper compares; absolute paper
+         counts are display-only. *)
+
+type paper = { shown : string; check : check option }
+type cell = { value : Cell.value; paper : paper option }
+
+let cell value = { value; paper = None }
+let text s = cell (Cell.Text s)
+let count n = cell (Cell.Count n)
+let int n = cell (Cell.Int n)
+let percent ~num ~den = cell (Cell.Percent { num; den })
+let count_pct ~num ~den = cell (Cell.Count_pct { num; den })
+let verdict v ~yes ~no = cell (Cell.Verdict { v; yes; no })
+
+let paper ?check shown c = { c with paper = Some { shown; check } }
+
+let near ~paper:shown ~pct ~tol c =
+  { c with paper = Some { shown; check = Some (Near_pct { pct; tol }) } }
+
+let same_text ~paper:want c =
+  { c with paper = Some { shown = want; check = Some (Same_text want) } }
+
+(* A [Same_text] mismatch is called out inline, exactly as the Table 9
+   renderer always did. *)
+let cell_text c =
+  let base = Cell.render c.value in
+  match c.paper with
+  | Some { shown; check = Some (Same_text want) } when base <> want ->
+      Printf.sprintf "%s (paper: %s)" base shown
+  | _ -> base
+
+(* --- blocks --- *)
+
+type span =
+  | S of string
+  | C of cell
+  | Cw of int * cell
+      (* printf-style field width: [Cw w] right-justifies in [w] columns,
+         negative [w] left-justifies (like %*s / %-*s) *)
+
+type row = Row of cell list | Sep
+
+type table = { t_title : string; t_header : string list; t_rows : row list }
+
+type block = Table of table | Line of span list | Raw of string
+
+type t = { id : string; title : string; blocks : block list }
+
+module Table = struct
+  type builder = {
+    b_title : string;
+    b_header : string list;
+    mutable b_rows : row list;  (* reversed *)
+  }
+
+  let create ~title ~header = { b_title = title; b_header = header; b_rows = [] }
+  let row b cells = b.b_rows <- Row cells :: b.b_rows
+  let sep b = b.b_rows <- Sep :: b.b_rows
+
+  let table b =
+    { t_title = b.b_title; t_header = b.b_header; t_rows = List.rev b.b_rows }
+
+  let block b = Table (table b)
+end
+
+let line spans = Line spans
+let raw s = Raw s
+
+(* --- text rendering --- *)
+
+let span_text = function
+  | S s -> s
+  | C c -> cell_text c
+  | Cw (w, c) ->
+      let s = cell_text c in
+      let width = abs w in
+      let n = String.length s in
+      if n >= width then s
+      else if w >= 0 then String.make (width - n) ' ' ^ s
+      else s ^ String.make (width - n) ' '
+
+let render_table { t_title; t_header; t_rows } =
+  let rows =
+    List.map
+      (function Row cells -> `Row (List.map cell_text cells) | Sep -> `Sep)
+      t_rows
+  in
+  let all_cell_rows =
+    t_header :: List.filter_map (function `Row r -> Some r | `Sep -> None) rows
+  in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all_cell_rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun r ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) r)
+    all_cell_rows;
+  let buf = Buffer.create 1024 in
+  let total_width = Array.fold_left ( + ) 0 widths + (3 * (max 1 ncols - 1)) in
+  let hline = String.make (max total_width (String.length t_title)) '-' in
+  Buffer.add_string buf t_title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf hline;
+  Buffer.add_char buf '\n';
+  let emit_row r =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf c;
+        if i < List.length r - 1 then begin
+          Buffer.add_string buf (String.make (widths.(i) - String.length c) ' ');
+          Buffer.add_string buf "   "
+        end)
+      r;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t_header;
+  Buffer.add_string buf hline;
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | `Row r -> emit_row r
+      | `Sep ->
+          Buffer.add_string buf hline;
+          Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let block_text = function
+  | Table t -> render_table t
+  | Line spans -> String.concat "" (List.map span_text spans) ^ "\n"
+  | Raw s -> s
+
+let to_text t = String.concat "" (List.map block_text t.blocks)
+
+(* --- JSON rendering --- *)
+
+let json_of_cell c =
+  let value_fields =
+    match c.value with
+    | Cell.Count n -> [ ("type", Json.String "count"); ("n", Json.Int n) ]
+    | Cell.Int n -> [ ("type", Json.String "int"); ("n", Json.Int n) ]
+    | Cell.Percent { num; den } ->
+        [ ("type", Json.String "percent"); ("num", Json.Int num);
+          ("den", Json.Int den) ]
+    | Cell.Count_pct { num; den } ->
+        [ ("type", Json.String "count_pct"); ("num", Json.Int num);
+          ("den", Json.Int den) ]
+    | Cell.Float { value; _ } ->
+        [ ("type", Json.String "float"); ("value", Json.Float value) ]
+    | Cell.Text _ -> [ ("type", Json.String "text") ]
+    | Cell.Verdict { v; _ } ->
+        [ ("type", Json.String "verdict"); ("ok", Json.Bool v) ]
+  in
+  let paper_fields =
+    match c.paper with
+    | None -> []
+    | Some { shown; check } ->
+        let check_fields =
+          match check with
+          | None -> []
+          | Some (Same_text want) -> [ ("expect_text", Json.String want) ]
+          | Some (Near_pct { pct; tol }) ->
+              [ ("expect_pct", Json.Float pct); ("tolerance_pp", Json.Float tol) ]
+        in
+        [ ("paper", Json.Obj (("shown", Json.String shown) :: check_fields)) ]
+  in
+  Json.Obj
+    (value_fields @ [ ("text", Json.String (cell_text c)) ] @ paper_fields)
+
+let json_of_block = function
+  | Table { t_title; t_header; t_rows } ->
+      Json.Obj
+        [ ("kind", Json.String "table");
+          ("title", Json.String t_title);
+          ("header", Json.List (List.map (fun h -> Json.String h) t_header));
+          ( "rows",
+            Json.List
+              (List.map
+                 (function
+                   | Row cells ->
+                       Json.Obj
+                         [ ("cells", Json.List (List.map json_of_cell cells)) ]
+                   | Sep -> Json.Obj [ ("separator", Json.Bool true) ])
+                 t_rows) ) ]
+  | Line spans ->
+      let cells =
+        List.filter_map
+          (function S _ -> None | C c | Cw (_, c) -> Some (json_of_cell c))
+          spans
+      in
+      Json.Obj
+        [ ("kind", Json.String "line");
+          ("text", Json.String (String.concat "" (List.map span_text spans)));
+          ("cells", Json.List cells) ]
+  | Raw s -> Json.Obj [ ("kind", Json.String "raw"); ("text", Json.String s) ]
+
+let to_json t =
+  Json.Obj
+    [ ("id", Json.String t.id);
+      ("title", Json.String t.title);
+      ("blocks", Json.List (List.map json_of_block t.blocks)) ]
+
+(* --- markdown rendering --- *)
+
+let md_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '|' -> Buffer.add_string buf "\\|"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_markdown t =
+  let buf = Buffer.create 1024 in
+  let pending = Buffer.create 256 in
+  let flush_pending () =
+    if Buffer.length pending > 0 then begin
+      Buffer.add_string buf "```\n";
+      Buffer.add_buffer buf pending;
+      if Buffer.length pending > 0
+         && Buffer.nth pending (Buffer.length pending - 1) <> '\n'
+      then Buffer.add_char buf '\n';
+      Buffer.add_string buf "```\n\n";
+      Buffer.clear pending
+    end
+  in
+  Buffer.add_string buf (Printf.sprintf "## %s\n\n" t.title);
+  List.iter
+    (fun block ->
+      match block with
+      | Table { t_title; t_header; t_rows } ->
+          flush_pending ();
+          Buffer.add_string buf (Printf.sprintf "**%s**\n\n" (md_escape t_title));
+          let emit cells =
+            Buffer.add_string buf
+              ("| " ^ String.concat " | " (List.map md_escape cells) ^ " |\n")
+          in
+          emit t_header;
+          emit (List.map (fun _ -> "---") t_header);
+          List.iter
+            (function
+              | Row cells -> emit (List.map cell_text cells)
+              | Sep -> ())
+            t_rows;
+          Buffer.add_char buf '\n'
+      | Line _ | Raw _ -> Buffer.add_string pending (block_text block))
+    t.blocks;
+  flush_pending ();
+  Buffer.contents buf
+
+(* --- flattening: stable per-cell paths for diff and check-paper --- *)
+
+(* Paths look like "table3/yes#2/# domains (measured)" — report id, a row (or
+   line) label disambiguated with #n on repetition, and the column header.
+   They are derived from the IR, not from rendered text, so they are stable
+   across value changes. *)
+
+let flatten t =
+  let out = ref [] in
+  let seen = Hashtbl.create 16 in
+  let uniq label =
+    let n = match Hashtbl.find_opt seen label with Some n -> n + 1 | None -> 1 in
+    Hashtbl.replace seen label n;
+    if n = 1 then label else Printf.sprintf "%s#%d" label n
+  in
+  let emit path c = out := (path, c) :: !out in
+  List.iteri
+    (fun bi block ->
+      match block with
+      | Table { t_header; t_rows; _ } ->
+          let header = Array.of_list t_header in
+          List.iter
+            (function
+              | Sep -> ()
+              | Row cells ->
+                  let label =
+                    uniq
+                      (match cells with
+                      | c :: _ -> cell_text c
+                      | [] -> Printf.sprintf "row%d" bi)
+                  in
+                  List.iteri
+                    (fun i c ->
+                      let col =
+                        if i < Array.length header then header.(i)
+                        else Printf.sprintf "col%d" i
+                      in
+                      emit (Printf.sprintf "%s/%s/%s" t.id label col) c)
+                    cells)
+            t_rows
+      | Line spans ->
+          let prefix =
+            let rec leading = function
+              | S s :: rest -> s ^ leading rest
+              | _ -> ""
+            in
+            String.trim (leading spans)
+          in
+          let label =
+            uniq (if prefix = "" then Printf.sprintf "line%d" bi else prefix)
+          in
+          let cells =
+            List.filter_map
+              (function S _ -> None | C c | Cw (_, c) -> Some c)
+              spans
+          in
+          let many = List.length cells > 1 in
+          List.iteri
+            (fun i c ->
+              let path =
+                if many then Printf.sprintf "%s/%s/%d" t.id label i
+                else Printf.sprintf "%s/%s" t.id label
+              in
+              emit path c)
+            cells
+      | Raw s ->
+          emit (Printf.sprintf "%s/%s" t.id (uniq (Printf.sprintf "raw%d" bi)))
+            (text s))
+    t.blocks;
+  List.rev !out
+
+(* --- diff --- *)
+
+type delta = { d_path : string; d_a : string option; d_b : string option }
+
+let diff a b =
+  let fa = List.concat_map flatten a and fb = List.concat_map flatten b in
+  let tb = Hashtbl.create (List.length fb) in
+  List.iter (fun (p, c) -> Hashtbl.replace tb p (cell_text c)) fb;
+  let deltas = ref [] in
+  let seen_a = Hashtbl.create (List.length fa) in
+  List.iter
+    (fun (p, c) ->
+      Hashtbl.replace seen_a p ();
+      let va = cell_text c in
+      match Hashtbl.find_opt tb p with
+      | Some vb when String.equal va vb -> ()
+      | Some vb -> deltas := { d_path = p; d_a = Some va; d_b = Some vb } :: !deltas
+      | None -> deltas := { d_path = p; d_a = Some va; d_b = None } :: !deltas)
+    fa;
+  List.iter
+    (fun (p, c) ->
+      if not (Hashtbl.mem seen_a p) then
+        deltas := { d_path = p; d_a = None; d_b = Some (cell_text c) } :: !deltas)
+    fb;
+  List.rev !deltas
+
+(* --- paper checking --- *)
+
+type deviation = { dev_path : string; dev_expected : string; dev_actual : string }
+
+let checked_cells reports =
+  List.concat_map flatten reports
+  |> List.filter_map (fun (p, c) ->
+         match c.paper with
+         | Some { check = Some check; _ } -> Some (p, c, check)
+         | _ -> None)
+
+let check_paper reports =
+  List.filter_map
+    (fun (p, c, check) ->
+      match check with
+      | Same_text want ->
+          let actual = Cell.render c.value in
+          if String.equal actual want then None
+          else
+            Some { dev_path = p; dev_expected = want; dev_actual = actual }
+      | Near_pct { pct; tol } -> (
+          let expected = Printf.sprintf "%.1f%% (±%.1fpp)" pct tol in
+          match Cell.measured_pct c.value with
+          | None ->
+              Some
+                { dev_path = p; dev_expected = expected;
+                  dev_actual = Cell.render c.value ^ " (no percentage)" }
+          | Some m ->
+              if Float.abs (m -. pct) <= tol then None
+              else
+                Some
+                  { dev_path = p; dev_expected = expected;
+                    dev_actual = Printf.sprintf "%.1f%%" m }))
+    (checked_cells reports)
+
+let checked_cell_count reports = List.length (checked_cells reports)
+
+(* Perturb the first tolerance-checked cell far outside its tolerance — the
+   CI hook that proves --check-paper actually fails (non-zero, named cell)
+   when a measured value drifts from the paper. *)
+let inject_deviation reports =
+  let done_ = ref false in
+  let map_cell c =
+    if !done_ then c
+    else
+      match c.paper with
+      | Some { check = Some (Near_pct { pct; tol }); _ } ->
+          done_ := true;
+          { c with
+            value =
+              Cell.Float
+                { value = pct +. tol +. 50.0; digits = 1; suffix = "%" } }
+      | _ -> c
+  in
+  let map_block = function
+    | Table t ->
+        Table
+          { t with
+            t_rows =
+              List.map
+                (function
+                  | Sep -> Sep
+                  | Row cells -> Row (List.map map_cell cells))
+                t.t_rows }
+    | Line spans ->
+        Line
+          (List.map
+             (function
+               | S s -> S s
+               | C c -> C (map_cell c)
+               | Cw (w, c) -> Cw (w, map_cell c))
+             spans)
+    | Raw s -> Raw s
+  in
+  List.map (fun t -> { t with blocks = List.map map_block t.blocks }) reports

@@ -26,6 +26,9 @@ type t = {
   now : unit -> float;           (* injectable clock for latency timing *)
   mutable store_stats : (string * Json.t) list option;
       (* extra "store" block in stats replies, set by --warm-store *)
+  mutable experiments_stats : Json.t option;
+      (* extra "experiments" block: the warm corpus's compliance tables as
+         report-IR JSON *)
 }
 
 let create ~env ?(cache_capacity = 1024) ?(queue_capacity = 64) ?(batch = 8)
@@ -45,6 +48,7 @@ let create ~env ?(cache_capacity = 1024) ?(queue_capacity = 64) ?(batch = 8)
     empty_aia = Aia_repo.create ();
     now;
     store_stats = None;
+    experiments_stats = None;
   }
 
 let metrics t = Metrics.snapshot t.metrics
@@ -54,6 +58,7 @@ let cache_evictions t = Lru.evictions t.cache
 let pending t = Queue.length t.queue
 let shutdown t = Pipeline.Pool.shutdown t.pool
 let set_store_stats t fields = t.store_stats <- Some fields
+let set_experiments t j = t.experiments_stats <- Some j
 
 (* --- verdict construction --- *)
 
@@ -277,6 +282,11 @@ let stats_json t =
     | None -> []
     | Some fields -> [ ("store", Json.Obj fields) ]
   in
+  let experiments_block =
+    match t.experiments_stats with
+    | None -> []
+    | Some j -> [ ("experiments", j) ]
+  in
   Json.Obj
     ([ ("requests", Json.Int s.Metrics.requests);
       ("checks", Json.Int s.Metrics.checks);
@@ -322,7 +332,7 @@ let stats_json t =
                            else Json.String "inf" );
                          ("count", Json.Int count) ])
                    s.Metrics.buckets) ) ] ) ]
-    @ store_block)
+    @ store_block @ experiments_block)
 
 let prepare t seen frame =
   match Protocol.of_frame frame with

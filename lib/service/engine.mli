@@ -66,6 +66,11 @@ val set_store_stats : t -> (string * Json.t) list -> unit
 (** Attach a ["store"] block (e.g. corpus record counts, Merkle root, warm
     fill) that {!stats_json} will append to every stats reply. *)
 
+val set_experiments : t -> Json.t -> unit
+(** Attach an ["experiments"] block — the warm corpus's compliance tables
+    rendered as report-IR JSON ([Report.to_json] per table) — appended to
+    every stats reply after the store block. *)
+
 val admit : t -> string -> [ `Admitted | `Rejected of string ]
 (** Offer one raw frame to the admission queue. [`Rejected response] is
     returned (and counted) when the queue already holds [queue_capacity]

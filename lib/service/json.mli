@@ -1,36 +1,9 @@
-(** A small from-scratch JSON codec (RFC 8259 subset) for the chaind wire
-    protocol and the bench timing dumps.
+(** Re-export of the shared JSON codec.
 
-    The encoder is compact (no whitespace) and deterministic: object members
-    are emitted in construction order, so equal values produce byte-identical
-    text — the property the service's verdict cache and the CI smoke test
-    rely on. The decoder accepts standard JSON with arbitrary whitespace and
-    [\uXXXX] escapes (surrogate pairs included). *)
+    The codec moved to [Chaoschain_report.Json] so the report renderers and
+    the chaind wire protocol share one implementation; this module keeps the
+    [Chaoschain_service.Json] path (and its type equalities) working. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-val to_string : t -> string
-(** Compact serialization. Non-finite floats encode as [null] (JSON has no
-    NaN/infinity). *)
-
-val of_string : string -> (t, string) result
-(** Parse one JSON value; trailing non-whitespace is an error. Numbers
-    without fraction or exponent that fit [int] decode as [Int], everything
-    else as [Float]. *)
-
-(** {1 Accessors} *)
-
-val member : string -> t -> t option
-(** [member k (Obj _)] — [None] for absent keys and non-objects. *)
-
-val get_string : t -> string option
-val get_bool : t -> bool option
-val get_int : t -> int option
-val get_list : t -> t list option
+include module type of struct
+  include Chaoschain_report.Json
+end

@@ -8,6 +8,7 @@ let () =
       ("core-client", Test_core_client.suite);
       ("deployment", Test_deployment.suite);
       ("tlssim", Test_tlssim.suite);
+      ("report", Test_report.suite);
       ("measurement", Test_measurement.suite);
       ("pipeline", Test_pipeline.suite);
       ("difftest", Test_difftest.suite);

@@ -12,7 +12,8 @@ let commas () =
 let percents () =
   Alcotest.(check string) "92.5%" "92.5%" (Stats.pct 838_354 906_336);
   Alcotest.(check string) "~0%" "~0%" (Stats.pct 1 906_336);
-  Alcotest.(check string) "zero denominator" "0%" (Stats.pct 5 0)
+  Alcotest.(check string) "zero numerator" "0.0%" (Stats.pct 0 906_336);
+  Alcotest.(check string) "zero denominator" "n/a" (Stats.pct 5 0)
 
 let apportion_exact () =
   let shares = Stats.apportion ~total:100 ~weights:[ ("a", 1); ("b", 1); ("c", 1) ] in
@@ -36,11 +37,12 @@ let qcheck_apportion =
       && if wsum = 0 then sum = 0 else sum = total)
 
 let table_render () =
-  let t = Stats.table ~title:"T" ~header:[ "a"; "bb" ] in
-  Stats.add_row t [ "1"; "2" ];
-  Stats.add_separator t;
-  Stats.add_row t [ "333"; "4" ];
-  let s = Stats.render t in
+  let module R = Chaoschain_report.Report in
+  let t = R.Table.create ~title:"T" ~header:[ "a"; "bb" ] in
+  R.Table.row t [ R.text "1"; R.text "2" ];
+  R.Table.sep t;
+  R.Table.row t [ R.text "333"; R.text "4" ];
+  let s = R.render_table (R.Table.table t) in
   Alcotest.(check bool) "contains title" true (String.length s > 0 && s.[0] = 'T')
 
 (* --- calibration ledger invariants: the paper's aggregates --- *)
@@ -223,8 +225,33 @@ let experiments_smoke () =
   List.iter
     (fun r ->
       Alcotest.(check bool) (r.Experiments.id ^ " non-empty") true
-        (String.length r.Experiments.body > 0))
+        (String.length (Chaoschain_report.Report.to_text r) > 0))
     results
+
+(* The golden test: the committed rendering of [run_all] on the seed
+   population (scale 0.002, jobs 2) — the pre-IR sprintf output, captured
+   byte-for-byte. [Report.to_text] must keep reproducing it exactly; any
+   renderer or experiment change that shifts a byte fails here first. The
+   framing matches `chaoscheck reproduce`: each body, then a blank line. *)
+let experiments_golden () =
+  (* cwd is test/ under `dune runtest`, the workspace root under
+     `dune exec test/test_main.exe` *)
+  let golden_path =
+    List.find Sys.file_exists
+      [ "golden/experiments_scale0.002.txt";
+        "test/golden/experiments_scale0.002.txt" ]
+  in
+  let golden = In_channel.with_open_bin golden_path In_channel.input_all in
+  let p = Population.generate ~scale:0.002 () in
+  let a = Experiments.analyze ~jobs:2 p in
+  let rendered =
+    Experiments.run_all a
+    |> List.map (fun r -> Chaoschain_report.Report.to_text r ^ "\n\n")
+    |> String.concat ""
+  in
+  Alcotest.(check int) "golden length" (String.length golden)
+    (String.length rendered);
+  Alcotest.(check string) "golden bytes" golden rendered
 
 let scanner_union () =
   let p = Population.generate ~scale:0.002 () in
@@ -255,4 +282,5 @@ let suite =
     Alcotest.test_case "scenario classifications" `Slow population_scenarios_classify;
     Alcotest.test_case "blemish share" `Slow population_blemish_share;
     Alcotest.test_case "experiments smoke" `Slow experiments_smoke;
+    Alcotest.test_case "experiments golden" `Slow experiments_golden;
     Alcotest.test_case "scanner union" `Slow scanner_union ]

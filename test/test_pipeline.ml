@@ -101,8 +101,10 @@ let analysis_jobs_invariant () =
   (* And the rendered experiments — the actual deliverable — byte for byte. *)
   List.iter2
     (fun r1 r4 ->
-      Alcotest.(check string) ("body of " ^ r1.Experiments.id) r1.Experiments.body
-        r4.Experiments.body)
+      Alcotest.(check string)
+        ("body of " ^ r1.Experiments.id)
+        (Chaoschain_report.Report.to_text r1)
+        (Chaoschain_report.Report.to_text r4))
     (Experiments.run_all a1) (Experiments.run_all a4)
 
 (* --- dedup cache vs direct evaluation, chain by chain --- *)

@@ -1,0 +1,194 @@
+(* The report IR: cell formatting, renderers, flatten/diff, paper checks and
+   the deterministic JSON pretty-printer. *)
+
+module R = Chaoschain_report.Report
+module Json = Chaoschain_report.Json
+
+(* --- cell rendering --- *)
+
+let cell_formatting () =
+  Alcotest.(check string) "count" "16,952" (R.Cell.render (R.Cell.Count 16_952));
+  Alcotest.(check string) "int" "16952" (R.Cell.render (R.Cell.Int 16_952));
+  Alcotest.(check string) "percent" "92.5%"
+    (R.Cell.render (R.Cell.Percent { num = 838_354; den = 906_336 }));
+  Alcotest.(check string) "tiny share" "~0%"
+    (R.Cell.render (R.Cell.Percent { num = 1; den = 906_336 }));
+  Alcotest.(check string) "zero numerator keeps 0.0%" "0.0%"
+    (R.Cell.render (R.Cell.Percent { num = 0; den = 906_336 }));
+  Alcotest.(check string) "zero denominator is n/a, not nan%" "n/a"
+    (R.Cell.render (R.Cell.Percent { num = 5; den = 0 }));
+  Alcotest.(check string) "count_pct with zero denominator" "5 (n/a)"
+    (R.Cell.render (R.Cell.Count_pct { num = 5; den = 0 }));
+  Alcotest.(check string) "float" "98.8%"
+    (R.Cell.render (R.Cell.Float { value = 98.83; digits = 1; suffix = "%" }));
+  Alcotest.(check string) "verdict yes" "COMPLIANT"
+    (R.Cell.render (R.Cell.Verdict { v = true; yes = "COMPLIANT"; no = "broken" }))
+
+let same_text_rendering () =
+  Alcotest.(check string) "match renders plainly" "yes"
+    (R.cell_text (R.text "yes" |> R.same_text ~paper:"yes"));
+  Alcotest.(check string) "mismatch is called out inline" "no (paper: yes)"
+    (R.cell_text (R.text "no" |> R.same_text ~paper:"yes"))
+
+let span_widths () =
+  let line = R.line [ R.S "|"; R.Cw (6, R.count 42); R.S "|"; R.Cw (-6, R.text "ab"); R.S "|" ] in
+  let t = { R.id = "t"; title = "t"; blocks = [ line ] } in
+  Alcotest.(check string) "printf-style %6s / %-6s" "|    42|ab    |\n"
+    (R.to_text t)
+
+(* --- a tiny report used by the structural tests --- *)
+
+let sample ~dup_count =
+  let t = R.Table.create ~title:"T: demo" ~header:[ "Type"; "measured"; "paper" ] in
+  R.Table.row t
+    [ R.text "Duplicate Certificates";
+      R.count_pct ~num:dup_count ~den:100 |> R.near ~paper:"35.2%" ~pct:35.2 ~tol:10.0;
+      R.text "5,974 (35.2%)" ];
+  R.Table.sep t;
+  R.Table.row t [ R.text "Total"; R.count 100; R.text "16,952" ];
+  {
+    R.id = "demo";
+    title = "Demo";
+    blocks =
+      [ R.Table.block t;
+        R.line [ R.S "all reversed: "; R.C (R.int 7); R.S " (paper: 8,370)" ];
+        R.raw "narrative\n" ];
+  }
+
+let flatten_paths () =
+  let paths = List.map fst (R.flatten (sample ~dup_count:33)) in
+  Alcotest.(check (list string)) "stable paths"
+    [ "demo/Duplicate Certificates/Type";
+      "demo/Duplicate Certificates/measured";
+      "demo/Duplicate Certificates/paper";
+      "demo/Total/Type"; "demo/Total/measured"; "demo/Total/paper";
+      "demo/all reversed:"; "demo/raw2" ]
+    paths
+
+let diff_exact () =
+  Alcotest.(check int) "identical reports: empty diff" 0
+    (List.length (R.diff [ sample ~dup_count:33 ] [ sample ~dup_count:33 ]));
+  match R.diff [ sample ~dup_count:33 ] [ sample ~dup_count:34 ] with
+  | [ d ] ->
+      Alcotest.(check string) "only the changed cell"
+        "demo/Duplicate Certificates/measured" d.R.d_path;
+      Alcotest.(check (option string)) "a side" (Some "33 (33.0%)") d.R.d_a;
+      Alcotest.(check (option string)) "b side" (Some "34 (34.0%)") d.R.d_b
+  | deltas ->
+      Alcotest.failf "expected exactly one delta, got %d" (List.length deltas)
+
+let check_paper_tolerances () =
+  Alcotest.(check int) "33% is within 35.2 +- 10" 0
+    (List.length (R.check_paper [ sample ~dup_count:33 ]));
+  (match R.check_paper [ sample ~dup_count:90 ] with
+  | [ d ] ->
+      Alcotest.(check string) "names the cell"
+        "demo/Duplicate Certificates/measured" d.R.dev_path
+  | devs -> Alcotest.failf "expected one deviation, got %d" (List.length devs));
+  Alcotest.(check int) "one checked cell" 1
+    (R.checked_cell_count [ sample ~dup_count:33 ])
+
+let inject_deviation_flips () =
+  let r = [ sample ~dup_count:33 ] in
+  Alcotest.(check int) "clean before" 0 (List.length (R.check_paper r));
+  Alcotest.(check int) "one deviation after" 1
+    (List.length (R.check_paper (R.inject_deviation r)))
+
+(* --- markdown --- *)
+
+let markdown_shape () =
+  let md = R.to_markdown (sample ~dup_count:33) in
+  let contains needle =
+    let n = String.length needle and h = String.length md in
+    let rec go i = i + n <= h && (String.sub md i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "section heading" true (contains "## Demo");
+  Alcotest.(check bool) "table title bold" true (contains "**T: demo**");
+  Alcotest.(check bool) "pipe row" true
+    (contains "| Duplicate Certificates | 33 (33.0%) | 5,974 (35.2%) |");
+  Alcotest.(check bool) "lines fall into a code fence" true
+    (contains "```\nall reversed: 7 (paper: 8,370)\nnarrative\n```");
+  Alcotest.(check string) "pipes escaped" "a\\|b" (R.md_escape "a|b")
+
+(* --- deterministic JSON --- *)
+
+let pretty_sorts_keys () =
+  let v = Json.Obj [ ("b", Json.Int 2); ("a", Json.List [ Json.Obj [ ("z", Json.Null); ("y", Json.Bool true) ] ]) ] in
+  Alcotest.(check string) "recursively sorted, 2-space indent"
+    "{\n  \"a\": [\n    {\n      \"y\": true,\n      \"z\": null\n    }\n  ],\n  \"b\": 2\n}"
+    (Json.pretty v)
+
+let pretty_roundtrip =
+  (* Round-trip: parse (pretty v) back and compare against the key-sorted
+     original. [pretty] must never change the value, only the layout. *)
+  let rec gen_value depth =
+    let open QCheck.Gen in
+    if depth = 0 then
+      oneof
+        [ return Json.Null; map (fun b -> Json.Bool b) bool;
+          map (fun n -> Json.Int n) (int_range (-1_000_000) 1_000_000);
+          map (fun f -> Json.Float f) (float_bound_inclusive 1000.0);
+          map (fun s -> Json.String s) (string_size ~gen:printable (0 -- 8)) ]
+    else
+      frequency
+        [ (3, gen_value 0);
+          ( 1,
+            map (fun l -> Json.List l) (list_size (0 -- 4) (gen_value (depth - 1))) );
+          ( 1,
+            map
+              (fun kvs ->
+                (* distinct keys: duplicate keys have no canonical order *)
+                let seen = Hashtbl.create 8 in
+                Json.Obj
+                  (List.filter
+                     (fun (k, _) ->
+                       if Hashtbl.mem seen k then false
+                       else (Hashtbl.add seen k (); true))
+                     kvs))
+              (list_size (0 -- 4)
+                 (pair (string_size ~gen:printable (1 -- 6)) (gen_value (depth - 1)))) ) ]
+  in
+  QCheck.Test.make ~name:"Json.pretty round-trips through Json.of_string"
+    ~count:200
+    (QCheck.make (gen_value 3))
+    (fun v ->
+      match Json.of_string (Json.pretty v) with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e
+      | Ok parsed -> Json.to_string parsed = Json.to_string (Json.sort_keys v))
+
+let pretty_deterministic () =
+  (* Same value, different construction order: identical bytes. *)
+  let a = Json.Obj [ ("x", Json.Int 1); ("y", Json.Int 2) ] in
+  let b = Json.Obj [ ("y", Json.Int 2); ("x", Json.Int 1) ] in
+  Alcotest.(check string) "key order canonicalised" (Json.pretty a) (Json.pretty b)
+
+(* --- report JSON shape --- *)
+
+let report_json_shape () =
+  let j = R.to_json (sample ~dup_count:33) in
+  let s = Json.to_string j in
+  let contains needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "id" true (contains "\"id\":\"demo\"");
+  Alcotest.(check bool) "typed cell" true (contains "\"type\":\"count_pct\"");
+  Alcotest.(check bool) "paper tolerance" true (contains "\"tolerance_pp\":10");
+  Alcotest.(check bool) "rendered text rides along" true
+    (contains "\"text\":\"33 (33.0%)\"")
+
+let suite =
+  [ Alcotest.test_case "cell formatting" `Quick cell_formatting;
+    Alcotest.test_case "same-text rendering" `Quick same_text_rendering;
+    Alcotest.test_case "span widths" `Quick span_widths;
+    Alcotest.test_case "flatten paths" `Quick flatten_paths;
+    Alcotest.test_case "diff exactness" `Quick diff_exact;
+    Alcotest.test_case "check-paper tolerances" `Quick check_paper_tolerances;
+    Alcotest.test_case "inject-deviation flips check" `Quick inject_deviation_flips;
+    Alcotest.test_case "markdown shape" `Quick markdown_shape;
+    Alcotest.test_case "json pretty sorts keys" `Quick pretty_sorts_keys;
+    QCheck_alcotest.to_alcotest pretty_roundtrip;
+    Alcotest.test_case "json pretty deterministic" `Quick pretty_deterministic;
+    Alcotest.test_case "report json shape" `Quick report_json_shape ]

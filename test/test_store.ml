@@ -210,7 +210,7 @@ let lab = lazy (Population.generate ~scale:0.001 ())
 
 let render view =
   Experiments.scan_results view
-  |> List.map (fun r -> r.Experiments.body)
+  |> List.map Chaoschain_report.Report.to_text
   |> String.concat "\n"
 
 let saved =
@@ -355,6 +355,54 @@ let corpus_warm_engine () =
       Engine.shutdown t0;
       Engine.shutdown t
 
+(* --- corpus diff: per-cell deltas between two persisted stores --- *)
+
+let corpus_diff () =
+  let module R = Chaoschain_report.Report in
+  let analysis, dir_a, _ = Lazy.force saved in
+  let results dir =
+    match Corpus.load ~dir with
+    | Error e -> Alcotest.fail e
+    | Ok l -> Experiments.table_results (Corpus.analyze ~jobs:2 l)
+  in
+  (* identical corpora (a second save of the same analysis): empty diff *)
+  let dir_b = tmp_dir () in
+  ignore (Corpus.save ~dir:dir_b analysis);
+  Alcotest.(check int) "identical corpora diff empty" 0
+    (List.length (R.diff (results dir_a) (results dir_b)));
+  (* perturbed corpus: append a duplicate of one domain's leaf certificate,
+     re-scan and re-save — an order violation appears, leaf placement does
+     not change *)
+  let pop = Lazy.force lab in
+  let victim = pop.Population.domains.(0).Population.domain in
+  let pop' =
+    { pop with
+      Population.domains =
+        Array.map
+          (fun r ->
+            if r.Population.domain = victim then
+              { r with
+                Population.chain =
+                  r.Population.chain @ [ List.hd r.Population.chain ] }
+            else r)
+          pop.Population.domains }
+  in
+  let dir_c = tmp_dir () in
+  ignore (Corpus.save ~dir:dir_c (Experiments.analyze ~jobs:2 pop'));
+  let deltas = R.diff (results dir_a) (results dir_c) in
+  let in_table prefix d =
+    let n = String.length prefix in
+    String.length d.R.d_path >= n && String.sub d.R.d_path 0 n = prefix
+  in
+  Alcotest.(check bool) "perturbation shows up" true (deltas <> []);
+  Alcotest.(check bool) "table5 duplicate cells changed" true
+    (List.exists (in_table "table5/Duplicate Certificates") deltas);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) (d.R.d_path ^ " outside table3") false
+        (in_table "table3" d))
+    deltas
+
 let suite =
   [ Alcotest.test_case "crc32 vectors" `Quick crc_vectors;
     QCheck_alcotest.to_alcotest qcheck_crc_sub;
@@ -368,4 +416,5 @@ let suite =
     Alcotest.test_case "corpus replay byte-identical" `Slow corpus_replay_identical;
     Alcotest.test_case "corpus save deterministic" `Slow corpus_save_deterministic;
     Alcotest.test_case "truncated-tail recovery" `Slow corpus_truncated_tail_recovery;
-    Alcotest.test_case "warm-store pre-fill" `Slow corpus_warm_engine ]
+    Alcotest.test_case "warm-store pre-fill" `Slow corpus_warm_engine;
+    Alcotest.test_case "corpus diff" `Slow corpus_diff ]
