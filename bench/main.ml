@@ -204,7 +204,10 @@ let run_experiments ~scale ~only ~jobs =
 let micro_workloads () =
   let fx_order = Capability.fixture Capability.Order_reorganization in
   let fx_aia = Capability.fixture Capability.Aia_completion in
-  let chain_bytes = Chaoschain_tlssim.Certmsg.encode_tls12 fx_order.Capability.served in
+  let module Certmsg = Chaoschain_tlssim.Certmsg in
+  let certmsg_of fmt = Certmsg.of_certs fmt fx_order.Capability.served in
+  let msg12 = certmsg_of Certmsg.Tls12 and msg13 = certmsg_of Certmsg.Tls13 in
+  let wire12 = Certmsg.encode msg12 and wire13 = Certmsg.encode msg13 in
   let sample_der = Chaoschain_x509.Cert.to_der (List.hd fx_order.Capability.served) in
   let pem_text = Chaoschain_deployment.Pem.encode_certs fx_order.Capability.served in
   let topo_chain = fx_order.Capability.served in
@@ -254,8 +257,16 @@ let micro_workloads () =
         Chaoschain_pki.Intern.set_enabled false;
         ignore (Chaoschain_deployment.Pem.decode_certs pem_text);
         Chaoschain_pki.Intern.set_enabled true );
-    ( "tls/certificate-message-decode",
-      fun () -> ignore (Chaoschain_tlssim.Certmsg.decode_tls12 chain_bytes) );
+    ( "certmsg/encode-1.2",
+      fun () -> ignore (Chaoschain_tlssim.Certmsg.encode msg12) );
+    ( "certmsg/encode-1.3",
+      fun () -> ignore (Chaoschain_tlssim.Certmsg.encode msg13) );
+    ( "certmsg/decode-1.2",
+      fun () ->
+        ignore (Chaoschain_tlssim.Certmsg.decode Chaoschain_tlssim.Certmsg.Tls12 wire12) );
+    ( "certmsg/decode-1.3",
+      fun () ->
+        ignore (Chaoschain_tlssim.Certmsg.decode Chaoschain_tlssim.Certmsg.Tls13 wire13) );
     ( "topology/build+paths",
       fun () ->
         let t = Topology.build topo_chain in

@@ -7,8 +7,10 @@
      matrix    — the Table 9 capability matrix
      scan      — run the measurement scan, optionally persisting a corpus
      replay    — re-run the compliance tables from a persisted corpus
+     classify  — parsifal-style chain classification over a persisted corpus
      diff      — per-cell comparison of two persisted corpora
      audit     — verify (and repair) a corpus store's integrity
+     certmsg   — encode a PEM chain as a raw TLS Certificate message
      serve     — chaind: the online chain-compliance query service
      reproduce — regenerate paper tables/figures (same engine as bench) *)
 
@@ -16,6 +18,8 @@ open Cmdliner
 open Chaoschain_core
 open Chaoschain_measurement
 module Pem = Chaoschain_deployment.Pem
+module Base64 = Chaoschain_deployment.Base64
+module Certmsg = Chaoschain_tlssim.Certmsg
 module Service = Chaoschain_service
 module Report = Chaoschain_report.Report
 
@@ -122,6 +126,34 @@ let read_chain path =
     else In_channel.with_open_text path In_channel.input_all
   in
   Pem.decode_certs text
+
+(* --- shared TLS wire-format choice --- *)
+
+let tls_format_conv =
+  let parse s =
+    match Certmsg.format_of_string s with
+    | Some f -> Ok f
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown TLS format %S (want 1.2 or 1.3)" s))
+  in
+  let print ppf f = Format.pp_print_string ppf (Certmsg.format_to_string f) in
+  Arg.conv (parse, print)
+
+let tls_format_arg =
+  Arg.(value & opt tls_format_conv Certmsg.Tls12
+       & info [ "tls-format" ] ~docv:"VERSION"
+           ~doc:"Certificate-message wire framing: $(b,1.2) (RFC 5246 bare \
+                 certificate_list) or $(b,1.3) (RFC 8446 per-entry framing \
+                 with extension blocks).")
+
+let tls_format_opt_arg =
+  Arg.(value & opt (some tls_format_conv) None
+       & info [ "tls-format" ] ~docv:"VERSION"
+           ~doc:"Framing assumed for \"certmsg\" checks that do not declare \
+                 one: $(b,1.2) or $(b,1.3). Omitted, the framing is \
+                 auto-detected per request. Verdicts are byte-identical \
+                 either way.")
 
 (* --- analyze --- *)
 
@@ -357,12 +389,12 @@ let scan_cmd =
                    full trust environment, and a Merkle root over the \
                    observation log.")
   in
-  let run scale jobs store fmt check_paper inject no_intern =
+  let run scale jobs store fmt tls_format check_paper inject no_intern =
     apply_intern no_intern;
     if jobs < 1 then `Error (true, "--jobs must be >= 1")
     else
       with_lab scale (fun pop ->
-          let analysis = Experiments.analyze ~jobs pop in
+          let analysis = Experiments.analyze ~jobs ~format:tls_format pop in
           let results =
             Experiments.scan_results (Experiments.view analysis)
           in
@@ -384,10 +416,13 @@ let scan_cmd =
     (Cmd.info "scan"
        ~doc:"Run the two-vantage measurement scan and print the \
              chain-compliance tables (dataset, tables 3/5/7, section 5.2); \
-             with --store, also persist the corpus for replay and audit")
+             with --store, also persist the corpus for replay and audit. \
+             Every chain is probed under BOTH Certificate-message framings \
+             (--tls-format picks which parse feeds the dataset; output is \
+             identical for either)")
     Term.(ret (const run $ scale_arg $ jobs_pipeline_arg $ store_arg
-               $ format_arg $ check_paper_arg $ inject_deviation_arg
-               $ no_intern_arg))
+               $ format_arg $ tls_format_arg $ check_paper_arg
+               $ inject_deviation_arg $ no_intern_arg))
 
 let replay_cmd =
   let store_arg =
@@ -419,6 +454,65 @@ let replay_cmd =
              is byte-identical to the scan that wrote the store")
     Term.(ret (const run $ store_arg $ jobs_pipeline_arg $ format_arg
                $ check_paper_arg $ no_intern_arg))
+
+(* --- classify: parsifal-style corpus query --- *)
+
+let classify_cmd =
+  let store_arg =
+    Arg.(required & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Chainstore directory written by 'scan --store'.")
+  in
+  let run store fmt no_intern =
+    apply_intern no_intern;
+    match Corpus.load ~dir:store with
+    | Error e -> `Error (false, e)
+    | Ok loaded ->
+        let t = Classify.run loaded.Corpus.l_dataset.Scanner.domains in
+        print_results fmt [ Classify.report t ];
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Classify every chain of a persisted corpus against \
+             corpus-wide subject/issuer indexes (ordered, duplicates, \
+             self-contained, transvalid, unbuildable, unused certificates) \
+             and report TLS 1.2/1.3 Certificate-message decode agreement \
+             and framing overhead")
+    Term.(ret (const run $ store_arg $ format_arg $ no_intern_arg))
+
+(* --- certmsg: encode a chain as a raw TLS Certificate message --- *)
+
+let certmsg_cmd =
+  let context_arg =
+    Arg.(value & opt string ""
+         & info [ "context" ] ~docv:"BYTES"
+             ~doc:"certificate_request_context for the TLS 1.3 framing \
+                   (at most 255 bytes; server certificates use the empty \
+                   default). Rejected with --tls-format 1.2.")
+  in
+  let run path tls_format context no_intern =
+    apply_intern no_intern;
+    if context <> "" && tls_format = Certmsg.Tls12 then
+      `Error (true, "--context requires --tls-format 1.3")
+    else if String.length context > 255 then
+      `Error (true, "--context must be at most 255 bytes")
+    else
+      match read_chain path with
+      | Error e -> `Error (false, e)
+      | Ok certs ->
+          print_endline
+            (Base64.encode
+               (Certmsg.encode (Certmsg.of_certs ~context tls_format certs)));
+          `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "certmsg"
+       ~doc:"Encode a PEM chain as a raw TLS Certificate message \
+             (base64 on stdout) in either wire framing — the payload format \
+             of chaind's \"certmsg\" checks")
+    Term.(ret (const run $ chain_arg $ tls_format_arg $ context_arg
+               $ no_intern_arg))
 
 (* --- diff: per-cell comparison of two persisted corpora --- *)
 
@@ -554,7 +648,8 @@ let serve_cmd =
              ~doc:"Worker-Domain pool size for micro-batch processing \
                    (verdicts are identical for every value).")
   in
-  let run scale cache queue batch jobs max_frame warm_store no_intern =
+  let run scale cache queue batch jobs max_frame warm_store tls_format
+      no_intern =
     apply_intern no_intern;
     if cache < 0 then `Error (true, "--cache must be >= 0")
     else if queue < 1 then `Error (true, "--queue must be >= 1")
@@ -602,7 +697,8 @@ let serve_cmd =
           | Ok warm_corpus ->
           let engine =
             Service.Engine.create ~env ~cache_capacity:cache
-              ~queue_capacity:queue ~batch ~jobs ()
+              ~queue_capacity:queue ~batch ~jobs
+              ?default_format:tls_format ()
           in
           (match warm_corpus with
           | None -> ()
@@ -651,9 +747,12 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"chaind: answer chain-compliance queries over newline-delimited \
              JSON on stdin/stdout (verdict = analyze + difftest + recommend), \
-             with LRU verdict caching, micro-batching and request metrics")
+             with LRU verdict caching, micro-batching and request metrics; \
+             \"certmsg\" checks carry a raw TLS Certificate message in \
+             either wire framing")
     Term.(ret (const run $ scale_arg $ cache_arg $ queue_arg $ batch_arg
-               $ jobs_arg $ max_frame_arg $ warm_store_arg $ no_intern_arg))
+               $ jobs_arg $ max_frame_arg $ warm_store_arg
+               $ tls_format_opt_arg $ no_intern_arg))
 
 (* --- reproduce --- *)
 
@@ -707,5 +806,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ scenario_cmd; analyze_cmd; difftest_cmd; matrix_cmd; recommend_cmd;
-            fuzz_cmd; scan_cmd; replay_cmd; diff_cmd; audit_cmd; serve_cmd;
-            reproduce_cmd ]))
+            fuzz_cmd; scan_cmd; replay_cmd; classify_cmd; diff_cmd; audit_cmd;
+            certmsg_cmd; serve_cmd; reproduce_cmd ]))

@@ -55,6 +55,28 @@ printf '%s\n' "$out" | head -2 | cmp - "$store/warm2.out"
 grep -q '"hits":2' "$store/warm.out"
 grep -q '"warmed":' "$store/warm.out"
 
+# dual-encoding smoke: the same chain delivered as a raw TLS Certificate
+# message under BOTH wire framings must produce byte-identical verdict
+# replies (one miss, one shared-cache hit), and `chaoscheck classify` must
+# report full 1.2/1.3 decode agreement over the corpus.
+dune exec bin/chaoscheck.exe -- scenario reversed 2>/dev/null > "$store/chain.pem"
+b12=$(dune exec bin/chaoscheck.exe -- certmsg "$store/chain.pem" --tls-format 1.2)
+b13=$(dune exec bin/chaoscheck.exe -- certmsg "$store/chain.pem" --tls-format 1.3)
+{
+  printf '{"op":"check","certmsg":"%s","domain":"dual.example","format":"1.2"}\n' "$b12"
+  printf '{"op":"check","certmsg":"%s","domain":"dual.example"}\n' "$b13"
+  printf '{"op":"stats"}\n'
+} > "$store/dual.ndjson"
+dune exec bin/chaoscheck.exe -- serve --scale 0.002 --jobs 2 \
+  < "$store/dual.ndjson" > "$store/dual.out"
+sed -n 1p "$store/dual.out" > "$store/dual1.out"
+sed -n 2p "$store/dual.out" | cmp - "$store/dual1.out"
+sed -n 3p "$store/dual.out" | grep -q '"hits":1'
+sed -n 3p "$store/dual.out" | grep -q '"misses":1'
+dune exec bin/chaoscheck.exe -- classify --store "$store" > "$store/classify.out"
+grep -q 'TLS 1.2/1.3 decode agreement' "$store/classify.out"
+grep -q '(100.0%)' "$store/classify.out"
+
 # report smoke: --format json must be byte-identical across parallelism and
 # across scan vs replay; jq can parse it; --check-paper is green on the seed
 # population and red (naming the deviating cell) under --inject-deviation;

@@ -2,6 +2,7 @@ open Chaoschain_pki
 
 type id = Openssl | Gnutls | Mbedtls | Cryptoapi | Chrome | Edge | Safari | Firefox
 type kind = Library | Browser
+type tls_format = Tls12 | Tls13
 
 type t = {
   id : id;
@@ -10,9 +11,14 @@ type t = {
   kind : kind;
   params : Build_params.t;
   root_program : Root_store.program;
+  supported_formats : tls_format list;
   uses_os_intermediate_store : bool;
   uses_intermediate_cache : bool;
 }
+
+(* Every profiled version implements both Certificate framings; scenarios
+   probe legacy clients by overriding this list. *)
+let both_formats = [ Tls12; Tls13 ]
 
 let base = Build_params.default
 
@@ -34,6 +40,7 @@ let openssl =
         length_limit = Build_params.Unlimited;
         backtracking = false };
     root_program = Root_store.Mozilla;
+    supported_formats = both_formats;
     uses_os_intermediate_store = false;
     uses_intermediate_cache = false }
 
@@ -55,6 +62,7 @@ let gnutls =
         length_limit = Build_params.Max_input_list 16;
         backtracking = false };
     root_program = Root_store.Mozilla;
+    supported_formats = both_formats;
     uses_os_intermediate_store = false;
     uses_intermediate_cache = false }
 
@@ -80,6 +88,7 @@ let mbedtls =
         partial_validation = true;
         revocation = Build_params.During_construction };
     root_program = Root_store.Mozilla;
+    supported_formats = both_formats;
     uses_os_intermediate_store = false;
     uses_intermediate_cache = false }
 
@@ -98,6 +107,7 @@ let cryptoapi =
         length_limit = Build_params.Max_constructed 13;
         backtracking = true };
     root_program = Root_store.Microsoft;
+    supported_formats = both_formats;
     uses_os_intermediate_store = true;
     uses_intermediate_cache = false }
 
@@ -116,6 +126,7 @@ let chrome =
         length_limit = Build_params.Unlimited;
         backtracking = true };
     root_program = Root_store.Chrome;
+    supported_formats = both_formats;
     uses_os_intermediate_store = false;
     uses_intermediate_cache = false }
 
@@ -143,6 +154,7 @@ let safari =
         allow_self_signed_leaf = true;
         backtracking = true };
     root_program = Root_store.Apple;
+    supported_formats = both_formats;
     uses_os_intermediate_store = false;
     uses_intermediate_cache = false }
 
@@ -162,6 +174,7 @@ let firefox =
         length_limit = Build_params.Max_constructed 8;
         backtracking = true };
     root_program = Root_store.Mozilla;
+    supported_formats = both_formats;
     uses_os_intermediate_store = false;
     uses_intermediate_cache = true }
 
@@ -177,6 +190,7 @@ let reference =
     kind = Library;
     params = Build_params.rfc4158;
     root_program = Root_store.Mozilla;
+    supported_formats = both_formats;
     uses_os_intermediate_store = false;
     uses_intermediate_cache = true }
 

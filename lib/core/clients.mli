@@ -18,6 +18,12 @@ type id =
 
 type kind = Library | Browser
 
+type tls_format = Tls12 | Tls13
+(** The Certificate-message wire framings a client implements. All eight
+    paper profiles ship both; scenarios probe legacy behaviour by
+    overriding [supported_formats] (a client offered a framing outside the
+    list refuses the handshake instead of mis-parsing the message). *)
+
 type t = {
   id : id;
   name : string;
@@ -25,6 +31,8 @@ type t = {
   kind : kind;
   params : Build_params.t;
   root_program : Root_store.program;
+  supported_formats : tls_format list;
+      (** Certificate-message framings this client can parse *)
   uses_os_intermediate_store : bool;
       (** CryptoAPI: the Windows intermediate store that rescued 180 chains
           in the paper's AIA-disabled ablation *)

@@ -12,8 +12,8 @@ type analysis = {
   difftest_memo : Difftest.case Pipeline.Memo.t;
 }
 
-let analyze ?(jobs = 1) pop =
-  let dataset = Scanner.scan ~jobs pop in
+let analyze ?(jobs = 1) ?format pop =
+  let dataset = Scanner.scan ~jobs ?format pop in
   let store = Universe.union_store pop.Population.universe in
   let aia = Universe.aia pop.Population.universe in
   (* Each unique chain is classified once; the per-domain leaf-placement

@@ -17,12 +17,15 @@ type analysis = {
       (** analysis-wide cache: each unique chain is diff-tested once *)
 }
 
-val analyze : ?jobs:int -> Population.t -> analysis
+val analyze :
+  ?jobs:int -> ?format:Chaoschain_tlssim.Certmsg.format -> Population.t ->
+  analysis
 (** Scan then classify the population on the {!Pipeline}: the corpus is
     sharded deterministically, a pool of [jobs] Domains (default 1 =
     sequential) drains the shards, and each unique chain — keyed by its
     fingerprint from the scan — is classified once and fanned back out. The
-    result is byte-identical for every [jobs] value. *)
+    result is byte-identical for every [jobs] value (and for either wire
+    [format] the scan parses the dataset from; see {!Scanner.scan}). *)
 
 val difftest_record : analysis -> Population.record -> Difftest.case
 (** Differential-test one domain through the analysis-wide memo. *)

@@ -36,13 +36,17 @@ type probe = {
 let chain_fingerprint certs =
   Chaoschain_crypto.Sha256.digest (String.concat "" (List.map Cert.fingerprint certs))
 
-let scan ?(jobs = 1) (p : Population.t) =
+let scan ?(jobs = 1) ?(format = Certmsg.Tls12) (p : Population.t) =
   let n = Population.size p in
   (* The parallel stage: per-shard PRNG streams (derived from the shard index,
      never from a shared generator) decide reachability and TLS 1.2/1.3
-     agreement, and every chain takes the TLS 1.2 wire round-trip — exactly
-     what ZGrab would have received. The shard plan depends only on [n], so
-     the dataset is byte-identical for every [jobs]. *)
+     agreement, and every chain takes BOTH wire round-trips — the TLS 1.2
+     bare certificate_list and the TLS 1.3 per-entry framing — exactly what
+     a dual-version ZGrab would have received. The two decodes must agree
+     certificate-for-certificate (a codec divergence here is a bug, not
+     noise); [format] selects which framing's parse populates the dataset.
+     The shard plan depends only on [n], so the dataset is byte-identical
+     for every [jobs] — and for either [format]. *)
   let probes =
     Pipeline.map_shards ~jobs
       (fun ~shard slice ->
@@ -55,11 +59,22 @@ let scan ?(jobs = 1) (p : Population.t) =
                the simulation serves the same chain on both, minus the same
                noise the paper attributes to version-specific frontends. *)
             let identical = Prng.bernoulli rng 0.988 in
-            let wire = Certmsg.encode_tls12 r.Population.chain in
+            let decode fmt =
+              let wire =
+                Certmsg.encode (Certmsg.of_certs fmt r.Population.chain)
+              in
+              match Certmsg.decode fmt wire with
+              | Ok msg -> Certmsg.certs msg
+              | Error e ->
+                  invalid_arg
+                    (Printf.sprintf "Scanner: TLS %s wire round-trip failed: %s"
+                       (Certmsg.format_to_string fmt) e)
+            in
+            let c12 = decode Certmsg.Tls12 and c13 = decode Certmsg.Tls13 in
+            if not (List.equal Cert.equal c12 c13) then
+              invalid_arg "Scanner: TLS 1.2 and 1.3 decodes disagree";
             let certs =
-              match Certmsg.decode_tls12 wire with
-              | Ok certs -> certs
-              | Error e -> invalid_arg ("Scanner: wire round-trip failed: " ^ e)
+              match format with Certmsg.Tls12 -> c12 | Certmsg.Tls13 -> c13
             in
             { p_domain = r.Population.domain;
               p_certs = certs;

@@ -43,7 +43,12 @@ val chain_fingerprint : Cert.t list -> string
 (** SHA-256 of the concatenated certificate fingerprints — the canonical
     chain identity used by the memo caches. *)
 
-val scan : ?jobs:int -> Population.t -> dataset
+val scan :
+  ?jobs:int -> ?format:Chaoschain_tlssim.Certmsg.format -> Population.t ->
+  dataset
 (** Deterministic per population, for any [jobs] (default 1 = sequential).
-    Every served chain is encoded into a TLS Certificate message and
-    re-parsed, so the dataset contains exactly what the wire carried. *)
+    Every served chain is encoded into a TLS Certificate message under BOTH
+    wire formats and re-parsed; the two decodes are cross-checked
+    certificate-for-certificate and [format] (default [Tls12]) selects which
+    parse populates the dataset — so the dataset contains exactly what the
+    wire carried, identically for either framing. *)

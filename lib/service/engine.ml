@@ -2,6 +2,8 @@ open Chaoschain_x509
 open Chaoschain_core
 open Chaoschain_pki
 module Pem = Chaoschain_deployment.Pem
+module Base64 = Chaoschain_deployment.Base64
+module Certmsg = Chaoschain_tlssim.Certmsg
 module Pipeline = Chaoschain_measurement.Pipeline
 module Scanner = Chaoschain_measurement.Scanner
 module Hex = Chaoschain_crypto.Hex
@@ -23,6 +25,10 @@ type t = {
   batch : int;
   pool : Pipeline.Pool.t;
   empty_aia : Aia_repo.t;        (* every fetch 404s: the aia:false world *)
+  default_format : Certmsg.format option;
+      (* assumed framing for "certmsg" checks that do not declare one;
+         [None] = auto-detect. NOT part of the verdict key: the verdict
+         depends only on the decoded certificate list. *)
   now : unit -> float;           (* injectable clock for latency timing *)
   mutable store_stats : (string * Json.t) list option;
       (* extra "store" block in stats replies, set by --warm-store *)
@@ -32,7 +38,7 @@ type t = {
 }
 
 let create ~env ?(cache_capacity = 1024) ?(queue_capacity = 64) ?(batch = 8)
-    ?(jobs = 1) ?(now = Unix.gettimeofday) () =
+    ?(jobs = 1) ?default_format ?(now = Unix.gettimeofday) () =
   if cache_capacity < 0 then invalid_arg "Engine.create: cache_capacity >= 0";
   if queue_capacity < 1 then invalid_arg "Engine.create: queue_capacity >= 1";
   if batch < 1 then invalid_arg "Engine.create: batch >= 1";
@@ -46,6 +52,7 @@ let create ~env ?(cache_capacity = 1024) ?(queue_capacity = 64) ?(batch = 8)
     batch;
     pool = Pipeline.Pool.create ~jobs;
     empty_aia = Aia_repo.create ();
+    default_format;
     now;
     store_stats = None;
     experiments_stats = None;
@@ -217,8 +224,8 @@ let verdict_key (c : Protocol.check) ~domain certs =
    on later requests, and in the "store" stats block). *)
 let warm t pairs =
   let check =
-    { Protocol.domain = None; pem = None; scenario = None; aia = true;
-      store = Protocol.Union; clients = None }
+    { Protocol.domain = None; pem = None; scenario = None; certmsg = None;
+      format = None; aia = true; store = Protocol.Union; clients = None }
   in
   let cap = Lru.capacity t.cache in
   if cap = 0 then 0
@@ -258,22 +265,46 @@ type slot =
   | Join of string option * string
       (* (id, key) of an earlier Fresh in this batch: coalesced, counted hit *)
 
+let with_domain (c : Protocol.check) certs =
+  match c.Protocol.domain with
+  | Some d -> Ok (d, certs)
+  | None -> Error ("malformed_frame", "\"domain\" is required")
+
+(* Decode a base64 TLS Certificate message in the declared framing, the
+   engine's default framing, or — absent both — by auto-detection. The
+   source and framing stop mattering here: downstream, only the decoded
+   certificate list (and thus the verdict key) exists, which is what makes
+   verdicts byte-identical across the two encodings of one chain. *)
+let resolve_certmsg t (c : Protocol.check) b64 =
+  match Base64.decode b64 with
+  | Error e -> Error ("malformed_certmsg", "invalid base64: " ^ e)
+  | Ok wire -> (
+      let decoded =
+        match (c.Protocol.format, t.default_format) with
+        | Some f, _ | None, Some f -> Certmsg.decode f wire
+        | None, None -> Certmsg.decode_auto wire
+      in
+      match decoded with
+      | Error e -> Error ("malformed_certmsg", e)
+      | Ok msg -> (
+          match Certmsg.certs msg with
+          | [] -> Error ("malformed_certmsg", "no certificates in message")
+          | certs -> with_domain c certs))
+
 let resolve_chain t (c : Protocol.check) =
-  match (c.Protocol.pem, c.Protocol.scenario) with
-  | Some pem, _ -> (
+  match (c.Protocol.pem, c.Protocol.scenario, c.Protocol.certmsg) with
+  | Some pem, _, _ -> (
       match Pem.decode_certs pem with
       | Error e -> Error ("malformed_pem", e)
       | Ok [] -> Error ("malformed_pem", "no certificates in input")
-      | Ok certs -> (
-          match c.Protocol.domain with
-          | Some d -> Ok (d, certs)
-          | None -> Error ("malformed_frame", "\"domain\" is required")))
-  | None, Some scenario -> (
+      | Ok certs -> with_domain c certs)
+  | None, Some scenario, _ -> (
       match t.env.find_scenario scenario with
       | None -> Error ("unknown_scenario", "no scenario matches " ^ scenario)
       | Some (scenario_domain, certs) ->
           Ok (Option.value c.Protocol.domain ~default:scenario_domain, certs))
-  | None, None -> Error ("malformed_frame", "no chain source")
+  | None, None, Some b64 -> resolve_certmsg t c b64
+  | None, None, None -> Error ("malformed_frame", "no chain source")
 
 let stats_json t =
   let s = Metrics.snapshot t.metrics in

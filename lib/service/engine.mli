@@ -1,7 +1,8 @@
 (** chaind — the online chain-compliance query engine.
 
-    One request carries a served certificate list (PEM or a named lab
-    scenario) plus options; the reply is a structured verdict combining the
+    One request carries a served certificate list (PEM, a named lab
+    scenario, or a base64 raw TLS Certificate message in either the 1.2 or
+    1.3 framing) plus options; the reply is a structured verdict combining the
     server-side compliance report ({!Chaoschain_core.Compliance}), the
     per-client differential-testing outcomes ({!Chaoschain_core.Difftest})
     and the section-6 remediation advice ({!Chaoschain_core.Recommend}).
@@ -44,14 +45,20 @@ val create :
   ?queue_capacity:int ->
   ?batch:int ->
   ?jobs:int ->
+  ?default_format:Chaoschain_tlssim.Certmsg.format ->
   ?now:(unit -> float) ->
   unit ->
   t
 (** Defaults: [cache_capacity = 1024], [queue_capacity = 64], [batch = 8],
     [jobs = 1]. [cache_capacity] must be [>= 0] (0 disables caching), the
-    other three [>= 1] (raises [Invalid_argument]). [now] is the clock used
-    for latency timing (default [Unix.gettimeofday]); injecting a scripted
-    clock makes the latency histogram deterministic in tests. *)
+    other three [>= 1] (raises [Invalid_argument]). [default_format] is the
+    framing assumed for ["certmsg"] checks that do not declare one; omitted,
+    the engine auto-detects ({!Chaoschain_tlssim.Certmsg.decode_auto}). The
+    framing never reaches the verdict key, so the same chain delivered under
+    either encoding yields byte-identical verdicts (and shares one cache
+    entry). [now] is the clock used for latency timing (default
+    [Unix.gettimeofday]); injecting a scripted clock makes the latency
+    histogram deterministic in tests. *)
 
 val warm : t -> (string * Cert.t list) list -> int
 (** [warm t pairs] pre-fills the verdict cache from [(domain, chain)] pairs

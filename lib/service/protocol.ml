@@ -1,5 +1,6 @@
 open Chaoschain_core
 open Chaoschain_pki
+module Certmsg = Chaoschain_tlssim.Certmsg
 
 type store_choice = Union | Program of Root_store.program
 
@@ -20,6 +21,8 @@ type check = {
   domain : string option;
   pem : string option;
   scenario : string option;
+  certmsg : string option;
+  format : Certmsg.format option;
   aia : bool;
   store : store_choice;
   clients : Clients.id list option;
@@ -96,12 +99,26 @@ let parse_check json =
   let domain = get_opt_string json "domain" in
   let pem = get_opt_string json "pem" in
   let scenario = get_opt_string json "scenario" in
-  (match (pem, scenario) with
-  | None, None -> raise (Bad "a check needs \"pem\" or \"scenario\"")
-  | Some _, Some _ -> raise (Bad "\"pem\" and \"scenario\" are exclusive")
+  let certmsg = get_opt_string json "certmsg" in
+  (match (pem, scenario, certmsg) with
+  | None, None, None ->
+      raise (Bad "a check needs \"pem\", \"scenario\" or \"certmsg\"")
+  | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+      raise (Bad "\"pem\", \"scenario\" and \"certmsg\" are exclusive")
   | _ -> ());
-  if pem <> None && domain = None then
-    raise (Bad "\"domain\" is required with \"pem\"");
+  if (pem <> None || certmsg <> None) && domain = None then
+    raise (Bad "\"domain\" is required with \"pem\" or \"certmsg\"");
+  let format =
+    match get_opt_string json "format" with
+    | None -> None
+    | Some _ when certmsg = None ->
+        raise (Bad "\"format\" only applies to \"certmsg\" checks")
+    | Some s -> (
+        match Certmsg.format_of_string s with
+        | Some f -> Some f
+        | None ->
+            raise (Bad (Printf.sprintf "unknown format %S (want \"1.2\" or \"1.3\")" s)))
+  in
   let aia = get_opt_bool json "aia" ~default:true in
   let store =
     match get_opt_string json "store" with
@@ -112,7 +129,7 @@ let parse_check json =
         | None -> raise (Bad (Printf.sprintf "unknown store %S" s)))
   in
   let clients = parse_clients json in
-  { domain; pem; scenario; aia; store; clients }
+  { domain; pem; scenario; certmsg; format; aia; store; clients }
 
 let of_frame frame =
   match Json.of_string frame with
@@ -155,6 +172,10 @@ let to_frame { id; op } =
         @ opt "domain" (fun d -> Json.String d) c.domain
         @ opt "pem" (fun p -> Json.String p) c.pem
         @ opt "scenario" (fun s -> Json.String s) c.scenario
+        @ opt "certmsg" (fun m -> Json.String m) c.certmsg
+        @ opt "format"
+            (fun f -> Json.String (Certmsg.format_to_string f))
+            c.format
         @ [ ("aia", Json.Bool c.aia);
             ("store", Json.String (store_choice_to_string c.store)) ]
         @ opt "clients"

@@ -6,16 +6,25 @@
     {"id":"q1","op":"check","pem":"-----BEGIN ...","domain":"example.com",
      "aia":true,"store":"union","clients":["openssl","chrome"]}
     {"id":"q2","op":"check","scenario":"reversed"}
-    {"id":"q3","op":"stats"}
+    {"id":"q3","op":"check","certmsg":"FgMDAA…","format":"1.3",
+     "domain":"example.com"}
+    {"id":"q4","op":"stats"}
     v}
 
     [op] is required. A check needs exactly one chain source: [pem] (the
     served certificate list, PEM text with its newlines escaped as [\n]) plus
-    a mandatory [domain], or [scenario] (a substring of a lab scenario name;
-    [domain] then defaults to the scenario's own domain). Options: [aia]
-    (default true), [store] ("union" — the default — or one of "mozilla",
-    "chrome", "microsoft", "apple"), [clients] (subset of client names;
-    omitted = all eight).
+    a mandatory [domain]; [scenario] (a substring of a lab scenario name;
+    [domain] then defaults to the scenario's own domain); or [certmsg] (a
+    raw TLS Certificate message, base64-encoded) plus a mandatory [domain].
+    [format] ("1.2" or "1.3") names the [certmsg] wire framing and is only
+    legal alongside it; when omitted the server auto-detects (or applies its
+    configured default). Options: [aia] (default true), [store] ("union" —
+    the default — or one of "mozilla", "chrome", "microsoft", "apple"),
+    [clients] (subset of client names; omitted = all eight).
+
+    The verdict for a chain is byte-identical whichever source or framing
+    delivered it: the engine keys its cache on the decoded certificate list,
+    never on the encoding.
 
     Responses: [{"id":...,"ok":true,"verdict":{...}}],
     [{"id":...,"ok":true,"stats":{...}}] or
@@ -32,6 +41,10 @@ type check = {
   domain : string option;
   pem : string option;
   scenario : string option;
+  certmsg : string option;
+      (** base64 of a raw TLS Certificate message (either framing) *)
+  format : Chaoschain_tlssim.Certmsg.format option;
+      (** declared framing of [certmsg]; [None] = auto-detect *)
   aia : bool;
   store : store_choice;
   clients : Clients.id list option;  (** [None] = all eight clients *)

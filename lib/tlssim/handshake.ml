@@ -1,7 +1,9 @@
 open Chaoschain_x509
 open Chaoschain_core
 
-type version = Tls12 | Tls13
+type version = Certmsg.format = Tls12 | Tls13
+
+let version_to_string = function Tls12 -> "TLS 1.2" | Tls13 -> "TLS 1.3"
 
 type server = {
   server_name : string;
@@ -23,9 +25,10 @@ let outcome_to_string = function
 
 type transcript = {
   version : version;
+  format : Certmsg.format;
   certificate_msg_bytes : int;
   client_outcome : user_outcome;
-  engine : Engine.outcome;
+  engine : Engine.outcome option;
 }
 
 let cache_for (env : Difftest.env) (client : Clients.t) =
@@ -33,48 +36,85 @@ let cache_for (env : Difftest.env) (client : Clients.t) =
   else if client.Clients.uses_intermediate_cache then env.Difftest.firefox_cache
   else []
 
-let connect env ~client ?(version = Tls13) srv =
-  if not (List.mem version srv.supports) then
-    invalid_arg "Handshake.connect: version not supported by server";
-  (* Serialize and re-parse the Certificate message: the client consumes the
-     wire bytes, not the server's in-memory list. *)
-  let wire =
-    match version with
-    | Tls12 -> Certmsg.encode_tls12 srv.chain
-    | Tls13 -> Certmsg.encode_tls13 srv.chain
-  in
-  let received =
-    match version with
-    | Tls12 -> Certmsg.decode_tls12 wire
-    | Tls13 -> Result.map snd (Certmsg.decode_tls13 wire)
-  in
-  let certs =
-    match received with
-    | Ok certs -> certs
-    | Error e -> invalid_arg ("Handshake: self-encoded message failed to parse: " ^ e)
-  in
-  let store = env.Difftest.store_of client.Clients.root_program in
-  let ctx =
-    Clients.context client ~store ~aia:env.Difftest.aia ~cache:(cache_for env client)
-      ~now:env.Difftest.now
-  in
-  let engine = Engine.run ctx ~host:(Some srv.server_name) certs in
-  let client_outcome =
-    match engine.Engine.result with
-    | Ok _ -> Connection_established
-    | Error e -> (
-        let msg = Clients.render_error client e in
-        match client.Clients.kind with
-        | Clients.Library -> Connection_refused msg
-        | Clients.Browser -> Warning_page msg)
-  in
+let format_of_client_format = function
+  | Clients.Tls12 -> Tls12
+  | Clients.Tls13 -> Tls13
+
+let client_supports (client : Clients.t) v =
+  List.exists
+    (fun f -> format_of_client_format f = v)
+    client.Clients.supported_formats
+
+(* A handshake that fails before the Certificate message: no wire bytes, no
+   engine run — every client kind surfaces it as a refused connection (a
+   protocol_version alert, not a certificate warning). *)
+let refused ~version msg =
   { version;
-    certificate_msg_bytes = String.length wire;
-    client_outcome;
-    engine }
+    format = version;
+    certificate_msg_bytes = 0;
+    client_outcome = Connection_refused msg;
+    engine = None }
+
+(* Version (and with it, Certificate-message format) negotiation: an
+   explicitly requested version must be offered by the server and parseable
+   by the client; otherwise the highest framing both sides implement wins. *)
+let negotiate ~client ~requested srv =
+  match requested with
+  | Some v ->
+      if not (List.mem v srv.supports) then
+        Error (v, Printf.sprintf "server does not offer %s" (version_to_string v))
+      else if not (client_supports client v) then
+        Error
+          ( v,
+            Printf.sprintf "client does not implement the %s Certificate framing"
+              (version_to_string v) )
+      else Ok v
+  | None -> (
+      let common =
+        List.filter
+          (fun v -> List.mem v srv.supports && client_supports client v)
+          [ Tls13; Tls12 ]
+      in
+      match common with
+      | v :: _ -> Ok v
+      | [] -> Error (Tls13, "no protocol version in common"))
+
+let connect env ~client ?version srv =
+  match negotiate ~client ~requested:version srv with
+  | Error (v, msg) -> refused ~version:v msg
+  | Ok version ->
+      (* Serialize and re-parse the Certificate message: the client consumes
+         the wire bytes, not the server's in-memory list. The negotiated
+         version selects the wire framing end to end. *)
+      let wire = Certmsg.encode (Certmsg.of_certs version srv.chain) in
+      let certs =
+        match Certmsg.decode version wire with
+        | Ok msg -> Certmsg.certs msg
+        | Error e ->
+            invalid_arg ("Handshake: self-encoded message failed to parse: " ^ e)
+      in
+      let store = env.Difftest.store_of client.Clients.root_program in
+      let ctx =
+        Clients.context client ~store ~aia:env.Difftest.aia
+          ~cache:(cache_for env client) ~now:env.Difftest.now
+      in
+      let engine = Engine.run ctx ~host:(Some srv.server_name) certs in
+      let client_outcome =
+        match engine.Engine.result with
+        | Ok _ -> Connection_established
+        | Error e -> (
+            let msg = Clients.render_error client e in
+            match client.Clients.kind with
+            | Clients.Library -> Connection_refused msg
+            | Clients.Browser -> Warning_page msg)
+      in
+      { version;
+        format = version;
+        certificate_msg_bytes = String.length wire;
+        client_outcome;
+        engine = Some engine }
 
 let availability_impact env srv =
   List.map
     (fun client -> (client, (connect env ~client srv).client_outcome))
     Clients.all
-

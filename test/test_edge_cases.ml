@@ -122,13 +122,24 @@ let handshake_version_guard () =
     { Difftest.store_of = (fun _ -> Root_store.make "s" [ root.Issue.cert ]);
       aia = Aia_repo.create (); firefox_cache = []; os_store = []; now }
   in
-  Alcotest.check_raises "unsupported version"
-    (Invalid_argument "Handshake.connect: version not supported by server")
-    (fun () ->
-      ignore
-        (Chaoschain_tlssim.Handshake.connect env
-           ~client:(Clients.by_id Clients.Chrome)
-           ~version:Chaoschain_tlssim.Handshake.Tls12 srv))
+  (* Requesting a version outside the server's [supports] is no longer a
+     programming error: the handshake is refused before any Certificate
+     message is sent. *)
+  let t =
+    Chaoschain_tlssim.Handshake.connect env
+      ~client:(Clients.by_id Clients.Chrome)
+      ~version:Chaoschain_tlssim.Handshake.Tls12 srv
+  in
+  (match t.Chaoschain_tlssim.Handshake.client_outcome with
+  | Chaoschain_tlssim.Handshake.Connection_refused _ -> ()
+  | o ->
+      Alcotest.fail
+        ("expected refusal, got "
+        ^ Chaoschain_tlssim.Handshake.outcome_to_string o));
+  Alcotest.(check int) "no certificate message" 0
+    t.Chaoschain_tlssim.Handshake.certificate_msg_bytes;
+  Alcotest.(check bool) "no engine run" true
+    (t.Chaoschain_tlssim.Handshake.engine = None)
 
 let duplicate_elimination_in_builder () =
   (* A chain with the same intermediate five times: the used-set prevents the

@@ -265,6 +265,47 @@ let scanner_union () =
         && v.Scanner.reached > Population.size p * 90 / 100))
     d.Scanner.vantages
 
+let classify_dataset () =
+  let p = Population.generate ~scale:0.002 () in
+  let d = Scanner.scan p in
+  let c = Classify.run d.Scanner.domains in
+  Alcotest.(check int) "every domain classified" (Population.size p) c.Classify.domains;
+  Alcotest.(check int) "chain dedup agrees with scanner" d.Scanner.unique_chains
+    c.Classify.unique_chains;
+  Alcotest.(check int) "cert dedup agrees with scanner" d.Scanner.unique_certs
+    c.Classify.unique_certs;
+  (* ordered/unordered partition the unique chains; so do the
+     buildability classes. *)
+  Alcotest.(check int) "ordered + unordered" c.Classify.unique_chains
+    (c.Classify.ordered.Classify.cs_chains + c.Classify.unordered.Classify.cs_chains);
+  Alcotest.(check int) "self-contained + transvalid + unbuildable"
+    c.Classify.unique_chains
+    (c.Classify.self_contained.Classify.cs_chains
+    + c.Classify.transvalid.Classify.cs_chains
+    + c.Classify.unbuildable.Classify.cs_chains);
+  (* the population plants unordered and duplicate scenarios, and most
+     chains omit their root (transvalid once the corpus supplies it) *)
+  Alcotest.(check bool) "unordered chains present" true
+    (c.Classify.unordered.Classify.cs_chains > 0);
+  Alcotest.(check bool) "duplicate chains present" true
+    (c.Classify.with_duplicates.Classify.cs_chains > 0);
+  Alcotest.(check bool) "transvalid dominates" true
+    (c.Classify.transvalid.Classify.cs_chains
+    > c.Classify.self_contained.Classify.cs_chains);
+  (* both framings decode every chain to the same certificates *)
+  let a = c.Classify.agreement in
+  Alcotest.(check int) "all chains round-tripped" c.Classify.unique_chains
+    a.Classify.fa_chains;
+  Alcotest.(check int) "full decode agreement" a.Classify.fa_chains
+    a.Classify.fa_agree;
+  (* 1.3 framing adds 1 context byte + 2 ext-block bytes per entry, minus
+     the shared 3-byte outer header difference: strictly larger overall *)
+  Alcotest.(check bool) "1.3 wire strictly larger" true
+    (a.Classify.fa_bytes13 > a.Classify.fa_bytes12);
+  (* rendering is total *)
+  Alcotest.(check bool) "report renders" true
+    (String.length (Chaoschain_report.Report.to_text (Classify.report c)) > 0)
+
 let suite =
   [ Alcotest.test_case "comma formatting" `Quick commas;
     Alcotest.test_case "percent formatting" `Quick percents;
@@ -283,4 +324,5 @@ let suite =
     Alcotest.test_case "blemish share" `Slow population_blemish_share;
     Alcotest.test_case "experiments smoke" `Slow experiments_smoke;
     Alcotest.test_case "experiments golden" `Slow experiments_golden;
-    Alcotest.test_case "scanner union" `Slow scanner_union ]
+    Alcotest.test_case "scanner union" `Slow scanner_union;
+    Alcotest.test_case "classify dataset" `Slow classify_dataset ]

@@ -9,6 +9,8 @@ module S = Chaoschain_service
 module Json = S.Json
 module Protocol = S.Protocol
 module Engine = S.Engine
+module Certmsg = Chaoschain_tlssim.Certmsg
+module Base64 = Chaoschain_deployment.Base64
 
 (* --- JSON codec --- *)
 
@@ -62,6 +64,8 @@ let proto_round_trip () =
             Protocol.domain = Some "example.com";
             pem = Some "-----BEGIN CERTIFICATE-----\nAAAA\n-----END CERTIFICATE-----\n";
             scenario = None;
+            certmsg = None;
+            format = None;
             aia = false;
             store = Protocol.Program Root_store.Mozilla;
             clients = Some [ Chaoschain_core.Clients.Openssl;
@@ -81,6 +85,37 @@ let proto_round_trip () =
             (Protocol.store_choice_to_string c.Protocol.store)
       | _ -> Alcotest.fail "op changed")
 
+let proto_certmsg_round_trip () =
+  let req =
+    {
+      Protocol.id = Some "req-2";
+      op =
+        Protocol.Check
+          {
+            Protocol.domain = Some "example.com";
+            pem = None;
+            scenario = None;
+            certmsg = Some "FgMDAAA=";
+            format = Some Certmsg.Tls13;
+            aia = true;
+            store = Protocol.Union;
+            clients = None;
+          };
+    }
+  in
+  match Protocol.of_frame (Protocol.to_frame req) with
+  | Error e -> Alcotest.fail ("round-trip rejected: " ^ e.Protocol.message)
+  | Ok req' -> (
+      Alcotest.(check string) "round-trip" (Protocol.to_frame req)
+        (Protocol.to_frame req');
+      match req'.Protocol.op with
+      | Protocol.Check c ->
+          Alcotest.(check (option string)) "certmsg" (Some "FgMDAAA=")
+            c.Protocol.certmsg;
+          Alcotest.(check bool) "format" true
+            (c.Protocol.format = Some Certmsg.Tls13)
+      | _ -> Alcotest.fail "op changed")
+
 let proto_rejects_malformed () =
   let expect_code frame code =
     match Protocol.of_frame frame with
@@ -97,6 +132,16 @@ let proto_rejects_malformed () =
   expect_code {|{"op":"check","scenario":"s","clients":["netscape"]}|}
     "malformed_frame";
   expect_code {|{"op":"check","scenario":"s","store":"curl"}|} "malformed_frame";
+  (* the certmsg source obeys the same exclusivity and domain rules *)
+  expect_code {|{"op":"check","certmsg":"AAAA","scenario":"s"}|}
+    "malformed_frame";
+  expect_code {|{"op":"check","certmsg":"AAAA","pem":"x","domain":"d"}|}
+    "malformed_frame";
+  expect_code {|{"op":"check","certmsg":"AAAA"}|} "malformed_frame";
+  expect_code {|{"op":"check","certmsg":"AAAA","domain":"d","format":"1.4"}|}
+    "malformed_frame";
+  expect_code {|{"op":"check","scenario":"s","format":"1.3"}|}
+    "malformed_frame";
   (* a parsed id is echoed in the error *)
   match Protocol.of_frame {|{"id":"e1","op":"check"}|} with
   | Error e -> Alcotest.(check (option string)) "id echoed" (Some "e1") e.Protocol.err_id
@@ -153,12 +198,13 @@ let make_env () =
         else None);
   }
 
-let check_frame ?(id = "q") ?domain ?pem ?scenario () =
+let check_frame ?(id = "q") ?domain ?pem ?scenario ?certmsg ?format () =
   let opt k = function Some v -> [ (k, Json.String v) ] | None -> [] in
   Json.to_string
     (Json.Obj
        ([ ("id", Json.String id); ("op", Json.String "check") ]
-       @ opt "domain" domain @ opt "pem" pem @ opt "scenario" scenario))
+       @ opt "domain" domain @ opt "pem" pem @ opt "scenario" scenario
+       @ opt "certmsg" certmsg @ opt "format" format))
 
 let fixture_pem () = Chaoschain_deployment.Pem.encode_certs (fixture_record ()).Population.chain
 
@@ -211,6 +257,93 @@ let engine_hit_identical () =
   let via_scenario = Engine.handle_frame t (check_frame ~scenario:"fixture" ()) in
   Alcotest.(check string) "scenario serves same verdict" cold via_scenario;
   Alcotest.(check int) "second hit" 2 (Engine.metrics t).S.Metrics.hits;
+  Engine.shutdown t
+
+(* --- engine: certmsg checks, both framings, byte-identical verdicts --- *)
+
+let fixture_certmsg fmt =
+  Base64.encode
+    (Certmsg.encode (Certmsg.of_certs fmt (fixture_record ()).Population.chain))
+
+let engine_certmsg_both_framings () =
+  let t = Engine.create ~env:(make_env ()) () in
+  let r = fixture_record () in
+  let domain = r.Population.domain in
+  (* Same chain, two wire encodings, same request id: the responses must be
+     byte-identical, and the second must be a cache hit (one shared verdict
+     key regardless of framing). *)
+  let r12 =
+    Engine.handle_frame t
+      (check_frame ~domain ~certmsg:(fixture_certmsg Certmsg.Tls12)
+         ~format:"1.2" ())
+  in
+  let r13 =
+    Engine.handle_frame t
+      (check_frame ~domain ~certmsg:(fixture_certmsg Certmsg.Tls13)
+         ~format:"1.3" ())
+  in
+  Alcotest.(check string) "verdicts byte-identical across framings" r12 r13;
+  (* auto-detection (no "format") resolves both encodings too *)
+  let auto12 =
+    Engine.handle_frame t
+      (check_frame ~domain ~certmsg:(fixture_certmsg Certmsg.Tls12) ())
+  in
+  let auto13 =
+    Engine.handle_frame t
+      (check_frame ~domain ~certmsg:(fixture_certmsg Certmsg.Tls13) ())
+  in
+  Alcotest.(check string) "auto-detected 1.2" r12 auto12;
+  Alcotest.(check string) "auto-detected 1.3" r12 auto13;
+  (* and the PEM spelling of the same chain joins the same cache entry *)
+  let via_pem = Engine.handle_frame t (check_frame ~domain ~pem:(fixture_pem ()) ()) in
+  Alcotest.(check string) "pem serves same verdict" r12 via_pem;
+  let m = Engine.metrics t in
+  Alcotest.(check int) "one miss" 1 m.S.Metrics.misses;
+  Alcotest.(check int) "four hits" 4 m.S.Metrics.hits;
+  Alcotest.(check int) "one cached verdict" 1 (Engine.cache_size t);
+  Engine.shutdown t
+
+let engine_certmsg_errors () =
+  let t = Engine.create ~env:(make_env ()) () in
+  let expect frame = expect_error (Engine.handle_frame t frame) "malformed_certmsg" in
+  (* not base64 *)
+  expect (check_frame ~domain:"d.example" ~certmsg:"!!!" ());
+  (* base64 of garbage bytes *)
+  expect (check_frame ~domain:"d.example" ~certmsg:(Base64.encode "garbage") ());
+  (* a valid message of zero certificates *)
+  expect
+    (check_frame ~domain:"d.example"
+       ~certmsg:(Base64.encode (Certmsg.encode (Certmsg.of_certs Certmsg.Tls12 [])))
+       ());
+  (* declared framing contradicts the bytes *)
+  expect
+    (check_frame ~domain:"d.example" ~certmsg:(fixture_certmsg Certmsg.Tls13)
+       ~format:"1.2" ());
+  Engine.shutdown t
+
+let engine_certmsg_default_format () =
+  (* An engine pinned to 1.2 parses undeclared certmsg checks under that
+     framing only; an explicit "format" still overrides. *)
+  let t = Engine.create ~env:(make_env ()) ~default_format:Certmsg.Tls12 () in
+  let r = fixture_record () in
+  let domain = r.Population.domain in
+  let ok =
+    Engine.handle_frame t
+      (check_frame ~domain ~certmsg:(fixture_certmsg Certmsg.Tls12) ())
+  in
+  (match response_field ok "ok" with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.fail ("1.2 certmsg under 1.2 default failed: " ^ ok));
+  expect_error
+    (Engine.handle_frame t
+       (check_frame ~domain ~certmsg:(fixture_certmsg Certmsg.Tls13) ()))
+    "malformed_certmsg";
+  let explicit =
+    Engine.handle_frame t
+      (check_frame ~domain ~certmsg:(fixture_certmsg Certmsg.Tls13)
+         ~format:"1.3" ())
+  in
+  Alcotest.(check string) "explicit format overrides the default" ok explicit;
   Engine.shutdown t
 
 (* --- engine: verdict content sanity --- *)
@@ -529,11 +662,15 @@ let suite =
     Alcotest.test_case "json decode escapes" `Quick json_decode_escapes;
     Alcotest.test_case "json rejects malformed" `Quick json_rejects_malformed;
     Alcotest.test_case "protocol round-trip" `Quick proto_round_trip;
+    Alcotest.test_case "protocol certmsg round-trip" `Quick proto_certmsg_round_trip;
     Alcotest.test_case "protocol rejects malformed" `Quick proto_rejects_malformed;
     Alcotest.test_case "lru capacity bound" `Quick lru_capacity_bound;
     Alcotest.test_case "lru eviction order" `Quick lru_eviction_order;
     Alcotest.test_case "engine error replies" `Slow engine_error_replies;
     Alcotest.test_case "cache hit byte-identical" `Slow engine_hit_identical;
+    Alcotest.test_case "certmsg both framings" `Slow engine_certmsg_both_framings;
+    Alcotest.test_case "certmsg error replies" `Slow engine_certmsg_errors;
+    Alcotest.test_case "certmsg default format" `Slow engine_certmsg_default_format;
     Alcotest.test_case "verdict fields" `Slow engine_verdict_fields;
     Alcotest.test_case "micro-batch coalescing" `Slow engine_batch_coalesces;
     Alcotest.test_case "jobs-invariant responses" `Slow engine_jobs_invariant;
