@@ -12,6 +12,8 @@
      audit     — verify (and repair) a corpus store's integrity
      certmsg   — encode a PEM chain as a raw TLS Certificate message
      serve     — chaind: the online chain-compliance query service
+                 (stdio, or many connections via --listen / netd)
+     loadgen   — open-loop load generator + latency report for chaind
      reproduce — regenerate paper tables/figures (same engine as bench) *)
 
 open Cmdliner
@@ -22,6 +24,8 @@ module Base64 = Chaoschain_deployment.Base64
 module Certmsg = Chaoschain_tlssim.Certmsg
 module Service = Chaoschain_service
 module Report = Chaoschain_report.Report
+module Netloop = Chaoschain_net.Netloop
+module Loadgen = Chaoschain_net.Loadgen
 
 (* The lab population: scenario/analyze/difftest/serve operate inside the
    same simulated universe so certificates parse and verify consistently.
@@ -648,14 +652,46 @@ let serve_cmd =
              ~doc:"Worker-Domain pool size for micro-batch processing \
                    (verdicts are identical for every value).")
   in
+  let listen_arg =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Serve many concurrent connections on $(docv) — \
+                   $(b,unix:PATH), $(b,tcp:HOST:PORT) or $(b,HOST:PORT) — \
+                   through the netd event loop instead of stdin/stdout. \
+                   Verdicts are byte-identical to the stdio path (same \
+                   engine, cache and batcher). SIGTERM/SIGINT drain \
+                   gracefully.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int Netloop.default_config.Netloop.max_conns
+         & info [ "max-conns" ]
+             ~doc:"Stop accepting while this many connections are live \
+                   (netd only).")
+  in
+  let write_buf_arg =
+    Arg.(value & opt int Netloop.default_config.Netloop.write_bound
+         & info [ "write-buf" ]
+             ~doc:"Per-connection reply-buffer bound in bytes; a \
+                   connection buffering more stops being read until it \
+                   drains (netd only).")
+  in
+  let inbox_arg =
+    Arg.(value & opt int Netloop.default_config.Netloop.inbox_bound
+         & info [ "inbox" ]
+             ~doc:"Global bound on parsed frames awaiting admission; all \
+                   reading pauses past it (netd only).")
+  in
   let run scale cache queue batch jobs max_frame warm_store tls_format
-      no_intern =
+      no_intern listen max_conns write_buf inbox =
     apply_intern no_intern;
     if cache < 0 then `Error (true, "--cache must be >= 0")
     else if queue < 1 then `Error (true, "--queue must be >= 1")
     else if batch < 1 then `Error (true, "--batch must be >= 1")
     else if jobs < 1 then `Error (true, "--jobs must be >= 1")
     else if max_frame < 1 then `Error (true, "--max-frame must be >= 1")
+    else if max_conns < 1 then `Error (true, "--max-conns must be >= 1")
+    else if write_buf < 1 then `Error (true, "--write-buf must be >= 1")
+    else if inbox < 1 then `Error (true, "--inbox must be >= 1")
     else
       with_lab scale (fun pop ->
           let u = pop.Population.universe in
@@ -727,32 +763,292 @@ let serve_cmd =
                 "warm-store: %d verdicts pre-computed from %d records in \
                  %.2fs\n%!"
                 warmed l.Corpus.l_records dt);
-          Service.Engine.serve engine
-            (module Service.Transport.Fd)
-            (Service.Transport.Fd.stdio ~max_frame ());
-          Service.Engine.shutdown engine;
-          Format.eprintf "%a@." Service.Metrics.pp_summary
-            (Service.Engine.metrics engine);
-          Format.eprintf "cache: %d/%d entries, %d evictions@."
-            (Service.Engine.cache_size engine)
-            (Service.Engine.cache_capacity engine)
-            (Service.Engine.cache_evictions engine);
-          let i = Chaoschain_pki.Intern.stats () in
-          Format.eprintf "intern: %d certificates, %d/%d lookups reused@."
-            i.Chaoschain_pki.Intern.entries i.Chaoschain_pki.Intern.hits
-            i.Chaoschain_pki.Intern.lookups;
-          `Ok ())
+          let finish () =
+            Service.Engine.shutdown engine;
+            Format.eprintf "%a@." Service.Metrics.pp_summary
+              (Service.Engine.metrics engine);
+            Format.eprintf "cache: %d/%d entries, %d evictions@."
+              (Service.Engine.cache_size engine)
+              (Service.Engine.cache_capacity engine)
+              (Service.Engine.cache_evictions engine);
+            let i = Chaoschain_pki.Intern.stats () in
+            Format.eprintf "intern: %d certificates, %d/%d lookups reused@."
+              i.Chaoschain_pki.Intern.entries i.Chaoschain_pki.Intern.hits
+              i.Chaoschain_pki.Intern.lookups
+          in
+          match listen with
+          | None ->
+              Service.Engine.serve engine
+                (module Service.Transport.Fd)
+                (Service.Transport.Fd.stdio ~max_frame ());
+              finish ();
+              `Ok ()
+          | Some spec -> (
+              match Service.Netd.parse_addr spec with
+              | Error msg ->
+                  Service.Engine.shutdown engine;
+                  `Error (false, msg)
+              | Ok addr -> (
+                  let config =
+                    { Netloop.max_frame; max_conns; write_bound = write_buf;
+                      inbox_bound = inbox }
+                  in
+                  Printf.eprintf
+                    "chaind: listening on %s (up to %d connections)\n%!"
+                    (Service.Netd.addr_to_string addr)
+                    max_conns;
+                  match Service.Netd.serve_listen ~config ~engine addr with
+                  | Error msg ->
+                      Service.Engine.shutdown engine;
+                      `Error (false, msg)
+                  | Ok ns ->
+                      Printf.eprintf
+                        "netd: %d connections accepted, %d frames, %d \
+                         overlong, %d orphaned replies\n\
+                         %!"
+                        ns.Netloop.accepted ns.Netloop.frames
+                        ns.Netloop.overlong ns.Netloop.dropped_replies;
+                      finish ();
+                      `Ok ())))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"chaind: answer chain-compliance queries over newline-delimited \
-             JSON on stdin/stdout (verdict = analyze + difftest + recommend), \
+             JSON on stdin/stdout — or over many concurrent connections \
+             with --listen — (verdict = analyze + difftest + recommend), \
              with LRU verdict caching, micro-batching and request metrics; \
              \"certmsg\" checks carry a raw TLS Certificate message in \
              either wire framing")
     Term.(ret (const run $ scale_arg $ cache_arg $ queue_arg $ batch_arg
                $ jobs_arg $ max_frame_arg $ warm_store_arg
-               $ tls_format_opt_arg $ no_intern_arg))
+               $ tls_format_opt_arg $ no_intern_arg $ listen_arg
+               $ max_conns_arg $ write_buf_arg $ inbox_arg))
+
+(* --- loadgen --- *)
+
+let loadgen_cmd =
+  let connect_arg =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"The chaind listener to load — same spellings as serve \
+                   --listen ($(b,unix:PATH), $(b,tcp:HOST:PORT), \
+                   $(b,HOST:PORT)).")
+  in
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Replay request chains from a chainstore corpus written \
+                   by 'scan --store': each record becomes a pem+domain \
+                   check, cycled when --requests exceeds the record count.")
+  in
+  let frames_arg =
+    Arg.(value & opt (some string) None
+         & info [ "frames" ] ~docv:"FILE"
+             ~doc:"Replay raw request lines from $(docv) (one JSON frame \
+                   per line, cycled). Alternative to --store.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 200.0
+         & info [ "rate" ]
+             ~doc:"Offered load in requests/second. Open loop: request i \
+                   is scheduled at t0 + i/rate no matter how fast the \
+                   server answers, so queueing delay lands in the tail \
+                   percentiles instead of being silently absorbed.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 1000
+         & info [ "requests"; "n" ] ~doc:"Total requests to send.")
+  in
+  let conns_arg =
+    Arg.(value & opt int 8
+         & info [ "conns" ]
+             ~doc:"Concurrent persistent connections; requests round-robin \
+                   across them.")
+  in
+  let grace_arg =
+    Arg.(value & opt float 10.0
+         & info [ "grace" ]
+             ~doc:"Seconds to wait for outstanding replies after the last \
+                   request; stragglers past it count as dropped.")
+  in
+  let max_frame_arg =
+    Arg.(value & opt int Service.Transport.default_max_frame
+         & info [ "max-frame" ] ~doc:"Longest accepted reply line in bytes.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Also write the report as report-IR JSON to $(docv) \
+                   (e.g. BENCH_PR7.json).")
+  in
+  let replies_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replies" ] ~docv:"FILE"
+             ~doc:"Dump every raw reply line to $(docv) in request order \
+                   (the CI byte-identity probe).")
+  in
+  let frame_fun_of_source store frames =
+    match (store, frames) with
+    | Some _, Some _ | None, None ->
+        Error "exactly one of --store or --frames is required"
+    | None, Some file -> (
+        match In_channel.with_open_text file In_channel.input_lines with
+        | lines -> (
+            match List.filter (fun l -> String.trim l <> "") lines with
+            | [] -> Error (file ^ " holds no request lines")
+            | lines ->
+                let arr = Array.of_list lines in
+                Ok (fun i -> arr.(i mod Array.length arr)))
+        | exception Sys_error e -> Error e)
+    | Some dir, None -> (
+        match Corpus.load ~dir with
+        | Error e -> Error e
+        | Ok l ->
+            let records = l.Corpus.l_dataset.Scanner.domains in
+            if Array.length records = 0 then Error "corpus holds no records"
+            else begin
+              let arr =
+                Array.mapi
+                  (fun i (domain, chain) ->
+                    Service.Protocol.to_frame
+                      {
+                        Service.Protocol.id = Some (Printf.sprintf "q%d" i);
+                        op =
+                          Service.Protocol.Check
+                            {
+                              Service.Protocol.domain = Some domain;
+                              pem = Some (Pem.encode_certs chain);
+                              scenario = None;
+                              certmsg = None;
+                              format = None;
+                              aia = true;
+                              store = Service.Protocol.Union;
+                              clients = None;
+                            };
+                      })
+                  records
+              in
+              Ok (fun i -> arr.(i mod Array.length arr))
+            end)
+  in
+  let is_error line =
+    match Report.Json.of_string line with
+    | Error _ -> true
+    | Ok j -> (
+        match Option.bind (Report.Json.member "ok" j) Report.Json.get_bool with
+        | Some ok -> not ok
+        | None -> true)
+  in
+  let report_of ~rate ~conns stats =
+    let lat = stats.Loadgen.latencies_ms in
+    let q p = Loadgen.quantile lat p in
+    let fl v =
+      Report.cell (Report.Cell.Float { value = v; digits = 2; suffix = "" })
+    in
+    let b =
+      Report.Table.create ~title:"open-loop load"
+        ~header:[ "metric"; "value" ]
+    in
+    Report.Table.row b [ Report.text "offered rate (req/s)"; fl rate ];
+    Report.Table.row b [ Report.text "connections"; Report.int conns ];
+    Report.Table.row b [ Report.text "requests sent"; Report.count stats.sent ];
+    Report.Table.row b
+      [ Report.text "replies received"; Report.count stats.received ];
+    Report.Table.row b [ Report.text "ok"; Report.count stats.ok ];
+    Report.Table.row b [ Report.text "errors"; Report.count stats.errors ];
+    Report.Table.row b [ Report.text "dropped"; Report.count stats.dropped ];
+    Report.Table.row b [ Report.text "elapsed (s)"; fl stats.elapsed_s ];
+    Report.Table.row b
+      [ Report.text "throughput (replies/s)";
+        fl
+          (if stats.elapsed_s > 0.0 then
+             Float.of_int stats.received /. stats.elapsed_s
+           else 0.0) ];
+    Report.Table.sep b;
+    Report.Table.row b
+      [ Report.text "latency mean (ms)"; fl (Loadgen.mean lat) ];
+    Report.Table.row b [ Report.text "latency p50 (ms)"; fl (q 0.5) ];
+    Report.Table.row b [ Report.text "latency p90 (ms)"; fl (q 0.9) ];
+    Report.Table.row b [ Report.text "latency p99 (ms)"; fl (q 0.99) ];
+    Report.Table.row b [ Report.text "latency p999 (ms)"; fl (q 0.999) ];
+    Report.Table.row b
+      [ Report.text "latency max (ms)"; fl (Array.fold_left max 0.0 lat) ];
+    {
+      Report.id = "loadgen";
+      title = "loadgen: open-loop latency against chaind";
+      blocks = [ Report.Table.block b ];
+    }
+  in
+  let run connect store frames rate requests conns grace max_frame fmt out
+      replies =
+    if rate <= 0.0 then `Error (true, "--rate must be > 0")
+    else if requests < 1 then `Error (true, "--requests must be >= 1")
+    else if conns < 1 then `Error (true, "--conns must be >= 1")
+    else if grace < 0.0 then `Error (true, "--grace must be >= 0")
+    else if max_frame < 1 then `Error (true, "--max-frame must be >= 1")
+    else
+      match Service.Netd.parse_addr connect with
+      | Error msg -> `Error (false, msg)
+      | Ok addr -> (
+          match frame_fun_of_source store frames with
+          | Error msg -> `Error (false, msg)
+          | Ok frame ->
+              let reply_log =
+                Option.map (fun _ -> Array.make requests None) replies
+              in
+              let capture =
+                Option.map
+                  (fun log seq line -> log.(seq) <- Some line)
+                  reply_log
+              in
+              let config =
+                {
+                  Loadgen.dial = (fun () -> Service.Netd.dial addr);
+                  conns;
+                  rate;
+                  requests;
+                  max_frame;
+                  is_error;
+                  now = Unix.gettimeofday;
+                  grace;
+                  capture;
+                }
+              in
+              let stats = Loadgen.run config ~frame in
+              let report = report_of ~rate ~conns stats in
+              print_results fmt [ report ];
+              Option.iter
+                (fun file ->
+                  Out_channel.with_open_text file (fun oc ->
+                      Out_channel.output_string oc
+                        (Report.Json.pretty (Report.to_json report));
+                      Out_channel.output_char oc '\n'))
+                out;
+              (match (replies, reply_log) with
+              | Some file, Some log ->
+                  Out_channel.with_open_text file (fun oc ->
+                      Array.iter
+                        (function
+                          | Some line ->
+                              Out_channel.output_string oc line;
+                              Out_channel.output_char oc '\n'
+                          | None -> ())
+                        log)
+              | _ -> ());
+              if stats.Loadgen.dropped > 0 then
+                Printf.eprintf "loadgen: %d request(s) dropped\n%!"
+                  stats.Loadgen.dropped;
+              `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Open-loop load generator against a chaind --listen endpoint: \
+             replay corpus chains (or raw frames) at a target request rate \
+             over N concurrent connections and report throughput plus \
+             p50/p90/p99/p999 latency through the report IR")
+    Term.(ret (const run $ connect_arg $ store_arg $ frames_arg $ rate_arg
+               $ requests_arg $ conns_arg $ grace_arg $ max_frame_arg
+               $ format_arg $ out_arg $ replies_arg))
 
 (* --- reproduce --- *)
 
@@ -807,4 +1103,4 @@ let () =
        (Cmd.group info
           [ scenario_cmd; analyze_cmd; difftest_cmd; matrix_cmd; recommend_cmd;
             fuzz_cmd; scan_cmd; replay_cmd; classify_cmd; diff_cmd; audit_cmd;
-            certmsg_cmd; serve_cmd; reproduce_cmd ]))
+            certmsg_cmd; serve_cmd; loadgen_cmd; reproduce_cmd ]))

@@ -106,6 +106,48 @@ if dune exec bin/chaoscheck.exe -- diff "$rstore" "$store" > "$rstore/diff.out";
 fi
 grep -q '^dataset/' "$rstore/diff.out"
 
+# netd smoke: chaind on a loopback Unix socket via `serve --listen`, loaded
+# by 8 concurrent loadgen connections; replies must be byte-identical to the
+# serial stdio path, SIGTERM must drain gracefully (exit 0 with every reply
+# delivered), and loadgen's report must be valid report-IR JSON carrying the
+# tail quantiles.
+nd=$(mktemp -d)
+trap 'rm -rf "$store" "$rstore" "$nd"' EXIT
+chaoscheck=./_build/default/bin/chaoscheck.exe
+{
+  printf '{"op":"check","scenario":"reversed"}\n'
+  printf '{"op":"check","scenario":"incomplete"}\n'
+} > "$nd/frames.ndjson"
+"$chaoscheck" serve --scale 0.002 --jobs 2 \
+  --listen "unix:$nd/chaind.sock" 2> "$nd/serve.err" &
+srv=$!
+i=0
+while [ $i -lt 100 ]; do
+  [ -S "$nd/chaind.sock" ] && break
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -S "$nd/chaind.sock" ]
+"$chaoscheck" loadgen --connect "unix:$nd/chaind.sock" \
+  --frames "$nd/frames.ndjson" --rate 400 --requests 64 --conns 8 \
+  --replies "$nd/replies.out" --out "$nd/bench.json" > "$nd/loadgen.out"
+kill -TERM "$srv"
+wait "$srv"
+[ "$(wc -l < "$nd/replies.out")" -eq 64 ]
+grep -q 'netd: 8 connections accepted, 64 frames' "$nd/serve.err"
+i=0
+while [ $i -lt 64 ]; do
+  sed -n "$(((i % 2) + 1))p" "$nd/frames.ndjson"
+  i=$((i + 1))
+done > "$nd/serial.in"
+"$chaoscheck" serve --scale 0.002 --jobs 2 --queue 128 \
+  < "$nd/serial.in" > "$nd/serial.out"
+cmp "$nd/serial.out" "$nd/replies.out"
+jq -e '.id == "loadgen"' "$nd/bench.json" > /dev/null
+jq -e '[.blocks[0].rows[]?.cells[]?.text?]
+       | contains(["latency p50 (ms)", "latency p99 (ms)",
+                   "latency p999 (ms)"])' "$nd/bench.json" > /dev/null
+
 # EXPERIMENTS.md is generated (doc/EXPERIMENTS.head.md + Report.to_markdown);
 # regenerate and fail if the committed copy is stale.
 ./gen_experiments.sh "$rstore/EXPERIMENTS.md"

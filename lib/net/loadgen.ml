@@ -1,0 +1,201 @@
+type config = {
+  dial : unit -> Unix.file_descr;
+  conns : int;
+  rate : float;
+  requests : int;
+  max_frame : int;
+  is_error : string -> bool;
+  now : unit -> float;
+  grace : float;
+  capture : (int -> string -> unit) option;
+}
+
+type stats = {
+  sent : int;
+  received : int;
+  ok : int;
+  errors : int;
+  dropped : int;
+  elapsed_s : float;
+  latencies_ms : float array;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  framing : Framing.t;
+  out : string Queue.t;
+  mutable out_off : int;
+  mutable out_bytes : int;
+  outstanding : (int * float) Queue.t;  (* (seq, scheduled send time) *)
+  mutable dead : bool;
+}
+
+let flush_conn c =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty c.out) do
+    let head = Queue.peek c.out in
+    let len = String.length head - c.out_off in
+    match Unix.write_substring c.fd head c.out_off len with
+    | n ->
+        c.out_bytes <- c.out_bytes - n;
+        if n = len then begin
+          ignore (Queue.pop c.out);
+          c.out_off <- 0
+        end
+        else begin
+          c.out_off <- c.out_off + n;
+          continue := false
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) ->
+        c.dead <- true;
+        continue := false
+  done
+
+let run cfg ~frame =
+  if cfg.conns < 1 then invalid_arg "Loadgen.run: conns >= 1";
+  if not (cfg.rate > 0.0) then invalid_arg "Loadgen.run: rate > 0";
+  if cfg.requests < 1 then invalid_arg "Loadgen.run: requests >= 1";
+  let conns =
+    Array.init cfg.conns (fun _ ->
+        let fd = cfg.dial () in
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        { fd; framing = Framing.create ~max_frame:cfg.max_frame ();
+          out = Queue.create (); out_off = 0; out_bytes = 0;
+          outstanding = Queue.create (); dead = false })
+  in
+  let chunk = Bytes.create 65536 in
+  let latencies = Array.make cfg.requests 0.0 in
+  let sent = ref 0 and received = ref 0 and dropped = ref 0 in
+  let ok = ref 0 and errors = ref 0 in
+  let t0 = cfg.now () in
+  let sched i = t0 +. (Float.of_int i /. cfg.rate) in
+  let give_up = sched (cfg.requests - 1) +. cfg.grace in
+  let next = ref 0 in
+  let drop_outstanding c =
+    dropped := !dropped + Queue.length c.outstanding;
+    Queue.clear c.outstanding
+  in
+  let kill c =
+    if not c.dead then begin
+      c.dead <- true;
+      drop_outstanding c
+    end
+  in
+  let complete c reply =
+    match Queue.take_opt c.outstanding with
+    | None -> () (* unsolicited line; nothing to attribute it to *)
+    | Some (seq, scheduled) ->
+        latencies.(!received) <- (cfg.now () -. scheduled) *. 1000.0;
+        incr received;
+        if cfg.is_error reply then incr errors else incr ok;
+        match cfg.capture with None -> () | Some f -> f seq reply
+  in
+  let read_conn c =
+    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+    | 0 ->
+        Framing.eof c.framing;
+        (* drain frames completed by the final bytes, then give up on the
+           connection's remaining outstanding requests *)
+        let rec go () =
+          match Framing.next c.framing with
+          | `Frame reply -> complete c reply; go ()
+          | `Overlong -> incr errors; ignore (Queue.take_opt c.outstanding); go ()
+          | `Await | `Eof -> ()
+        in
+        go ();
+        kill c
+    | n ->
+        Framing.feed c.framing chunk 0 n;
+        let rec go () =
+          match Framing.next c.framing with
+          | `Frame reply -> complete c reply; go ()
+          | `Overlong -> incr errors; ignore (Queue.take_opt c.outstanding); go ()
+          | `Await | `Eof -> ()
+        in
+        go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> kill c
+  in
+  while !received + !dropped < cfg.requests do
+    let t = cfg.now () in
+    (* open-loop: buffer every request whose scheduled time has arrived,
+       whether or not earlier ones were answered *)
+    while !next < cfg.requests && sched !next <= t do
+      let i = !next in
+      let c = conns.(i mod cfg.conns) in
+      if c.dead then incr dropped
+      else begin
+        let line = frame i in
+        Queue.add line c.out;
+        Queue.add "\n" c.out;
+        c.out_bytes <- c.out_bytes + String.length line + 1;
+        Queue.add (i, sched i) c.outstanding;
+        incr sent
+      end;
+      incr next
+    done;
+    if !received + !dropped < cfg.requests then begin
+      if !next >= cfg.requests && cfg.now () > give_up then
+        (* the grace window expired: whatever is still outstanding is lost *)
+        Array.iter drop_outstanding conns
+      else begin
+        let readers = ref [] and writers = ref [] in
+        Array.iter
+          (fun c ->
+            if not c.dead then begin
+              readers := c.fd :: !readers;
+              if c.out_bytes > 0 then writers := c.fd :: !writers
+            end)
+          conns;
+        if !readers = [] then
+          (* every connection died; unsent requests drop as they schedule *)
+          Array.iter drop_outstanding conns
+        else begin
+          let tmo =
+            if !next < cfg.requests then
+              Float.min 0.25 (Float.max 0.0 (sched !next -. cfg.now ()))
+            else 0.05
+          in
+          let rs, _, _ =
+            match Unix.select !readers !writers [] tmo with
+            | r -> r
+            | exception Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+          in
+          Array.iter
+            (fun c -> if (not c.dead) && c.out_bytes > 0 then flush_conn c)
+            conns;
+          Array.iter
+            (fun c -> if (not c.dead) && List.memq c.fd rs then read_conn c)
+            conns
+        end
+      end
+    end
+  done;
+  let elapsed_s = cfg.now () -. t0 in
+  Array.iter
+    (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    conns;
+  { sent = !sent; received = !received; ok = !ok; errors = !errors;
+    dropped = !dropped; elapsed_s;
+    latencies_ms = Array.sub latencies 0 !received }
+
+let quantile samples q =
+  let n = Array.length samples in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let rank = Float.to_int (Float.ceil (q *. Float.of_int n)) in
+    let rank = if rank < 1 then 1 else if rank > n then n else rank in
+    sorted.(rank - 1)
+  end
+
+let mean samples =
+  let n = Array.length samples in
+  if n = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 samples /. Float.of_int n

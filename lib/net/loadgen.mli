@@ -1,0 +1,57 @@
+(** Open-loop load generation against a netd listener.
+
+    The generator schedules request [i] at [t0 + i / rate] regardless of
+    how fast the server answers — the open-loop discipline — and measures
+    each request's latency from its *scheduled* start to the arrival of
+    its reply. A slow server therefore accrues queueing delay into the
+    tail percentiles instead of silently slowing the offered load
+    (coordinated omission).
+
+    Requests round-robin over [conns] persistent connections; replies are
+    newline-delimited and, per connection, arrive in request order (the
+    engine preserves request order inside and across micro-batches), so
+    the k-th reply on a connection completes the k-th request sent on it.
+
+    Single-threaded, select-driven, non-blocking: socket errors or an
+    early EOF on a connection count its outstanding requests as dropped
+    rather than aborting the run. *)
+
+type config = {
+  dial : unit -> Unix.file_descr;
+      (** open one connection to the server (blocking connect is fine;
+          the descriptor is switched to non-blocking) *)
+  conns : int;        (** concurrent connections (>= 1) *)
+  rate : float;       (** offered load, requests/second (> 0) *)
+  requests : int;     (** total requests to send (>= 1) *)
+  max_frame : int;    (** reply-line bound for the framing machines *)
+  is_error : string -> bool;
+      (** classify a reply line (e.g. [ok:false] detection) *)
+  now : unit -> float;  (** monotonic clock, seconds *)
+  grace : float;
+      (** seconds to keep waiting for outstanding replies after the last
+          request was sent before giving up and counting them dropped *)
+  capture : (int -> string -> unit) option;
+      (** observe (request sequence number, raw reply line); used by the
+          CI byte-identity check *)
+}
+
+type stats = {
+  sent : int;
+  received : int;
+  ok : int;
+  errors : int;    (** replies the classifier flagged (e.g. ["ok":false]) *)
+  dropped : int;   (** requests without a reply: dead connection or grace
+                       timeout *)
+  elapsed_s : float;  (** first schedule to last reply (or give-up) *)
+  latencies_ms : float array;  (** one entry per received reply *)
+}
+
+val run : config -> frame:(int -> string) -> stats
+(** [frame i] is the i-th request line (without the newline); it is pulled
+    lazily just before the request is buffered for write. *)
+
+val quantile : float array -> float -> float
+(** Exact sample quantile (nearest-rank on a sorted copy); [0.] on an
+    empty array. *)
+
+val mean : float array -> float

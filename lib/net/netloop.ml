@@ -1,0 +1,309 @@
+type sink = {
+  can_admit : unit -> bool;
+  submit : tag:int -> string -> [ `Admitted | `Rejected of string ];
+  drain : unit -> (int * string) list;
+  pending : unit -> int;
+  overlong_reply : unit -> string;
+}
+
+type config = {
+  max_frame : int;
+  max_conns : int;
+  write_bound : int;
+  inbox_bound : int;
+}
+
+let default_config =
+  { max_frame = Framing.default_max_frame;
+    max_conns = 960;
+    write_bound = 256 * 1024;
+    inbox_bound = 1024 }
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_framing : Framing.t;
+  c_inbox : string Queue.t;     (* parsed frames awaiting submission *)
+  c_out : string Queue.t;       (* reply bytes awaiting the socket *)
+  mutable c_out_off : int;      (* flushed prefix of the head of c_out *)
+  mutable c_out_bytes : int;
+  mutable c_inflight : int;     (* frames submitted, reply not yet routed *)
+  mutable c_read_eof : bool;
+  mutable c_dead : bool;        (* socket error: close asap, drop replies *)
+}
+
+type stats = {
+  live_conns : int;
+  accepted : int;
+  frames : int;
+  overlong : int;
+  dropped_replies : int;
+}
+
+type t = {
+  config : config;
+  listen : Unix.file_descr;
+  sink : sink;
+  conns : (int, conn) Hashtbl.t;
+  chunk : Bytes.t;
+  mutable next_id : int;
+  mutable rr : int;                 (* round-robin rotation cursor *)
+  mutable draining : bool;
+  mutable listener_closed : bool;
+  mutable stopped : bool;           (* drain complete; loop is done *)
+  mutable inboxed : int;            (* global parsed-but-unsubmitted count *)
+  mutable accepted : int;
+  mutable frames : int;
+  mutable overlong : int;
+  mutable dropped_replies : int;
+}
+
+let create ?(config = default_config) ~listen sink =
+  if config.max_conns < 1 then invalid_arg "Netloop.create: max_conns >= 1";
+  if config.write_bound < 1 then invalid_arg "Netloop.create: write_bound >= 1";
+  if config.inbox_bound < 1 then invalid_arg "Netloop.create: inbox_bound >= 1";
+  Unix.set_nonblock listen;
+  { config; listen; sink; conns = Hashtbl.create 64;
+    chunk = Bytes.create 65536; next_id = 0; rr = 0; draining = false;
+    listener_closed = false; stopped = false; inboxed = 0; accepted = 0;
+    frames = 0; overlong = 0; dropped_replies = 0 }
+
+let stop t = t.draining <- true
+let finished t = t.stopped
+
+let stats t =
+  { live_conns = Hashtbl.length t.conns; accepted = t.accepted;
+    frames = t.frames; overlong = t.overlong;
+    dropped_replies = t.dropped_replies }
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let push_out c s =
+  Queue.add s c.c_out;
+  Queue.add "\n" c.c_out;
+  c.c_out_bytes <- c.c_out_bytes + String.length s + 1
+
+(* Sorted live connections, rotated by the fairness cursor so every
+   connection periodically goes first for both reading and submission. *)
+let rotated t =
+  let all = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  let all = List.sort (fun a b -> compare a.c_id b.c_id) all in
+  match all with
+  | [] -> []
+  | _ ->
+      (* rotate left by the cursor: [a;b;c;d] at k=1 -> [b;c;d;a] *)
+      let k = t.rr mod List.length all in
+      let rec drop i xs = if i = 0 then xs else
+        match xs with [] -> [] | _ :: r -> drop (i - 1) r in
+      let rec take i xs = if i = 0 then [] else
+        match xs with [] -> [] | x :: r -> x :: take (i - 1) r in
+      drop k all @ take k all
+
+(* --- accepting --- *)
+
+let rec accept_ready t =
+  if (not t.draining) && Hashtbl.length t.conns < t.config.max_conns then
+    match Unix.accept ~cloexec:true t.listen with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        t.accepted <- t.accepted + 1;
+        Hashtbl.add t.conns id
+          { c_id = id; c_fd = fd;
+            c_framing = Framing.create ~max_frame:t.config.max_frame ();
+            c_inbox = Queue.create (); c_out = Queue.create ();
+            c_out_off = 0; c_out_bytes = 0; c_inflight = 0;
+            c_read_eof = false; c_dead = false };
+        accept_ready t
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> accept_ready t
+    | exception Unix.Unix_error (ECONNABORTED, _, _) -> accept_ready t
+    | exception Unix.Unix_error (EBADF, _, _) -> ()
+
+(* --- reading --- *)
+
+(* Pump every frame the machine can deliver right now into the inbox. *)
+let pump t c =
+  let rec go () =
+    match Framing.next c.c_framing with
+    | `Frame f ->
+        Queue.add f c.c_inbox;
+        t.inboxed <- t.inboxed + 1;
+        go ()
+    | `Overlong ->
+        t.overlong <- t.overlong + 1;
+        push_out c (t.sink.overlong_reply ());
+        go ()
+    | `Await | `Eof -> ()
+  in
+  go ()
+
+let read_ready t c =
+  if not (c.c_dead || c.c_read_eof) then begin
+    (match Unix.read c.c_fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 ->
+        c.c_read_eof <- true;
+        Framing.eof c.c_framing
+    | n -> Framing.feed c.c_framing t.chunk 0 n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> c.c_dead <- true);
+    if not c.c_dead then pump t c
+  end
+
+(* --- submission (fair round-robin) --- *)
+
+let submit_frames t =
+  if t.inboxed > 0 then begin
+    let order = rotated t in
+    t.rr <- t.rr + 1;
+    let progress = ref true in
+    while !progress && t.inboxed > 0 && t.sink.can_admit () do
+      progress := false;
+      List.iter
+        (fun c ->
+          if (not c.c_dead)
+             && (not (Queue.is_empty c.c_inbox))
+             && t.sink.can_admit ()
+          then begin
+            let frame = Queue.pop c.c_inbox in
+            t.inboxed <- t.inboxed - 1;
+            (match t.sink.submit ~tag:c.c_id frame with
+            | `Admitted ->
+                c.c_inflight <- c.c_inflight + 1;
+                t.frames <- t.frames + 1
+            | `Rejected reply -> push_out c reply);
+            progress := true
+          end)
+        order
+    done
+  end
+
+(* --- replies --- *)
+
+let route_replies t responses =
+  List.iter
+    (fun (tag, reply) ->
+      match Hashtbl.find_opt t.conns tag with
+      | Some c ->
+          c.c_inflight <- c.c_inflight - 1;
+          if c.c_dead then t.dropped_replies <- t.dropped_replies + 1
+          else push_out c reply
+      | None -> t.dropped_replies <- t.dropped_replies + 1)
+    responses
+
+(* --- writing --- *)
+
+let flush_out c =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty c.c_out) do
+    let head = Queue.peek c.c_out in
+    let len = String.length head - c.c_out_off in
+    match Unix.write_substring c.c_fd head c.c_out_off len with
+    | n ->
+        c.c_out_bytes <- c.c_out_bytes - n;
+        if n = len then begin
+          ignore (Queue.pop c.c_out);
+          c.c_out_off <- 0
+        end
+        else begin
+          c.c_out_off <- c.c_out_off + n;
+          continue := false
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) ->
+        (* EPIPE/ECONNRESET and friends: the peer is gone; close this one
+           connection instead of dying *)
+        c.c_dead <- true;
+        continue := false
+  done
+
+(* --- lifecycle --- *)
+
+let reap t =
+  let victims =
+    Hashtbl.fold
+      (fun _ c acc ->
+        let finished_naturally =
+          c.c_read_eof && Queue.is_empty c.c_inbox && c.c_inflight = 0
+          && c.c_out_bytes = 0
+        in
+        let drained =
+          t.draining && Queue.is_empty c.c_inbox && c.c_inflight = 0
+          && c.c_out_bytes = 0
+        in
+        if c.c_dead || finished_naturally || drained then c :: acc else acc)
+      t.conns []
+  in
+  List.iter
+    (fun c ->
+      t.inboxed <- t.inboxed - Queue.length c.c_inbox;
+      Queue.clear c.c_inbox;
+      close_fd c.c_fd;
+      Hashtbl.remove t.conns c.c_id)
+    victims
+
+let readable_conn t c =
+  (not c.c_dead) && (not c.c_read_eof) && (not t.draining)
+  && c.c_out_bytes <= t.config.write_bound
+  && t.inboxed < t.config.inbox_bound
+
+let step ?(timeout = 0.0) t =
+  if t.stopped then false
+  else begin
+    if t.draining && not t.listener_closed then begin
+      close_fd t.listen;
+      t.listener_closed <- true
+    end;
+    (* done? every connection drained and the engine queue empty *)
+    if t.draining && Hashtbl.length t.conns = 0 && t.inboxed = 0
+       && t.sink.pending () = 0
+    then begin
+      t.stopped <- true;
+      false
+    end
+    else begin
+      let readers = ref [] and writers = ref [] in
+      if (not t.draining) && Hashtbl.length t.conns < t.config.max_conns then
+        readers := [ t.listen ];
+      Hashtbl.iter
+        (fun _ c ->
+          if readable_conn t c then readers := c.c_fd :: !readers;
+          if (not c.c_dead) && c.c_out_bytes > 0 then
+            writers := c.c_fd :: !writers)
+        t.conns;
+      let has_work =
+        t.inboxed > 0 || t.sink.pending () > 0
+        || Hashtbl.fold (fun _ c acc -> acc || c.c_dead) t.conns false
+      in
+      let tmo = if has_work then 0.0 else timeout in
+      let rs, ws, _ =
+        if !readers = [] && !writers = [] && tmo = 0.0 then ([], [], [])
+        else
+          match Unix.select !readers !writers [] tmo with
+          | r -> r
+          | exception Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+      in
+      if (not t.listener_closed) && List.memq t.listen rs then accept_ready t;
+      (* read in rotated order for fairness; only fds select marked ready *)
+      List.iter
+        (fun c -> if List.memq c.c_fd rs then read_ready t c)
+        (rotated t);
+      submit_frames t;
+      route_replies t (t.sink.drain ());
+      (* flush every connection with queued bytes, not only the ones select
+         saw: replies generated this iteration postdate the select call *)
+      Hashtbl.iter
+        (fun _ c -> if (not c.c_dead) && c.c_out_bytes > 0 then flush_out c)
+        t.conns;
+      ignore ws;
+      reap t;
+      true
+    end
+  end
+
+let run t = while step ~timeout:0.5 t do () done

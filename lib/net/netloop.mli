@@ -1,0 +1,90 @@
+(** netd — a readiness-driven multi-connection front end.
+
+    One [select]-based event loop multiplexes a listening socket (Unix
+    domain or TCP) and every accepted connection over a single thread:
+
+    - per-connection non-blocking NDJSON framing ({!Framing}) accumulates
+      partial reads across chunk boundaries and handles overlong lines in
+      discard mode;
+    - complete frames are submitted to a {!sink} — chaind's micro-batching
+      engine behind a thin closure record — in fair round-robin order
+      across connections, so one chatty client cannot starve the rest;
+    - replies come back tagged with the originating connection and are
+      queued on per-connection write buffers, flushed opportunistically
+      with non-blocking writes;
+    - backpressure is layered: a connection whose write buffer exceeds
+      [write_bound] is not read until it drains, reading stops globally
+      while more than [inbox_bound] parsed frames await submission, and
+      the sink's own admission queue rejects past its bound;
+    - {!stop} begins a graceful drain: stop accepting and reading, submit
+      what was already parsed, flush every in-flight batch and write
+      buffer, then close all connections and the listener.
+
+    Disconnects are survived, never fatal: [EPIPE]/[ECONNRESET] on either
+    direction closes that one connection (replies still in flight for it
+    are dropped), and [EINTR]/[EAGAIN] are retried or deferred. The loop
+    never installs signal handlers; callers wire [SIGTERM]/[SIGINT] to
+    {!stop} themselves. *)
+
+type sink = {
+  can_admit : unit -> bool;
+      (** room in the admission queue? Polled before every submit so
+          parsed frames are held (and reading pauses) rather than drawing
+          rejections. *)
+  submit : tag:int -> string -> [ `Admitted | `Rejected of string ];
+      (** Offer one frame; [tag] comes back on the matching reply.
+          [`Rejected reply] carries a ready-to-send response (overload). *)
+  drain : unit -> (int * string) list;
+      (** Process one micro-batch; tagged replies in request order. *)
+  pending : unit -> int;  (** frames admitted but not yet drained *)
+  overlong_reply : unit -> string;
+      (** The response for a request line past [max_frame] (the line
+          itself was consumed by the framing layer). *)
+}
+
+type config = {
+  max_frame : int;   (** per-line bound, as the stdio transport's *)
+  max_conns : int;   (** stop accepting while this many are live *)
+  write_bound : int; (** pause reading a connection buffering more reply
+                         bytes than this *)
+  inbox_bound : int; (** pause reading every connection while this many
+                         parsed frames await submission *)
+}
+
+val default_config : config
+(** [max_frame] 1 MiB, [max_conns] 960 (headroom under the [select] fd
+    limit), [write_bound] 256 KiB, [inbox_bound] 1024 frames. *)
+
+type t
+
+val create : ?config:config -> listen:Unix.file_descr -> sink -> t
+(** The listener must already be bound and listening; it is switched to
+    non-blocking mode. The loop takes ownership: {!run} closes it when the
+    drain completes. *)
+
+val step : ?timeout:float -> t -> bool
+(** One iteration: select, accept, read, submit round-robin, drain one
+    micro-batch, flush, reap closed connections. Blocks at most [timeout]
+    seconds (default [0.]) and only when the loop is otherwise idle.
+    Returns [false] once the loop is finished (stopped and fully drained).
+    Exposed so tests can interleave client I/O with loop progress
+    deterministically. *)
+
+val run : t -> unit
+(** [step] until {!stop} was called and the drain completed. *)
+
+val stop : t -> unit
+(** Begin the graceful drain (idempotent, async-signal-safe: it only sets
+    a flag that the next iteration observes). *)
+
+val finished : t -> bool
+
+type stats = {
+  live_conns : int;
+  accepted : int;      (** connections accepted over the loop's lifetime *)
+  frames : int;        (** frames submitted to the sink *)
+  overlong : int;      (** overlong lines answered with an error reply *)
+  dropped_replies : int;  (** replies whose connection was gone *)
+}
+
+val stats : t -> stats

@@ -20,7 +20,10 @@ type t = {
   env : env;
   cache : string Lru.t;          (* options+chain key -> verdict JSON bytes *)
   metrics : Metrics.t;
-  queue : string Queue.t;        (* admitted raw frames *)
+  queue : (int * string) Queue.t;
+      (* admitted raw frames, tagged with the submitter's connection id
+         (0 for the serial transports); the tag rides through drain so a
+         multi-connection front end can route each reply home *)
   queue_capacity : int;
   batch : int;
   pool : Pipeline.Pool.t;
@@ -63,6 +66,8 @@ let cache_size t = Lru.size t.cache
 let cache_capacity t = Lru.capacity t.cache
 let cache_evictions t = Lru.evictions t.cache
 let pending t = Queue.length t.queue
+let queue_capacity t = t.queue_capacity
+let can_admit t = Queue.length t.queue < t.queue_capacity
 let shutdown t = Pipeline.Pool.shutdown t.pool
 let set_store_stats t fields = t.store_stats <- Some fields
 let set_experiments t j = t.experiments_stats <- Some j
@@ -352,6 +357,9 @@ let stats_json t =
             ("mean", Json.Float s.Metrics.lat_mean_ms);
             ("p50", Json.Float s.Metrics.lat_p50_ms);
             ("p90", Json.Float s.Metrics.lat_p90_ms);
+            ("p95", Json.Float s.Metrics.lat_p95_ms);
+            ("p99", Json.Float s.Metrics.lat_p99_ms);
+            ("p999", Json.Float s.Metrics.lat_p999_ms);
             ("max", Json.Float s.Metrics.lat_max_ms);
             ( "buckets",
               Json.List
@@ -454,16 +462,23 @@ let overload_response frame =
   Protocol.error_response ~id ~code:"overloaded"
     "admission queue full; retry later"
 
-let admit t frame =
+let submit t ~tag frame =
   if Queue.length t.queue >= t.queue_capacity then begin
     Metrics.incr_rejects t.metrics;
     `Rejected (overload_response frame)
   end
   else begin
     Metrics.incr_requests t.metrics;
-    Queue.add frame t.queue;
+    Queue.add (tag, frame) t.queue;
     `Admitted
   end
+
+let admit t frame = submit t ~tag:0 frame
+
+let overlong_response t =
+  Metrics.incr_errors t.metrics;
+  Protocol.error_response ~id:None ~code:"overlong"
+    "request line exceeds the transport's frame-length bound"
 
 let is_stats frame =
   match Protocol.of_frame frame with
@@ -477,19 +492,24 @@ let take_batch t =
   let rec go acc n =
     if n >= t.batch || Queue.is_empty t.queue then List.rev acc
     else
-      let next = Queue.peek t.queue in
+      let _, next = Queue.peek t.queue in
       if is_stats next then
         if acc = [] then [ Queue.pop t.queue ] else List.rev acc
       else go (Queue.pop t.queue :: acc) (n + 1)
   in
   go [] 0
 
-let drain t =
+let drain_tagged t =
   match take_batch t with
   | [] -> []
-  | frames ->
+  | tagged ->
       let seen = Hashtbl.create 16 in
-      process_slots t (List.map (prepare t seen) frames)
+      let responses =
+        process_slots t (List.map (fun (_, f) -> prepare t seen f) tagged)
+      in
+      List.map2 (fun (tag, _) response -> (tag, response)) tagged responses
+
+let drain t = List.map snd (drain_tagged t)
 
 let handle_frame t frame =
   let seen = Hashtbl.create 1 in
@@ -509,10 +529,7 @@ let serve (type c) t (module T : Transport.S with type conn = c) (conn : c) =
       | `Overlong ->
           (* The transport already dropped the line; answer with a
              structured error instead of buffering without bound. *)
-          Metrics.incr_errors t.metrics;
-          T.send conn
-            (Protocol.error_response ~id:None ~code:"overlong"
-               "request line exceeds the transport's frame-length bound");
+          T.send conn (overlong_response t);
           fill ~block:false
       | `Frame frame ->
           (match admit t frame with

@@ -81,16 +81,37 @@ val set_experiments : t -> Json.t -> unit
 val admit : t -> string -> [ `Admitted | `Rejected of string ]
 (** Offer one raw frame to the admission queue. [`Rejected response] is
     returned (and counted) when the queue already holds [queue_capacity]
-    frames; the response is a ready-to-send ["overloaded"] error. *)
+    frames; the response is a ready-to-send ["overloaded"] error.
+    Equivalent to [submit ~tag:0]. *)
+
+val submit : t -> tag:int -> string -> [ `Admitted | `Rejected of string ]
+(** As {!admit}, but the frame carries an opaque [tag] that
+    {!drain_tagged} returns with its response — how the netd event loop
+    routes each reply back to the connection that sent the request. *)
 
 val pending : t -> int
 (** Frames currently queued. *)
+
+val queue_capacity : t -> int
+
+val can_admit : t -> bool
+(** [pending t < queue_capacity t]: the next {!submit} would be admitted.
+    A readiness-driven front end polls this to hold parsed frames (and
+    pause reading) instead of drawing ["overloaded"] rejections. *)
 
 val drain : t -> string list
 (** Process one micro-batch from the queue and return the responses in
     request order. At most [batch] checks per call; a [stats] request acts
     as a batch barrier so its reply reflects every request admitted before
     it. Empty list when the queue is empty. *)
+
+val drain_tagged : t -> (int * string) list
+(** As {!drain}, with each response paired with the tag its request was
+    submitted under. *)
+
+val overlong_response : t -> string
+(** The canonical reply for a request line past the transport's frame
+    bound; counts one error. Shared by the serial serve loop and netd. *)
 
 val handle_frame : t -> string -> string
 (** Convenience: admit-free, single-request processing (used by tests). *)

@@ -70,6 +70,9 @@ type snapshot = {
   lat_max_ms : float;
   lat_p50_ms : float;
   lat_p90_ms : float;
+  lat_p95_ms : float;
+  lat_p99_ms : float;
+  lat_p999_ms : float;
   buckets : (float * int) list;
 }
 
@@ -107,6 +110,9 @@ let snapshot t =
       lat_max_ms = t.lat_max_ms;
       lat_p50_ms = quantile histogram t.lat_count t.lat_max_ms 0.5;
       lat_p90_ms = quantile histogram t.lat_count t.lat_max_ms 0.9;
+      lat_p95_ms = quantile histogram t.lat_count t.lat_max_ms 0.95;
+      lat_p99_ms = quantile histogram t.lat_count t.lat_max_ms 0.99;
+      lat_p999_ms = quantile histogram t.lat_count t.lat_max_ms 0.999;
       buckets =
         List.init
           (Array.length histogram)
@@ -123,7 +129,8 @@ let snapshot t =
 let pp_summary fmt s =
   Format.fprintf fmt
     "@[<v>chaind: %d requests (%d checks: %d hits / %d misses; %d rejected, \
-     %d errors)@,latency: mean %.2fms  p50 <=%.2fms  p90 <=%.2fms  max \
-     %.2fms over %d served@]"
+     %d errors)@,latency: mean %.2fms  p50 <=%.2fms  p95 <=%.2fms  p99 \
+     <=%.2fms  p999 <=%.2fms  max %.2fms over %d served@]"
     s.requests s.checks s.hits s.misses s.rejects s.errors s.lat_mean_ms
-    s.lat_p50_ms s.lat_p90_ms s.lat_max_ms s.lat_count
+    s.lat_p50_ms s.lat_p95_ms s.lat_p99_ms s.lat_p999_ms s.lat_max_ms
+    s.lat_count

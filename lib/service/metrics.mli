@@ -37,6 +37,12 @@ type snapshot = {
   lat_max_ms : float;
   lat_p50_ms : float;  (** upper bound of the bucket holding the median *)
   lat_p90_ms : float;
+  lat_p95_ms : float;
+  lat_p99_ms : float;
+  lat_p999_ms : float;
+      (** tail quantiles, same histogram-derived upper-bound convention;
+          what loadgen's open-loop report and chaind's [stats] replies both
+          surface so client- and server-side numbers line up *)
   buckets : (float * int) list;
       (** (upper bound in ms, count); the last bucket is [infinity] *)
 }

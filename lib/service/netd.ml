@@ -1,0 +1,126 @@
+module Netloop = Chaoschain_net.Netloop
+
+type addr = Unix_path of string | Tcp of string * int
+
+let parse_addr s =
+  let tcp_of host port_s =
+    match int_of_string_opt port_s with
+    | Some p when p > 0 && p < 65536 ->
+        if host = "" then Error "tcp address needs a host (try 127.0.0.1)"
+        else Ok (Tcp (host, p))
+    | _ -> Error (Printf.sprintf "invalid port %S" port_s)
+  in
+  if s = "" then Error "empty listen address"
+  else if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_path (String.sub s 5 (String.length s - 5)))
+  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "tcp address %S needs HOST:PORT" rest)
+    | Some i ->
+        tcp_of (String.sub rest 0 i)
+          (String.sub rest (i + 1) (String.length rest - i - 1))
+  end
+  else
+    match String.rindex_opt s ':' with
+    | Some i
+      when String.length s > i + 1
+           && int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+              <> None ->
+        tcp_of (String.sub s 0 i)
+          (String.sub s (i + 1) (String.length s - i - 1))
+    | _ -> Ok (Unix_path s)
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let resolve host port =
+  match Unix.inet_addr_of_string host with
+  | a -> Unix.ADDR_INET (a, port)
+  | exception Failure _ -> (
+      match Unix.getaddrinfo host (string_of_int port)
+              [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ ->
+          Unix.ADDR_INET (a, port)
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let listen_socket addr =
+  match addr with
+  | Unix_path path -> (
+      (try
+         match (Unix.lstat path).Unix.st_kind with
+         | Unix.S_SOCK -> Unix.unlink path
+         | _ -> ()
+       with Unix.Unix_error _ -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 128
+      with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot listen on %s: %s" path
+               (Unix.error_message e)))
+  | Tcp (host, port) -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (resolve host port);
+        Unix.listen fd 128
+      with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot listen on %s:%d: %s" host port
+               (Unix.error_message e))
+      | exception Failure msg ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error msg)
+
+let dial = function
+  | Unix_path path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (resolve host port)
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+
+let sink engine =
+  {
+    Netloop.can_admit = (fun () -> Engine.can_admit engine);
+    submit = (fun ~tag frame -> Engine.submit engine ~tag frame);
+    drain = (fun () -> Engine.drain_tagged engine);
+    pending = (fun () -> Engine.pending engine);
+    overlong_reply = (fun () -> Engine.overlong_response engine);
+  }
+
+let serve_listen ?config ~engine addr =
+  match listen_socket addr with
+  | Error _ as e -> e
+  | Ok listen ->
+      let loop = Netloop.create ?config ~listen (sink engine) in
+      let stop_on _ = Netloop.stop loop in
+      let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+      let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_on) in
+      let old_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_on) in
+      let restore () =
+        Sys.set_signal Sys.sigpipe old_pipe;
+        Sys.set_signal Sys.sigterm old_term;
+        Sys.set_signal Sys.sigint old_int;
+        match addr with
+        | Unix_path path ->
+            (try Unix.unlink path with Unix.Unix_error _ -> ())
+        | Tcp _ -> ()
+      in
+      (match Netloop.run loop with
+      | () -> restore ()
+      | exception e -> restore (); raise e);
+      Ok (Netloop.stats loop)

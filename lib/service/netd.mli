@@ -1,0 +1,43 @@
+(** netd — wiring chaind's engine into the {!Chaoschain_net.Netloop}
+    event loop: address parsing, listener/dial socket plumbing, the engine
+    {!Chaoschain_net.Netloop.sink}, and the signal-aware serve runner
+    behind [chaoscheck serve --listen].
+
+    The engine is shared with the serial stdio path, so a verdict computed
+    for a frame that arrived over netd is byte-identical to the same frame
+    fed through [serve]'s stdin — same cache, same batcher, same bytes. *)
+
+type addr =
+  | Unix_path of string  (** a filesystem socket path *)
+  | Tcp of string * int  (** host, port *)
+
+val parse_addr : string -> (addr, string) result
+(** Accepted spellings: ["unix:PATH"], ["tcp:HOST:PORT"], ["HOST:PORT"]
+    (numeric port), and anything else as a bare Unix socket path. *)
+
+val addr_to_string : addr -> string
+
+val listen_socket : addr -> (Unix.file_descr, string) result
+(** Bind and listen (backlog 128). A stale Unix socket path is unlinked
+    first; TCP listeners set [SO_REUSEADDR]. *)
+
+val dial : addr -> Unix.file_descr
+(** Open one client connection (used by loadgen and tests). Raises
+    [Unix.Unix_error] / [Failure] on refusal or resolution failure. *)
+
+val sink : Engine.t -> Chaoschain_net.Netloop.sink
+(** The event-loop view of an engine: submit = {!Engine.submit},
+    drain = {!Engine.drain_tagged}, admission gate = {!Engine.can_admit},
+    overlong replies = {!Engine.overlong_response}. *)
+
+val serve_listen :
+  ?config:Chaoschain_net.Netloop.config ->
+  engine:Engine.t ->
+  addr ->
+  (Chaoschain_net.Netloop.stats, string) result
+(** Run the event loop on [addr] until [SIGTERM]/[SIGINT] triggers the
+    graceful drain (stop accepting, flush in-flight batches and write
+    buffers, close). Ignores [SIGPIPE] for the process (client disconnects
+    must surface as [EPIPE], not kill chaind) and restores the previous
+    TERM/INT dispositions before returning. A Unix socket path is
+    unlinked on the way out. *)

@@ -17,13 +17,17 @@ module Fd = struct
     mutable discarding : bool;
         (* an overlong line was reported; drop bytes through its newline *)
     mutable eof : bool;   (* the descriptor reported end-of-file *)
-    mutable closed : bool (* eof AND the buffer has been fully drained *)
+    mutable closed : bool; (* eof AND the buffer has been fully drained *)
+    mutable broken : bool
+        (* the write side died (EPIPE/ECONNRESET): drop further sends and
+           report EOF so the serve loop winds down this conversation *)
   }
 
   let make ?(max_frame = default_max_frame) fd out =
     if max_frame < 1 then invalid_arg "Transport.Fd.make: max_frame >= 1";
     { fd; out; buf = Buffer.create 4096; chunk = Bytes.create 4096;
-      max_frame; discarding = false; eof = false; closed = false }
+      max_frame; discarding = false; eof = false; closed = false;
+      broken = false }
 
   let stdio ?max_frame () = make ?max_frame Unix.stdin stdout
 
@@ -49,6 +53,9 @@ module Fd = struct
     | n -> Buffer.add_subbytes c.buf c.chunk 0 n
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
         if block then fill c ~block
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        (* the peer vanished mid-read: treat as end-of-stream, not a crash *)
+        c.eof <- true
 
   let rec recv c ~block =
     if c.discarding then begin
@@ -102,10 +109,31 @@ module Fd = struct
           end
           else `Empty
 
+  (* One reply, written straight to the descriptor (the out_channel is kept
+     only to name it). A peer that disconnected mid-conversation surfaces
+     here as EPIPE/ECONNRESET (with SIGPIPE ignored): the connection is
+     marked closed — recv answers [`Eof] from then on and later sends are
+     dropped — instead of the write killing the process. EINTR retries. *)
   let send c frame =
-    output_string c.out frame;
-    output_char c.out '\n';
-    flush c.out
+    if not c.broken then begin
+      let fd = Unix.descr_of_out_channel c.out in
+      let line = frame ^ "\n" in
+      let len = String.length line in
+      let rec write off =
+        if off < len then
+          match Unix.write_substring fd line off (len - off) with
+          | n -> write (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> write off
+          | exception
+              Unix.Unix_error
+                ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+              c.broken <- true;
+              c.eof <- true;
+              c.closed <- true;
+              Buffer.clear c.buf
+      in
+      write 0
+    end
 end
 
 module Mem = struct

@@ -32,7 +32,14 @@ end
     though the descriptor is a pipe. A trailing unterminated line is
     delivered as a final frame at EOF. An overlong line is reported as soon
     as the buffer crosses [max_frame] and its remaining bytes are dropped
-    chunk-by-chunk through the closing newline, keeping memory bounded. *)
+    chunk-by-chunk through the closing newline, keeping memory bounded.
+
+    Client disconnects are survivable, not fatal: [EPIPE]/[ECONNRESET] on
+    either direction (and [EINTR] mid-write, which is retried) mark the
+    connection closed — [recv] then reports [`Eof] and [send] becomes a
+    no-op — so the serve loop winds down that conversation instead of the
+    process dying. Callers that write to sockets or pipes should ignore
+    [SIGPIPE] (the CLI does) so a broken pipe surfaces as [EPIPE]. *)
 module Fd : sig
   include S
 

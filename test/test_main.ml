@@ -15,4 +15,5 @@ let () =
       ("extensions", Test_extensions_modules.suite);
       ("store", Test_store.suite);
       ("service", Test_service.suite);
+      ("net", Test_net.suite);
       ("edge-cases", Test_edge_cases.suite) ]

@@ -657,6 +657,108 @@ let serve_overlong_reply () =
   Alcotest.(check int) "overlong counted as error" 1 m.S.Metrics.errors;
   Alcotest.(check int) "check still served" 1 m.S.Metrics.misses
 
+(* --- fd transport: peer disconnect must not kill the process --- *)
+
+let transport_fd_disconnect () =
+  let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.signal Sys.sigpipe prev))
+    (fun () ->
+      let in_r, in_w = Unix.pipe () in
+      let out_r, out_w = Unix.pipe () in
+      let out = Unix.out_channel_of_descr out_w in
+      let conn = S.Transport.Fd.make in_r out in
+      (* happy path first: a reply reaches the peer *)
+      S.Transport.Fd.send conn "first";
+      let buf = Bytes.create 64 in
+      let n = Unix.read out_r buf 0 64 in
+      Alcotest.(check string) "delivered" "first\n" (Bytes.sub_string buf 0 n);
+      (* the peer hangs up; with SIGPIPE ignored the next write raises
+         EPIPE, which must mark the connection dead instead of escaping *)
+      Unix.close out_r;
+      S.Transport.Fd.send conn "into the void";
+      S.Transport.Fd.send conn "still no crash";
+      (match S.Transport.Fd.recv conn ~block:false with
+      | `Eof -> ()
+      | _ -> Alcotest.fail "disconnected conn must answer Eof");
+      ignore (Unix.write_substring in_w "late\n" 0 5);
+      (match S.Transport.Fd.recv conn ~block:false with
+      | `Eof -> ()
+      | _ -> Alcotest.fail "Eof is sticky after disconnect");
+      Unix.close in_r;
+      Unix.close in_w;
+      close_out_noerr out)
+
+(* --- metrics: tail quantiles --- *)
+
+let metrics_quantiles () =
+  let m = S.Metrics.create () in
+  (* 90 fast, 9 medium, 1 slow: the quantiles land in known buckets *)
+  for _ = 1 to 90 do S.Metrics.observe_latency m 0.00004 done;
+  for _ = 1 to 9 do S.Metrics.observe_latency m 0.0002 done;
+  S.Metrics.observe_latency m 0.03;
+  let s = S.Metrics.snapshot m in
+  Alcotest.(check int) "count" 100 s.S.Metrics.lat_count;
+  Alcotest.(check (float 1e-9)) "p50" 0.05 s.S.Metrics.lat_p50_ms;
+  Alcotest.(check (float 1e-9)) "p90" 0.05 s.S.Metrics.lat_p90_ms;
+  Alcotest.(check (float 1e-9)) "p95" 0.25 s.S.Metrics.lat_p95_ms;
+  Alcotest.(check (float 1e-9)) "p99" 0.25 s.S.Metrics.lat_p99_ms;
+  Alcotest.(check (float 1e-9)) "p999" 50.0 s.S.Metrics.lat_p999_ms;
+  Alcotest.(check (float 1e-6)) "max" 30.0 s.S.Metrics.lat_max_ms;
+  let empty = S.Metrics.snapshot (S.Metrics.create ()) in
+  Alcotest.(check (float 0.0)) "empty p999" 0.0 empty.S.Metrics.lat_p999_ms
+
+(* --- engine: tagged submission for the netd front end --- *)
+
+let engine_tagged_submit () =
+  let t = Engine.create ~env:(make_env ()) () in
+  Alcotest.(check bool) "room before" true (Engine.can_admit t);
+  let frame k = check_frame ~id:(Printf.sprintf "t%d" k) ~scenario:"fixture" () in
+  List.iter
+    (fun k ->
+      match Engine.submit t ~tag:(100 + k) (frame k) with
+      | `Admitted -> ()
+      | `Rejected _ -> Alcotest.fail "unexpected rejection")
+    [ 0; 1; 2 ];
+  Alcotest.(check int) "pending" 3 (Engine.pending t);
+  let replies = Engine.drain_tagged t in
+  Alcotest.(check (list int)) "tags in request order" [ 100; 101; 102 ]
+    (List.map fst replies);
+  List.iteri
+    (fun k (_, response) ->
+      match response_field response "id" with
+      | Some (Json.String id) ->
+          Alcotest.(check string) "id echoed" (Printf.sprintf "t%d" k) id
+      | _ -> Alcotest.fail "no id in tagged reply")
+    replies;
+  (* stats replies surface the new tail quantiles *)
+  (match Engine.drain t with
+  | [] -> ()
+  | _ -> Alcotest.fail "queue should be empty");
+  (match Engine.submit t ~tag:7 "{\"id\":\"s\",\"op\":\"stats\"}" with
+  | `Admitted -> ()
+  | `Rejected _ -> Alcotest.fail "stats rejected");
+  (match Engine.drain_tagged t with
+  | [ (7, response) ] ->
+      let stats =
+        match response_field response "stats" with
+        | Some s -> s
+        | None -> Alcotest.fail "no stats payload"
+      in
+      let lat =
+        match Json.member "latency_ms" stats with
+        | Some l -> l
+        | None -> Alcotest.fail "no latency_ms block"
+      in
+      List.iter
+        (fun key ->
+          if Json.member key lat = None then
+            Alcotest.fail ("stats latency block lacks " ^ key))
+        [ "p50"; "p90"; "p95"; "p99"; "p999" ]
+  | _ -> Alcotest.fail "tagged stats reply expected");
+  expect_error (Engine.overlong_response t) "overlong";
+  Engine.shutdown t
+
 let suite =
   [ Alcotest.test_case "json round-trip" `Quick json_round_trip;
     Alcotest.test_case "json decode escapes" `Quick json_decode_escapes;
@@ -682,4 +784,8 @@ let suite =
     Alcotest.test_case "scripted engine clock" `Slow engine_scripted_clock;
     Alcotest.test_case "overlong line (mem transport)" `Quick transport_overlong_mem;
     Alcotest.test_case "overlong line (fd transport)" `Quick transport_overlong_fd;
-    Alcotest.test_case "overlong reply from serve" `Slow serve_overlong_reply ]
+    Alcotest.test_case "overlong reply from serve" `Slow serve_overlong_reply;
+    Alcotest.test_case "fd transport survives disconnect" `Quick
+      transport_fd_disconnect;
+    Alcotest.test_case "metrics tail quantiles" `Quick metrics_quantiles;
+    Alcotest.test_case "tagged submit/drain" `Slow engine_tagged_submit ]
