@@ -38,6 +38,11 @@ let usage =
   \                 is identical for every value)\n\
   \  --json FILE    also write machine-readable wall-clock timings per\n\
   \                 experiment and micro-benchmark estimates to FILE\n\
+  \  --filter GLOB  run only workloads whose name matches GLOB (* and ?\n\
+  \                 wildcards, e.g. 'store/*'). Heavy workloads — the\n\
+  \                 65536/1M-leaf Merkle trees and the store/audit(100k)\n\
+  \                 wall-clock run — are skipped by default and run only\n\
+  \                 when a --filter explicitly matches them\n\
   \  --no-micro     skip the Bechamel micro-benchmarks\n\
   \  --micro-only   only the Bechamel micro-benchmarks\n\
   \  --smoke        correctness cross-checks of the fast paths (digest and\n\
@@ -53,7 +58,22 @@ type config = {
   smoke : bool;
   jobs : int;
   json : string option;
+  filter : string option;
 }
+
+(* Workload selection: shell-style glob with [*] (any run) and [?] (any one
+   character); everything else matches literally. *)
+let glob_match pat name =
+  let np = String.length pat and nn = String.length name in
+  let rec go i j =
+    if i = np then j = nn
+    else
+      match pat.[i] with
+      | '*' -> go (i + 1) j || (j < nn && go i (j + 1))
+      | '?' -> j < nn && go (i + 1) (j + 1)
+      | c -> j < nn && name.[j] = c && go (i + 1) (j + 1)
+  in
+  go 0 0
 
 let die msg =
   Printf.eprintf "main.exe: %s\n\n%s" msg usage;
@@ -70,6 +90,7 @@ let parse_args () =
         smoke = false;
         jobs = Pipeline.default_jobs ();
         json = None;
+        filter = None;
       }
   in
   let float_value flag v =
@@ -104,6 +125,9 @@ let parse_args () =
     | "--json" :: v :: rest ->
         cfg := { !cfg with json = Some v };
         go rest
+    | "--filter" :: v :: rest ->
+        cfg := { !cfg with filter = Some v };
+        go rest
     | "--no-micro" :: rest ->
         cfg := { !cfg with micro = false };
         go rest
@@ -114,7 +138,7 @@ let parse_args () =
         cfg := { !cfg with smoke = true; tables = false };
         go rest
     | [ flag ] when flag = "--scale" || flag = "--only" || flag = "--jobs"
-                    || flag = "-j" || flag = "--json" ->
+                    || flag = "-j" || flag = "--json" || flag = "--filter" ->
         die (flag ^ " expects a value")
     | arg :: _ -> die ("unknown argument " ^ arg)
   in
@@ -241,11 +265,12 @@ let micro_workloads () =
     done;
     Buffer.contents b
   in
-  let replay_off = ref 0 in
+  let replay_cursor = Frame.Cursor.create replay_seg in
   let merkle_leaves =
     Array.init 1024 (fun i -> Merkle.leaf_hash (Printf.sprintf "leaf %d" i))
   in
-  let merkle_root = Merkle.root merkle_leaves in
+  let merkle_tree = Merkle.Tree.of_leaf_hashes merkle_leaves in
+  let merkle_root = Merkle.Tree.root merkle_tree in
   let merkle_idx = ref 0 in
   [ ("sha256/1KiB", fun () -> ignore (Chaoschain_crypto.Sha256.digest sha_buf));
     ( "der/decode-certificate",
@@ -287,21 +312,116 @@ let micro_workloads () =
         if Buffer.length append_buf > 1 lsl 20 then Buffer.clear append_buf;
         Frame.add append_buf ~kind:2 store_payload );
     ( "store/replay-record",
+      (* The strict-reader hot path: header decode + CRC verify of one
+         frame through the reusable cursor — no payload copy, no result
+         record, zero allocation per record. *)
       fun () ->
-        match Frame.read replay_seg !replay_off with
-        | Frame.Frame { next; _ } ->
-            replay_off := if next >= String.length replay_seg then 0 else next
-        | _ -> replay_off := 0 );
+        match Frame.Cursor.next replay_cursor with
+        | Frame.Cursor.Item -> ()
+        | Frame.Cursor.Done -> Frame.Cursor.reset replay_cursor replay_seg
+        | _ -> failwith "replay bench segment damaged" );
     ( "store/merkle-proof(1024)",
+      (* O(log n) reads off the prebuilt layers — what `chaoscheck proof`
+         does against the persisted tree.mrk. *)
       fun () ->
         let i = !merkle_idx in
         merkle_idx := (i + 41) land 1023;
-        let path = Merkle.proof merkle_leaves i in
+        let path = Merkle.Tree.proof merkle_tree i in
         if
           not
             (Merkle.verify ~root:merkle_root ~index:i ~count:1024
                merkle_leaves.(i) path)
         then failwith "merkle bench proof rejected" ) ]
+
+(* Heavy micro-workloads: skipped unless --filter explicitly matches them
+   (the setup builds 65k/1M-leaf trees — O(n) hashing). The proof cost
+   across 1024/65536/1M is the O(log n) scaling probe. *)
+let heavy_workloads =
+  let module Merkle = Chaoschain_store.Merkle in
+  List.map
+    (fun (name, n) ->
+      ( name,
+        fun () ->
+          let leaves =
+            Array.init n (fun i -> Merkle.leaf_hash (Printf.sprintf "leaf %d" i))
+          in
+          let tree = Merkle.Tree.of_leaf_hashes leaves in
+          let root = Merkle.Tree.root tree in
+          let idx = ref 0 in
+          fun () ->
+            let i = !idx in
+            idx := (i + 40961) mod n;
+            let path = Merkle.Tree.proof tree i in
+            if
+              not
+                (Merkle.verify ~root ~index:i ~count:n (Merkle.Tree.leaf tree i)
+                   path)
+            then failwith "merkle bench proof rejected" ))
+    [ ("store/merkle-proof(65536)", 65536);
+      ("store/merkle-proof(1048576)", 1 lsl 20) ]
+
+(* Wall-clock workloads: one timed end-to-end run each, reported in
+   seconds rather than Bechamel ns/run. Skipped unless --filter matches. *)
+type wall_result = { w_name : string; w_seconds : float; w_note : string }
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let wall_workloads =
+  let module Store = Chaoschain_store.Store in
+  [ ( "store/audit(100k)",
+      fun () ->
+        let n = 100_000 in
+        let dir = Filename.temp_dir "chaosbench-store" "" in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let rng = Chaoschain_crypto.Prng.create 4242L in
+            let blob len =
+              String.init len (fun _ ->
+                  Char.chr (Chaoschain_crypto.Prng.int rng 256))
+            in
+            let w = Store.create dir in
+            for _ = 1 to 64 do
+              ignore (Store.add_cert w (blob 600) : string)
+            done;
+            for _ = 1 to n do
+              Store.add_obs w (blob 32)
+            done;
+            Store.add_env w (blob 128);
+            ignore (Store.close w ~scale:1.0 : string);
+            let t0 = wall_s () in
+            let r = Store.audit dir in
+            let dt = wall_s () -. t0 in
+            if not r.Store.a_ok then failwith "audit bench: store not clean";
+            if r.Store.a_repaired then failwith "audit bench: unexpected repair";
+            {
+              w_name = "store/audit(100k)";
+              w_seconds = dt;
+              w_note = Printf.sprintf "%d records, repair-free" n;
+            }) ) ]
+
+let run_wall ~filter =
+  let selected =
+    match filter with
+    | None -> []
+    | Some g -> List.filter (fun (name, _) -> glob_match g name) wall_workloads
+  in
+  if selected = [] then []
+  else begin
+    Printf.printf "== wall-clock workloads ==\n%!";
+    List.map
+      (fun (name, run) ->
+        Printf.printf "%-45s ...\r%!" name;
+        let r = run () in
+        Printf.printf "%-45s %12.3f s   (%s)\n%!" name r.w_seconds r.w_note;
+        r)
+      selected
+  end
 
 type micro_result = {
   bench : string;
@@ -315,7 +435,25 @@ type micro_result = {
    allocator reach steady state), and the sampling quota is high enough that
    fast workloads get thousands of measured runs; r^2 of the OLS fit is
    reported so a noisy estimate is visible in the output. *)
-let run_micro ?(quota_s = 1.0) ?(warmup_s = 0.05) () =
+let run_micro ?(quota_s = 1.0) ?(warmup_s = 0.05) ?filter () =
+  let matches name =
+    match filter with None -> true | Some g -> glob_match g name
+  in
+  let workloads =
+    List.filter (fun (name, _) -> matches name) (micro_workloads ())
+    @ (match filter with
+      | None -> []  (* heavy trees are built only on explicit request *)
+      | Some _ ->
+          List.filter_map
+            (fun (name, setup) ->
+              if matches name then Some (name, setup ()) else None)
+            heavy_workloads)
+  in
+  if workloads = [] then begin
+    Printf.printf "== Bechamel micro-benchmarks ==\n(no workload matches the filter)\n%!";
+    []
+  end
+  else begin
   Printf.printf "== Bechamel micro-benchmarks ==\n%!";
   Printf.printf "%-45s %15s %10s %12s\n" "benchmark" "ns/run" "r^2" "mnr-w/run";
   let cfg =
@@ -363,8 +501,9 @@ let run_micro ?(quota_s = 1.0) ?(warmup_s = 0.05) () =
         (match mw with Some w -> Printf.sprintf "%.1f" w | None -> "n/a");
       collected :=
         { bench = name; ns_per_run = ns; r2; minor_words = mw } :: !collected)
-    (micro_workloads ());
+    workloads;
   List.rev !collected
+  end
 
 (* --- smoke: fast paths must agree with the reference paths --- *)
 
@@ -438,7 +577,8 @@ let run_smoke () =
 
 (* --- machine-readable timing dump (--json) --- *)
 
-let json_of_run ~cfg ~(experiments : run_report option) ~(micro : micro_result list) =
+let json_of_run ~cfg ~(experiments : run_report option) ~(micro : micro_result list)
+    ~(wall : wall_result list) =
   let opt_float = function Some f -> Json.Float f | None -> Json.Null in
   let experiments_json =
     match experiments with
@@ -472,9 +612,23 @@ let json_of_run ~cfg ~(experiments : run_report option) ~(micro : micro_result l
                        ("minor_words_per_run", opt_float m.minor_words) ])
                  l) ) ]
   in
+  let wall_json =
+    match wall with
+    | [] -> []
+    | l ->
+        [ ( "wall",
+            Json.List
+              (List.map
+                 (fun w ->
+                   Json.Obj
+                     [ ("name", Json.String w.w_name);
+                       ("seconds", Json.Float w.w_seconds);
+                       ("note", Json.String w.w_note) ])
+                 l) ) ]
+  in
   Json.Obj
     ([ ("scale", Json.Float cfg.scale); ("jobs", Json.Int cfg.jobs) ]
-    @ experiments_json @ micro_json)
+    @ experiments_json @ micro_json @ wall_json)
 
 let () =
   let cfg = parse_args () in
@@ -485,15 +639,16 @@ let () =
     else None
   in
   let micro =
-    if cfg.smoke then run_micro ~quota_s:0.02 ~warmup_s:0.005 ()
-    else if cfg.micro then run_micro ()
+    if cfg.smoke then run_micro ~quota_s:0.02 ~warmup_s:0.005 ?filter:cfg.filter ()
+    else if cfg.micro then run_micro ?filter:cfg.filter ()
     else []
   in
+  let wall = if cfg.micro then run_wall ~filter:cfg.filter else [] in
   match cfg.json with
   | None -> ()
   | Some path ->
       Out_channel.with_open_text path (fun oc ->
           Out_channel.output_string oc
-            (Json.to_string (json_of_run ~cfg ~experiments ~micro));
+            (Json.to_string (json_of_run ~cfg ~experiments ~micro ~wall));
           Out_channel.output_char oc '\n');
       Printf.printf "timings written to %s\n%!" path

@@ -10,6 +10,10 @@
      classify  — parsifal-style chain classification over a persisted corpus
      diff      — per-cell comparison of two persisted corpora
      audit     — verify (and repair) a corpus store's integrity
+     get       — random-access one record payload via the offset index
+     proof     — O(log n) Merkle inclusion proof from the persisted layers
+     mkstore   — synthetic N-record store (the scale harness for CI/bench)
+     compact   — drop unreferenced certificates from the dedup segment
      certmsg   — encode a PEM chain as a raw TLS Certificate message
      serve     — chaind: the online chain-compliance query service
                  (stdio, or many connections via --listen / netd)
@@ -325,6 +329,25 @@ let jobs_pipeline_arg =
                  sequential; default: all cores). Output is identical for \
                  every value.")
 
+(* Store-level operations (audit, compact) inject the Domain pool as a
+   [Par.t] runner; jobs <= 1 short-circuits to the sequential runner
+   without spawning a pool. Results are identical for every value. *)
+let with_store_par jobs f =
+  if jobs <= 1 then f Chaoschain_store.Par.seq
+  else begin
+    let pool = Pipeline.Pool.create ~jobs in
+    Fun.protect
+      ~finally:(fun () -> Pipeline.Pool.shutdown pool)
+      (fun () -> f (Pipeline.Pool.run pool))
+  end
+
+let no_index_arg =
+  Arg.(value & flag
+       & info [ "no-index" ]
+           ~doc:"Ignore the per-segment offset indexes and decode every \
+                 segment sequentially (the reference path the indexed path \
+                 is byte-identical to).")
+
 (* Experiment results are the typed report IR; --format selects the
    renderer. Text keeps the historical byte-exact framing (body, blank
    line). JSON prints one deterministic document — stable key order, fixed
@@ -434,11 +457,11 @@ let replay_cmd =
          & info [ "store" ] ~docv:"DIR"
              ~doc:"Chainstore directory written by 'scan --store'.")
   in
-  let run store jobs fmt check_paper no_intern =
+  let run store jobs fmt check_paper no_index no_intern =
     apply_intern no_intern;
     if jobs < 1 then `Error (true, "--jobs must be >= 1")
     else
-      match Corpus.load ~dir:store with
+      match Corpus.load ~jobs ~use_index:(not no_index) store with
       | Error e -> `Error (false, e)
       | Ok loaded ->
           let view = Corpus.analyze ~jobs loaded in
@@ -457,7 +480,7 @@ let replay_cmd =
              persisted corpus, without regenerating the population; stdout \
              is byte-identical to the scan that wrote the store")
     Term.(ret (const run $ store_arg $ jobs_pipeline_arg $ format_arg
-               $ check_paper_arg $ no_intern_arg))
+               $ check_paper_arg $ no_index_arg $ no_intern_arg))
 
 (* --- classify: parsifal-style corpus query --- *)
 
@@ -469,7 +492,7 @@ let classify_cmd =
   in
   let run store fmt no_intern =
     apply_intern no_intern;
-    match Corpus.load ~dir:store with
+    match Corpus.load store with
     | Error e -> `Error (false, e)
     | Ok loaded ->
         let t = Classify.run loaded.Corpus.l_dataset.Scanner.domains in
@@ -533,7 +556,7 @@ let diff_cmd =
     apply_intern no_intern;
     if jobs < 1 then `Error (true, "--jobs must be >= 1")
     else
-      match (Corpus.load ~dir:a, Corpus.load ~dir:b) with
+      match (Corpus.load a, Corpus.load b) with
       | Error e, _ -> `Error (false, a ^ ": " ^ e)
       | _, Error e -> `Error (false, b ^ ": " ^ e)
       | Ok la, Ok lb ->
@@ -590,10 +613,14 @@ let audit_cmd =
              ~doc:"Number of observation records whose Merkle inclusion \
                    proofs are verified (evenly spread).")
   in
-  let run store dry_run samples =
+  let run store dry_run samples jobs =
     if samples < 1 then `Error (true, "--samples must be >= 1")
+    else if jobs < 1 then `Error (true, "--jobs must be >= 1")
     else begin
-      let r = Corpus.Store.audit ~repair:(not dry_run) ~samples store in
+      let r =
+        with_store_par jobs (fun par ->
+            Corpus.Store.audit ~par ~repair:(not dry_run) ~samples store)
+      in
       List.iter print_endline r.Corpus.Store.a_messages;
       if r.Corpus.Store.a_repaired then print_endline "store repaired";
       if r.Corpus.Store.a_ok then begin
@@ -605,11 +632,183 @@ let audit_cmd =
   in
   Cmd.v
     (Cmd.info "audit"
-       ~doc:"Verify a corpus store: segment CRCs, record counts, the Merkle \
-             root and its authentication tag, and sampled inclusion proofs; \
-             a truncated segment tail (crash artifact) is repaired by \
-             cutting back to the last whole record unless --dry-run")
-    Term.(ret (const run $ store_arg $ dry_run_arg $ samples_arg))
+       ~doc:"Verify a corpus store: segment CRCs, record counts, offset \
+             indexes, the persisted Merkle layers, the Merkle root and its \
+             authentication tag, and sampled inclusion proofs; a truncated \
+             segment tail (crash artifact) is repaired by cutting back to \
+             the last whole record — and stale sidecars rebuilt — unless \
+             --dry-run. Segment scanning and tree building fan out over \
+             --jobs Domains.")
+    Term.(ret (const run $ store_arg $ dry_run_arg $ samples_arg
+               $ jobs_pipeline_arg))
+
+(* --- get / proof / mkstore / compact: direct store operations --- *)
+
+let store_dir_arg =
+  Arg.(required & opt (some string) None
+       & info [ "store" ] ~docv:"DIR" ~doc:"Chainstore directory.")
+
+let segment_arg =
+  let seg =
+    Arg.enum
+      [ ("obs", Corpus.Store.Obs); ("certs", Corpus.Store.Certs);
+        ("env", Corpus.Store.Env) ]
+  in
+  Arg.(value & opt seg Corpus.Store.Obs
+       & info [ "seg" ] ~docv:"SEGMENT"
+           ~doc:"Which segment to read: $(b,obs), $(b,certs) or $(b,env).")
+
+let get_cmd =
+  let index_arg =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"INDEX" ~doc:"Record index (0-based).")
+  in
+  let seq_arg =
+    Arg.(value & flag
+         & info [ "seq" ]
+             ~doc:"Fetch by sequentially decoding the segment instead of \
+                   through the offset index (the reference path; bytes are \
+                   identical).")
+  in
+  let run store seg i seq =
+    let fetch = if seq then Corpus.Store.read_record_seq else Corpus.Store.read_record_at in
+    match fetch store seg i with
+    | Error e -> `Error (false, e)
+    | Ok payload ->
+        print_string payload;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "get"
+       ~doc:"Dump one record's raw payload bytes to stdout. The default \
+             path seeks straight to the record through the per-segment \
+             offset index (O(1) I/O, CRC-verified); --seq takes the \
+             sequential reference path. A missing or stale index silently \
+             falls back to the sequential scan — the segment always wins.")
+    Term.(ret (const run $ store_dir_arg $ segment_arg $ index_arg $ seq_arg))
+
+let proof_cmd =
+  let index_arg =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"INDEX" ~doc:"Observation record index (0-based).")
+  in
+  let run store i =
+    match Corpus.Store.inclusion_proof store i with
+    | Error e -> `Error (false, e)
+    | Ok p ->
+        Printf.printf "record %d of %d\n" p.Corpus.Store.p_index
+          p.Corpus.Store.p_count;
+        Printf.printf "root %s\n" p.Corpus.Store.p_root_hex;
+        Printf.printf "leaf %s\n"
+          (Chaoschain_crypto.Hex.encode p.Corpus.Store.p_leaf);
+        List.iteri
+          (fun l h ->
+            Printf.printf "path[%d] %s\n" l (Chaoschain_crypto.Hex.encode h))
+          p.Corpus.Store.p_path;
+        print_endline "proof ok";
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "proof"
+       ~doc:"Emit (and verify) the Merkle inclusion proof connecting one \
+             observation record to the store's authenticated ROOT. Served \
+             from the persisted tree.mrk layers and the offset index — \
+             O(log n) work, no tree rebuild — falling back to a full \
+             rebuild from obs.seg if the layer file is missing or stale.")
+    Term.(ret (const run $ store_dir_arg $ index_arg))
+
+let mkstore_cmd =
+  let records_arg =
+    Arg.(value & opt int 100_000
+         & info [ "records"; "n" ] ~doc:"Observation records to write.")
+  in
+  let certs_arg =
+    Arg.(value & opt int 64
+         & info [ "certs" ] ~doc:"Distinct synthetic certificate blobs.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 4242 & info [ "seed" ] ~doc:"PRNG seed.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ]
+             ~doc:"Domain-pool size for the Merkle build at close.")
+  in
+  let run store records certs seed jobs =
+    if records < 0 then `Error (true, "--records must be >= 0")
+    else if certs < 1 then `Error (true, "--certs must be >= 1")
+    else if jobs < 1 then `Error (true, "--jobs must be >= 1")
+    else begin
+      (* Synthetic but deterministic: payloads are PRNG bytes, so the
+         store exercises the full frame/index/Merkle machinery at any
+         size without generating a population. Not a corpus — replay
+         will not decode it, but audit/get/proof treat it exactly like
+         the real thing. *)
+      let rng = Chaoschain_crypto.Prng.create (Int64.of_int seed) in
+      let blob n =
+        String.init n (fun _ -> Char.chr (Chaoschain_crypto.Prng.int rng 256))
+      in
+      let w = Corpus.Store.create store in
+      for _ = 1 to certs do
+        ignore (Corpus.Store.add_cert w (blob 600) : string)
+      done;
+      for _ = 1 to records do
+        Corpus.Store.add_obs w (blob (24 + Chaoschain_crypto.Prng.int rng 40))
+      done;
+      Corpus.Store.add_env w (blob 128);
+      let root_hex =
+        with_store_par jobs (fun par ->
+            Corpus.Store.close ~par w ~scale:1.0)
+      in
+      Printf.printf "mkstore: %d records, %d certs, merkle root %s -> %s\n"
+        records certs root_hex store;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "mkstore"
+       ~doc:"Write a synthetic chainstore of N deterministic PRNG records — \
+             the scale harness for audit/get/proof benchmarks and CI (a \
+             100k-record store in about a second, no population generation).")
+    Term.(ret (const run $ store_dir_arg $ records_arg $ certs_arg $ seed_arg
+               $ jobs_arg))
+
+let compact_cmd =
+  let run store jobs =
+    if jobs < 1 then `Error (true, "--jobs must be >= 1")
+    else
+      with_store_par jobs (fun par ->
+          match Corpus.Store.open_ ~par store with
+          | Error e -> `Error (false, e)
+          | Ok st -> (
+              match Corpus.referenced_fps st with
+              | exception Chaoschain_store.Frame.Wire.Short ->
+                  `Error
+                    ( false,
+                      "store records are not corpus-encoded (synthetic \
+                       mkstore output?); nothing to compact against" )
+              | live_tbl -> (
+              match
+                Corpus.Store.compact ~par ~live:(Hashtbl.mem live_tbl) store
+              with
+              | Error e -> `Error (false, e)
+              | Ok r ->
+                  Printf.printf
+                    "compact: kept %d, dropped %d, certs.seg %d -> %d bytes\n"
+                    r.Corpus.Store.c_kept r.Corpus.Store.c_dropped
+                    r.Corpus.Store.c_bytes_before r.Corpus.Store.c_bytes_after;
+                  `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Rewrite the content-addressed certificate segment keeping only \
+             certificates still referenced by an observation or environment \
+             record (orphans appear when audit truncates a damaged tail). \
+             Append order is preserved, certs.idx and MANIFEST are \
+             rewritten, and ROOT's self-authentication is untouched — the \
+             Merkle tree covers the observation log, which compaction never \
+             touches.")
+    Term.(ret (const run $ store_dir_arg $ jobs_pipeline_arg))
 
 (* --- serve (chaind) --- *)
 
@@ -717,7 +916,7 @@ let serve_cmd =
             match warm_store with
             | None -> Ok None
             | Some dir -> (
-                match Corpus.load ~dir with
+                match Corpus.load dir with
                 | Error e -> Error e
                 | Ok l ->
                     if l.Corpus.l_scale <> scale then
@@ -901,7 +1100,7 @@ let loadgen_cmd =
                 Ok (fun i -> arr.(i mod Array.length arr)))
         | exception Sys_error e -> Error e)
     | Some dir, None -> (
-        match Corpus.load ~dir with
+        match Corpus.load dir with
         | Error e -> Error e
         | Ok l ->
             let records = l.Corpus.l_dataset.Scanner.domains in
@@ -1103,4 +1302,5 @@ let () =
        (Cmd.group info
           [ scenario_cmd; analyze_cmd; difftest_cmd; matrix_cmd; recommend_cmd;
             fuzz_cmd; scan_cmd; replay_cmd; classify_cmd; diff_cmd; audit_cmd;
-            certmsg_cmd; serve_cmd; loadgen_cmd; reproduce_cmd ]))
+            get_cmd; proof_cmd; mkstore_cmd; compact_cmd; certmsg_cmd;
+            serve_cmd; loadgen_cmd; reproduce_cmd ]))

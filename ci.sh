@@ -148,6 +148,53 @@ jq -e '[.blocks[0].rows[]?.cells[]?.text?]
        | contains(["latency p50 (ms)", "latency p99 (ms)",
                    "latency p999 (ms)"])' "$nd/bench.json" > /dev/null
 
+# chainstore-at-scale smoke: a synthetic 100k-record store must audit
+# repair-free in bounded wall time with the Domain pool, serve random
+# access byte-identical to the sequential reference walk, prove inclusion
+# against the authenticated ROOT, and survive losing a derived sidecar
+# (audit rebuilds it from the frames). Replay must be byte-identical with
+# and without the offset indexes.
+big=$(mktemp -d)
+trap 'rm -rf "$store" "$rstore" "$nd" "$big"' EXIT
+"$chaoscheck" mkstore --store "$big/s" --records 100000 --jobs 2 \
+  | grep -q 'merkle root'
+t0=$(date +%s)
+"$chaoscheck" audit --store "$big/s" --jobs 2 > "$big/audit.out"
+t1=$(date +%s)
+grep -q '^audit ok' "$big/audit.out"
+if grep -q '^store repaired' "$big/audit.out"; then
+  echo "fresh synthetic store needed repairs" >&2
+  exit 1
+fi
+# generous bound for a loaded 1-core runner; the target is seconds, not minutes
+[ $((t1 - t0)) -le 60 ]
+"$chaoscheck" get --store "$big/s" --seg obs 54321 > "$big/idx.rec"
+"$chaoscheck" get --store "$big/s" --seg obs 54321 --seq > "$big/seq.rec"
+cmp "$big/idx.rec" "$big/seq.rec"
+"$chaoscheck" proof --store "$big/s" 99999 | grep -q '^proof ok'
+"$chaoscheck" replay --store "$store" --jobs 2 > "$big/with.out"
+"$chaoscheck" replay --store "$store" --jobs 2 --no-index > "$big/without.out"
+cmp "$big/with.out" "$big/without.out"
+rm "$big/s/obs.idx"
+"$chaoscheck" audit --store "$big/s" --jobs 2 > "$big/audit2.out"
+grep -q 'obs.idx: offset index rebuilt' "$big/audit2.out"
+grep -q '^audit ok' "$big/audit2.out"
+"$chaoscheck" proof --store "$big/s" 0 | grep -q '^proof ok'
+
+# bench JSON: the micro section must carry the store workloads and the
+# committed BENCH_PR8.json protocol snapshot must parse with the same shape.
+dune exec bench/main.exe -- --micro-only --filter 'store/merkle-proof(1024)' \
+  --json "$big/bench.json" > /dev/null
+jq -e '.micro | length >= 1' "$big/bench.json" > /dev/null
+jq -e '.micro[] | select(.name == "store/merkle-proof(1024)")' \
+  "$big/bench.json" > /dev/null
+jq -e '.store[] | select(.name == "store/merkle-proof(1024)")
+       | .ns_per_run > 0' BENCH_PR8.json > /dev/null
+jq -e '.scaling[] | select(.name == "store/merkle-proof(1048576)")
+       | .ns_per_run > 0' BENCH_PR8.json > /dev/null
+jq -e '.wall[] | select(.name == "store/audit(100k)")
+       | .seconds > 0' BENCH_PR8.json > /dev/null
+
 # EXPERIMENTS.md is generated (doc/EXPERIMENTS.head.md + Report.to_markdown);
 # regenerate and fail if the committed copy is stale.
 ./gen_experiments.sh "$rstore/EXPERIMENTS.md"

@@ -30,17 +30,29 @@ type ctx = {
   mutable finalized : bool;
 }
 
+let iv =
+  [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+     0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |]
+
 let init () =
   {
-    h =
-      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
-         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    h = Array.copy iv;
     block = Bytes.create 64;
     block_len = 0;
     total_len = 0;
     w = Array.make 64 0;
     finalized = false;
   }
+
+(* Rewind to the fresh-init state. The context owns a 64-entry schedule
+   array and a block buffer; hot loops hashing many small inputs (Merkle
+   interior nodes) reuse one context instead of allocating ~100 words per
+   digest. *)
+let reset ctx =
+  Array.blit iv 0 ctx.h 0 8;
+  ctx.block_len <- 0;
+  ctx.total_len <- 0;
+  ctx.finalized <- false
 
 let mask = 0xFFFFFFFF
 

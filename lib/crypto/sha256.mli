@@ -12,6 +12,11 @@ type ctx
 val init : unit -> ctx
 (** Fresh context. *)
 
+val reset : ctx -> unit
+(** Rewind a context (finalized or not) to the fresh-init state so it can
+    hash again. Hot loops over many small inputs reuse one context this
+    way instead of paying {!init}'s allocation per digest. *)
+
 val feed : ctx -> string -> unit
 (** [feed ctx s] absorbs all bytes of [s]. *)
 

@@ -141,8 +141,58 @@ exception Bad of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
 
-let load ~dir =
-  match Store.open_ dir with
+(* Light payload walk collecting every certificate fingerprint the
+   observation and environment records reference — no certificate
+   decoding, no env reconstruction. This is the liveness set segment
+   compaction keeps. *)
+let referenced_fps st =
+  let tbl = Hashtbl.create 1024 in
+  let add_fps c =
+    let n = Wire.r_u32 c in
+    for _ = 1 to n do
+      Hashtbl.replace tbl (Wire.r_fixed c fp_len) ()
+    done
+  in
+  Array.iter
+    (fun payload ->
+      let c = Wire.cursor payload in
+      ignore (Wire.r_u8 c : int);
+      ignore (Wire.r_str c : string);
+      ignore (Wire.r_u8 c : int);
+      add_fps c)
+    (Store.observations st);
+  Array.iter
+    (fun payload ->
+      let c = Wire.cursor payload in
+      ignore (Wire.r_u8 c : int);
+      let tag = Wire.r_u8 c in
+      if tag = tag_store then begin
+        ignore (Wire.r_u8 c : int);
+        ignore (Wire.r_str c : string);
+        add_fps c
+      end
+      else if tag = tag_aia then begin
+        ignore (Wire.r_str c : string);
+        if Wire.r_u8 c = 0 then Hashtbl.replace tbl (Wire.r_fixed c fp_len) ()
+      end
+      else if tag = tag_firefox || tag = tag_os then add_fps c)
+    (Store.env_entries st);
+  tbl
+
+(* Segment scanning, leaf hashing and Merkle construction inside
+   [Store.open_] fan out over a transient Domain pool when [jobs > 1];
+   the decoded result is identical for any [jobs]. *)
+let with_par ~jobs f =
+  if jobs <= 1 then f Chaoschain_store.Par.seq
+  else begin
+    let pool = Pipeline.Pool.create ~jobs in
+    Fun.protect
+      ~finally:(fun () -> Pipeline.Pool.shutdown pool)
+      (fun () -> f (Pipeline.Pool.run pool))
+  end
+
+let load ?(jobs = 1) ?(use_index = true) dir =
+  match with_par ~jobs (fun par -> Store.open_ ~par ~use_index dir) with
   | Error e -> Error e
   | Ok st -> (
       try

@@ -37,8 +37,18 @@ type loaded = {
   l_root_hex : string;  (** the verified Merkle root *)
 }
 
-val load : dir:string -> (loaded, string) result
-(** Strict open + decode; any integrity or format problem is an [Error]. *)
+val load : ?jobs:int -> ?use_index:bool -> string -> (loaded, string) result
+(** Strict open + decode; any integrity or format problem is an [Error].
+    With [jobs > 1] the store open (CRC verification, index probing, leaf
+    hashing, Merkle construction) fans out over a transient Domain pool;
+    [use_index:false] forces the sequential segment scan. The decoded
+    result is identical for any [jobs] and either index setting. *)
+
+val referenced_fps : Store.t -> (string, unit) Hashtbl.t
+(** Every certificate fingerprint the observation and environment records
+    reference — the liveness set for {!Store.compact}. Light payload walk
+    only (no certificate decoding); raises {!Frame.Wire.Short} on a
+    malformed record, which a strictly opened store never has. *)
 
 val analyze : ?jobs:int -> loaded -> Experiments.view
 (** Re-run the compliance classification from disk, sharded over [jobs]

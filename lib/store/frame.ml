@@ -43,15 +43,104 @@ let read seg off =
 
 type tail = Clean | Truncated_at of int | Corrupt_at of int * string
 
+(* Allocation-free frame scanner: [next] advances over one frame without
+   materialising the payload (no [String.sub], no result record), leaving
+   the payload window in [kind]/[pos]/[len]. This is the segment-scan hot
+   path — CRC-verifying a million-record segment allocates nothing — and
+   payloads are only copied out by the callers that keep them. *)
+module Cursor = struct
+  type status = Item | Done | Truncated | Corrupt
+
+  type t = {
+    mutable seg : string;
+    mutable off : int;  (** start of the NEXT frame *)
+    mutable start : int;  (** start of the current frame *)
+    mutable kind : int;
+    mutable pos : int;  (** payload start of the current frame *)
+    mutable len : int;
+    mutable err : string;
+  }
+
+  let create seg =
+    { seg; off = 0; start = 0; kind = 0; pos = 0; len = 0; err = "" }
+
+  let reset t seg =
+    t.seg <- seg;
+    t.off <- 0;
+    t.start <- 0;
+    t.kind <- 0;
+    t.pos <- 0;
+    t.len <- 0;
+    t.err <- ""
+
+  let next t =
+    let seg = t.seg in
+    let off = t.off in
+    let seg_len = String.length seg in
+    if off = seg_len then Done
+    else if off > seg_len || seg_len - off < header_size then begin
+      t.start <- off;
+      Truncated
+    end
+    else begin
+      let plen = get_u32 seg (off + 1) in
+      let body = off + header_size in
+      if plen < 0 || plen > seg_len - body then begin
+        t.start <- off;
+        Truncated
+      end
+      else if Crc32.digest_sub seg body plen <> get_u32 seg (off + 5) then begin
+        t.start <- off;
+        t.err <- "CRC mismatch";
+        Corrupt
+      end
+      else begin
+        t.start <- off;
+        t.kind <- Char.code seg.[off];
+        t.pos <- body;
+        t.len <- plen;
+        t.off <- body + plen;
+        Item
+      end
+    end
+
+  let kind t = t.kind
+  let pos t = t.pos
+  let len t = t.len
+  let start t = t.start
+  let payload t = String.sub t.seg t.pos t.len
+
+  let error t =
+    Printf.sprintf "%s at offset %d" (if t.err = "" then "damage" else t.err)
+      t.start
+end
+
+(* Validate (without allocating) that a whole, CRC-correct frame of [kind]
+   sits at [off] and ends exactly at [next] — the per-record probe of an
+   offset index: if every indexed frame checks out, the index tiles the
+   segment and can be trusted for random access. *)
+let check seg off ~kind ~next =
+  let seg_len = String.length seg in
+  off >= 0 && next <= seg_len
+  && next - off >= header_size
+  && Char.code seg.[off] = kind
+  &&
+  let plen = get_u32 seg (off + 1) in
+  let body = off + header_size in
+  body + plen = next
+  && Crc32.digest_sub seg body plen = get_u32 seg (off + 5)
+
 let fold seg ~init ~f =
-  let rec go acc off =
-    match read seg off with
-    | End -> (acc, Clean)
-    | Truncated -> (acc, Truncated_at off)
-    | Corrupt msg -> (acc, Corrupt_at (off, msg))
-    | Frame { kind; payload; next } -> go (f acc ~kind ~payload) next
+  let c = Cursor.create seg in
+  let rec go acc =
+    match Cursor.next c with
+    | Cursor.Done -> (acc, Clean)
+    | Cursor.Truncated -> (acc, Truncated_at c.Cursor.start)
+    | Cursor.Corrupt ->
+        (acc, Corrupt_at (c.Cursor.start, Printf.sprintf "CRC mismatch at offset %d" c.Cursor.start))
+    | Cursor.Item -> go (f acc ~kind:c.Cursor.kind ~payload:(Cursor.payload c))
   in
-  go init 0
+  go init
 
 module Wire = struct
   exception Short
@@ -68,6 +157,13 @@ module Wire = struct
   let u32 b v =
     if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire.u32";
     put_u32 b v
+
+  (* Two little-endian u32 halves. OCaml ints are 63-bit, which bounds
+     representable values well past any segment size we will ever index. *)
+  let u64 b v =
+    if v < 0 then invalid_arg "Wire.u64";
+    put_u32 b (v land 0xFFFFFFFF);
+    put_u32 b ((v lsr 32) land 0xFFFFFFFF)
 
   let str b s =
     u32 b (String.length s);
@@ -97,6 +193,13 @@ module Wire = struct
     if v < 0 then raise Short;
     c.pos <- c.pos + 4;
     v
+
+  let r_u64 c =
+    let lo = r_u32 c in
+    let hi = r_u32 c in
+    (* The top two bits must be clear to fit a 63-bit OCaml int. *)
+    if hi land 0xC0000000 <> 0 then raise Short;
+    lo lor (hi lsl 32)
 
   let r_fixed c n =
     if n < 0 || remaining c < n then raise Short;

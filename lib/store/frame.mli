@@ -39,12 +39,63 @@ val fold :
 (** Scan every frame of a segment from offset 0, accumulating with [f], and
     report how the scan ended. *)
 
+(** Allocation-free frame scanner — the segment-scan hot path. {!Cursor.next}
+    advances over one frame without materialising the payload (no
+    [String.sub], no result record); CRC-verifying a whole segment this way
+    allocates nothing. Callers that keep a payload copy it out explicitly
+    with {!Cursor.payload}. *)
+module Cursor : sig
+  type t
+
+  type status =
+    | Item  (** A complete, CRC-valid frame; see {!kind}/{!pos}/{!len}. *)
+    | Done  (** Clean end of segment. *)
+    | Truncated  (** Segment ends mid-frame at {!start}. *)
+    | Corrupt  (** CRC mismatch at {!start}; see {!error}. *)
+
+  val create : string -> t
+
+  val reset : t -> string -> unit
+  (** Rewind onto a (possibly different) segment, reusing the cursor. *)
+
+  val next : t -> status
+  (** Decode the next frame header and verify its CRC. *)
+
+  val kind : t -> int
+  (** Kind tag of the current frame (valid after [Item]). *)
+
+  val pos : t -> int
+  (** Payload start offset of the current frame (valid after [Item]). *)
+
+  val len : t -> int
+  (** Payload length of the current frame (valid after [Item]). *)
+
+  val start : t -> int
+  (** Start offset of the current frame (the damage offset after
+      [Truncated]/[Corrupt]). *)
+
+  val payload : t -> string
+  (** Copy the current payload out (allocates). *)
+
+  val error : t -> string
+  (** Human-readable description of the damage after [Corrupt]. *)
+end
+
+val check : string -> int -> kind:int -> next:int -> bool
+(** [check seg off ~kind ~next]: does a whole, CRC-correct frame of [kind]
+    sit at [off] and end exactly at [next]? Allocation-free — the
+    per-record probe used to validate an offset index against the frames
+    it claims to describe. *)
+
 (** Payload serialization helpers: little-endian fixed-width integers and
     length-prefixed strings over [Buffer]/cursor pairs. *)
 module Wire : sig
   val u8 : Buffer.t -> int -> unit
   val u16 : Buffer.t -> int -> unit
   val u32 : Buffer.t -> int -> unit
+
+  val u64 : Buffer.t -> int -> unit
+  (** Two little-endian u32 halves; accepts any non-negative OCaml int. *)
 
   val str : Buffer.t -> string -> unit
   (** u32 length followed by the raw bytes. *)
@@ -56,6 +107,10 @@ module Wire : sig
   val r_u8 : cursor -> int
   val r_u16 : cursor -> int
   val r_u32 : cursor -> int
+
+  val r_u64 : cursor -> int
+  (** Inverse of {!u64}; raises {!Short} if the value cannot fit a 63-bit
+      OCaml int. *)
 
   val r_str : cursor -> string
   (** Inverse of {!str}. *)

@@ -1,0 +1,139 @@
+(* Per-segment offset index: the sidecar that turns a flat frame segment
+   into a random-access array of records.
+
+   The index is DERIVED data — the frames are always authoritative. Every
+   consumer therefore (a) CRC-protects the index itself (the whole file is
+   one Frame of kind [frame_kind]), (b) validates that the offsets tile
+   the exact segment it is being used against, and (c) falls back to a
+   sequential scan of the segment whenever anything disagrees. An index
+   can be lost or corrupted without losing any data: [of_segment] rebuilds
+   it from the frames. *)
+
+let frame_kind = 4
+let version = 1
+
+type t = {
+  count : int;
+  seg_len : int;  (** segment byte length the offsets describe *)
+  offsets : int array;  (** frame START offsets, strictly increasing *)
+}
+
+let of_segment seg =
+  let c = Frame.Cursor.create seg in
+  let rec go acc n =
+    match Frame.Cursor.next c with
+    | Frame.Cursor.Item -> go (Frame.Cursor.start c :: acc) (n + 1)
+    | Frame.Cursor.Done -> (acc, n, Frame.Clean)
+    | Frame.Cursor.Truncated -> (acc, n, Frame.Truncated_at (Frame.Cursor.start c))
+    | Frame.Cursor.Corrupt ->
+        (acc, n, Frame.Corrupt_at (Frame.Cursor.start c, Frame.Cursor.error c))
+  in
+  let offs_rev, count, tail = go [] 0 in
+  let offsets = Array.make count 0 in
+  List.iteri (fun i off -> offsets.(count - 1 - i) <- off) offs_rev;
+  let seg_len =
+    (* The byte length the whole-frame prefix covers: up to the damage
+       offset when the scan did not end cleanly. *)
+    match tail with
+    | Frame.Clean -> String.length seg
+    | Frame.Truncated_at off | Frame.Corrupt_at (off, _) -> off
+  in
+  ({ count; seg_len; offsets }, tail)
+
+let encode t =
+  let b = Buffer.create (16 + (8 * t.count)) in
+  Frame.Wire.u8 b version;
+  Frame.Wire.u64 b t.seg_len;
+  Frame.Wire.u32 b t.count;
+  Array.iter (Frame.Wire.u64 b) t.offsets;
+  Buffer.contents b
+
+let decode payload =
+  match
+    let c = Frame.Wire.cursor payload in
+    let v = Frame.Wire.r_u8 c in
+    if v <> version then Error (Printf.sprintf "unsupported index version %d" v)
+    else begin
+      let seg_len = Frame.Wire.r_u64 c in
+      let count = Frame.Wire.r_u32 c in
+      let offsets = Array.init count (fun _ -> Frame.Wire.r_u64 c) in
+      if not (Frame.Wire.at_end c) then Error "trailing bytes"
+      else begin
+        (* Structural sanity: offsets strictly increasing, first at 0,
+           all inside the segment. Frame-level agreement is checked by
+           the consumer against the segment bytes themselves. *)
+        let ok = ref (count = 0 || offsets.(0) = 0) in
+        for i = 0 to count - 1 do
+          if offsets.(i) < 0 || offsets.(i) >= seg_len then ok := false;
+          if i > 0 && offsets.(i) <= offsets.(i - 1) then ok := false
+        done;
+        if (not !ok) || (count = 0 && seg_len <> 0) then
+          Error "inconsistent offsets"
+        else Ok { count; seg_len; offsets }
+      end
+    end
+  with
+  | r -> r
+  | exception Frame.Wire.Short -> Error "short index payload"
+
+let save path t =
+  let b = Buffer.create (16 + (8 * t.count)) in
+  Frame.add b ~kind:frame_kind (encode t);
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let load path ~seg_len =
+  match open_in_bin path with
+  | exception Sys_error _ -> Error "missing"
+  | ic -> (
+      let data =
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match Frame.read data 0 with
+      | Frame.Frame { kind; payload; next } when kind = frame_kind ->
+          if next <> String.length data then Error "trailing bytes"
+          else (
+            match decode payload with
+            | Error e -> Error e
+            | Ok t ->
+                if t.seg_len <> seg_len then
+                  Error
+                    (Printf.sprintf "built for a %d-byte segment, found %d bytes"
+                       t.seg_len seg_len)
+                else Ok t)
+      | Frame.Frame { kind; _ } ->
+          Error (Printf.sprintf "unexpected record kind %d" kind)
+      | Frame.End -> Error "empty"
+      | Frame.Truncated -> Error "truncated"
+      | Frame.Corrupt msg -> Error msg)
+
+(* Frame-level agreement: every indexed frame is whole, CRC-valid, of the
+   right kind, and the frames tile the segment exactly (each ends where
+   the next begins, the last at end-of-segment). Chunked through [par] so
+   a million-record probe spreads over the Domain pool. *)
+let agrees ?(par = Par.seq) t seg ~kind =
+  String.length seg = t.seg_len
+  && (t.count > 0 || t.seg_len = 0)
+  &&
+  let ok = Atomic.make true in
+  let probe i =
+    if Atomic.get ok then begin
+      let next = if i + 1 < t.count then t.offsets.(i + 1) else t.seg_len in
+      if not (Frame.check seg t.offsets.(i) ~kind ~next) then
+        Atomic.set ok false
+    end
+  in
+  if t.count >= Par.min_parallel then
+    Par.slices par ~n:t.count ~chunk:1024 (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          probe i
+        done)
+  else
+    for i = 0 to t.count - 1 do
+      probe i
+    done;
+  Atomic.get ok

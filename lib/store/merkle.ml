@@ -13,71 +13,242 @@ let node_hash l r =
   Sha256.feed ctx r;
   Sha256.finalize ctx
 
-(* Largest power of two strictly less than [n] (n >= 2). *)
-let split_point n =
-  let k = ref 1 in
-  while !k * 2 < n do
-    k := !k * 2
-  done;
-  !k
+(* Context-reusing variants for the hot loops (tree construction hashes n
+   nodes, verification log n): one [reset] instead of a ~100-word [init]
+   per digest. *)
+let node_hash_with ctx l r =
+  Sha256.reset ctx;
+  Sha256.feed ctx "\x01";
+  Sha256.feed ctx l;
+  Sha256.feed ctx r;
+  Sha256.finalize ctx
+
+let leaf_hash_with ctx payload =
+  Sha256.reset ctx;
+  Sha256.feed ctx "\x00";
+  Sha256.feed ctx payload;
+  Sha256.finalize ctx
+
+let empty_root = lazy (Sha256.digest "")
+
+(* ------------------------------------------------------------------ *)
+(* Frontier: O(log n) incremental appender                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The RFC 6962 tree over n leaves decomposes into perfect subtrees, one
+   per set bit of n. The frontier is exactly that list of subtree roots
+   (height strictly increasing towards the tail, i.e. towards the OLDEST
+   data): appending a leaf is a binary increment — push a height-0 entry,
+   then merge equal-height neighbours with [node_hash left right]. The
+   resulting root is provably the same as a full rebuild (pinned by the
+   QCheck frontier-vs-rebuild test). *)
+module Frontier = struct
+  type t = {
+    mutable stack : (int * string) list;
+        (** (height, root), head = rightmost = lowest height *)
+    mutable count : int;
+  }
+
+  let create () = { stack = []; count = 0 }
+  let count t = t.count
+
+  let add t leaf =
+    let rec merge h node = function
+      | (h', left) :: rest when h' = h -> merge (h + 1) (node_hash left node) rest
+      | stack -> (h, node) :: stack
+    in
+    t.stack <- merge 0 leaf t.stack;
+    t.count <- t.count + 1
+
+  let root t =
+    match t.stack with
+    | [] -> Lazy.force empty_root
+    | (_, h) :: rest -> List.fold_left (fun acc (_, left) -> node_hash left acc) h rest
+end
+
+(* ------------------------------------------------------------------ *)
+(* Layered tree: O(n) build once, O(log n) proofs forever              *)
+(* ------------------------------------------------------------------ *)
+
+module Tree = struct
+  (* layers.(0) is the leaf-hash level; each level above pairs adjacent
+     nodes, PROMOTING an unpaired last node unchanged. That bottom-up
+     construction is exactly the RFC 6962 shape (split at the largest
+     power of two strictly below n), so proofs read off the layers are
+     byte-identical to the recursive definition. *)
+  type t = { layers : string array array }
+
+  let leaf_count t = Array.length t.layers.(0)
+  let leaf t i = t.layers.(0).(i)
+  let layers t = t.layers
+
+  let level_widths n =
+    if n = 0 then [ 0 ]
+    else begin
+      let rec go acc w = if w = 1 then List.rev acc else go (((w + 1) / 2) :: acc) ((w + 1) / 2) in
+      n :: go [] n
+    end
+
+  let of_leaf_hashes ?(par = Par.seq) leaves =
+    let n = Array.length leaves in
+    if n = 0 then { layers = [| [||] |] }
+    else begin
+      let rec build acc level =
+        let w = Array.length level in
+        if w = 1 then List.rev acc
+        else begin
+          let w' = (w + 1) / 2 in
+          let next = Array.make w' "" in
+          let fill ctx j =
+            let l = level.(2 * j) in
+            next.(j) <-
+              (if (2 * j) + 1 < w then node_hash_with ctx l level.((2 * j) + 1)
+               else l)
+          in
+          if w' >= Par.min_parallel then
+            Par.slices par ~n:w' ~chunk:2048 (fun ~lo ~hi ->
+                let ctx = Sha256.init () in
+                for j = lo to hi - 1 do
+                  fill ctx j
+                done)
+          else begin
+            let ctx = Sha256.init () in
+            for j = 0 to w' - 1 do
+              fill ctx j
+            done
+          end;
+          build (next :: acc) next
+        end
+      in
+      { layers = Array.of_list (leaves :: build [] leaves) }
+    end
+
+  let of_payloads ?(par = Par.seq) payloads =
+    let n = Array.length payloads in
+    let leaves = Array.make n "" in
+    if n >= Par.min_parallel then
+      Par.slices par ~n ~chunk:1024 (fun ~lo ~hi ->
+          let ctx = Sha256.init () in
+          for i = lo to hi - 1 do
+            leaves.(i) <- leaf_hash_with ctx payloads.(i)
+          done)
+    else begin
+      let ctx = Sha256.init () in
+      for i = 0 to n - 1 do
+        leaves.(i) <- leaf_hash_with ctx payloads.(i)
+      done
+    end;
+    of_leaf_hashes ~par leaves
+
+  let root t =
+    if leaf_count t = 0 then Lazy.force empty_root
+    else t.layers.(Array.length t.layers - 1).(0)
+
+  let proof t i =
+    let n = leaf_count t in
+    if i < 0 || i >= n then invalid_arg "Merkle.Tree.proof";
+    (* Leaf-to-root sibling walk. A promoted node has no sibling at its
+       level (sib = width), so nothing is emitted and the index carries
+       up — [idx/2] is correct for promoted nodes too since a promoted
+       index is always the even width-1. *)
+    let acc = ref [] in
+    let idx = ref i in
+    for l = 0 to Array.length t.layers - 2 do
+      let level = t.layers.(l) in
+      let sib = !idx lxor 1 in
+      if sib < Array.length level then acc := level.(sib) :: !acc;
+      idx := !idx / 2
+    done;
+    List.rev !acc
+
+  (* Serialization: u32 leaf count, u32 level count, then every level
+     bottom-up as (u32 width, width * 32 raw bytes). Widths are derivable
+     from the leaf count; writing them makes any shape damage a decode
+     error rather than a silently wrong tree. *)
+  let hash_len = 32
+
+  let serialize t =
+    let b = Buffer.create (64 + (2 * leaf_count t * hash_len)) in
+    Frame.Wire.u32 b (leaf_count t);
+    Frame.Wire.u32 b (Array.length t.layers);
+    Array.iter
+      (fun level ->
+        Frame.Wire.u32 b (Array.length level);
+        Array.iter
+          (fun h ->
+            if String.length h <> hash_len then
+              invalid_arg "Merkle.Tree.serialize: bad hash length";
+            Buffer.add_string b h)
+          level)
+      t.layers;
+    Buffer.contents b
+
+  let deserialize s =
+    match
+      let c = Frame.Wire.cursor s in
+      let n = Frame.Wire.r_u32 c in
+      let n_levels = Frame.Wire.r_u32 c in
+      let widths = level_widths n in
+      if List.length widths <> n_levels then Error "level count mismatch"
+      else begin
+        let layers =
+          List.map
+            (fun w ->
+              if Frame.Wire.r_u32 c <> w then failwith "width mismatch"
+              else Array.init w (fun _ -> Frame.Wire.r_fixed c hash_len))
+            widths
+        in
+        if not (Frame.Wire.at_end c) then Error "trailing bytes"
+        else Ok { layers = Array.of_list layers }
+      end
+    with
+    | r -> r
+    | exception Frame.Wire.Short -> Error "short input"
+    | exception Failure msg -> Error msg
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flat-array conveniences                                             *)
+(* ------------------------------------------------------------------ *)
 
 let root leaves =
-  let rec mth lo n =
-    if n = 1 then leaves.(lo)
-    else
-      let k = split_point n in
-      node_hash (mth lo k) (mth (lo + k) (n - k))
-  in
-  let n = Array.length leaves in
-  if n = 0 then Sha256.digest "" else mth 0 n
+  (* Frontier accumulation: O(n) hashing, O(log n) live memory. *)
+  let f = Frontier.create () in
+  Array.iter (Frontier.add f) leaves;
+  Frontier.root f
 
-let proof leaves i =
-  let n = Array.length leaves in
-  if i < 0 || i >= n then invalid_arg "Merkle.proof";
-  (* Audit path ordered leaf-to-root: at each split, record the sibling
-     subtree's root and recurse into the side holding [i]. *)
-  let rec path lo n i =
-    if n = 1 then []
-    else
-      let k = split_point n in
-      let sub lo n =
-        let rec mth lo n =
-          if n = 1 then leaves.(lo)
-          else
-            let k = split_point n in
-            node_hash (mth lo k) (mth (lo + k) (n - k))
-        in
-        mth lo n
-      in
-      if i < k then path lo k i @ [ sub (lo + k) (n - k) ]
-      else path (lo + k) (n - k) (i - k) @ [ sub lo k ]
-  in
-  path 0 n i
+let proof leaves i = Tree.proof (Tree.of_leaf_hashes leaves) i
 
 let verify ~root ~index ~count leaf path =
   if count <= 0 || index < 0 || index >= count then false
-  else
-    (* Walk the path root-downwards by peeling siblings off the far end,
-       mirroring the split structure of [proof]. *)
-    let split_last l =
-      match List.rev l with
-      | [] -> None
-      | last :: rev_rest -> Some (List.rev rev_rest, last)
-    in
-    let rec recompute index count path =
-      if count = 1 then match path with [] -> Some leaf | _ -> None
-      else
-        match split_last path with
-        | None -> None
-        | Some (rest, sib) ->
-            let k = split_point count in
-            if index < k then
-              Option.map (fun h -> node_hash h sib) (recompute index k rest)
-            else
-              Option.map
-                (fun h -> node_hash sib h)
-                (recompute (index - k) (count - k) rest)
-    in
-    match recompute index count path with
-    | Some h -> String.equal h root
-    | None -> false
+  else begin
+    (* The iterative leaf-to-root walk of RFC 9162 §2.1.3.2: [fn] is the
+       node index at the current level, [sn] the last index of that level.
+       A set LSB (or fn = sn, the promoted right edge) means the sibling
+       sits on the left. Allocates nothing beyond the log n interior
+       hashes themselves. *)
+    let fn = ref index and sn = ref (count - 1) in
+    let r = ref leaf in
+    let ok = ref true in
+    let ctx = Sha256.init () in
+    let node_hash = node_hash_with ctx in
+    List.iter
+      (fun p ->
+        if !ok then
+          if !sn = 0 then ok := false
+          else begin
+            if !fn land 1 = 1 || !fn = !sn then begin
+              r := node_hash p !r;
+              if !fn land 1 = 0 then
+                while !fn land 1 = 0 && !fn <> 0 do
+                  fn := !fn lsr 1;
+                  sn := !sn lsr 1
+                done
+            end
+            else r := node_hash !r p;
+            fn := !fn lsr 1;
+            sn := !sn lsr 1
+          end)
+      path;
+    !ok && !sn = 0 && String.equal !r root
+  end

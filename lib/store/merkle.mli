@@ -4,7 +4,14 @@
     nodes with [0x01], so a leaf can never be confused for a node. The tree
     over [n] leaves splits at [k], the largest power of two strictly less
     than [n], exactly as Certificate Transparency does — which keeps audit
-    paths stable as the log grows. Inclusion proofs are O(log n). *)
+    paths stable as the log grows.
+
+    Two scalable representations sit alongside the flat-array
+    conveniences: {!Tree} precomputes every interior layer once (O(n))
+    so that each inclusion proof afterwards is O(log n) array reads with
+    near-zero allocation, and {!Frontier} maintains the incremental
+    append state (one subtree root per set bit of the count) so a writer
+    tracks the root in O(log n) memory without ever rebuilding. *)
 
 val leaf_hash : string -> string
 (** SHA-256(0x00 ‖ payload), 32 raw bytes. *)
@@ -12,14 +19,82 @@ val leaf_hash : string -> string
 val node_hash : string -> string -> string
 (** SHA-256(0x01 ‖ left ‖ right). *)
 
+(** Incremental appender: the classic CT "frontier" of perfect-subtree
+    roots. [add] is amortised O(1) hashing (a binary increment); [root]
+    is O(log n); total memory is O(log n). The root after [n] adds is
+    exactly [root] of the corresponding leaf array — pinned by a QCheck
+    differential. *)
+module Frontier : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> string -> unit
+  (** Append one {e leaf hash}. *)
+
+  val count : t -> int
+
+  val root : t -> string
+  (** Root over everything appended so far; the empty frontier hashes to
+      SHA-256 of the empty string. *)
+end
+
+(** The fully materialised tree: every level, bottom-up, with an
+    unpaired last node promoted unchanged — byte-identical roots and
+    audit paths to the recursive RFC 6962 definition. Build once
+    (optionally Domain-parallel), then proofs are O(log n) reads. *)
+module Tree : sig
+  type t
+
+  val of_leaf_hashes : ?par:Par.t -> string array -> t
+  (** Build from precomputed leaf hashes. The array is kept as level 0 —
+      callers must not mutate it afterwards. O(n) hashing; levels wider
+      than {!Par.min_parallel} are built through [par]. *)
+
+  val of_payloads : ?par:Par.t -> string array -> t
+  (** [of_leaf_hashes] over [leaf_hash] of every payload, with the leaf
+      hashing itself also run through [par]. *)
+
+  val leaf_count : t -> int
+
+  val leaf : t -> int -> string
+  (** Leaf hash at an index. *)
+
+  val root : t -> string
+
+  val proof : t -> int -> string list
+  (** Audit path for leaf [i], ordered leaf-to-root: O(log n) array
+      reads, allocating only the returned list. Raises
+      [Invalid_argument] if [i] is out of range (including the empty
+      tree). *)
+
+  val layers : t -> string array array
+  (** The raw levels, bottom-up ([layers.(0)] = leaf hashes). Do not
+      mutate. *)
+
+  val serialize : t -> string
+  (** Compact byte encoding of every level (u32 leaf count, u32 level
+      count, then each level as u32 width + raw 32-byte hashes) — what
+      the store persists so proofs need no rebuild. *)
+
+  val deserialize : string -> (t, string) result
+  (** Inverse of {!serialize}; any shape damage (width/level mismatch,
+      short or trailing bytes) is an [Error]. Hashes are NOT re-derived
+      here — callers must anchor the result against a trusted root
+      before serving proofs from it. *)
+end
+
 val root : string array -> string
 (** Merkle tree hash of an array of {e leaf hashes} (as produced by
-    {!leaf_hash}). The empty tree hashes to SHA-256 of the empty string. *)
+    {!leaf_hash}); O(n) hashing, O(log n) memory via {!Frontier}. The
+    empty tree hashes to SHA-256 of the empty string. *)
 
 val proof : string array -> int -> string list
 (** [proof leaves i] is the audit path for leaf [i]: sibling hashes ordered
-    from the leaf up to (but excluding) the root. Raises [Invalid_argument]
-    if [i] is out of range. *)
+    from the leaf up to (but excluding) the root. Convenience wrapper that
+    builds a {!Tree} per call — use {!Tree.proof} on a prebuilt tree
+    anywhere more than one proof is needed. Raises [Invalid_argument] if
+    [i] is out of range. *)
 
 val verify :
   root:string -> index:int -> count:int -> string -> string list -> bool

@@ -1,0 +1,35 @@
+(* Parallel-runner injection point for the store layer.
+
+   lib/store deliberately depends on nothing but the crypto library and
+   unix, so it cannot reach the Domain pool in lib/measurement. Instead
+   every scalable entry point ([Store.open_], [Store.audit],
+   [Merkle.Tree.of_leaf_hashes], ...) accepts a runner of this shape and
+   defaults to [seq]; the measurement layer passes
+   [Pipeline.Pool.run pool] to fan the same work out over Domains. *)
+
+type t = int -> (int -> unit) -> unit
+(** [run n task] must execute [task 0 .. task (n-1)], in any order, and
+    return only when all have finished. Tasks must be Domain-safe. *)
+
+let seq : t =
+ fun n task ->
+  for i = 0 to n - 1 do
+    task i
+  done
+
+(* Below this many items a parallel hand-off costs more than it saves;
+   callers use it to fall back to the sequential loop. *)
+let min_parallel = 4096
+
+(* Drain [0, n) as [chunk]-sized slices through [par]: one task per slice
+   keeps the per-item cost of the shared work counter negligible even for
+   millions of sub-microsecond items. *)
+let slices (par : t) ~n ~chunk f =
+  if n > 0 then begin
+    let chunk = max 1 chunk in
+    let chunks = (n + chunk - 1) / chunk in
+    par chunks (fun c ->
+        let lo = c * chunk in
+        let hi = min n (lo + chunk) in
+        f ~lo ~hi)
+  end

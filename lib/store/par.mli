@@ -1,0 +1,25 @@
+(** Parallel-runner injection point for the store layer.
+
+    lib/store depends only on the crypto library and unix, so it cannot
+    reach the Domain pool in lib/measurement. Scalable entry points
+    ([Store.open_], [Store.audit], [Merkle.Tree.of_leaf_hashes], ...)
+    instead accept a runner of this shape, defaulting to {!seq}; the
+    measurement layer passes [Pipeline.Pool.run pool] to fan the same
+    work out over Domains. *)
+
+type t = int -> (int -> unit) -> unit
+(** [run n task] must execute [task 0 .. task (n-1)], in any order, and
+    return only when all have finished. Tasks must be Domain-safe. *)
+
+val seq : t
+(** The sequential runner: a plain [for] loop on the calling Domain. *)
+
+val min_parallel : int
+(** Below this many items a parallel hand-off costs more than it saves;
+    callers fall back to the sequential loop. *)
+
+val slices : t -> n:int -> chunk:int -> (lo:int -> hi:int -> unit) -> unit
+(** [slices par ~n ~chunk f] drains [0, n) as [chunk]-sized half-open
+    ranges [f ~lo ~hi] through [par] — one task per slice, so the shared
+    work counter is touched once per thousands of items, not once per
+    item. *)

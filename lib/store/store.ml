@@ -1,17 +1,29 @@
 open Chaoschain_crypto
 
 (* Segment record kinds. Each segment file carries exactly one kind, so a
-   frame of the wrong kind is as fatal as a bad CRC. *)
+   frame of the wrong kind is as fatal as a bad CRC. Kinds 4 and 5 are the
+   derived sidecars: per-segment offset indexes and the persisted Merkle
+   layers. *)
 let kind_cert = 1
 let kind_obs = 2
 let kind_env = 3
+let kind_tree = 5
 
 let manifest_file = "MANIFEST"
 let root_file = "ROOT"
 let cert_seg = "certs.seg"
 let obs_seg = "obs.seg"
 let env_seg = "env.seg"
+let tree_file = "tree.mrk"
 let format_version = 1
+
+(* Sidecar offset index of a segment: derived, CRC-protected, rebuilt
+   from the frames whenever missing or disagreeing. *)
+let idx_of = function
+  | "certs.seg" -> "certs.idx"
+  | "obs.seg" -> "obs.idx"
+  | "env.seg" -> "env.idx"
+  | name -> name ^ ".idx"
 
 let ( // ) = Filename.concat
 
@@ -85,20 +97,50 @@ let parse_root text =
       | None -> Error "malformed ROOT")
   | _ -> Error "malformed ROOT"
 
+(* The persisted Merkle layers: a single CRC-protected frame of
+   [kind_tree] holding [Merkle.Tree.serialize]. Derived data, exactly like
+   the offset indexes: consumers anchor it against ROOT before serving
+   proofs from it, and audit rebuilds it when stale. *)
+let write_tree dir tree =
+  let b = Buffer.create 4096 in
+  Frame.add b ~kind:kind_tree (Merkle.Tree.serialize tree);
+  write_file (dir // tree_file) (Buffer.contents b)
+
+let load_tree dir =
+  match read_file (dir // tree_file) with
+  | None -> Error "missing"
+  | Some data -> (
+      match Frame.read data 0 with
+      | Frame.Frame { kind; payload; next }
+        when kind = kind_tree && next = String.length data ->
+          Merkle.Tree.deserialize payload
+      | Frame.Frame { kind; next; _ } when kind = kind_tree && next <> String.length data ->
+          Error "trailing bytes"
+      | Frame.Frame { kind; _ } ->
+          Error (Printf.sprintf "unexpected record kind %d" kind)
+      | Frame.End -> Error "empty"
+      | Frame.Truncated -> Error "truncated"
+      | Frame.Corrupt msg -> Error msg)
+
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
 (* ------------------------------------------------------------------ *)
 
+type seg_writer = {
+  oc : out_channel;
+  mutable size : int;  (** bytes written so far = offset of the next frame *)
+  mutable offs_rev : int list;
+  mutable count : int;
+}
+
 type writer = {
   w_dir : string;
-  cert_oc : out_channel;
-  obs_oc : out_channel;
-  env_oc : out_channel;
+  cert_w : seg_writer;
+  obs_w : seg_writer;
+  env_w : seg_writer;
   scratch : Buffer.t;
   seen : (string, unit) Hashtbl.t;  (** cert fingerprints already stored *)
-  mutable n_certs : int;
-  mutable n_obs : int;
-  mutable n_env : int;
+  frontier : Merkle.Frontier.t;  (** incremental root over obs leaves *)
   mutable leaves_rev : string list;  (** obs leaf hashes, newest first *)
 }
 
@@ -106,52 +148,68 @@ let create dir =
   (if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
    else if not (Sys.is_directory dir) then
      invalid_arg (Printf.sprintf "Store.create: %s is not a directory" dir));
-  let open_seg name = open_out_bin (dir // name) in
+  let open_seg name =
+    { oc = open_out_bin (dir // name); size = 0; offs_rev = []; count = 0 }
+  in
   {
     w_dir = dir;
-    cert_oc = open_seg cert_seg;
-    obs_oc = open_seg obs_seg;
-    env_oc = open_seg env_seg;
+    cert_w = open_seg cert_seg;
+    obs_w = open_seg obs_seg;
+    env_w = open_seg env_seg;
     scratch = Buffer.create 4096;
     seen = Hashtbl.create 256;
-    n_certs = 0;
-    n_obs = 0;
-    n_env = 0;
+    frontier = Merkle.Frontier.create ();
     leaves_rev = [];
   }
 
-let append w oc ~kind payload =
+let append w sw ~kind payload =
   Buffer.clear w.scratch;
   Frame.add w.scratch ~kind payload;
-  Buffer.output_buffer oc w.scratch
+  sw.offs_rev <- sw.size :: sw.offs_rev;
+  sw.size <- sw.size + Buffer.length w.scratch;
+  sw.count <- sw.count + 1;
+  Buffer.output_buffer sw.oc w.scratch
 
 let add_cert w der =
   let fp = Sha256.digest der in
   if not (Hashtbl.mem w.seen fp) then begin
     Hashtbl.add w.seen fp ();
-    append w w.cert_oc ~kind:kind_cert der;
-    w.n_certs <- w.n_certs + 1
+    append w w.cert_w ~kind:kind_cert der
   end;
   fp
 
 let add_obs w payload =
-  append w w.obs_oc ~kind:kind_obs payload;
-  w.leaves_rev <- Merkle.leaf_hash payload :: w.leaves_rev;
-  w.n_obs <- w.n_obs + 1
+  append w w.obs_w ~kind:kind_obs payload;
+  let leaf = Merkle.leaf_hash payload in
+  Merkle.Frontier.add w.frontier leaf;
+  w.leaves_rev <- leaf :: w.leaves_rev
 
-let add_env w payload =
-  append w w.env_oc ~kind:kind_env payload;
-  w.n_env <- w.n_env + 1
+let add_env w payload = append w w.env_w ~kind:kind_env payload
 
-let close w ~scale =
-  close_out w.cert_oc;
-  close_out w.obs_oc;
-  close_out w.env_oc;
+let index_of_seg_writer sw =
+  let offsets = Array.make sw.count 0 in
+  List.iteri (fun i off -> offsets.(sw.count - 1 - i) <- off) sw.offs_rev;
+  { Index.count = sw.count; seg_len = sw.size; offsets }
+
+let close ?(par = Par.seq) w ~scale =
+  let close_seg name sw =
+    close_out sw.oc;
+    Index.save (w.w_dir // idx_of name) (index_of_seg_writer sw)
+  in
+  close_seg cert_seg w.cert_w;
+  close_seg obs_seg w.obs_w;
+  close_seg env_seg w.env_w;
   let leaves = Array.of_list (List.rev w.leaves_rev) in
-  let root_hex = Hex.encode (Merkle.root leaves) in
+  let tree = Merkle.Tree.of_leaf_hashes ~par leaves in
+  (* The incremental frontier and the full rebuild must agree — a cheap
+     internal cross-check of the two implementations on every close. *)
+  assert (String.equal (Merkle.Frontier.root w.frontier) (Merkle.Tree.root tree));
+  write_tree w.w_dir tree;
+  let root_hex = Hex.encode (Merkle.Tree.root tree) in
   write_file (w.w_dir // manifest_file)
-    (manifest_text ~scale ~certs:w.n_certs ~obs:w.n_obs ~env:w.n_env);
-  write_file (w.w_dir // root_file) (root_text ~count:w.n_obs ~root_hex);
+    (manifest_text ~scale ~certs:w.cert_w.count ~obs:w.obs_w.count
+       ~env:w.env_w.count);
+  write_file (w.w_dir // root_file) (root_text ~count:w.obs_w.count ~root_hex);
   root_hex
 
 (* ------------------------------------------------------------------ *)
@@ -161,9 +219,11 @@ let close w ~scale =
 type t = {
   obs : string array;
   env : string array;
+  cert_order : string array;  (** DER blobs in append order *)
   certs : (string, string) Hashtbl.t;  (** fingerprint -> DER *)
   t_scale : float;
   t_root_hex : string;
+  t_tree : Merkle.Tree.t;
 }
 
 let observations t = t.obs
@@ -172,43 +232,89 @@ let find_cert t fp = Hashtbl.find_opt t.certs fp
 let cert_count t = Hashtbl.length t.certs
 let scale t = t.t_scale
 let root_hex t = t.t_root_hex
+let tree t = t.t_tree
 
 (* Strict segment read: every frame whole, CRC-valid and of the expected
-   kind, or a message saying what is wrong and where. *)
-let read_segment dir name ~kind =
+   kind, or a message saying what is wrong and where.
+
+   Fast path: when the sidecar offset index is present and agrees with the
+   frames (every indexed frame whole, CRC-valid, right kind, tiling the
+   segment exactly — verified, never assumed), payload extraction is
+   random access, chunked over [par]. Any disagreement falls back to the
+   authoritative sequential scan; a bad index can therefore never corrupt
+   a read, only slow it down. *)
+let read_segment ?(par = Par.seq) ?(use_index = true) dir name ~kind =
   match read_file (dir // name) with
   | None -> Error (Printf.sprintf "%s: missing" name)
   | Some data -> (
-      let payloads, tail =
-        Frame.fold data ~init:[] ~f:(fun acc ~kind:k ~payload ->
-            (k, payload) :: acc)
+      let indexed =
+        if not use_index then None
+        else
+          match Index.load (dir // idx_of name) ~seg_len:(String.length data) with
+          | Error _ -> None
+          | Ok idx ->
+              if not (Index.agrees ~par idx data ~kind) then None
+              else begin
+                let out = Array.make idx.Index.count "" in
+                let extract i =
+                  let off = idx.Index.offsets.(i) in
+                  let next =
+                    if i + 1 < idx.Index.count then idx.Index.offsets.(i + 1)
+                    else idx.Index.seg_len
+                  in
+                  out.(i) <-
+                    String.sub data (off + Frame.header_size)
+                      (next - off - Frame.header_size)
+                in
+                if idx.Index.count >= Par.min_parallel then
+                  Par.slices par ~n:idx.Index.count ~chunk:1024
+                    (fun ~lo ~hi ->
+                      for i = lo to hi - 1 do
+                        extract i
+                      done)
+                else
+                  for i = 0 to idx.Index.count - 1 do
+                    extract i
+                  done;
+                Some out
+              end
       in
-      match tail with
-      | Frame.Truncated_at off ->
-          Error
-            (Printf.sprintf
-               "%s: truncated tail at offset %d; run `chaoscheck audit`" name
-               off)
-      | Frame.Corrupt_at (off, msg) ->
-          Error (Printf.sprintf "%s: corrupt at offset %d (%s)" name off msg)
-      | Frame.Clean -> (
-          let payloads = List.rev payloads in
-          match List.find_opt (fun (k, _) -> k <> kind) payloads with
-          | Some (k, _) ->
-              Error (Printf.sprintf "%s: unexpected record kind %d" name k)
-          | None -> Ok (Array.of_list (List.map snd payloads))))
+      match indexed with
+      | Some out -> Ok (String.length data, out)
+      | None -> (
+          let payloads, tail =
+            Frame.fold data ~init:[] ~f:(fun acc ~kind:k ~payload ->
+                (k, payload) :: acc)
+          in
+          match tail with
+          | Frame.Truncated_at off ->
+              Error
+                (Printf.sprintf
+                   "%s: truncated tail at offset %d; run `chaoscheck audit`" name
+                   off)
+          | Frame.Corrupt_at (off, msg) ->
+              Error (Printf.sprintf "%s: corrupt at offset %d (%s)" name off msg)
+          | Frame.Clean -> (
+              let payloads = List.rev payloads in
+              match List.find_opt (fun (k, _) -> k <> kind) payloads with
+              | Some (k, _) ->
+                  Error (Printf.sprintf "%s: unexpected record kind %d" name k)
+              | None ->
+                  Ok
+                    ( String.length data,
+                      Array.of_list (List.map snd payloads) ))))
 
 let ( let* ) = Result.bind
 
-let open_ dir =
+let open_ ?(par = Par.seq) ?(use_index = true) dir =
   let* manifest =
     match read_file (dir // manifest_file) with
     | None -> Error "MANIFEST: missing"
     | Some text -> parse_manifest text
   in
-  let* cert_ders = read_segment dir cert_seg ~kind:kind_cert in
-  let* obs = read_segment dir obs_seg ~kind:kind_obs in
-  let* env = read_segment dir env_seg ~kind:kind_env in
+  let* _, cert_ders = read_segment ~par ~use_index dir cert_seg ~kind:kind_cert in
+  let* _, obs = read_segment ~par ~use_index dir obs_seg ~kind:kind_obs in
+  let* _, env = read_segment ~par ~use_index dir env_seg ~kind:kind_env in
   let check_count name actual expected =
     if actual = expected then Ok ()
     else
@@ -236,7 +342,8 @@ let open_ dir =
         (Printf.sprintf "ROOT: count %d but %d observation records" count
            (Array.length obs))
   in
-  let computed = Hex.encode (Merkle.root (Array.map Merkle.leaf_hash obs)) in
+  let tree = Merkle.Tree.of_payloads ~par obs in
+  let computed = Hex.encode (Merkle.Tree.root tree) in
   let* () =
     if String.equal computed stored_root then Ok ()
     else Error "ROOT: Merkle root mismatch; run `chaoscheck audit`"
@@ -247,10 +354,170 @@ let open_ dir =
     {
       obs;
       env;
+      cert_order = cert_ders;
       certs;
       t_scale = manifest.m_scale;
       t_root_hex = computed;
+      t_tree = tree;
     }
+
+(* ------------------------------------------------------------------ *)
+(* Random access                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type segment = Certs | Obs | Env
+
+let seg_name = function Certs -> cert_seg | Obs -> obs_seg | Env -> env_seg
+let seg_kind = function Certs -> kind_cert | Obs -> kind_obs | Env -> kind_env
+
+(* Sequential record fetch: walk the frames from the start, never touching
+   the index — the authoritative reference the indexed path is compared
+   against (in tests and in CI). *)
+let read_record_seq dir seg i =
+  let name = seg_name seg in
+  if i < 0 then Error (Printf.sprintf "%s: record %d out of range" name i)
+  else
+    match read_file (dir // name) with
+    | None -> Error (Printf.sprintf "%s: missing" name)
+    | Some data -> (
+        let c = Frame.Cursor.create data in
+        let rec go k =
+          match Frame.Cursor.next c with
+          | Frame.Cursor.Item ->
+              if Frame.Cursor.kind c <> seg_kind seg then
+                Error
+                  (Printf.sprintf "%s: unexpected record kind %d" name
+                     (Frame.Cursor.kind c))
+              else if k = i then Ok (Frame.Cursor.payload c)
+              else go (k + 1)
+          | Frame.Cursor.Done ->
+              Error
+                (Printf.sprintf "%s: record %d out of range (%d records)" name i
+                   k)
+          | Frame.Cursor.Truncated ->
+              Error
+                (Printf.sprintf
+                   "%s: truncated tail at offset %d; run `chaoscheck audit`"
+                   name (Frame.Cursor.start c))
+          | Frame.Cursor.Corrupt ->
+              Error
+                (Printf.sprintf "%s: corrupt at offset %d; run `chaoscheck audit`"
+                   name (Frame.Cursor.start c))
+        in
+        go 0)
+
+(* Indexed record fetch: two bounded reads (the sidecar index, then one
+   seek + one frame) instead of decoding the whole segment — O(1) I/O per
+   record. The single frame is still CRC-verified against its header, and
+   any index problem (missing, stale, offsets that do not parse as a
+   whole frame of the right kind) falls back to the sequential walk: the
+   segment always wins. *)
+let read_record_at dir seg i =
+  let name = seg_name seg in
+  let path = dir // name in
+  let fast () =
+    match Unix.stat path with
+    | exception Unix.Unix_error _ -> None
+    | st -> (
+        let seg_len = st.Unix.st_size in
+        match Index.load (dir // idx_of name) ~seg_len with
+        | Error _ -> None
+        | Ok idx ->
+            if i < 0 || i >= idx.Index.count then None
+            else begin
+              let off = idx.Index.offsets.(i) in
+              let next =
+                if i + 1 < idx.Index.count then idx.Index.offsets.(i + 1)
+                else seg_len
+              in
+              match open_in_bin path with
+              | exception Sys_error _ -> None
+              | ic -> (
+                  let frame =
+                    match seek_in ic off; really_input_string ic (next - off) with
+                    | exception _ -> None
+                    | bytes -> Some bytes
+                  in
+                  close_in ic;
+                  match frame with
+                  | None -> None
+                  | Some bytes -> (
+                      match Frame.read bytes 0 with
+                      | Frame.Frame { kind; payload; next = consumed }
+                        when kind = seg_kind seg
+                             && consumed = String.length bytes ->
+                          Some payload
+                      | _ -> None))
+            end)
+  in
+  match fast () with Some payload -> Ok payload | None -> read_record_seq dir seg i
+
+(* ------------------------------------------------------------------ *)
+(* Inclusion proofs from the persisted layers                          *)
+(* ------------------------------------------------------------------ *)
+
+type proof = {
+  p_index : int;
+  p_count : int;
+  p_root_hex : string;
+  p_leaf : string;
+  p_path : string list;
+}
+
+let inclusion_proof dir i =
+  let* count, stored_root, stored_auth =
+    match read_file (dir // root_file) with
+    | None -> Error "ROOT: missing"
+    | Some text -> parse_root text
+  in
+  let* () =
+    if String.equal stored_auth (root_auth ~count ~root_hex:stored_root) then
+      Ok ()
+    else Error "ROOT: authentication tag mismatch"
+  in
+  let* () =
+    if i >= 0 && i < count then Ok ()
+    else Error (Printf.sprintf "record %d out of range (%d records)" i count)
+  in
+  let* root =
+    match Hex.decode stored_root with
+    | Ok r when String.length r = 32 -> Ok r
+    | _ -> Error "ROOT: malformed root hash"
+  in
+  let* payload = read_record_at dir Obs i in
+  let leaf = Merkle.leaf_hash payload in
+  (* Fast path: read the path off the persisted layers — O(log n) hashing
+     to re-verify it against the authenticated ROOT, no tree rebuild. The
+     layer file is derived data, so a failed verification (or a missing /
+     damaged file) silently falls back to rebuilding the tree from the
+     observation segment. *)
+  let from_layers =
+    match load_tree dir with
+    | Error _ -> None
+    | Ok tree ->
+        if Merkle.Tree.leaf_count tree <> count then None
+        else if not (String.equal (Merkle.Tree.leaf tree i) leaf) then None
+        else
+          let path = Merkle.Tree.proof tree i in
+          if Merkle.verify ~root ~index:i ~count leaf path then Some path
+          else None
+  in
+  let* path =
+    match from_layers with
+    | Some path -> Ok path
+    | None -> (
+        let* _, obs = read_segment dir obs_seg ~kind:kind_obs in
+        if Array.length obs <> count then
+          Error
+            (Printf.sprintf "ROOT: count %d but %d observation records" count
+               (Array.length obs))
+        else
+          let tree = Merkle.Tree.of_payloads obs in
+          let path = Merkle.Tree.proof tree i in
+          if Merkle.verify ~root ~index:i ~count leaf path then Ok path
+          else Error "ROOT: Merkle root mismatch; run `chaoscheck audit`")
+  in
+  Ok { p_index = i; p_count = count; p_root_hex = stored_root; p_leaf = leaf; p_path = path }
 
 (* ------------------------------------------------------------------ *)
 (* Audit                                                               *)
@@ -262,7 +529,7 @@ type audit_report = {
   a_messages : string list;
 }
 
-let audit ?(repair = true) ?(samples = 8) dir =
+let audit ?(par = Par.seq) ?(repair = true) ?(samples = 8) dir =
   let ok = ref true in
   let repaired = ref false in
   let messages = ref [] in
@@ -281,60 +548,113 @@ let audit ?(repair = true) ?(samples = 8) dir =
             say "%s" msg;
             None)
   in
-  (* Scan one segment; truncated tails are the expected crash artifact and
-     repairable, CRC damage inside the good prefix is not. Returns the
-     good-prefix payloads (i.e. segment content after any repair). *)
-  let scan name ~kind =
+  (* Scan one segment with the allocation-free cursor; truncated tails are
+     the expected crash artifact and repairable, CRC damage inside the
+     good prefix is not. Payloads are only materialised when [keep] (the
+     observation segment, whose payloads feed the Merkle rebuild).
+     Returns (record count, kept payloads, authoritative index of the
+     good prefix) — the index the sidecar file is then compared against:
+     the segment wins, always. *)
+  let scan name ~kind ~keep =
     match read_file (dir // name) with
     | None ->
         ok := false;
         say "%s: missing" name;
-        [||]
+        (0, [||], None)
     | Some data ->
-        let payloads, tail =
-          Frame.fold data ~init:[] ~f:(fun acc ~kind:k ~payload ->
-              if k <> kind then begin
+        let c = Frame.Cursor.create data in
+        let payloads = ref [] in
+        let offs_rev = ref [] in
+        let n = ref 0 in
+        let rec go () =
+          match Frame.Cursor.next c with
+          | Frame.Cursor.Item ->
+              if Frame.Cursor.kind c <> kind then begin
                 ok := false;
-                say "%s: unexpected record kind %d" name k
+                say "%s: unexpected record kind %d" name (Frame.Cursor.kind c)
               end;
-              payload :: acc)
+              offs_rev := Frame.Cursor.start c :: !offs_rev;
+              if keep then payloads := Frame.Cursor.payload c :: !payloads;
+              incr n;
+              go ()
+          | Frame.Cursor.Done -> Frame.Clean
+          | Frame.Cursor.Truncated -> Frame.Truncated_at (Frame.Cursor.start c)
+          | Frame.Cursor.Corrupt ->
+              Frame.Corrupt_at (Frame.Cursor.start c, Frame.Cursor.error c)
         in
-        let payloads = Array.of_list (List.rev payloads) in
+        let tail = go () in
+        let good_len =
+          match tail with
+          | Frame.Clean -> String.length data
+          | Frame.Truncated_at off | Frame.Corrupt_at (off, _) -> off
+        in
         (match tail with
         | Frame.Clean -> ()
         | Frame.Corrupt_at (off, msg) ->
             ok := false;
             say "%s: unrecoverable corruption at offset %d (%s)" name off msg
         | Frame.Truncated_at off ->
-            say "%s: truncated tail at offset %d (%d whole records)" name off
-              (Array.length payloads);
+            say "%s: truncated tail at offset %d (%d whole records)" name off !n;
             if repair then begin
               Unix.truncate (dir // name) off;
               repaired := true;
               say "%s: cut back to last whole record" name
             end);
-        payloads
+        let offsets = Array.make !n 0 in
+        List.iteri (fun i off -> offsets.(!n - 1 - i) <- off) !offs_rev;
+        ( !n,
+          Array.of_list (List.rev !payloads),
+          Some { Index.count = !n; seg_len = good_len; offsets } )
   in
-  let cert_ders = scan cert_seg ~kind:kind_cert in
-  let obs = scan obs_seg ~kind:kind_obs in
-  let env = scan env_seg ~kind:kind_env in
-  let leaves = Array.map Merkle.leaf_hash obs in
-  let computed_root = Hex.encode (Merkle.root leaves) in
-  let n = Array.length obs in
+  (* Sidecar offset index: silent when it matches the authoritative scan,
+     otherwise named and (when the store is otherwise sound) rebuilt.
+     Never rebuilt over unrecoverable damage — same rule as MANIFEST and
+     ROOT: repairs only happen on a store whose frames are trustworthy. *)
+  let check_index name expected =
+    match expected with
+    | None -> ()
+    | Some expected -> (
+        let idx_path = dir // idx_of name in
+        let verdict =
+          match Index.load idx_path ~seg_len:expected.Index.seg_len with
+          | Error e -> Some e
+          | Ok idx ->
+              if
+                idx.Index.count = expected.Index.count
+                && idx.Index.offsets = expected.Index.offsets
+              then None
+              else Some "disagrees with the segment frames"
+        in
+        match verdict with
+        | None -> ()
+        | Some why ->
+            if repair && !ok then begin
+              Index.save idx_path expected;
+              repaired := true;
+              say "%s: offset index rebuilt (%s)" (idx_of name) why
+            end
+            else say "%s: offset index %s" (idx_of name) why)
+  in
+  let n_certs, _, cert_idx = scan cert_seg ~kind:kind_cert ~keep:false in
+  let n_obs, obs, obs_idx = scan obs_seg ~kind:kind_obs ~keep:true in
+  let n_env, _, env_idx = scan env_seg ~kind:kind_env ~keep:false in
+  check_index cert_seg cert_idx;
+  check_index obs_seg obs_idx;
+  check_index env_seg env_idx;
+  (* Merkle rebuild: leaf hashing and layer construction fan out over the
+     Domain pool; proofs below are O(log n) reads off this tree. *)
+  let tree = Merkle.Tree.of_payloads ~par obs in
+  let computed_root = Hex.encode (Merkle.Tree.root tree) in
+  let n = n_obs in
   (* MANIFEST counts must match the (possibly repaired) segments. *)
   (match manifest with
   | None -> ()
   | Some m ->
-      let stale =
-        m.m_certs <> Array.length cert_ders
-        || m.m_obs <> n
-        || m.m_env <> Array.length env
-      in
+      let stale = m.m_certs <> n_certs || m.m_obs <> n || m.m_env <> n_env in
       if stale then
         if repair && !ok then begin
           write_file (dir // manifest_file)
-            (manifest_text ~scale:m.m_scale ~certs:(Array.length cert_ders)
-               ~obs:n ~env:(Array.length env));
+            (manifest_text ~scale:m.m_scale ~certs:n_certs ~obs:n ~env:n_env);
           repaired := true;
           say "MANIFEST: record counts rewritten"
         end
@@ -368,16 +688,32 @@ let audit ?(repair = true) ?(samples = 8) dir =
               say "ROOT: Merkle root re-anchored over %d records" n
             end
             else say "ROOT: Merkle root is stale (%d records on disk)" n));
-  (* Inclusion proofs for a deterministic, evenly spread sample. *)
+  (* Persisted Merkle layers: compared level-by-level against the rebuild
+     (root equality alone would not catch a damaged interior level). *)
+  (match load_tree dir with
+  | Ok stored when Merkle.Tree.layers stored = Merkle.Tree.layers tree -> ()
+  | verdict ->
+      let why = match verdict with Error e -> e | Ok _ -> "stale layers" in
+      if repair && !ok then begin
+        write_tree dir tree;
+        repaired := true;
+        say "%s: Merkle layers rebuilt (%s)" tree_file why
+      end
+      else say "%s: Merkle layers %s" tree_file why);
+  (* Inclusion proofs for a deterministic, evenly spread sample — O(log n)
+     reads each off the rebuilt layers. *)
   if n > 0 then begin
     let k = min samples n in
     let idx i = if k = 1 then 0 else i * (n - 1) / (k - 1) in
-    let raw_root = Merkle.root leaves in
+    let raw_root = Merkle.Tree.root tree in
     let failures = ref 0 in
     for i = 0 to k - 1 do
       let j = idx i in
-      let path = Merkle.proof leaves j in
-      if not (Merkle.verify ~root:raw_root ~index:j ~count:n leaves.(j) path)
+      let path = Merkle.Tree.proof tree j in
+      if
+        not
+          (Merkle.verify ~root:raw_root ~index:j ~count:n
+             (Merkle.Tree.leaf tree j) path)
       then incr failures
     done;
     if !failures = 0 then
@@ -388,3 +724,62 @@ let audit ?(repair = true) ?(samples = 8) dir =
     end
   end;
   { a_ok = !ok; a_repaired = !repaired; a_messages = List.rev !messages }
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type compact_report = {
+  c_kept : int;
+  c_dropped : int;
+  c_bytes_before : int;
+  c_bytes_after : int;
+}
+
+(* Rewrite the content-addressed certificate segment keeping only the
+   certificates [live] wants (in their original append order), dropping
+   blobs orphaned by e.g. a truncation repair of the observation log.
+   ROOT's self-authentication is untouched by construction: the Merkle
+   tree covers observation payloads only, and those segments are never
+   rewritten here. The new segment lands via write-to-temp + rename, so a
+   crash mid-compaction leaves either the old or the new segment whole;
+   a crash between the rename and the MANIFEST rewrite leaves a stale
+   cert count, which audit repairs. *)
+let compact ?(par = Par.seq) ~live dir =
+  let* t = open_ ~par dir in
+  let before =
+    match Unix.stat (dir // cert_seg) with
+    | st -> st.Unix.st_size
+    | exception Unix.Unix_error _ -> 0
+  in
+  let b = Buffer.create (1 lsl 16) in
+  let offs_rev = ref [] in
+  let kept = ref 0 in
+  Array.iter
+    (fun der ->
+      if live (Sha256.digest der) then begin
+        offs_rev := Buffer.length b :: !offs_rev;
+        Frame.add b ~kind:kind_cert der;
+        incr kept
+      end)
+    t.cert_order;
+  let dropped = Array.length t.cert_order - !kept in
+  if dropped > 0 then begin
+    let tmp = dir // (cert_seg ^ ".tmp") in
+    write_file tmp (Buffer.contents b);
+    Unix.rename tmp (dir // cert_seg);
+    let offsets = Array.make !kept 0 in
+    List.iteri (fun i off -> offsets.(!kept - 1 - i) <- off) !offs_rev;
+    Index.save (dir // idx_of cert_seg)
+      { Index.count = !kept; seg_len = Buffer.length b; offsets };
+    write_file (dir // manifest_file)
+      (manifest_text ~scale:t.t_scale ~certs:!kept ~obs:(Array.length t.obs)
+         ~env:(Array.length t.env))
+  end;
+  Ok
+    {
+      c_kept = !kept;
+      c_dropped = dropped;
+      c_bytes_before = before;
+      c_bytes_after = (if dropped > 0 then Buffer.length b else before);
+    }

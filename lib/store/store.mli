@@ -10,6 +10,15 @@
     [ROOT] (the RFC 6962-style Merkle root over observation payloads, with a
     keyed self-authentication tag standing in for a log signature).
 
+    Alongside each segment the writer persists {e derived} sidecars that
+    make the store scale to Top-1M corpora: a per-segment offset index
+    ([*.idx], see {!Index}) giving O(1) random access to record [i], and
+    the full Merkle layer stack ([tree.mrk], see {!Merkle.Tree}) so an
+    inclusion proof is O(log n) array reads instead of an O(n) rebuild.
+    Both are CRC-protected, always validated against the frames before
+    use, and rebuilt by {!audit} whenever missing or stale — losing them
+    loses no data and can never corrupt a read.
+
     Writers are append-only; readers are strict (any CRC, count or Merkle
     mismatch refuses to open and points at {!audit}); {!audit} distinguishes
     a truncated tail — the expected crash artifact, repairable by truncating
@@ -31,23 +40,34 @@ val add_cert : writer -> string -> string
 
 val add_obs : writer -> string -> unit
 (** Append one observation payload (see {!Frame.Wire} for the encoding
-    helpers); it becomes the next Merkle leaf. *)
+    helpers); it becomes the next Merkle leaf. The writer maintains the
+    root incrementally through a {!Merkle.Frontier} — O(log n) memory,
+    amortised O(1) hashing per append. *)
 
 val add_env : writer -> string -> unit
 (** Append one trust-environment payload. *)
 
-val close : writer -> scale:float -> string
-(** Flush segments, write [MANIFEST] and [ROOT], and return the Merkle root
-    in hex. The writer must not be used afterwards. *)
+val close : ?par:Par.t -> writer -> scale:float -> string
+(** Flush segments, write the [*.idx] offset indexes, persist the Merkle
+    layers to [tree.mrk] (built through [par] when provided), write
+    [MANIFEST] and [ROOT], and return the Merkle root in hex. The writer
+    must not be used afterwards. *)
 
 (** {1 Reading} *)
 
 type t
 
-val open_ : string -> (t, string) result
+val open_ : ?par:Par.t -> ?use_index:bool -> string -> (t, string) result
 (** Strict open: verifies every frame CRC, the manifest counts, and the
     Merkle root (including its authentication tag). Any mismatch — including
-    a truncated tail — yields [Error] with a message naming the problem. *)
+    a truncated tail — yields [Error] with a message naming the problem.
+
+    When the offset indexes are present and agree with the frames
+    (verified record-by-record, never assumed), payload extraction is
+    random-access and chunked through [par]; pass [par] as
+    [Pipeline.Pool.run pool] to spread CRC verification, leaf hashing and
+    tree construction over the Domain pool. [use_index:false] forces the
+    sequential scan (the two paths are byte-identical — pinned in CI). *)
 
 val observations : t -> string array
 (** Observation payloads in append order. *)
@@ -66,6 +86,46 @@ val scale : t -> float
 val root_hex : t -> string
 (** The verified Merkle root, in hex. *)
 
+val tree : t -> Merkle.Tree.t
+(** The Merkle tree over the observation payloads, rebuilt and verified
+    at open time — proofs from it are O(log n). *)
+
+(** {1 Random access} *)
+
+type segment = Certs | Obs | Env
+
+val read_record_at : string -> segment -> int -> (string, string) result
+(** [read_record_at dir seg i] fetches record [i]'s payload with O(1) I/O:
+    the offset index locates the frame, one seek + one bounded read
+    fetches it, and the frame's CRC is verified. Any index problem —
+    missing, stale, or offsets that do not parse as a whole frame of the
+    right kind — silently falls back to {!read_record_seq}: the segment
+    always wins over its index. *)
+
+val read_record_seq : string -> segment -> int -> (string, string) result
+(** Reference implementation of {!read_record_at}: walk the frames
+    sequentially from the start of the segment, never touching the index.
+    [Error] on damage or out-of-range index. *)
+
+(** {1 Inclusion proofs} *)
+
+type proof = {
+  p_index : int;
+  p_count : int;  (** total observation records under the root *)
+  p_root_hex : string;  (** the authenticated root the path connects to *)
+  p_leaf : string;  (** 32-byte leaf hash of the record payload *)
+  p_path : string list;  (** sibling hashes, leaf to root *)
+}
+
+val inclusion_proof : string -> int -> (proof, string) result
+(** [inclusion_proof dir i] proves observation [i] is covered by the
+    store's authenticated ROOT. Fast path: record fetched through the
+    offset index, audit path read off the persisted [tree.mrk] layers,
+    then re-verified against ROOT — O(log n) hashing, no tree rebuild.
+    If [tree.mrk] is missing, damaged, or fails verification, the tree is
+    rebuilt from [obs.seg] (derived data never takes precedence over the
+    frames). The returned proof always verifies against [p_root_hex]. *)
+
 (** {1 Audit} *)
 
 type audit_report = {
@@ -74,10 +134,36 @@ type audit_report = {
   a_messages : string list;  (** Human-readable findings, in order. *)
 }
 
-val audit : ?repair:bool -> ?samples:int -> string -> audit_report
-(** [audit dir] scans every segment frame-by-frame, verifies the Merkle
-    root and its authentication tag, and checks inclusion proofs for
-    [samples] (default 8) evenly spread observation records. With [repair]
-    (default [true]) a truncated segment tail is cut back to the last whole
-    frame and [MANIFEST]/[ROOT] are rewritten to match; CRC corruption
-    inside a segment is never repaired and makes [a_ok] false. *)
+val audit :
+  ?par:Par.t -> ?repair:bool -> ?samples:int -> string -> audit_report
+(** [audit dir] scans every segment frame-by-frame with the
+    allocation-free cursor, verifies the Merkle root and its
+    authentication tag, cross-checks the [*.idx] offset indexes and the
+    persisted [tree.mrk] layers against the frames, and checks inclusion
+    proofs for [samples] (default 8) evenly spread observation records.
+    Leaf hashing and tree construction fan out over [par].
+
+    With [repair] (default [true]) a truncated segment tail is cut back
+    to the last whole frame, [MANIFEST]/[ROOT] are rewritten to match,
+    and stale or missing sidecars are rebuilt from the frames; CRC
+    corruption inside a segment is never repaired, makes [a_ok] false,
+    and suppresses all repairs (the damaged store is evidence). *)
+
+(** {1 Compaction} *)
+
+type compact_report = {
+  c_kept : int;
+  c_dropped : int;
+  c_bytes_before : int;  (** certs.seg size before, in bytes *)
+  c_bytes_after : int;
+}
+
+val compact :
+  ?par:Par.t -> live:(string -> bool) -> string -> (compact_report, string) result
+(** [compact ~live dir] rewrites the content-addressed certificate
+    segment keeping only certificates whose 32-byte fingerprint satisfies
+    [live], preserving append order, then rewrites [certs.idx] and the
+    MANIFEST count. The observation and environment segments — and hence
+    ROOT and its self-authentication tag — are untouched by construction.
+    The new segment lands via write-to-temp + atomic rename. Requires a
+    store that opens strictly; returns the space reclaimed. *)
