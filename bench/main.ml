@@ -233,6 +233,10 @@ let micro_workloads () =
   let msg12 = certmsg_of Certmsg.Tls12 and msg13 = certmsg_of Certmsg.Tls13 in
   let wire12 = Certmsg.encode msg12 and wire13 = Certmsg.encode msg13 in
   let sample_der = Chaoschain_x509.Cert.to_der (List.hd fx_order.Capability.served) in
+  let derfuzz_corpus =
+    Array.of_list
+      (List.map Chaoschain_x509.Cert.to_der fx_order.Capability.served)
+  in
   let pem_text = Chaoschain_deployment.Pem.encode_certs fx_order.Capability.served in
   let topo_chain = fx_order.Capability.served in
   let mini_pop = Population.generate ~scale:0.001 () in
@@ -275,6 +279,19 @@ let micro_workloads () =
   [ ("sha256/1KiB", fun () -> ignore (Chaoschain_crypto.Sha256.digest sha_buf));
     ( "der/decode-certificate",
       fun () -> ignore (Chaoschain_x509.Cert.of_der sample_der) );
+    ( "der2/decode-certificate",
+      (* The independent table-driven decoder over the same bytes; the gap
+         to plain TLV decoding through lib/der is the X.509 typing cost. *)
+      fun () -> ignore (Chaoschain_der2.Der2.decode sample_der) );
+    ( "derfuzz/campaign(32)",
+      (* One bounded differential campaign: mutate, decode through both
+         readers, classify — the per-mutant cost of `chaoscheck derfuzz`. *)
+      fun () ->
+        let r =
+          Chaoschain_fuzz.Derfuzz.run ~seed:4242 ~iters:32 derfuzz_corpus
+        in
+        if Chaoschain_fuzz.Derfuzz.divergence_count r <> 0 then
+          failwith "derfuzz bench found a divergence" );
     ( "pem/decode-chain",
       fun () -> ignore (Chaoschain_deployment.Pem.decode_certs pem_text) );
     ( "pem/decode-chain(no-intern)",
@@ -547,7 +564,13 @@ let smoke_checks () =
     (fun cert ->
       let raw = Cert.to_der cert in
       check "der slice=tree"
-        (Der.decode_slice (Der.slice_of_string raw) = Der.decode raw))
+        (Der.decode_slice (Der.slice_of_string raw) = Der.decode raw);
+      (* The independent second decoder agrees structurally on the same
+         certificates (the derfuzz precondition). *)
+      check "der2 agrees with der"
+        (match (Der.decode raw, Chaoschain_der2.Der2.decode raw) with
+        | Ok t, Ok t2 -> Chaoschain_fuzz.Oracle.agree t t2
+        | _ -> false))
     fx.Capability.served;
   (* Interned decode is byte-identical to a fresh parse. *)
   let pem_text = Pem.encode_certs fx.Capability.served in

@@ -15,6 +15,7 @@
      mkstore   — synthetic N-record store (the scale harness for CI/bench)
      compact   — drop unreferenced certificates from the dedup segment
      certmsg   — encode a PEM chain as a raw TLS Certificate message
+     derfuzz   — differential byte-level DER fuzzing (lib/der vs lib/der2)
      serve     — chaind: the online chain-compliance query service
                  (stdio, or many connections via --listen / netd)
      loadgen   — open-loop load generator + latency report for chaind
@@ -317,7 +318,9 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz"
-       ~doc:"Frankencert-style structural fuzzing of the eight client models")
+       ~doc:"Frankencert-style structural fuzzing of the eight client models \
+             (chain-level mutations over parsed certificates; for byte-level \
+             DER mutations through the two decoders, see $(b,derfuzz))")
     Term.(ret (const run $ iterations_arg $ seed_arg $ scale_arg $ no_intern_arg))
 
 (* --- scan / replay / audit (chainstore) --- *)
@@ -405,6 +408,122 @@ let run_paper_check results =
         ( false,
           Printf.sprintf "%d cell(s) outside paper tolerance"
             (List.length devs) )
+
+(* --- derfuzz --- *)
+
+(* Byte-level differential DER fuzzing: mutate corpus certificates and
+   decode each mutant through both lib/der and lib/der2 (see lib/fuzz).
+   Distinct from [fuzz], which mutates parsed chain structure and compares
+   the eight client verdict models. *)
+let derfuzz_cmd =
+  let module Derfuzz = Chaoschain_fuzz.Derfuzz in
+  let module Cert = Chaoschain_x509.Cert in
+  let iters_arg =
+    Arg.(value & opt int 2000
+         & info [ "iters"; "n" ] ~doc:"Number of mutants to classify.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 4242
+         & info [ "seed" ]
+             ~doc:"Campaign PRNG seed. The same seed over the same corpus \
+                   yields a byte-identical report at any --jobs.")
+  in
+  let max_mutations_arg =
+    Arg.(value & opt int 3
+         & info [ "max-mutations" ]
+             ~doc:"Upper bound on stacked mutations per mutant (each mutant \
+                   applies 1..N).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Also write the report as report-IR JSON to $(docv).")
+  in
+  let seeds_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "seeds-out" ] ~docv:"FILE"
+             ~doc:"Write exemplar mutants as '<outcome> <hex>' lines to \
+                   $(docv) (the test/golden/der_fuzz.seeds format).")
+  in
+  let run iters seed max_mutations scale jobs fmt out seeds_out no_intern =
+    apply_intern no_intern;
+    if jobs < 1 then `Error (true, "--jobs must be >= 1")
+    else if iters < 0 then `Error (true, "--iters must be >= 0")
+    else if max_mutations < 1 then `Error (true, "--max-mutations must be >= 1")
+    else
+      with_lab scale (fun pop ->
+          (* The corpus: every distinct certificate the lab universe serves,
+             deduplicated by fingerprint, in first-appearance order. *)
+          let seen = Hashtbl.create 1024 in
+          let rev_corpus = ref [] in
+          Array.iter
+            (fun r ->
+              List.iter
+                (fun c ->
+                  let fp = Cert.fingerprint c in
+                  if not (Hashtbl.mem seen fp) then begin
+                    Hashtbl.add seen fp ();
+                    rev_corpus := Cert.to_der c :: !rev_corpus
+                  end)
+                r.Population.chain)
+            pop.Population.domains;
+          let corpus = Array.of_list (List.rev !rev_corpus) in
+          with_store_par jobs (fun par ->
+              match Derfuzz.check_corpus ~par corpus with
+              | (i, d) :: _ as bad ->
+                  Printf.eprintf
+                    "derfuzz: decoders disagree on unmutated corpus cert %d: \
+                     %s\n"
+                    i d;
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "%d corpus certificate(s) fail the two-decoder \
+                         agreement precondition"
+                        (List.length bad) )
+              | [] ->
+                  let report =
+                    Derfuzz.run ~par ~max_mutations ~seed ~iters corpus
+                  in
+                  let ir = Derfuzz.report_ir report in
+                  print_results fmt [ ir ];
+                  Option.iter
+                    (fun file ->
+                      Out_channel.with_open_text file (fun oc ->
+                          Out_channel.output_string oc
+                            (Report.Json.pretty (Report.to_json ir));
+                          Out_channel.output_char oc '\n'))
+                    out;
+                  Option.iter
+                    (fun file ->
+                      Out_channel.with_open_text file (fun oc ->
+                          Printf.fprintf oc
+                            "# chaoscheck derfuzz --seed %d --iters %d \
+                             --max-mutations %d (corpus: %d certs)\n\
+                             # <outcome-key> <mutant hex>\n"
+                            seed iters max_mutations (Array.length corpus);
+                          List.iter
+                            (fun l ->
+                              Out_channel.output_string oc l;
+                              Out_channel.output_char oc '\n')
+                            (Derfuzz.seed_lines report)))
+                    seeds_out;
+                  let divergences = Derfuzz.divergence_count report in
+                  if divergences > 0 then
+                    `Error
+                      ( false,
+                        Printf.sprintf "%d divergent mutant(s)" divergences )
+                  else `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "derfuzz"
+       ~doc:"Differential byte-level DER fuzzing: corpus-seeded mutants \
+             decoded through two independent decoders (lib/der vs lib/der2), \
+             every disagreement classified. For structural chain-level \
+             fuzzing of the client models, see $(b,fuzz).")
+    Term.(ret (const run $ iters_arg $ seed_arg $ max_mutations_arg
+               $ scale_arg $ jobs_pipeline_arg $ format_arg $ out_arg
+               $ seeds_out_arg $ no_intern_arg))
 
 let scan_cmd =
   let store_arg =
@@ -1301,6 +1420,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ scenario_cmd; analyze_cmd; difftest_cmd; matrix_cmd; recommend_cmd;
-            fuzz_cmd; scan_cmd; replay_cmd; classify_cmd; diff_cmd; audit_cmd;
+            fuzz_cmd; derfuzz_cmd; scan_cmd; replay_cmd; classify_cmd;
+            diff_cmd; audit_cmd;
             get_cmd; proof_cmd; mkstore_cmd; compact_cmd; certmsg_cmd;
             serve_cmd; loadgen_cmd; reproduce_cmd ]))

@@ -195,6 +195,33 @@ jq -e '.scaling[] | select(.name == "store/merkle-proof(1048576)")
 jq -e '.wall[] | select(.name == "store/audit(100k)")
        | .seconds > 0' BENCH_PR8.json > /dev/null
 
+# derfuzz smoke: a fixed-seed differential campaign over the lab certificate
+# corpus must pass the two-decoder agreement precondition on every unmutated
+# certificate, classify every mutant with zero divergences (no split, no
+# mismatch, no crash from either decoder), and produce byte-identical JSON
+# reports at --jobs 1 and --jobs 3. The committed golden seed corpus must
+# regenerate from the same seed.
+dune exec bin/chaoscheck.exe -- derfuzz --iters 400 --seed 2026 --jobs 1 \
+  --format json --out "$big/derfuzz1.json" > /dev/null
+dune exec bin/chaoscheck.exe -- derfuzz --iters 400 --seed 2026 --jobs 3 \
+  --format json --out "$big/derfuzz3.json" --seeds-out "$big/der_fuzz.seeds" \
+  > /dev/null
+cmp "$big/derfuzz1.json" "$big/derfuzz3.json"
+cmp test/golden/der_fuzz.seeds "$big/der_fuzz.seeds"
+jq -e '.id == "derfuzz"' "$big/derfuzz1.json" > /dev/null
+jq -e '[.blocks[1].rows[]
+        | select(.cells[0].text | test("split|mismatch|crash"))
+        | .cells[1].n] | add == 0' "$big/derfuzz1.json" > /dev/null
+jq -e '[.blocks[1].rows[] | .cells[1].n] | add == 400' \
+  "$big/derfuzz1.json" > /dev/null
+
+# bench JSON: the committed BENCH_PR9.json snapshot must carry the two-decoder
+# and campaign workloads with positive timings.
+jq -e '.der[] | select(.name == "der2/decode-certificate")
+       | .ns_per_run > 0' BENCH_PR9.json > /dev/null
+jq -e '.derfuzz[] | select(.name == "derfuzz/campaign(32)")
+       | .ns_per_run > 0' BENCH_PR9.json > /dev/null
+
 # EXPERIMENTS.md is generated (doc/EXPERIMENTS.head.md + Report.to_markdown);
 # regenerate and fail if the committed copy is stale.
 ./gen_experiments.sh "$rstore/EXPERIMENTS.md"

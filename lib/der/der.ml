@@ -245,6 +245,18 @@ let encode_many vs =
 
 (* --- Decoding --- *)
 
+(* Constructed nesting is bounded: adversarial inputs can legally encode
+   tens of thousands of nested SEQUENCEs in a few hundred KiB (a "nesting
+   bomb"), which would otherwise turn the recursive walks below into a
+   Stack_overflow — an exception escaping a decoder whose contract is
+   [Error _] on every malformed input. X.509 structures are single-digit
+   deep; 1024 is three orders of magnitude of headroom. lib/der2 applies
+   the same bound so the two independent decoders accept identical inputs. *)
+let max_depth = 1024
+
+let nesting_error =
+  Printf.sprintf "nesting deeper than %d constructed levels" max_depth
+
 (* The header readers are bounded by an explicit [limit] (one past the last
    readable byte) instead of the buffer length, so the same code serves both
    whole-string decoding and the zero-copy slice reader below. *)
@@ -291,23 +303,27 @@ let read_length_at s ~limit off =
 let read_tag s off = read_tag_at s ~limit:(String.length s) off
 let read_length s off = read_length_at s ~limit:(String.length s) off
 
-let rec decode_prefix s off =
+let rec decode_prefix_at s ~depth off =
   let* tag, off = read_tag s off in
   let* len, off = read_length s off in
   if off + len > String.length s then Error "truncated content"
-  else if tag.constructed then begin
-    let stop = off + len in
-    let rec children acc pos =
-      if pos = stop then Ok (List.rev acc)
-      else if pos > stop then Error "constructed content overruns length"
-      else
-        let* child, pos = decode_prefix s pos in
-        children (child :: acc) pos
-    in
-    let* kids = children [] off in
-    Ok (Cons (tag, kids), stop)
-  end
+  else if tag.constructed then
+    if depth >= max_depth then Error nesting_error
+    else begin
+      let stop = off + len in
+      let rec children acc pos =
+        if pos = stop then Ok (List.rev acc)
+        else if pos > stop then Error "constructed content overruns length"
+        else
+          let* child, pos = decode_prefix_at s ~depth:(depth + 1) pos in
+          children (child :: acc) pos
+      in
+      let* kids = children [] off in
+      Ok (Cons (tag, kids), stop)
+    end
   else Ok (Prim (tag, String.sub s off len), off + len)
+
+let decode_prefix s off = decode_prefix_at s ~depth:0 off
 
 let decode s =
   let* v, stop = decode_prefix s 0 in
@@ -356,19 +372,23 @@ let node_children n =
     go [] n.n_content
   end
 
-let rec tree_of_node n =
+let rec tree_of_node_at ~depth n =
   if n.n_tag.constructed then
-    let* kids = node_children n in
-    let* trees = map_result_tree kids in
-    Ok (Cons (n.n_tag, trees))
+    if depth >= max_depth then Error nesting_error
+    else
+      let* kids = node_children n in
+      let* trees = map_result_tree ~depth:(depth + 1) kids in
+      Ok (Cons (n.n_tag, trees))
   else Ok (Prim (n.n_tag, slice_string n.n_content))
 
-and map_result_tree = function
+and map_result_tree ~depth = function
   | [] -> Ok []
   | n :: rest ->
-      let* t = tree_of_node n in
-      let* ts = map_result_tree rest in
+      let* t = tree_of_node_at ~depth n in
+      let* ts = map_result_tree ~depth rest in
       Ok (t :: ts)
+
+let tree_of_node n = tree_of_node_at ~depth:0 n
 
 let decode_slice s =
   let* n, rest = read_node s in

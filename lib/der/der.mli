@@ -90,8 +90,18 @@ val encode : t -> string
 val encode_many : t list -> string
 (** Concatenation of the encodings of several values. *)
 
+val max_depth : int
+(** Constructed values nested deeper than this many levels are rejected with
+    [Error _]. The bound exists so adversarial "nesting bombs" (a few hundred
+    KiB can legally encode tens of thousands of nested SEQUENCEs) cannot turn
+    the recursive decoders into a [Stack_overflow]; X.509 structures are
+    single-digit deep. The independent second decoder ({!Chaoschain_der2.Der2})
+    applies the same bound, keeping the two accept sets identical. *)
+
 val decode : string -> t or_error
-(** Decode exactly one value occupying the whole input. *)
+(** Decode exactly one value occupying the whole input. Never raises: every
+    malformed input — truncation, forbidden length forms, nesting past
+    {!max_depth} — is an [Error _]. *)
 
 val decode_prefix : string -> int -> (t * int) or_error
 (** [decode_prefix s off] decodes one value starting at [off]; returns it and

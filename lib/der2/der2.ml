@@ -1,0 +1,136 @@
+(* The second DER decoder. Independence from lib/der is the whole point:
+   table-driven header classification instead of bit arithmetic, an explicit
+   heap frame stack instead of OCaml recursion, offsets-in-errors instead of
+   formatted strings. See der2.mli for the contract both decoders share. *)
+
+type cls = Univ | Appl | Ctx | Priv
+type hdr = { h_cls : cls; h_constructed : bool; h_number : int }
+type tree = Leaf of hdr * string | Node of hdr * tree list
+
+type error =
+  | Truncated of { at : int; what : string }
+  | Forbidden of { at : int; what : string }
+  | Nesting of { at : int }
+  | Trailing of { at : int; extra : int }
+
+let max_depth = 1024
+
+(* All 256 identifier octets, classified once at load time. [None] is the
+   0x1F escape to multi-octet tag numbers, which this X.509 subset forbids. *)
+let id_table =
+  Array.init 256 (fun b ->
+      let number = b land 0x1F in
+      if number = 0x1F then None
+      else
+        let h_cls =
+          match b lsr 6 with 0 -> Univ | 1 -> Appl | 2 -> Ctx | _ -> Priv
+        in
+        Some { h_cls; h_constructed = b land 0x20 <> 0; h_number = number })
+
+(* One open constructed value: its header, where its content octets end, and
+   the children decoded so far (reversed). *)
+type frame = { fr_hdr : hdr; fr_end : int; mutable fr_kids : tree list }
+
+exception Fail of error
+
+(* Read one header (identifier octet + definite length) starting at [pos],
+   never looking past [bound] (the innermost enclosing frame's end, or the
+   end of input). Returns the header, the content start and the content
+   length. *)
+let read_header s ~bound pos =
+  if pos >= bound then raise (Fail (Truncated { at = pos; what = "identifier octet" }));
+  let hdr =
+    match id_table.(Char.code s.[pos]) with
+    | Some h -> h
+    | None ->
+        raise (Fail (Forbidden { at = pos; what = "multi-octet tag number" }))
+  in
+  let lp = pos + 1 in
+  if lp >= bound then raise (Fail (Truncated { at = lp; what = "length octet" }));
+  let b = Char.code s.[lp] in
+  if b < 0x80 then (hdr, lp + 1, b)
+  else if b = 0x80 then
+    raise (Fail (Forbidden { at = lp; what = "indefinite length" }))
+  else begin
+    let k = b land 0x7F in
+    if k > 4 then
+      raise (Fail (Forbidden { at = lp; what = "length wider than 4 octets" }));
+    if lp + k >= bound then
+      raise (Fail (Truncated { at = lp; what = "long-form length octets" }));
+    let v = ref 0 in
+    for i = 1 to k do
+      v := (!v lsl 8) lor Char.code s.[lp + i]
+    done;
+    if !v < 0x80 || (k > 1 && !v < 1 lsl ((k - 1) * 8)) then
+      raise (Fail (Forbidden { at = lp; what = "non-minimal length" }));
+    (hdr, lp + k + 1, !v)
+  end
+
+let decode s =
+  let limit = String.length s in
+  try
+    let result = ref None in
+    let stack : frame list ref = ref [] in
+    let depth = ref 0 in
+    let pos = ref 0 in
+    (* Attach a completed value either to the enclosing frame or, at the top
+       level, as the final result (after the trailing-bytes check). *)
+    let attach t after =
+      match !stack with
+      | fr :: _ -> fr.fr_kids <- t :: fr.fr_kids
+      | [] ->
+          if after <> limit then
+            raise (Fail (Trailing { at = after; extra = limit - after }));
+          result := Some t
+    in
+    while !result = None do
+      match !stack with
+      | fr :: rest when !pos = fr.fr_end ->
+          (* Frame exactly filled by its children: close it. *)
+          stack := rest;
+          decr depth;
+          attach (Node (fr.fr_hdr, List.rev fr.fr_kids)) fr.fr_end
+      | frames ->
+          let bound =
+            match frames with fr :: _ -> fr.fr_end | [] -> limit
+          in
+          let hdr, cpos, clen = read_header s ~bound !pos in
+          if cpos + clen > bound then
+            raise (Fail (Truncated { at = cpos; what = "content octets" }));
+          if hdr.h_constructed then begin
+            if !depth >= max_depth then raise (Fail (Nesting { at = !pos }));
+            stack := { fr_hdr = hdr; fr_end = cpos + clen; fr_kids = [] } :: frames;
+            incr depth;
+            pos := cpos
+          end
+          else begin
+            pos := cpos + clen;
+            attach (Leaf (hdr, String.sub s cpos clen)) !pos
+          end
+    done;
+    match !result with Some t -> Ok t | None -> assert false
+  with Fail e -> Error e
+
+let error_to_string = function
+  | Truncated { at; what } -> Printf.sprintf "offset %d: input ends inside %s" at what
+  | Forbidden { at; what } -> Printf.sprintf "offset %d: %s forbidden in DER" at what
+  | Nesting { at } ->
+      Printf.sprintf "offset %d: nesting deeper than %d constructed levels" at
+        max_depth
+  | Trailing { at; extra } ->
+      Printf.sprintf "offset %d: %d trailing byte(s) after value" at extra
+
+let cls_letter = function Univ -> 'u' | Appl -> 'a' | Ctx -> 'c' | Priv -> 'p'
+
+let rec pp fmt = function
+  | Leaf (h, content) ->
+      Format.fprintf fmt "%c%d[%d]" (cls_letter h.h_cls) h.h_number
+        (String.length content)
+  | Node (h, kids) ->
+      Format.fprintf fmt "%c%d(" (cls_letter h.h_cls) h.h_number;
+      List.iteri
+        (fun i k ->
+          if i > 0 then Format.fprintf fmt " ";
+          pp fmt k)
+        kids;
+      Format.fprintf fmt ")"

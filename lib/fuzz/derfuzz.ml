@@ -1,0 +1,215 @@
+module Prng = Chaoschain_crypto.Prng
+module Par = Chaoschain_store.Par
+module Report = Chaoschain_report.Report
+
+type finding = {
+  f_iter : int;
+  f_seed_index : int;
+  f_mutations : string list;
+  f_outcome : string;
+  f_detail : string;
+  f_bytes : string;
+}
+
+type report = {
+  r_seed : int;
+  r_iters : int;
+  r_corpus : int;
+  r_max_mutations : int;
+  r_counts : (string * int) list;
+  r_divergences : finding list;
+  r_exemplars : (string * finding list) list;
+}
+
+let hex_of_string s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let string_of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then None
+  else
+    let digit c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let buf = Buffer.create (n / 2) in
+    let ok = ref true in
+    for i = 0 to (n / 2) - 1 do
+      match (digit h.[2 * i], digit h.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Buffer.add_char buf (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Buffer.contents buf) else None
+
+(* One campaign iteration. Everything random it does flows from a generator
+   derived from (campaign seed, iteration index) alone, so results do not
+   depend on which Domain runs which slot. *)
+let one_iteration ~seed ~max_mutations corpus i =
+  let g = Prng.of_label (Printf.sprintf "derfuzz/%d/%d" seed i) in
+  let seed_index = Prng.int g (Array.length corpus) in
+  let n_mut = 1 + Prng.int g max_mutations in
+  let rec mutate bytes described n =
+    if n = 0 then (bytes, List.rev described)
+    else
+      let m = Mutate.random g bytes in
+      mutate (Mutate.apply bytes m) (Mutate.describe m :: described) (n - 1)
+  in
+  let bytes, mutations = mutate corpus.(seed_index) [] n_mut in
+  let outcome, detail = Oracle.classify bytes in
+  {
+    f_iter = i;
+    f_seed_index = seed_index;
+    f_mutations = mutations;
+    f_outcome = Oracle.key outcome;
+    f_detail = detail;
+    f_bytes = bytes;
+  }
+
+let run ?(par = Par.seq) ?(max_mutations = 3) ?(exemplars = 8) ~seed ~iters
+    corpus =
+  if Array.length corpus = 0 then invalid_arg "Derfuzz.run: empty corpus";
+  if iters < 0 then invalid_arg "Derfuzz.run: negative iteration count";
+  if max_mutations < 1 then invalid_arg "Derfuzz.run: max_mutations < 1";
+  let results = Array.make iters None in
+  (* Chunked fan-out regardless of Par.min_parallel: classification is heavy
+     per item (two full decodes of a possibly nest-bombed mutant), so even
+     small campaigns amortise a Domain hand-off. *)
+  Par.slices par ~n:iters ~chunk:32 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        results.(i) <- Some (one_iteration ~seed ~max_mutations corpus i)
+      done);
+  let findings =
+    Array.to_list
+      (Array.map
+         (function Some f -> f | None -> assert false)
+         results)
+  in
+  let counts =
+    List.map
+      (fun k ->
+        (k, List.length (List.filter (fun f -> f.f_outcome = k) findings)))
+      Oracle.all_keys
+  in
+  let divergent k = k <> "agree-accept" && k <> "agree-reject" in
+  let divergences = List.filter (fun f -> divergent f.f_outcome) findings in
+  let exemplars_per_class =
+    List.filter_map
+      (fun k ->
+        let picked =
+          List.filteri
+            (fun i _ -> i < exemplars)
+            (List.filter (fun f -> f.f_outcome = k) findings)
+        in
+        if picked = [] then None else Some (k, picked))
+      Oracle.all_keys
+  in
+  {
+    r_seed = seed;
+    r_iters = iters;
+    r_corpus = Array.length corpus;
+    r_max_mutations = max_mutations;
+    r_counts = counts;
+    r_divergences = divergences;
+    r_exemplars = exemplars_per_class;
+  }
+
+let divergence_count r =
+  List.fold_left
+    (fun acc (k, n) ->
+      if k = "agree-accept" || k = "agree-reject" then acc else acc + n)
+    0 r.r_counts
+
+let check_corpus ?(par = Par.seq) corpus =
+  let n = Array.length corpus in
+  let verdicts = Array.make n None in
+  Par.slices par ~n ~chunk:32 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        let outcome, detail = Oracle.classify corpus.(i) in
+        if outcome <> Oracle.Agree_accept then
+          verdicts.(i) <- Some (Printf.sprintf "%s: %s" (Oracle.key outcome) detail)
+      done);
+  let bad = ref [] in
+  for i = n - 1 downto 0 do
+    match verdicts.(i) with
+    | Some d -> bad := (i, d) :: !bad
+    | None -> ()
+  done;
+  !bad
+
+let report_ir r =
+  let open Report in
+  let b = Table.create ~title:"Mutant classification" ~header:[ "outcome"; "mutants"; "share" ] in
+  List.iter
+    (fun (k, n) ->
+      Table.row b [ text k; count n; percent ~num:n ~den:r.r_iters ])
+    r.r_counts;
+  let divergences = divergence_count r in
+  let div_blocks =
+    if r.r_divergences = [] then
+      [ line [ S "No divergences: the two decoders agreed on every mutant." ] ]
+    else
+      line [ S "Divergent mutants (first 10):" ]
+      :: List.filteri
+           (fun i _ -> i < 10)
+           (List.map
+              (fun f ->
+                line
+                  [
+                    S
+                      (Printf.sprintf "  #%d [%s] seed-cert %d via %s: %s" f.f_iter
+                         f.f_outcome f.f_seed_index
+                         (String.concat ", " f.f_mutations)
+                         f.f_detail);
+                  ])
+              r.r_divergences)
+  in
+  {
+    id = "derfuzz";
+    title = "Differential DER fuzz campaign";
+    blocks =
+      line
+        [
+          S
+            (Printf.sprintf
+               "seed %d, %d mutants from %d corpus documents, <=%d mutations each"
+               r.r_seed r.r_iters r.r_corpus r.r_max_mutations);
+        ]
+      :: Table.block b
+      :: line
+           [
+             S "Divergences: ";
+             C (count divergences);
+             S " (split + mismatch + crash)";
+           ]
+      :: div_blocks;
+  }
+
+let seed_lines r =
+  let lines = ref [] in
+  List.iter
+    (fun (k, fs) ->
+      List.iter
+        (fun f ->
+          if String.length f.f_bytes <= 1024 then
+            lines := Printf.sprintf "%s %s" k (hex_of_string f.f_bytes) :: !lines)
+        fs)
+    r.r_exemplars;
+  List.rev !lines
+
+let parse_seed_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.index_opt line ' ' with
+    | None -> None
+    | Some sp -> (
+        let k = String.sub line 0 sp in
+        let hex = String.sub line (sp + 1) (String.length line - sp - 1) in
+        match string_of_hex (String.trim hex) with
+        | Some bytes -> Some (k, bytes)
+        | None -> None)

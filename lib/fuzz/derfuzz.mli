@@ -1,0 +1,70 @@
+(** Differential fuzz campaigns over the two DER decoders.
+
+    A campaign draws [iters] mutants from a corpus of well-formed DER
+    documents (certificates, in practice), classifies each through
+    {!Oracle.classify}, and aggregates the outcome counts plus every
+    divergence into a {!report}.
+
+    Determinism contract: iteration [i] of a campaign seeded [s] derives its
+    own generator from the label ["derfuzz/<s>/<i>"] and writes its result
+    into slot [i] of a pre-sized array. Aggregation reads the array in index
+    order, so the report — and its JSON rendering — is byte-identical for
+    any parallel runner and any [--jobs]. *)
+
+type finding = {
+  f_iter : int;  (** campaign iteration (array slot) *)
+  f_seed_index : int;  (** corpus document the mutant grew from *)
+  f_mutations : string list;  (** applied mutations, [Mutate.describe]d *)
+  f_outcome : string;  (** [Oracle.key] of the classification *)
+  f_detail : string;
+  f_bytes : string;  (** the mutant itself *)
+}
+
+type report = {
+  r_seed : int;
+  r_iters : int;
+  r_corpus : int;
+  r_max_mutations : int;
+  r_counts : (string * int) list;
+      (** one entry per [Oracle.all_keys], in lattice order *)
+  r_divergences : finding list;  (** in iteration order *)
+  r_exemplars : (string * finding list) list;
+      (** per outcome class, the first few findings (iteration order);
+          feeds {!seed_lines} *)
+}
+
+val run :
+  ?par:Chaoschain_store.Par.t ->
+  ?max_mutations:int ->
+  ?exemplars:int ->
+  seed:int ->
+  iters:int ->
+  string array ->
+  report
+(** Run a campaign. [par] defaults to sequential; [max_mutations] (default
+    3) bounds the mutation stack per mutant; [exemplars] (default 8) bounds
+    exemplars kept per class. Raises [Invalid_argument] on an empty corpus
+    or [iters < 0]; never raises on any corpus {e content}. *)
+
+val divergence_count : report -> int
+
+val check_corpus :
+  ?par:Chaoschain_store.Par.t -> string array -> (int * string) list
+(** Decode every (unmutated) corpus document through both decoders; returns
+    the indices that are anything other than agree-accept, with the outcome
+    key and detail. Empty means the decoders agree structurally on the whole
+    corpus — the derfuzz precondition and a tier-1 acceptance check. *)
+
+val report_ir : report -> Chaoschain_report.Report.t
+(** Render as the typed report IR (text/json/markdown via the usual
+    renderers). *)
+
+val seed_lines : report -> string list
+(** The campaign distilled to seed-corpus lines ["<outcome-key> <hex>"], one
+    per exemplar (mutants longer than 1024 bytes are skipped to keep the
+    checked-in file reviewable). Replaying a line through
+    {!Oracle.classify} must reproduce its recorded key. *)
+
+val parse_seed_line : string -> (string * string) option
+(** Parse one {!seed_lines} line back to [(outcome-key, bytes)]; [None] for
+    blank lines and [#] comments. *)

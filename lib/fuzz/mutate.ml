@@ -1,0 +1,128 @@
+module Prng = Chaoschain_crypto.Prng
+module Der = Chaoschain_der.Der
+
+type t =
+  | Bit_flip of { pos : int; bit : int }
+  | Byte_set of { pos : int; value : int }
+  | Truncate of { keep : int }
+  | Extend of { tail : string }
+  | Length_lie of { site : int; value : int }
+  | Tag_smuggle of { site : int; value : int }
+  | Nest_bomb of { depth : int }
+
+let max_sites = 4096
+let max_site_depth = 64
+
+(* Walk the TLV structure with the production zero-copy reader and record
+   where every header starts. Bounded: a mutant that is itself a nesting
+   bomb must not stack-overflow the site discovery that targets it. *)
+let header_sites s =
+  let sites = ref [] in
+  let count = ref 0 in
+  let rec walk depth (sl : Der.slice) =
+    if depth < max_site_depth && !count < max_sites && sl.Der.len > 0 then
+      match Der.read_node sl with
+      | Error _ -> ()
+      | Ok (node, rest) ->
+          sites := node.Der.n_raw.Der.off :: !sites;
+          incr count;
+          (if node.Der.n_tag.Der.constructed then
+             match Der.node_children node with
+             | Error _ -> ()
+             | Ok kids ->
+                 List.iter (fun k -> walk (depth + 1) k.Der.n_raw) kids);
+          walk depth rest
+  in
+  walk 0 (Der.slice_of_string s);
+  match List.rev !sites with [] -> [ 0 ] | l -> l
+
+let random g s =
+  let len = String.length s in
+  let pos () = if len = 0 then 0 else Prng.int g len in
+  let site () = Prng.pick_list g (header_sites s) in
+  match Prng.int g 7 with
+  | 0 -> Bit_flip { pos = pos (); bit = Prng.int g 8 }
+  | 1 -> Byte_set { pos = pos (); value = Prng.int g 256 }
+  | 2 -> Truncate { keep = if len = 0 then 0 else Prng.int g len }
+  | 3 -> Extend { tail = Prng.bytes g (1 + Prng.int g 8) }
+  | 4 -> Length_lie { site = site (); value = Prng.int g 256 }
+  | 5 -> Tag_smuggle { site = site (); value = Prng.int g 256 }
+  | _ -> Nest_bomb { depth = 1 + Prng.int g 1600 }
+
+let set_byte s pos value =
+  if pos < 0 || pos >= String.length s then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set b pos (Char.chr (value land 0xFF));
+    Bytes.to_string b
+  end
+
+(* [depth] nested SEQUENCEs around a NULL, built outside-in from a length
+   table so construction is O(depth + size), not O(depth^2). *)
+let nest_bomb depth =
+  let header_len content_len =
+    if content_len < 0x80 then 2
+    else if content_len < 0x100 then 3
+    else if content_len < 0x10000 then 4
+    else if content_len < 0x1000000 then 5
+    else 6
+  in
+  let lens = Array.make (depth + 1) 2 (* innermost: NULL "\x05\x00" *) in
+  for i = 1 to depth do
+    lens.(i) <- lens.(i - 1) + header_len lens.(i - 1)
+  done;
+  let buf = Buffer.create (lens.(depth) + 8) in
+  for i = depth downto 1 do
+    let l = lens.(i - 1) in
+    Buffer.add_char buf '\x30';
+    if l < 0x80 then Buffer.add_char buf (Char.chr l)
+    else if l < 0x100 then begin
+      Buffer.add_char buf '\x81';
+      Buffer.add_char buf (Char.chr l)
+    end
+    else if l < 0x10000 then begin
+      Buffer.add_char buf '\x82';
+      Buffer.add_char buf (Char.chr (l lsr 8));
+      Buffer.add_char buf (Char.chr (l land 0xFF))
+    end
+    else if l < 0x1000000 then begin
+      Buffer.add_char buf '\x83';
+      Buffer.add_char buf (Char.chr (l lsr 16));
+      Buffer.add_char buf (Char.chr ((l lsr 8) land 0xFF));
+      Buffer.add_char buf (Char.chr (l land 0xFF))
+    end
+    else begin
+      Buffer.add_char buf '\x84';
+      Buffer.add_char buf (Char.chr (l lsr 24));
+      Buffer.add_char buf (Char.chr ((l lsr 16) land 0xFF));
+      Buffer.add_char buf (Char.chr ((l lsr 8) land 0xFF));
+      Buffer.add_char buf (Char.chr (l land 0xFF))
+    end
+  done;
+  Buffer.add_string buf "\x05\x00";
+  Buffer.contents buf
+
+let apply s = function
+  | Bit_flip { pos; bit } ->
+      if pos < 0 || pos >= String.length s then s
+      else
+        set_byte s pos (Char.code s.[pos] lxor (1 lsl (bit land 7)))
+  | Byte_set { pos; value } -> set_byte s pos value
+  | Truncate { keep } ->
+      let keep = max 0 (min keep (String.length s)) in
+      String.sub s 0 keep
+  | Extend { tail } -> s ^ tail
+  | Length_lie { site; value } -> set_byte s (site + 1) value
+  | Tag_smuggle { site; value } -> set_byte s site value
+  | Nest_bomb { depth } -> nest_bomb (max 1 depth)
+
+let describe = function
+  | Bit_flip { pos; bit } -> Printf.sprintf "bit-flip@%d.%d" pos bit
+  | Byte_set { pos; value } -> Printf.sprintf "byte-set@%d=0x%02x" pos value
+  | Truncate { keep } -> Printf.sprintf "truncate=%d" keep
+  | Extend { tail } -> Printf.sprintf "extend+%d" (String.length tail)
+  | Length_lie { site; value } ->
+      Printf.sprintf "length-lie@%d=0x%02x" site value
+  | Tag_smuggle { site; value } ->
+      Printf.sprintf "tag-smuggle@%d=0x%02x" site value
+  | Nest_bomb { depth } -> Printf.sprintf "nest-bomb=%d" depth

@@ -1,0 +1,37 @@
+(** Corpus-seeded DER mutations.
+
+    Each mutation is a small, describable edit of a byte string. The
+    structure-aware ones ([Length_lie], [Tag_smuggle]) aim at TLV header
+    positions discovered by walking the input with the production reader, so
+    mutants hit the places where two decoders can actually disagree —
+    length arithmetic and tag classification — rather than only flipping
+    bits in content octets. [Nest_bomb] ignores the input and synthesises a
+    deeply nested constructed value, probing the decoders' depth bounds. *)
+
+type t =
+  | Bit_flip of { pos : int; bit : int }
+  | Byte_set of { pos : int; value : int }
+  | Truncate of { keep : int }
+  | Extend of { tail : string }
+  | Length_lie of { site : int; value : int }
+      (** Overwrite the first length octet of the TLV header at [site]. *)
+  | Tag_smuggle of { site : int; value : int }
+      (** Overwrite the identifier octet of the TLV header at [site]. *)
+  | Nest_bomb of { depth : int }
+      (** Replace the input with [depth] nested SEQUENCEs around a NULL. *)
+
+val header_sites : string -> int list
+(** Byte offsets of every TLV header reachable in the input (bounded walk:
+    at most 4096 sites, 64 levels deep). [[0]] when the input head is not
+    parseable, so the targeted mutations always have somewhere to aim. *)
+
+val random : Chaoschain_crypto.Prng.t -> string -> t
+(** Draw one mutation suited to the given input (sites are discovered on
+    the current, possibly already-mutated bytes). *)
+
+val apply : string -> t -> string
+(** Apply the mutation. Total: out-of-range positions clamp or leave the
+    input unchanged rather than raising. *)
+
+val describe : t -> string
+(** One-line rendering, e.g. ["length-lie@4=0x83"]; stable across runs. *)

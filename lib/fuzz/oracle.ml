@@ -1,0 +1,105 @@
+module Der = Chaoschain_der.Der
+module Der2 = Chaoschain_der2.Der2
+
+type side = First | Second
+
+type outcome =
+  | Agree_accept
+  | Agree_reject
+  | Split of side
+  | Mismatch
+  | Crash of side
+
+let key = function
+  | Agree_accept -> "agree-accept"
+  | Agree_reject -> "agree-reject"
+  | Split First -> "split-der"
+  | Split Second -> "split-der2"
+  | Mismatch -> "mismatch"
+  | Crash First -> "crash-der"
+  | Crash Second -> "crash-der2"
+
+let all_keys =
+  [
+    "agree-accept";
+    "agree-reject";
+    "split-der";
+    "split-der2";
+    "mismatch";
+    "crash-der";
+    "crash-der2";
+  ]
+
+let is_divergence = function
+  | Agree_accept | Agree_reject -> false
+  | Split _ | Mismatch | Crash _ -> true
+
+let cls_agree (c : Der.tag_class) (c2 : Der2.cls) =
+  match (c, c2) with
+  | Der.Universal, Der2.Univ -> true
+  | Der.Application, Der2.Appl -> true
+  | Der.Context_specific, Der2.Ctx -> true
+  | Der.Private, Der2.Priv -> true
+  | _ -> false
+
+(* Accepted values nest at most [max_depth] (=1024) levels, so plain
+   recursion is safe here. *)
+let rec agree (t : Der.t) (t2 : Der2.tree) =
+  match (t, t2) with
+  | Der.Prim (tag, content), Der2.Leaf (hdr, content2) ->
+      cls_agree tag.Der.cls hdr.Der2.h_cls
+      && (not tag.Der.constructed)
+      && (not hdr.Der2.h_constructed)
+      && tag.Der.number = hdr.Der2.h_number
+      && String.equal content content2
+  | Der.Cons (tag, kids), Der2.Node (hdr, kids2) ->
+      cls_agree tag.Der.cls hdr.Der2.h_cls
+      && tag.Der.constructed && hdr.Der2.h_constructed
+      && tag.Der.number = hdr.Der2.h_number
+      && List.length kids = List.length kids2
+      && List.for_all2 agree kids kids2
+  | _ -> false
+
+(* Run a decoder under a catch-all; a decoder that raises instead of
+   returning [Error _] is itself a finding ([Crash _]), not a harness
+   failure. [Stack_overflow] / [Out_of_memory] are asynchronous-ish but
+   catchable in OCaml and exactly what nesting bombs try to provoke. *)
+type 'a run = Accept of 'a | Reject of string | Raised of string
+
+let protect f =
+  match f () with
+  | Ok v -> Accept v
+  | Error e -> Reject e
+  | exception e -> Raised (Printexc.to_string e)
+
+let classify s =
+  let first_tree = protect (fun () -> Der.decode s) in
+  let first_slice =
+    protect (fun () -> Der.decode_slice (Der.slice_of_string s))
+  in
+  let second =
+    protect (fun () -> Result.map_error Der2.error_to_string (Der2.decode s))
+  in
+  match (first_tree, first_slice, second) with
+  | Raised e, _, _ | _, Raised e, _ ->
+      (Crash First, Printf.sprintf "lib/der raised: %s" e)
+  | _, _, Raised e -> (Crash Second, Printf.sprintf "lib/der2 raised: %s" e)
+  (* The production decoder's two readers must agree with each other before
+     the cross-decoder comparison means anything. *)
+  | Accept _, Reject e, _ | Reject e, Accept _, _ ->
+      ( Mismatch,
+        Printf.sprintf "lib/der tree and slice readers disagree (one rejects: %s)"
+          e )
+  | Accept t, Accept t', Accept t2 ->
+      if t <> t' then
+        (Mismatch, "lib/der tree and slice readers decode different values")
+      else if agree t t2 then (Agree_accept, "")
+      else (Mismatch, "decoded trees differ structurally")
+  | Accept t, Accept t', Reject e2 ->
+      if t <> t' then
+        (Mismatch, "lib/der tree and slice readers decode different values")
+      else (Split First, Printf.sprintf "lib/der2: %s" e2)
+  | Reject e1, Reject _, Accept _ ->
+      (Split Second, Printf.sprintf "lib/der: %s" e1)
+  | Reject e1, Reject _, Reject e2 ->
+      (Agree_reject, Printf.sprintf "lib/der: %s | lib/der2: %s" e1 e2)

@@ -1,0 +1,42 @@
+(** The two-decoder differential oracle.
+
+    Feeds one byte string to the production decoder ([Chaoschain_der.Der],
+    both its tree and its zero-copy slice reader) and the independent second
+    decoder ([Chaoschain_der2.Der2]) and classifies what happened. The
+    classification lattice, from healthy to alarming:
+
+    - {!Agree_accept}: both accept, and the trees are structurally equal;
+    - {!Agree_reject}: both reject (error wording may differ — the
+      taxonomies are independent by design);
+    - [Split side]: exactly one side accepts ([side] names the acceptor) —
+      the accept sets differ, the ParsEval failure mode;
+    - {!Mismatch}: both accept but the trees differ, or the production
+      decoder's own tree and slice readers disagree with each other;
+    - [Crash side]: a decoder raised instead of returning [Error _]. *)
+
+type side = First  (** [lib/der], tree + slice readers *)
+          | Second  (** [lib/der2] *)
+
+type outcome =
+  | Agree_accept
+  | Agree_reject
+  | Split of side  (** the side that {e accepted} *)
+  | Mismatch
+  | Crash of side
+
+val key : outcome -> string
+(** Stable short key: ["agree-accept"], ["agree-reject"], ["split-der"],
+    ["split-der2"], ["mismatch"], ["crash-der"], ["crash-der2"]. *)
+
+val all_keys : string list
+(** Every key, in lattice order (used for deterministic count tables). *)
+
+val is_divergence : outcome -> bool
+(** True for everything except the two agreement outcomes. *)
+
+val agree : Chaoschain_der.Der.t -> Chaoschain_der2.Der2.tree -> bool
+(** Structural equality across the two tree representations. *)
+
+val classify : string -> outcome * string
+(** Classify one input; the string is a deterministic human-readable detail
+    (error messages, first point of disagreement). Never raises. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "chaoschain"
     [ ("crypto", Test_crypto.suite);
       ("der", Test_der.suite);
+      ("derfuzz", Test_derfuzz.suite);
       ("x509", Test_x509.suite);
       ("pki", Test_pki.suite);
       ("core-server", Test_core_server.suite);
