@@ -276,6 +276,29 @@ let micro_workloads () =
   let merkle_tree = Merkle.Tree.of_leaf_hashes merkle_leaves in
   let merkle_root = Merkle.Tree.root merkle_tree in
   let merkle_idx = ref 0 in
+  (* netd poller: one zero-timeout wait over 64 registered descriptors with
+     exactly one ready — the steady-state readiness probe the event loop
+     issues every iteration, on each backend the platform offers. *)
+  let module Poller = Chaoschain_net.Poller in
+  let poll_wait backend =
+    let p = Poller.create backend in
+    let pairs =
+      Array.init 64 (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+    in
+    Array.iter (fun (r, _) -> Poller.set p r ~read:true ~write:false) pairs;
+    let _, w0 = pairs.(0) in
+    ignore (Unix.write_substring w0 "x" 0 1 : int);
+    ( Printf.sprintf "net/poll-wait(%s,64fd)" (Poller.backend_name backend),
+      fun () ->
+        match Poller.wait p ~timeout:0. with
+        | [ _ ] -> ()
+        | _ -> failwith "poll-wait bench: expected exactly one ready fd" )
+  in
+  let poll_workloads =
+    List.filter_map
+      (fun b -> if Poller.available b then Some (poll_wait b) else None)
+      [ Poller.Select; Poller.Epoll ]
+  in
   [ ("sha256/1KiB", fun () -> ignore (Chaoschain_crypto.Sha256.digest sha_buf));
     ( "der/decode-certificate",
       fun () -> ignore (Chaoschain_x509.Cert.of_der sample_der) );
@@ -349,6 +372,7 @@ let micro_workloads () =
             (Merkle.verify ~root:merkle_root ~index:i ~count:1024
                merkle_leaves.(i) path)
         then failwith "merkle bench proof rejected" ) ]
+  @ poll_workloads
 
 (* Heavy micro-workloads: skipped unless --filter explicitly matches them
    (the setup builds 65k/1M-leaf trees — O(n) hashing). The proof cost

@@ -31,6 +31,7 @@ module Service = Chaoschain_service
 module Report = Chaoschain_report.Report
 module Netloop = Chaoschain_net.Netloop
 module Loadgen = Chaoschain_net.Loadgen
+module Poller = Chaoschain_net.Poller
 
 (* The lab population: scenario/analyze/difftest/serve operate inside the
    same simulated universe so certificates parse and verify consistently.
@@ -931,6 +932,18 @@ let compact_cmd =
 
 (* --- serve (chaind) --- *)
 
+(* Shared by serve and loadgen: both event loops run on the pluggable
+   readiness backend. *)
+let poller_arg =
+  let backend_conv =
+    Arg.enum [ ("auto", `Auto); ("select", `Select); ("epoll", `Epoll) ]
+  in
+  Arg.(value & opt backend_conv `Auto
+       & info [ "poller" ]
+           ~doc:"Readiness backend for the event loop: $(b,select) \
+                 (portable, FD_SETSIZE-bounded), $(b,epoll) (Linux), or \
+                 $(b,auto) = epoll where available, else select.")
+
 let serve_cmd =
   let cache_arg =
     Arg.(value & opt int 1024
@@ -983,8 +996,19 @@ let serve_cmd =
   let max_conns_arg =
     Arg.(value & opt int Netloop.default_config.Netloop.max_conns
          & info [ "max-conns" ]
-             ~doc:"Stop accepting while this many connections are live \
-                   (netd only).")
+             ~doc:"Stop accepting while this many connections are live, \
+                   per shard (netd only). 0 derives the bound from the \
+                   active poller: FD_SETSIZE minus headroom under select, \
+                   RLIMIT_NOFILE minus headroom under epoll.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ]
+             ~doc:"Event-loop shards (netd only): each runs its own \
+                   Domain, poller and engine over a share of the accepted \
+                   connections (SO_REUSEPORT on TCP where available, else \
+                   a round-robin accept dispatcher). Verdicts are \
+                   byte-identical at every shard count.")
   in
   let write_buf_arg =
     Arg.(value & opt int Netloop.default_config.Netloop.write_bound
@@ -1000,16 +1024,18 @@ let serve_cmd =
                    reading pauses past it (netd only).")
   in
   let run scale cache queue batch jobs max_frame warm_store tls_format
-      no_intern listen max_conns write_buf inbox =
+      no_intern listen max_conns write_buf inbox poller shards =
     apply_intern no_intern;
     if cache < 0 then `Error (true, "--cache must be >= 0")
     else if queue < 1 then `Error (true, "--queue must be >= 1")
     else if batch < 1 then `Error (true, "--batch must be >= 1")
     else if jobs < 1 then `Error (true, "--jobs must be >= 1")
     else if max_frame < 1 then `Error (true, "--max-frame must be >= 1")
-    else if max_conns < 1 then `Error (true, "--max-conns must be >= 1")
+    else if max_conns < 0 then
+      `Error (true, "--max-conns must be >= 1 (or 0 = poller-derived)")
     else if write_buf < 1 then `Error (true, "--write-buf must be >= 1")
     else if inbox < 1 then `Error (true, "--inbox must be >= 1")
+    else if shards < 1 then `Error (true, "--shards must be >= 1")
     else
       with_lab scale (fun pop ->
           let u = pop.Population.universe in
@@ -1049,11 +1075,19 @@ let serve_cmd =
           match warm_corpus with
           | Error msg -> `Error (false, msg)
           | Ok warm_corpus ->
-          let engine =
-            Service.Engine.create ~env ~cache_capacity:cache
-              ~queue_capacity:queue ~batch ~jobs
-              ?default_format:tls_format ()
+          (* One engine per netd shard (the stdio path always runs one).
+             Each shard owns its queue, batcher, worker pool and LRU;
+             across shards only the Mutex-guarded metrics and the
+             process-wide intern table are shared, so verdicts stay
+             byte-identical at every shard count. *)
+          let n_engines = match listen with None -> 1 | Some _ -> shards in
+          let engines =
+            List.init n_engines (fun _ ->
+                Service.Engine.create ~env ~cache_capacity:cache
+                  ~queue_capacity:queue ~batch ~jobs
+                  ?default_format:tls_format ())
           in
+          let engine = List.hd engines in
           (match warm_corpus with
           | None -> ()
           | Some l ->
@@ -1063,32 +1097,42 @@ let serve_cmd =
                   (Array.to_list l.Corpus.l_dataset.Scanner.domains)
               in
               let dt = Unix.gettimeofday () -. t0 in
-              Service.Engine.set_store_stats engine
+              let store_fields =
                 [ ("records", Service.Json.Int l.Corpus.l_records);
                   ("certs", Service.Json.Int l.Corpus.l_certs);
                   ("root", Service.Json.String l.Corpus.l_root_hex);
                   ("warmed", Service.Json.Int warmed);
-                  ("warm_seconds", Service.Json.Float dt) ];
+                  ("warm_seconds", Service.Json.Float dt) ]
+              in
               (* The corpus's compliance tables ride along in stats replies
                  as structured report-IR JSON (cheap: no differential
                  testing). *)
-              Service.Engine.set_experiments engine
-                (Service.Json.List
-                   (List.map Report.to_json
-                      (Experiments.table_results
-                         (Corpus.analyze ~jobs:1 l))));
+              let experiments =
+                Service.Json.List
+                  (List.map Report.to_json
+                     (Experiments.table_results (Corpus.analyze ~jobs:1 l)))
+              in
+              List.iter
+                (fun e ->
+                  (* warm once, replay the filled cache into the sibling
+                     shards instead of recomputing per shard *)
+                  if e != engine then Service.Engine.copy_cache engine e;
+                  Service.Engine.set_store_stats e store_fields;
+                  Service.Engine.set_experiments e experiments)
+                engines;
               Printf.eprintf
                 "warm-store: %d verdicts pre-computed from %d records in \
                  %.2fs\n%!"
                 warmed l.Corpus.l_records dt);
           let finish () =
-            Service.Engine.shutdown engine;
+            List.iter Service.Engine.shutdown engines;
             Format.eprintf "%a@." Service.Metrics.pp_summary
-              (Service.Engine.metrics engine);
+              (Service.Engine.aggregate_metrics engines);
+            let sum f = List.fold_left (fun acc e -> acc + f e) 0 engines in
             Format.eprintf "cache: %d/%d entries, %d evictions@."
-              (Service.Engine.cache_size engine)
-              (Service.Engine.cache_capacity engine)
-              (Service.Engine.cache_evictions engine);
+              (sum Service.Engine.cache_size)
+              (sum Service.Engine.cache_capacity)
+              (sum Service.Engine.cache_evictions);
             let i = Chaoschain_pki.Intern.stats () in
             Format.eprintf "intern: %d certificates, %d/%d lookups reused@."
               i.Chaoschain_pki.Intern.entries i.Chaoschain_pki.Intern.hits
@@ -1104,30 +1148,48 @@ let serve_cmd =
           | Some spec -> (
               match Service.Netd.parse_addr spec with
               | Error msg ->
-                  Service.Engine.shutdown engine;
+                  List.iter Service.Engine.shutdown engines;
                   `Error (false, msg)
               | Ok addr -> (
-                  let config =
-                    { Netloop.max_frame; max_conns; write_bound = write_buf;
-                      inbox_bound = inbox }
-                  in
-                  Printf.eprintf
-                    "chaind: listening on %s (up to %d connections)\n%!"
-                    (Service.Netd.addr_to_string addr)
-                    max_conns;
-                  match Service.Netd.serve_listen ~config ~engine addr with
+                  match Poller.choose poller with
                   | Error msg ->
-                      Service.Engine.shutdown engine;
+                      List.iter Service.Engine.shutdown engines;
                       `Error (false, msg)
-                  | Ok ns ->
+                  | Ok backend -> (
+                      let config =
+                        { Netloop.max_frame; max_conns;
+                          write_bound = write_buf; inbox_bound = inbox }
+                      in
+                      let resolved_conns =
+                        if max_conns = 0 then Poller.default_max_conns backend
+                        else max_conns
+                      in
                       Printf.eprintf
-                        "netd: %d connections accepted, %d frames, %d \
-                         overlong, %d orphaned replies\n\
-                         %!"
-                        ns.Netloop.accepted ns.Netloop.frames
-                        ns.Netloop.overlong ns.Netloop.dropped_replies;
-                      finish ();
-                      `Ok ())))
+                        "chaind: listening on %s (%s poller, %d shard%s, up \
+                         to %d connections per shard)\n%!"
+                        (Service.Netd.addr_to_string addr)
+                        (Poller.backend_name backend)
+                        shards
+                        (if shards = 1 then "" else "s")
+                        resolved_conns;
+                      match
+                        Service.Netd.serve_listen ~config ~backend ~engines
+                          addr
+                      with
+                      | Error msg ->
+                          List.iter Service.Engine.shutdown engines;
+                          `Error (false, msg)
+                      | Ok ns ->
+                          Printf.eprintf
+                            "netd: %d connections accepted, %d frames, %d \
+                             overlong, %d orphaned replies, %d accept \
+                             failures\n\
+                             %!"
+                            ns.Netloop.accepted ns.Netloop.frames
+                            ns.Netloop.overlong ns.Netloop.dropped_replies
+                            ns.Netloop.accept_failures;
+                          finish ();
+                          `Ok ()))))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1140,7 +1202,8 @@ let serve_cmd =
     Term.(ret (const run $ scale_arg $ cache_arg $ queue_arg $ batch_arg
                $ jobs_arg $ max_frame_arg $ warm_store_arg
                $ tls_format_opt_arg $ no_intern_arg $ listen_arg
-               $ max_conns_arg $ write_buf_arg $ inbox_arg))
+               $ max_conns_arg $ write_buf_arg $ inbox_arg $ poller_arg
+               $ shards_arg))
 
 (* --- loadgen --- *)
 
@@ -1188,6 +1251,15 @@ let loadgen_cmd =
          & info [ "grace" ]
              ~doc:"Seconds to wait for outstanding replies after the last \
                    request; stragglers past it count as dropped.")
+  in
+  let ramp_arg =
+    Arg.(value & opt float 0.0
+         & info [ "ramp" ]
+             ~doc:"Open the --conns connections spread over this many \
+                   seconds (connection j dials at t0 + ramp*j/conns) \
+                   instead of all upfront; the request schedule is \
+                   unaffected. A failed connect is counted and its share \
+                   of requests dropped — the run continues.")
   in
   let max_frame_arg =
     Arg.(value & opt int Service.Transport.default_max_frame
@@ -1275,6 +1347,8 @@ let loadgen_cmd =
     Report.Table.row b [ Report.text "ok"; Report.count stats.ok ];
     Report.Table.row b [ Report.text "errors"; Report.count stats.errors ];
     Report.Table.row b [ Report.text "dropped"; Report.count stats.dropped ];
+    Report.Table.row b
+      [ Report.text "connect errors"; Report.count stats.connect_errors ];
     Report.Table.row b [ Report.text "elapsed (s)"; fl stats.elapsed_s ];
     Report.Table.row b
       [ Report.text "throughput (replies/s)";
@@ -1297,17 +1371,21 @@ let loadgen_cmd =
       blocks = [ Report.Table.block b ];
     }
   in
-  let run connect store frames rate requests conns grace max_frame fmt out
-      replies =
+  let run connect store frames rate requests conns grace ramp max_frame fmt
+      out replies poller =
     if rate <= 0.0 then `Error (true, "--rate must be > 0")
     else if requests < 1 then `Error (true, "--requests must be >= 1")
     else if conns < 1 then `Error (true, "--conns must be >= 1")
     else if grace < 0.0 then `Error (true, "--grace must be >= 0")
+    else if ramp < 0.0 then `Error (true, "--ramp must be >= 0")
     else if max_frame < 1 then `Error (true, "--max-frame must be >= 1")
     else
       match Service.Netd.parse_addr connect with
       | Error msg -> `Error (false, msg)
       | Ok addr -> (
+          match Poller.choose poller with
+          | Error msg -> `Error (false, msg)
+          | Ok backend -> (
           match frame_fun_of_source store frames with
           | Error msg -> `Error (false, msg)
           | Ok frame ->
@@ -1330,6 +1408,8 @@ let loadgen_cmd =
                   now = Unix.gettimeofday;
                   grace;
                   capture;
+                  ramp;
+                  backend;
                 }
               in
               let stats = Loadgen.run config ~frame in
@@ -1353,10 +1433,13 @@ let loadgen_cmd =
                           | None -> ())
                         log)
               | _ -> ());
+              if stats.Loadgen.connect_errors > 0 then
+                Printf.eprintf "loadgen: %d connection(s) failed to open\n%!"
+                  stats.Loadgen.connect_errors;
               if stats.Loadgen.dropped > 0 then
                 Printf.eprintf "loadgen: %d request(s) dropped\n%!"
                   stats.Loadgen.dropped;
-              `Ok ())
+              `Ok ()))
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -1365,8 +1448,26 @@ let loadgen_cmd =
              over N concurrent connections and report throughput plus \
              p50/p90/p99/p999 latency through the report IR")
     Term.(ret (const run $ connect_arg $ store_arg $ frames_arg $ rate_arg
-               $ requests_arg $ conns_arg $ grace_arg $ max_frame_arg
-               $ format_arg $ out_arg $ replies_arg))
+               $ requests_arg $ conns_arg $ grace_arg $ ramp_arg
+               $ max_frame_arg $ format_arg $ out_arg $ replies_arg
+               $ poller_arg))
+
+(* --- pollers --- *)
+
+let pollers_cmd =
+  let run () =
+    List.iter
+      (fun b ->
+        if Poller.available b then print_endline (Poller.backend_name b))
+      [ Poller.Select; Poller.Epoll ];
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "pollers"
+       ~doc:"List the readiness backends available on this platform, one \
+             per line (select is always present; epoll on Linux). CI gates \
+             its epoll smoke runs on this output.")
+    Term.(ret (const run $ const ()))
 
 (* --- reproduce --- *)
 
@@ -1423,4 +1524,4 @@ let () =
             fuzz_cmd; derfuzz_cmd; scan_cmd; replay_cmd; classify_cmd;
             diff_cmd; audit_cmd;
             get_cmd; proof_cmd; mkstore_cmd; compact_cmd; certmsg_cmd;
-            serve_cmd; loadgen_cmd; reproduce_cmd ]))
+            serve_cmd; loadgen_cmd; pollers_cmd; reproduce_cmd ]))

@@ -148,6 +148,83 @@ jq -e '[.blocks[0].rows[]?.cells[]?.text?]
        | contains(["latency p50 (ms)", "latency p99 (ms)",
                    "latency p999 (ms)"])' "$nd/bench.json" > /dev/null
 
+# sharded netd smoke: the same service split across 2 shard event loops,
+# loaded by 256 ramped connections (32x the single-loop smoke above). Every
+# reply must be delivered through the SIGTERM drain with 0 dropped, 0 connect
+# errors and 0 accept failures, and the reply stream must be byte-identical
+# to a --shards 1 run and to the serial stdio path. The select run always
+# executes; the epoll run repeats it whenever `chaoscheck pollers` says the
+# platform has the backend.
+"$chaoscheck" pollers > "$nd/pollers.out"
+grep -qx select "$nd/pollers.out"
+run_sharded() {
+  # $1 = poller backend, $2 = shard count, $3 = output tag
+  "$chaoscheck" serve --scale 0.002 --jobs 2 --queue 256 \
+    --poller "$1" --shards "$2" --listen "unix:$nd/$3.sock" \
+    2> "$nd/$3.err" &
+  srv=$!
+  i=0
+  while [ $i -lt 100 ]; do
+    [ -S "$nd/$3.sock" ] && break
+    sleep 0.1
+    i=$((i + 1))
+  done
+  [ -S "$nd/$3.sock" ]
+  # ramp 0.1s < conns/rate, so every connection dials while requests are
+  # still being scheduled and request i lands on connection (i mod 256):
+  # all 256 connections carry traffic
+  "$chaoscheck" loadgen --connect "unix:$nd/$3.sock" \
+    --frames "$nd/frames.ndjson" --poller "$1" --ramp 0.1 \
+    --rate 2000 --requests 512 --conns 256 \
+    --replies "$nd/$3.replies" --out "$nd/$3.json" > "$nd/$3.loadgen"
+  kill -TERM "$srv"
+  wait "$srv"
+  [ "$(wc -l < "$nd/$3.replies")" -eq 512 ]
+  grep -q 'netd: 256 connections accepted, 512 frames' "$nd/$3.err"
+  grep -q ', 0 accept failures' "$nd/$3.err"
+  jq -e '[.blocks[0].rows[] | select(.cells[0].text == "dropped")
+          | .cells[1].n] == [0]' "$nd/$3.json" > /dev/null
+  jq -e '[.blocks[0].rows[] | select(.cells[0].text == "connect errors")
+          | .cells[1].n] == [0]' "$nd/$3.json" > /dev/null
+}
+run_sharded select 2 shard2
+run_sharded select 1 shard1
+i=0
+while [ $i -lt 512 ]; do
+  sed -n "$(((i % 2) + 1))p" "$nd/frames.ndjson"
+  i=$((i + 1))
+done > "$nd/serial512.in"
+"$chaoscheck" serve --scale 0.002 --jobs 2 --queue 512 \
+  < "$nd/serial512.in" > "$nd/serial512.out"
+cmp "$nd/serial512.out" "$nd/shard2.replies"
+cmp "$nd/serial512.out" "$nd/shard1.replies"
+if grep -qx epoll "$nd/pollers.out"; then
+  run_sharded epoll 2 epoll2
+  cmp "$nd/serial512.out" "$nd/epoll2.replies"
+fi
+# TCP shards take the SO_REUSEPORT listener-per-shard path (Unix sockets
+# above take the round-robin dispatcher); same byte-identity contract.
+port=$((20000 + $$ % 10000))
+"$chaoscheck" serve --scale 0.002 --jobs 2 --queue 256 \
+  --poller select --shards 2 --listen "tcp:127.0.0.1:$port" \
+  2> "$nd/tcp.err" &
+srv=$!
+i=0
+while [ $i -lt 100 ]; do
+  grep -q 'chaind: listening' "$nd/tcp.err" && break
+  sleep 0.1
+  i=$((i + 1))
+done
+grep -q 'chaind: listening' "$nd/tcp.err"
+sleep 0.3
+"$chaoscheck" loadgen --connect "tcp:127.0.0.1:$port" \
+  --frames "$nd/frames.ndjson" --rate 400 --requests 64 --conns 8 \
+  --replies "$nd/tcp.replies" > /dev/null
+kill -TERM "$srv"
+wait "$srv"
+grep -q 'netd: 8 connections accepted, 64 frames' "$nd/tcp.err"
+head -64 "$nd/serial512.out" | cmp - "$nd/tcp.replies"
+
 # chainstore-at-scale smoke: a synthetic 100k-record store must audit
 # repair-free in bounded wall time with the Domain pool, serve random
 # access byte-identical to the sequential reference walk, prove inclusion
@@ -221,6 +298,28 @@ jq -e '.der[] | select(.name == "der2/decode-certificate")
        | .ns_per_run > 0' BENCH_PR9.json > /dev/null
 jq -e '.derfuzz[] | select(.name == "derfuzz/campaign(32)")
        | .ns_per_run > 0' BENCH_PR9.json > /dev/null
+
+# bench JSON: the live micro section must carry both poll-wait workloads
+# this platform offers, and the committed BENCH_PR10.json snapshot must
+# carry both backends plus drop-free shard-scaling loadgen runs at >= 4x
+# the PR 7 smoke's 8 connections.
+dune exec bench/main.exe -- --micro-only --filter 'net/*' \
+  --json "$big/netbench.json" > /dev/null
+jq -e '.micro[] | select(.name == "net/poll-wait(select,64fd)")
+       | .ns_per_run > 0' "$big/netbench.json" > /dev/null
+if grep -qx epoll "$nd/pollers.out"; then
+  jq -e '.micro[] | select(.name == "net/poll-wait(epoll,64fd)")
+         | .ns_per_run > 0' "$big/netbench.json" > /dev/null
+fi
+jq -e '.poller[] | select(.name == "net/poll-wait(select,64fd)")
+       | .ns_per_run > 0' BENCH_PR10.json > /dev/null
+jq -e '.poller[] | select(.name == "net/poll-wait(epoll,64fd)")
+       | .ns_per_run > 0' BENCH_PR10.json > /dev/null
+jq -e '[.loadgen[] | .dropped, .connect_errors] | add == 0' \
+  BENCH_PR10.json > /dev/null
+jq -e '[.loadgen[] | .connections] | min >= 32' BENCH_PR10.json > /dev/null
+jq -e '[.loadgen[] | .shards] | (contains([1]) and contains([2]))' \
+  BENCH_PR10.json > /dev/null
 
 # EXPERIMENTS.md is generated (doc/EXPERIMENTS.head.md + Report.to_markdown);
 # regenerate and fail if the committed copy is stale.

@@ -8,6 +8,8 @@ type config = {
   now : unit -> float;
   grace : float;
   capture : (int -> string -> unit) option;
+  ramp : float;
+  backend : Poller.backend;
 }
 
 type stats = {
@@ -16,66 +18,85 @@ type stats = {
   ok : int;
   errors : int;
   dropped : int;
+  connect_errors : int;
   elapsed_s : float;
   latencies_ms : float array;
 }
 
 type conn = {
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr option;  (* None until dialed or after a
+                                           failed connect *)
   framing : Framing.t;
   out : string Queue.t;
   mutable out_off : int;
   mutable out_bytes : int;
   outstanding : (int * float) Queue.t;  (* (seq, scheduled send time) *)
   mutable dead : bool;
+  mutable want_w : bool;                (* write interest at the poller *)
 }
 
 let flush_conn c =
-  let continue = ref true in
-  while !continue && not (Queue.is_empty c.out) do
-    let head = Queue.peek c.out in
-    let len = String.length head - c.out_off in
-    match Unix.write_substring c.fd head c.out_off len with
-    | n ->
-        c.out_bytes <- c.out_bytes - n;
-        if n = len then begin
-          ignore (Queue.pop c.out);
-          c.out_off <- 0
-        end
-        else begin
-          c.out_off <- c.out_off + n;
-          continue := false
-        end
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-        continue := false
-    | exception Unix.Unix_error (EINTR, _, _) -> ()
-    | exception Unix.Unix_error (_, _, _) ->
-        c.dead <- true;
-        continue := false
-  done
+  match c.fd with
+  | None -> ()
+  | Some fd ->
+      let continue = ref true in
+      while !continue && not (Queue.is_empty c.out) do
+        let head = Queue.peek c.out in
+        let len = String.length head - c.out_off in
+        match Unix.write_substring fd head c.out_off len with
+        | n ->
+            c.out_bytes <- c.out_bytes - n;
+            if n = len then begin
+              ignore (Queue.pop c.out);
+              c.out_off <- 0
+            end
+            else begin
+              c.out_off <- c.out_off + n;
+              continue := false
+            end
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            continue := false
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | exception Unix.Unix_error (_, _, _) ->
+            c.dead <- true;
+            continue := false
+      done
 
 let run cfg ~frame =
   if cfg.conns < 1 then invalid_arg "Loadgen.run: conns >= 1";
   if not (cfg.rate > 0.0) then invalid_arg "Loadgen.run: rate > 0";
   if cfg.requests < 1 then invalid_arg "Loadgen.run: requests >= 1";
+  if cfg.ramp < 0.0 then invalid_arg "Loadgen.run: ramp >= 0";
+  let poller = Poller.create cfg.backend in
+  let by_fd : (Unix.file_descr, conn) Hashtbl.t =
+    Hashtbl.create (2 * cfg.conns)
+  in
   let conns =
     Array.init cfg.conns (fun _ ->
-        let fd = cfg.dial () in
-        Unix.set_nonblock fd;
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true
-         with Unix.Unix_error _ | Invalid_argument _ -> ());
-        { fd; framing = Framing.create ~max_frame:cfg.max_frame ();
+        { fd = None; framing = Framing.create ~max_frame:cfg.max_frame ();
           out = Queue.create (); out_off = 0; out_bytes = 0;
-          outstanding = Queue.create (); dead = false })
+          outstanding = Queue.create (); dead = false; want_w = false })
   in
   let chunk = Bytes.create 65536 in
   let latencies = Array.make cfg.requests 0.0 in
   let sent = ref 0 and received = ref 0 and dropped = ref 0 in
-  let ok = ref 0 and errors = ref 0 in
+  let ok = ref 0 and errors = ref 0 and connect_errors = ref 0 in
   let t0 = cfg.now () in
   let sched i = t0 +. (Float.of_int i /. cfg.rate) in
+  (* connection [j] opens at its ramp offset; ramp 0 = everything upfront *)
+  let dial_at j = t0 +. (cfg.ramp *. Float.of_int j /. Float.of_int cfg.conns) in
   let give_up = sched (cfg.requests - 1) +. cfg.grace in
   let next = ref 0 in
+  let n_open = ref 0 in   (* conns.(0 .. n_open-1) have passed their dial time
+                             (possibly straight into [dead] on a refused
+                             connect); requests round-robin over this prefix *)
+  let kill_fd c =
+    match c.fd with
+    | None -> ()
+    | Some fd ->
+        Poller.remove poller fd;
+        Hashtbl.remove by_fd fd
+  in
   let drop_outstanding c =
     dropped := !dropped + Queue.length c.outstanding;
     Queue.clear c.outstanding
@@ -83,8 +104,28 @@ let run cfg ~frame =
   let kill c =
     if not c.dead then begin
       c.dead <- true;
+      kill_fd c;
       drop_outstanding c
     end
+  in
+  let open_due t =
+    while !n_open < cfg.conns && dial_at !n_open <= t do
+      let c = conns.(!n_open) in
+      incr n_open;
+      match cfg.dial () with
+      | fd ->
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
+          c.fd <- Some fd;
+          Hashtbl.replace by_fd fd c;
+          Poller.set poller fd ~read:true ~write:false
+      | exception (Unix.Unix_error _ | Failure _) ->
+          (* a refused connection loses its share of the schedule, not
+             the whole run *)
+          incr connect_errors;
+          c.dead <- true
+    done
   in
   let complete c reply =
     match Queue.take_opt c.outstanding with
@@ -95,40 +136,43 @@ let run cfg ~frame =
         if cfg.is_error reply then incr errors else incr ok;
         match cfg.capture with None -> () | Some f -> f seq reply
   in
+  let pump c =
+    let rec go () =
+      match Framing.next c.framing with
+      | `Frame reply -> complete c reply; go ()
+      | `Overlong -> incr errors; ignore (Queue.take_opt c.outstanding); go ()
+      | `Await | `Eof -> ()
+    in
+    go ()
+  in
   let read_conn c =
-    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-    | 0 ->
-        Framing.eof c.framing;
-        (* drain frames completed by the final bytes, then give up on the
-           connection's remaining outstanding requests *)
-        let rec go () =
-          match Framing.next c.framing with
-          | `Frame reply -> complete c reply; go ()
-          | `Overlong -> incr errors; ignore (Queue.take_opt c.outstanding); go ()
-          | `Await | `Eof -> ()
-        in
-        go ();
-        kill c
-    | n ->
-        Framing.feed c.framing chunk 0 n;
-        let rec go () =
-          match Framing.next c.framing with
-          | `Frame reply -> complete c reply; go ()
-          | `Overlong -> incr errors; ignore (Queue.take_opt c.outstanding); go ()
-          | `Await | `Eof -> ()
-        in
-        go ()
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-    | exception Unix.Unix_error (_, _, _) -> kill c
+    match c.fd with
+    | None -> ()
+    | Some fd -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+            Framing.eof c.framing;
+            (* drain frames completed by the final bytes, then give up on
+               the connection's remaining outstanding requests *)
+            pump c;
+            kill c
+        | n ->
+            Framing.feed c.framing chunk 0 n;
+            pump c
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+        | exception Unix.Unix_error (_, _, _) -> kill c)
   in
   while !received + !dropped < cfg.requests do
     let t = cfg.now () in
+    open_due t;
     (* open-loop: buffer every request whose scheduled time has arrived,
-       whether or not earlier ones were answered *)
+       whether or not earlier ones were answered; requests round-robin
+       over the connections opened so far, so the ramp shifts early load
+       onto the early connections without perturbing the schedule *)
     while !next < cfg.requests && sched !next <= t do
       let i = !next in
-      let c = conns.(i mod cfg.conns) in
-      if c.dead then incr dropped
+      let c = conns.(i mod max 1 !n_open) in
+      if c.dead || c.fd = None then incr dropped
       else begin
         let line = frame i in
         Queue.add line c.out;
@@ -140,48 +184,69 @@ let run cfg ~frame =
       incr next
     done;
     if !received + !dropped < cfg.requests then begin
-      if !next >= cfg.requests && cfg.now () > give_up then
+      let all_gone =
+        !n_open = cfg.conns
+        && Array.for_all (fun c -> c.dead || c.fd = None) conns
+      in
+      if all_gone then begin
+        (* every connection died; everything not yet answered is lost *)
+        Array.iter drop_outstanding conns;
+        dropped := !dropped + (cfg.requests - !next);
+        next := cfg.requests
+      end
+      else if !next >= cfg.requests && cfg.now () > give_up then
         (* the grace window expired: whatever is still outstanding is lost *)
         Array.iter drop_outstanding conns
       else begin
-        let readers = ref [] and writers = ref [] in
         Array.iter
           (fun c ->
-            if not c.dead then begin
-              readers := c.fd :: !readers;
-              if c.out_bytes > 0 then writers := c.fd :: !writers
-            end)
+            match c.fd with
+            | Some fd when not c.dead ->
+                let want_w = c.out_bytes > 0 in
+                if want_w <> c.want_w then begin
+                  Poller.set poller fd ~read:true ~write:want_w;
+                  c.want_w <- want_w
+                end
+            | _ -> ())
           conns;
-        if !readers = [] then
-          (* every connection died; unsent requests drop as they schedule *)
-          Array.iter drop_outstanding conns
-        else begin
-          let tmo =
+        let tmo =
+          let until_request =
             if !next < cfg.requests then
-              Float.min 0.25 (Float.max 0.0 (sched !next -. cfg.now ()))
+              Float.max 0.0 (sched !next -. cfg.now ())
             else 0.05
           in
-          let rs, _, _ =
-            match Unix.select !readers !writers [] tmo with
-            | r -> r
-            | exception Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+          let until_dial =
+            if !n_open < cfg.conns then
+              Float.max 0.0 (dial_at !n_open -. cfg.now ())
+            else infinity
           in
-          Array.iter
-            (fun c -> if (not c.dead) && c.out_bytes > 0 then flush_conn c)
-            conns;
-          Array.iter
-            (fun c -> if (not c.dead) && List.memq c.fd rs then read_conn c)
-            conns
-        end
+          Float.min 0.25 (Float.min until_request until_dial)
+        in
+        let events = Poller.wait poller ~timeout:tmo in
+        Array.iter
+          (fun c -> if (not c.dead) && c.out_bytes > 0 then flush_conn c)
+          conns;
+        List.iter
+          (fun (fd, r, _w) ->
+            if r then
+              match Hashtbl.find_opt by_fd fd with
+              | Some c when not c.dead -> read_conn c
+              | _ -> ())
+          events
       end
     end
   done;
   let elapsed_s = cfg.now () -. t0 in
   Array.iter
-    (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    (fun c ->
+      kill_fd c;
+      match c.fd with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ())
     conns;
+  Poller.close poller;
   { sent = !sent; received = !received; ok = !ok; errors = !errors;
-    dropped = !dropped; elapsed_s;
+    dropped = !dropped; connect_errors = !connect_errors; elapsed_s;
     latencies_ms = Array.sub latencies 0 !received }
 
 let quantile samples q =

@@ -7,19 +7,25 @@
     tail percentiles instead of silently slowing the offered load
     (coordinated omission).
 
-    Requests round-robin over [conns] persistent connections; replies are
+    Requests round-robin over the connections opened so far; replies are
     newline-delimited and, per connection, arrive in request order (the
     engine preserves request order inside and across micro-batches), so
     the k-th reply on a connection completes the k-th request sent on it.
+    With [ramp] > 0, connection [j] dials at [t0 + ramp * j / conns], so
+    the connection count grows linearly over the ramp window while the
+    request schedule is unaffected.
 
-    Single-threaded, select-driven, non-blocking: socket errors or an
-    early EOF on a connection count its outstanding requests as dropped
-    rather than aborting the run. *)
+    Single-threaded, poller-driven ({!Poller}; [select] by default),
+    non-blocking: socket errors, an early EOF, or a refused connect count
+    the affected requests as dropped ([connect_errors] tallies the failed
+    dials) rather than aborting the run. *)
 
 type config = {
   dial : unit -> Unix.file_descr;
       (** open one connection to the server (blocking connect is fine;
-          the descriptor is switched to non-blocking) *)
+          the descriptor is switched to non-blocking). A raised
+          [Unix.Unix_error] or [Failure] marks that connection dead and
+          counts in {!stats.connect_errors}; the run continues. *)
   conns : int;        (** concurrent connections (>= 1) *)
   rate : float;       (** offered load, requests/second (> 0) *)
   requests : int;     (** total requests to send (>= 1) *)
@@ -33,6 +39,10 @@ type config = {
   capture : (int -> string -> unit) option;
       (** observe (request sequence number, raw reply line); used by the
           CI byte-identity check *)
+  ramp : float;
+      (** seconds over which to open the [conns] connections (>= 0);
+          [0.] opens everything upfront *)
+  backend : Poller.backend;  (** readiness backend for the client loop *)
 }
 
 type stats = {
@@ -40,8 +50,10 @@ type stats = {
   received : int;
   ok : int;
   errors : int;    (** replies the classifier flagged (e.g. ["ok":false]) *)
-  dropped : int;   (** requests without a reply: dead connection or grace
-                       timeout *)
+  dropped : int;   (** requests without a reply: dead connection, failed
+                       connect, or grace timeout *)
+  connect_errors : int;  (** dials that raised; each also marks its
+                             connection dead *)
   elapsed_s : float;  (** first schedule to last reply (or give-up) *)
   latencies_ms : float array;  (** one entry per received reply *)
 }

@@ -8,14 +8,14 @@ type sink = {
 
 type config = {
   max_frame : int;
-  max_conns : int;
+  max_conns : int;   (* 0 = derive from the active poller backend *)
   write_bound : int;
   inbox_bound : int;
 }
 
 let default_config =
   { max_frame = Framing.default_max_frame;
-    max_conns = 960;
+    max_conns = 0;
     write_bound = 256 * 1024;
     inbox_bound = 1024 }
 
@@ -30,6 +30,8 @@ type conn = {
   mutable c_inflight : int;     (* frames submitted, reply not yet routed *)
   mutable c_read_eof : bool;
   mutable c_dead : bool;        (* socket error: close asap, drop replies *)
+  mutable c_want_r : bool;      (* interest currently held by the poller *)
+  mutable c_want_w : bool;
 }
 
 type stats = {
@@ -38,17 +40,41 @@ type stats = {
   frames : int;
   overlong : int;
   dropped_replies : int;
+  accept_failures : int;
 }
+
+let aggregate_stats l =
+  List.fold_left
+    (fun a s ->
+      { live_conns = a.live_conns + s.live_conns;
+        accepted = a.accepted + s.accepted;
+        frames = a.frames + s.frames;
+        overlong = a.overlong + s.overlong;
+        dropped_replies = a.dropped_replies + s.dropped_replies;
+        accept_failures = a.accept_failures + s.accept_failures })
+    { live_conns = 0; accepted = 0; frames = 0; overlong = 0;
+      dropped_replies = 0; accept_failures = 0 }
+    l
 
 type t = {
   config : config;
-  listen : Unix.file_descr;
+  max_conns : int;                  (* resolved: config or poller-derived *)
+  poller : Poller.t;
+  listen : Unix.file_descr option;
   sink : sink;
+  dispatch : (Unix.file_descr -> bool) option;
+      (* accept-time hook: [true] = the fd was handed to another shard *)
   conns : (int, conn) Hashtbl.t;
+  by_fd : (Unix.file_descr, conn) Hashtbl.t;
   chunk : Bytes.t;
+  wake_r : Unix.file_descr;         (* self-pipe: offer/stop wakeups *)
+  wake_w : Unix.file_descr;
+  adopt_lock : Mutex.t;
+  adopt_q : Unix.file_descr Queue.t; (* fds offered by a dispatcher shard *)
   mutable next_id : int;
   mutable rr : int;                 (* round-robin rotation cursor *)
-  mutable draining : bool;
+  draining : bool Atomic.t;         (* set cross-Domain by stop *)
+  mutable listener_armed : bool;    (* accept interest held by the poller *)
   mutable listener_closed : bool;
   mutable stopped : bool;           (* drain complete; loop is done *)
   mutable inboxed : int;            (* global parsed-but-unsubmitted count *)
@@ -56,27 +82,83 @@ type t = {
   mutable frames : int;
   mutable overlong : int;
   mutable dropped_replies : int;
+  mutable accept_failures : int;    (* EMFILE/ENFILE on accept *)
+  mutable accept_backoff_until : float;
+      (* while in the future, the listener is not armed: an fd-exhausted
+         process must not spin on a permanently-ready accept queue *)
 }
 
-let create ?(config = default_config) ~listen sink =
-  if config.max_conns < 1 then invalid_arg "Netloop.create: max_conns >= 1";
+let accept_backoff_s = 0.05
+
+let create ?(config = default_config) ?(backend = Poller.Select) ?listen
+    ?dispatch sink =
+  if config.max_conns < 0 then invalid_arg "Netloop.create: max_conns >= 0";
   if config.write_bound < 1 then invalid_arg "Netloop.create: write_bound >= 1";
   if config.inbox_bound < 1 then invalid_arg "Netloop.create: inbox_bound >= 1";
-  Unix.set_nonblock listen;
-  { config; listen; sink; conns = Hashtbl.create 64;
-    chunk = Bytes.create 65536; next_id = 0; rr = 0; draining = false;
-    listener_closed = false; stopped = false; inboxed = 0; accepted = 0;
-    frames = 0; overlong = 0; dropped_replies = 0 }
+  let poller = Poller.create backend in
+  let max_conns =
+    if config.max_conns = 0 then Poller.default_max_conns backend
+    else config.max_conns
+  in
+  Option.iter Unix.set_nonblock listen;
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  Poller.set poller wake_r ~read:true ~write:false;
+  (match listen with
+  | Some fd ->
+      Poller.set poller fd ~read:true ~write:false
+  | None -> ());
+  { config; max_conns; poller; listen; sink; dispatch;
+    conns = Hashtbl.create 64; by_fd = Hashtbl.create 64;
+    chunk = Bytes.create 65536; wake_r; wake_w;
+    adopt_lock = Mutex.create (); adopt_q = Queue.create ();
+    next_id = 0; rr = 0; draining = Atomic.make false;
+    listener_armed = listen <> None; listener_closed = false; stopped = false;
+    inboxed = 0; accepted = 0; frames = 0; overlong = 0; dropped_replies = 0;
+    accept_failures = 0; accept_backoff_until = 0.0 }
 
-let stop t = t.draining <- true
+let max_conns t = t.max_conns
+let poller_name t = Poller.name t.poller
 let finished t = t.stopped
+
+let wake t =
+  (* A full pipe already guarantees a pending wakeup; write errors after
+     the loop tore the pipe down are equally ignorable. *)
+  try ignore (Unix.write_substring t.wake_w "!" 0 1 : int)
+  with Unix.Unix_error _ -> ()
+
+let stop t =
+  Atomic.set t.draining true;
+  wake t
+
+let draining t = Atomic.get t.draining
 
 let stats t =
   { live_conns = Hashtbl.length t.conns; accepted = t.accepted;
     frames = t.frames; overlong = t.overlong;
-    dropped_replies = t.dropped_replies }
+    dropped_replies = t.dropped_replies;
+    accept_failures = t.accept_failures }
 
 let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Queue an accepted fd for adoption by this loop (called from the
+   dispatcher shard's Domain). Refused — [false], caller keeps the fd —
+   once this loop drains or its connection budget (live + already queued)
+   is spent. *)
+let offer t fd =
+  if Atomic.get t.draining || t.stopped then false
+  else begin
+    Mutex.lock t.adopt_lock;
+    let accepted =
+      Hashtbl.length t.conns + Queue.length t.adopt_q < t.max_conns
+      && not (Atomic.get t.draining)
+    in
+    if accepted then Queue.add fd t.adopt_q;
+    Mutex.unlock t.adopt_lock;
+    if accepted then wake t;
+    accepted
+  end
 
 let push_out c s =
   Queue.add s c.c_out;
@@ -99,29 +181,71 @@ let rotated t =
         match xs with [] -> [] | x :: r -> x :: take (i - 1) r in
       drop k all @ take k all
 
-(* --- accepting --- *)
+(* --- accepting / adopting --- *)
+
+let register_conn t fd =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.accepted <- t.accepted + 1;
+  let c =
+    { c_id = id; c_fd = fd;
+      c_framing = Framing.create ~max_frame:t.config.max_frame ();
+      c_inbox = Queue.create (); c_out = Queue.create ();
+      c_out_off = 0; c_out_bytes = 0; c_inflight = 0;
+      c_read_eof = false; c_dead = false; c_want_r = true; c_want_w = false }
+  in
+  Hashtbl.add t.conns id c;
+  Hashtbl.replace t.by_fd fd c;
+  Poller.set t.poller fd ~read:true ~write:false
 
 let rec accept_ready t =
-  if (not t.draining) && Hashtbl.length t.conns < t.config.max_conns then
-    match Unix.accept ~cloexec:true t.listen with
-    | fd, _ ->
-        Unix.set_nonblock fd;
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true
-         with Unix.Unix_error _ | Invalid_argument _ -> ());
-        let id = t.next_id in
-        t.next_id <- id + 1;
-        t.accepted <- t.accepted + 1;
-        Hashtbl.add t.conns id
-          { c_id = id; c_fd = fd;
-            c_framing = Framing.create ~max_frame:t.config.max_frame ();
-            c_inbox = Queue.create (); c_out = Queue.create ();
-            c_out_off = 0; c_out_bytes = 0; c_inflight = 0;
-            c_read_eof = false; c_dead = false };
-        accept_ready t
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error (EINTR, _, _) -> accept_ready t
-    | exception Unix.Unix_error (ECONNABORTED, _, _) -> accept_ready t
-    | exception Unix.Unix_error (EBADF, _, _) -> ()
+  if (not (draining t)) && Hashtbl.length t.conns < t.max_conns then
+    match t.listen with
+    | None -> ()
+    | Some listen -> (
+        match Unix.accept ~cloexec:true listen with
+        | fd, _ ->
+            (match t.dispatch with
+            | Some handoff when handoff fd -> ()
+            | _ -> register_conn t fd);
+            accept_ready t
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+        | exception Unix.Unix_error (EINTR, _, _) -> accept_ready t
+        | exception Unix.Unix_error (ECONNABORTED, _, _) -> accept_ready t
+        | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+            (* Out of descriptors: count it and stop arming the listener
+               for a beat instead of spinning on the still-ready accept
+               queue; existing connections keep draining, which is what
+               frees descriptors. *)
+            t.accept_failures <- t.accept_failures + 1;
+            t.accept_backoff_until <- Unix.gettimeofday () +. accept_backoff_s
+        | exception Unix.Unix_error (EBADF, _, _) -> ())
+
+(* Pull fds queued by a dispatcher shard into real connections. *)
+let adopt_offered t =
+  let pending = ref [] in
+  Mutex.lock t.adopt_lock;
+  Queue.iter (fun fd -> pending := fd :: !pending) t.adopt_q;
+  Queue.clear t.adopt_q;
+  Mutex.unlock t.adopt_lock;
+  List.iter
+    (fun fd ->
+      if draining t || Hashtbl.length t.conns >= t.max_conns then close_fd fd
+      else register_conn t fd)
+    (List.rev !pending)
+
+let drain_wake t =
+  let rec go () =
+    match Unix.read t.wake_r t.chunk 0 64 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ()
 
 (* --- reading --- *)
 
@@ -233,7 +357,7 @@ let reap t =
           && c.c_out_bytes = 0
         in
         let drained =
-          t.draining && Queue.is_empty c.c_inbox && c.c_inflight = 0
+          draining t && Queue.is_empty c.c_inbox && c.c_inflight = 0
           && c.c_out_bytes = 0
         in
         if c.c_dead || finished_naturally || drained then c :: acc else acc)
@@ -243,64 +367,130 @@ let reap t =
     (fun c ->
       t.inboxed <- t.inboxed - Queue.length c.c_inbox;
       Queue.clear c.c_inbox;
+      Poller.remove t.poller c.c_fd;
       close_fd c.c_fd;
+      Hashtbl.remove t.by_fd c.c_fd;
       Hashtbl.remove t.conns c.c_id)
     victims
 
 let readable_conn t c =
-  (not c.c_dead) && (not c.c_read_eof) && (not t.draining)
+  (not c.c_dead) && (not c.c_read_eof) && (not (draining t))
   && c.c_out_bytes <= t.config.write_bound
   && t.inboxed < t.config.inbox_bound
+
+(* Reconcile the poller's interest set with the loop state: the listener
+   accepts while there is budget (and no active EMFILE backoff), a
+   connection reads under the layered backpressure bounds and writes
+   while reply bytes are queued. Only changed interests reach the
+   poller — O(changes), which is what lets the epoll backend skip the
+   O(n) per-iteration registration cost select pays. *)
+let update_interest t ~now =
+  (match t.listen with
+  | Some listen when not t.listener_closed ->
+      let want =
+        (not (draining t))
+        && Hashtbl.length t.conns < t.max_conns
+        && now >= t.accept_backoff_until
+      in
+      if want <> t.listener_armed then begin
+        Poller.set t.poller listen ~read:want ~write:false;
+        t.listener_armed <- want
+      end
+  | _ -> ());
+  Hashtbl.iter
+    (fun _ c ->
+      let want_r = readable_conn t c in
+      let want_w = (not c.c_dead) && c.c_out_bytes > 0 in
+      if want_r <> c.c_want_r || want_w <> c.c_want_w then begin
+        Poller.set t.poller c.c_fd ~read:want_r ~write:want_w;
+        c.c_want_r <- want_r;
+        c.c_want_w <- want_w
+      end)
+    t.conns
+
+let teardown t =
+  (* Close everything the loop owns; adopt_q fds that were never
+     registered are closed too (their peers see a reset, which is the
+     drain contract for connections that arrived after stop). *)
+  Mutex.lock t.adopt_lock;
+  Queue.iter close_fd t.adopt_q;
+  Queue.clear t.adopt_q;
+  Mutex.unlock t.adopt_lock;
+  Poller.remove t.poller t.wake_r;
+  close_fd t.wake_r;
+  close_fd t.wake_w;
+  Poller.close t.poller
 
 let step ?(timeout = 0.0) t =
   if t.stopped then false
   else begin
-    if t.draining && not t.listener_closed then begin
-      close_fd t.listen;
+    if draining t && not t.listener_closed then begin
+      (match t.listen with
+      | Some listen ->
+          Poller.remove t.poller listen;
+          close_fd listen
+      | None -> ());
+      t.listener_armed <- false;
       t.listener_closed <- true
     end;
     (* done? every connection drained and the engine queue empty *)
-    if t.draining && Hashtbl.length t.conns = 0 && t.inboxed = 0
+    if draining t && Hashtbl.length t.conns = 0 && t.inboxed = 0
        && t.sink.pending () = 0
+       && (Mutex.lock t.adopt_lock;
+           let empty = Queue.is_empty t.adopt_q in
+           Mutex.unlock t.adopt_lock;
+           empty)
     then begin
+      teardown t;
       t.stopped <- true;
       false
     end
     else begin
-      let readers = ref [] and writers = ref [] in
-      if (not t.draining) && Hashtbl.length t.conns < t.config.max_conns then
-        readers := [ t.listen ];
-      Hashtbl.iter
-        (fun _ c ->
-          if readable_conn t c then readers := c.c_fd :: !readers;
-          if (not c.c_dead) && c.c_out_bytes > 0 then
-            writers := c.c_fd :: !writers)
-        t.conns;
+      let now = Unix.gettimeofday () in
+      update_interest t ~now;
       let has_work =
         t.inboxed > 0 || t.sink.pending () > 0
         || Hashtbl.fold (fun _ c acc -> acc || c.c_dead) t.conns false
       in
-      let tmo = if has_work then 0.0 else timeout in
-      let rs, ws, _ =
-        if !readers = [] && !writers = [] && tmo = 0.0 then ([], [], [])
-        else
-          match Unix.select !readers !writers [] tmo with
-          | r -> r
-          | exception Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+      let tmo =
+        if has_work then 0.0
+        else if t.accept_backoff_until > now then
+          (* wake up in time to re-arm the listener *)
+          Float.min timeout (Float.max 0.001 (t.accept_backoff_until -. now))
+        else timeout
       in
-      if (not t.listener_closed) && List.memq t.listen rs then accept_ready t;
-      (* read in rotated order for fairness; only fds select marked ready *)
+      let events = Poller.wait t.poller ~timeout:tmo in
+      let accept_now = ref false in
       List.iter
-        (fun c -> if List.memq c.c_fd rs then read_ready t c)
+        (fun (fd, r, _w) ->
+          if fd = t.wake_r then drain_wake t
+          else
+            match t.listen with
+            | Some listen when fd = listen -> if r then accept_now := true
+            | _ -> ())
+        events;
+      if !accept_now && not t.listener_closed then accept_ready t;
+      adopt_offered t;
+      (* read in rotated order for fairness; only fds the poller marked
+         ready (readiness flags survive the detour through by_fd) *)
+      let ready_r = Hashtbl.create 16 in
+      List.iter
+        (fun (fd, r, _w) ->
+          if r then
+            match Hashtbl.find_opt t.by_fd fd with
+            | Some c -> Hashtbl.replace ready_r c.c_id ()
+            | None -> ())
+        events;
+      List.iter
+        (fun c -> if Hashtbl.mem ready_r c.c_id then read_ready t c)
         (rotated t);
       submit_frames t;
       route_replies t (t.sink.drain ());
-      (* flush every connection with queued bytes, not only the ones select
-         saw: replies generated this iteration postdate the select call *)
+      (* flush every connection with queued bytes, not only the ones the
+         poller saw: replies generated this iteration postdate the wait *)
       Hashtbl.iter
         (fun _ c -> if (not c.c_dead) && c.c_out_bytes > 0 then flush_out c)
         t.conns;
-      ignore ws;
       reap t;
       true
     end

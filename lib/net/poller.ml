@@ -1,0 +1,166 @@
+type backend = Select | Epoll
+
+(* --- C stubs (poller_stubs.c) --- *)
+
+external epoll_available : unit -> bool = "chaos_epoll_available"
+external epoll_create : unit -> int = "chaos_epoll_create"
+
+external epoll_ctl : int -> int -> int -> int -> unit = "chaos_epoll_ctl"
+(* epfd, op (0 add / 1 mod / 2 del), fd, interest mask (1 read / 2 write) *)
+
+external epoll_wait : int -> int -> (int * int) array = "chaos_epoll_wait"
+(* epfd, timeout ms -> (fd, ready mask) per ready descriptor *)
+
+external rlimit_nofile : unit -> int = "chaos_rlimit_nofile"
+
+(* On Unix a [Unix.file_descr] is the plain kernel int; the epoll backend
+   crosses the boundary with the identity (the stubs are only reachable on
+   Linux, where this holds). *)
+external int_of_fd : Unix.file_descr -> int = "%identity"
+external fd_of_int : int -> Unix.file_descr = "%identity"
+
+let available = function Select -> true | Epoll -> epoll_available ()
+
+let backend_name = function Select -> "select" | Epoll -> "epoll"
+
+let choose = function
+  | `Select -> Ok Select
+  | `Epoll ->
+      if available Epoll then Ok Epoll
+      else Error "epoll is not available on this platform (try --poller select)"
+  | `Auto -> Ok (if available Epoll then Epoll else Select)
+
+(* Headroom below the hard descriptor ceiling: the listener, the wake pipe,
+   stdio, the store segments and whatever else the process holds open. *)
+let fd_headroom = 64
+
+let default_max_conns = function
+  | Select ->
+      (* Unix.select is FD_SETSIZE-bound (1024 on the usual libcs)
+         regardless of the rlimit. *)
+      1024 - fd_headroom
+  | Epoll -> max 64 (rlimit_nofile () - fd_headroom)
+
+type select_state = {
+  (* fd -> (read interest, write interest) *)
+  interest : (Unix.file_descr, bool * bool) Hashtbl.t;
+}
+
+type epoll_state = {
+  epfd : int;
+  (* fd -> interest mask as registered with the kernel (1 read / 2 write);
+     interest-less fds are kept here with mask 0 but removed from the
+     kernel set, because epoll reports EPOLLHUP/EPOLLERR even for a
+     zero-event registration and a paused hung-up connection would spin. *)
+  masks : (int, int) Hashtbl.t;
+  mutable closed : bool;
+}
+
+type t = Sel of select_state | Ep of epoll_state
+
+let create = function
+  | Select -> Sel { interest = Hashtbl.create 64 }
+  | Epoll ->
+      if not (epoll_available ()) then
+        failwith "Poller.create: epoll is not available on this platform";
+      Ep { epfd = epoll_create (); masks = Hashtbl.create 64; closed = false }
+
+let backend = function Sel _ -> Select | Ep _ -> Epoll
+let name t = backend_name (backend t)
+
+let registered = function
+  | Sel s -> Hashtbl.length s.interest
+  | Ep e -> Hashtbl.length e.masks
+
+let mask_of ~read ~write = (if read then 1 else 0) lor (if write then 2 else 0)
+
+let set t fd ~read ~write =
+  match t with
+  | Sel s -> Hashtbl.replace s.interest fd (read, write)
+  | Ep e ->
+      let n = int_of_fd fd in
+      let mask = mask_of ~read ~write in
+      let old = Hashtbl.find_opt e.masks n in
+      if old <> Some mask then begin
+        (match (old, mask) with
+        | None, 0 | Some 0, 0 -> ()
+        | (None | Some 0), _ -> epoll_ctl e.epfd 0 n mask (* ADD *)
+        | Some _, 0 -> (
+            try epoll_ctl e.epfd 2 n 0 with Unix.Unix_error _ -> ()) (* DEL *)
+        | Some _, _ -> epoll_ctl e.epfd 1 n mask (* MOD *));
+        Hashtbl.replace e.masks n mask
+      end
+
+let remove t fd =
+  match t with
+  | Sel s -> Hashtbl.remove s.interest fd
+  | Ep e -> (
+      let n = int_of_fd fd in
+      match Hashtbl.find_opt e.masks n with
+      | None -> ()
+      | Some mask ->
+          Hashtbl.remove e.masks n;
+          if mask <> 0 then
+            (* The fd may already be closed (then the kernel dropped it
+               itself); EBADF/ENOENT here are not errors. *)
+            try epoll_ctl e.epfd 2 n 0 with Unix.Unix_error _ -> ())
+
+let wait t ~timeout =
+  let timeout = if timeout < 0.0 then 0.0 else timeout in
+  match t with
+  | Sel s ->
+      let readers = ref [] and writers = ref [] in
+      Hashtbl.iter
+        (fun fd (r, w) ->
+          if r then readers := fd :: !readers;
+          if w then writers := fd :: !writers)
+        s.interest;
+      if !readers = [] && !writers = [] && timeout = 0.0 then []
+      else begin
+        let rs, ws, _ =
+          match Unix.select !readers !writers [] timeout with
+          | r -> r
+          | exception Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+        in
+        (* one entry per ready fd, read/write flags merged *)
+        let ready = Hashtbl.create (List.length rs + List.length ws) in
+        List.iter (fun fd -> Hashtbl.replace ready fd (true, false)) rs;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt ready fd with
+            | Some (r, _) -> Hashtbl.replace ready fd (r, true)
+            | None -> Hashtbl.replace ready fd (false, true))
+          ws;
+        Hashtbl.fold (fun fd (r, w) acc -> (fd, r, w) :: acc) ready []
+      end
+  | Ep e ->
+      if e.closed then []
+      else begin
+        let ms =
+          (* round up so a 0.4 ms timeout does not busy-poll *)
+          if timeout = 0.0 then 0
+          else max 1 (int_of_float (Float.ceil (timeout *. 1000.0)))
+        in
+        let events = epoll_wait e.epfd ms in
+        Array.fold_left
+          (fun acc (n, ready) ->
+            (* The kernel folds EPOLLHUP/EPOLLERR into both directions
+               unconditionally; report only the directions the caller
+               registered interest in, like the select backend does. *)
+            let interest =
+              Option.value (Hashtbl.find_opt e.masks n) ~default:3
+            in
+            let m = ready land interest in
+            if m = 0 then acc
+            else (fd_of_int n, m land 1 <> 0, m land 2 <> 0) :: acc)
+          [] events
+      end
+
+let close = function
+  | Sel s -> Hashtbl.reset s.interest
+  | Ep e ->
+      if not e.closed then begin
+        e.closed <- true;
+        Hashtbl.reset e.masks;
+        try Unix.close (fd_of_int e.epfd) with Unix.Unix_error _ -> ()
+      end

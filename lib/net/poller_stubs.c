@@ -1,0 +1,132 @@
+/* C stubs behind lib/net/poller.ml: the Linux epoll backend and the
+ * RLIMIT_NOFILE probe. The file compiles on every POSIX platform; the
+ * epoll entry points are only reachable when chaos_epoll_available
+ * reports true (Linux), everywhere else they fail cleanly and the OCaml
+ * side falls back to the select backend. */
+
+#include <errno.h>
+#include <string.h>
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/signals.h>
+#include <caml/unixsupport.h>
+
+#include <sys/resource.h>
+
+CAMLprim value chaos_rlimit_nofile(value unit)
+{
+  struct rlimit rl;
+  long cur;
+  (void)unit;
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(1024);
+  if (rl.rlim_cur == RLIM_INFINITY) return Val_long(1 << 20);
+  cur = (long)rl.rlim_cur;
+  if (cur > (1 << 20)) cur = 1 << 20;
+  if (cur < 0) cur = 1024;
+  return Val_long(cur);
+}
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+CAMLprim value chaos_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value chaos_epoll_create(value unit)
+{
+  int fd;
+  (void)unit;
+  fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd == -1) uerror("epoll_create1", Nothing);
+  return Val_long(fd);
+}
+
+/* op: 0 = ADD, 1 = MOD, 2 = DEL; interest mask: 1 = read, 2 = write. */
+CAMLprim value chaos_epoll_ctl(value vep, value vop, value vfd, value vmask)
+{
+  struct epoll_event ev;
+  int op;
+  memset(&ev, 0, sizeof ev);
+  if (Long_val(vmask) & 1) ev.events |= EPOLLIN;
+  if (Long_val(vmask) & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = (int)Long_val(vfd);
+  switch (Long_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  if (epoll_ctl((int)Long_val(vep), op, (int)Long_val(vfd), &ev) == -1)
+    uerror("epoll_ctl", Nothing);
+  return Val_unit;
+}
+
+#define CHAOS_EPOLL_MAX_EVENTS 1024
+
+/* -> (fd, ready mask) array; ready mask: 1 = read, 2 = write, with
+ * hangup/error folded into both directions (the following read/write
+ * observes the actual condition). */
+CAMLprim value chaos_epoll_wait(value vep, value vtimeout_ms)
+{
+  CAMLparam2(vep, vtimeout_ms);
+  CAMLlocal2(arr, pair);
+  struct epoll_event evs[CHAOS_EPOLL_MAX_EVENTS];
+  int n, i;
+
+  caml_enter_blocking_section();
+  n = epoll_wait((int)Long_val(vep), evs, CHAOS_EPOLL_MAX_EVENTS,
+                 (int)Long_val(vtimeout_ms));
+  caml_leave_blocking_section();
+
+  if (n == -1) {
+    if (errno == EINTR) n = 0;
+    else uerror("epoll_wait", Nothing);
+  }
+  arr = caml_alloc(n, 0);
+  for (i = 0; i < n; i++) {
+    int mask = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP))
+      mask |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLHUP | EPOLLERR)) mask |= 2;
+    pair = caml_alloc_tuple(2);
+    Store_field(pair, 0, Val_long(evs[i].data.fd));
+    Store_field(pair, 1, Val_long(mask));
+    Store_field(arr, i, pair);
+  }
+  CAMLreturn(arr);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value chaos_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value chaos_epoll_create(value unit)
+{
+  (void)unit;
+  caml_failwith("epoll is not available on this platform");
+}
+
+CAMLprim value chaos_epoll_ctl(value vep, value vop, value vfd, value vmask)
+{
+  (void)vep; (void)vop; (void)vfd; (void)vmask;
+  caml_failwith("epoll is not available on this platform");
+}
+
+CAMLprim value chaos_epoll_wait(value vep, value vtimeout_ms)
+{
+  (void)vep; (void)vtimeout_ms;
+  caml_failwith("epoll is not available on this platform");
+}
+
+#endif

@@ -38,6 +38,11 @@ type t = {
   mutable experiments_stats : Json.t option;
       (* extra "experiments" block: the warm corpus's compliance tables as
          report-IR JSON *)
+  mutable shard_group : t list;
+      (* [] = standalone. Non-empty: this engine is one shard of the group
+         (itself included), and its stats replies report the union so a
+         client gets the same whole-service picture whichever shard
+         answers. *)
 }
 
 let create ~env ?(cache_capacity = 1024) ?(queue_capacity = 64) ?(batch = 8)
@@ -59,6 +64,7 @@ let create ~env ?(cache_capacity = 1024) ?(queue_capacity = 64) ?(batch = 8)
     now;
     store_stats = None;
     experiments_stats = None;
+    shard_group = [];
   }
 
 let metrics t = Metrics.snapshot t.metrics
@@ -71,6 +77,18 @@ let can_admit t = Queue.length t.queue < t.queue_capacity
 let shutdown t = Pipeline.Pool.shutdown t.pool
 let set_store_stats t fields = t.store_stats <- Some fields
 let set_experiments t j = t.experiments_stats <- Some j
+
+let link_shards ts =
+  (match ts with [] | [ _ ] -> invalid_arg "Engine.link_shards: >= 2 engines"
+   | _ -> ());
+  List.iter (fun t -> t.shard_group <- ts) ts
+
+let aggregate_metrics ts = Metrics.aggregate (List.map (fun t -> t.metrics) ts)
+
+let copy_cache src dst =
+  List.iter
+    (fun (k, v) -> Lru.add dst.cache k v)
+    (Lru.bindings_lru_first src.cache)
 
 (* --- verdict construction --- *)
 
@@ -312,7 +330,27 @@ let resolve_chain t (c : Protocol.check) =
   | None, None, None -> Error ("malformed_frame", "no chain source")
 
 let stats_json t =
-  let s = Metrics.snapshot t.metrics in
+  (* Sharded, the reply must describe the whole service, not whichever
+     shard the connection landed on: counters and histograms are the
+     cross-shard union, cache occupancy is summed, and a "shards" field
+     announces the group size. Standalone (the stdio path, --shards 1)
+     the reply bytes are exactly the ungrouped ones — no "shards" field. *)
+  let s, cache_block, shards_block =
+    match t.shard_group with
+    | [] ->
+        ( Metrics.snapshot t.metrics,
+          [ ("size", Json.Int (cache_size t));
+            ("capacity", Json.Int (cache_capacity t));
+            ("evictions", Json.Int (cache_evictions t)) ],
+          [] )
+    | group ->
+        let sum f = List.fold_left (fun acc g -> acc + f g) 0 group in
+        ( aggregate_metrics group,
+          [ ("size", Json.Int (sum cache_size));
+            ("capacity", Json.Int (sum cache_capacity));
+            ("evictions", Json.Int (sum cache_evictions)) ],
+          [ ("shards", Json.Int (List.length group)) ] )
+  in
   let store_block =
     match t.store_stats with
     | None -> []
@@ -330,11 +368,7 @@ let stats_json t =
       ("misses", Json.Int s.Metrics.misses);
       ("rejects", Json.Int s.Metrics.rejects);
       ("errors", Json.Int s.Metrics.errors);
-      ( "cache",
-        Json.Obj
-          [ ("size", Json.Int (cache_size t));
-            ("capacity", Json.Int (cache_capacity t));
-            ("evictions", Json.Int (cache_evictions t)) ] );
+      ( "cache", Json.Obj cache_block );
       ( "intern",
         (* The process-wide certificate intern table (distinct from the
            verdict LRU above): the LRU caches whole responses keyed by
@@ -371,7 +405,7 @@ let stats_json t =
                            else Json.String "inf" );
                          ("count", Json.Int count) ])
                    s.Metrics.buckets) ) ] ) ]
-    @ store_block @ experiments_block)
+    @ shards_block @ store_block @ experiments_block)
 
 let prepare t seen frame =
   match Protocol.of_frame frame with

@@ -78,6 +78,25 @@ val set_experiments : t -> Json.t -> unit
     rendered as report-IR JSON ([Report.to_json] per table) — appended to
     every stats reply after the store block. *)
 
+val link_shards : t list -> unit
+(** Declare the engines one shard group (>= 2, or [Invalid_argument]):
+    each member's [stats] replies then report the cross-shard union —
+    {!Metrics.aggregate} over every member, cache occupancy summed — plus
+    a ["shards"] field, so a client sees the whole service whichever
+    shard its connection landed on. Verdict processing is untouched: each
+    shard keeps its own queue, batcher, worker pool and LRU (an engine is
+    not thread-safe; sharing state across shard Domains is confined to
+    the Mutex-guarded {!Metrics} and the process-wide intern table). *)
+
+val aggregate_metrics : t list -> Metrics.snapshot
+(** {!Metrics.aggregate} over the engines' metric instances (the shutdown
+    summary for a sharded run). *)
+
+val copy_cache : t -> t -> unit
+(** [copy_cache src dst] replays [src]'s verdict-cache bindings into
+    [dst] (least-recently-used first, preserving recency) — how one
+    [--warm-store] pass fills every shard without recomputing. *)
+
 val admit : t -> string -> [ `Admitted | `Rejected of string ]
 (** Offer one raw frame to the admission queue. [`Rejected response] is
     returned (and counted) when the queue already holds [queue_capacity]

@@ -101,3 +101,11 @@ let keys_mru_first t =
         | Some node -> go (node.key :: acc) node.next
       in
       go [] t.head)
+
+let bindings_lru_first t =
+  with_lock t (fun () ->
+      let rec go acc = function
+        | None -> acc
+        | Some node -> go ((node.key, node.value) :: acc) node.next
+      in
+      go [] t.head)

@@ -34,3 +34,8 @@ val evictions : 'a t -> int
 
 val keys_mru_first : 'a t -> string list
 (** Current keys, most-recently-used first (for tests). *)
+
+val bindings_lru_first : 'a t -> (string * 'a) list
+(** Current (key, value) bindings, least-recently-used first — the order
+    to replay them into another cache so recency is preserved (how a
+    warmed shard-0 cache is replicated to its sibling shards). *)

@@ -92,39 +92,73 @@ let quantile histogram total max_ms q =
     go 0 0
   end
 
+(* Render raw counter state (already copied out from under any locks)
+   into a snapshot; shared by the single-instance and aggregated paths so
+   both derive quantiles the same way. *)
+let render ~requests ~checks ~hits ~misses ~rejects ~errors ~histogram
+    ~lat_count ~lat_sum_ms ~lat_max_ms =
+  {
+    requests;
+    checks;
+    hits;
+    misses;
+    rejects;
+    errors;
+    lat_count;
+    lat_mean_ms =
+      (if lat_count = 0 then 0.0 else lat_sum_ms /. Float.of_int lat_count);
+    lat_max_ms;
+    lat_p50_ms = quantile histogram lat_count lat_max_ms 0.5;
+    lat_p90_ms = quantile histogram lat_count lat_max_ms 0.9;
+    lat_p95_ms = quantile histogram lat_count lat_max_ms 0.95;
+    lat_p99_ms = quantile histogram lat_count lat_max_ms 0.99;
+    lat_p999_ms = quantile histogram lat_count lat_max_ms 0.999;
+    buckets =
+      List.init
+        (Array.length histogram)
+        (fun i ->
+          let bound =
+            if i < Array.length bounds_ms then bounds_ms.(i) else infinity
+          in
+          (bound, histogram.(i)));
+  }
+
 let snapshot t =
   Mutex.lock t.lock;
   let histogram = Array.copy t.histogram in
   let s =
-    {
-      requests = t.requests;
-      checks = t.checks;
-      hits = t.hits;
-      misses = t.misses;
-      rejects = t.rejects;
-      errors = t.errors;
-      lat_count = t.lat_count;
-      lat_mean_ms =
-        (if t.lat_count = 0 then 0.0
-         else t.lat_sum_ms /. Float.of_int t.lat_count);
-      lat_max_ms = t.lat_max_ms;
-      lat_p50_ms = quantile histogram t.lat_count t.lat_max_ms 0.5;
-      lat_p90_ms = quantile histogram t.lat_count t.lat_max_ms 0.9;
-      lat_p95_ms = quantile histogram t.lat_count t.lat_max_ms 0.95;
-      lat_p99_ms = quantile histogram t.lat_count t.lat_max_ms 0.99;
-      lat_p999_ms = quantile histogram t.lat_count t.lat_max_ms 0.999;
-      buckets =
-        List.init
-          (Array.length histogram)
-          (fun i ->
-            let bound =
-              if i < Array.length bounds_ms then bounds_ms.(i) else infinity
-            in
-            (bound, histogram.(i)));
-    }
+    render ~requests:t.requests ~checks:t.checks ~hits:t.hits
+      ~misses:t.misses ~rejects:t.rejects ~errors:t.errors ~histogram
+      ~lat_count:t.lat_count ~lat_sum_ms:t.lat_sum_ms ~lat_max_ms:t.lat_max_ms
   in
   Mutex.unlock t.lock;
   s
+
+let aggregate ts =
+  let requests = ref 0 and checks = ref 0 and hits = ref 0 in
+  let misses = ref 0 and rejects = ref 0 and errors = ref 0 in
+  let lat_count = ref 0 and lat_sum_ms = ref 0.0 and lat_max_ms = ref 0.0 in
+  let histogram = Array.make (Array.length bounds_ms + 1) 0 in
+  List.iter
+    (fun t ->
+      (* each instance is locked on its own; the union is not one atomic
+         cut across shards, but every counter in it is consistent *)
+      Mutex.lock t.lock;
+      requests := !requests + t.requests;
+      checks := !checks + t.checks;
+      hits := !hits + t.hits;
+      misses := !misses + t.misses;
+      rejects := !rejects + t.rejects;
+      errors := !errors + t.errors;
+      lat_count := !lat_count + t.lat_count;
+      lat_sum_ms := !lat_sum_ms +. t.lat_sum_ms;
+      if t.lat_max_ms > !lat_max_ms then lat_max_ms := t.lat_max_ms;
+      Array.iteri (fun i c -> histogram.(i) <- histogram.(i) + c) t.histogram;
+      Mutex.unlock t.lock)
+    ts;
+  render ~requests:!requests ~checks:!checks ~hits:!hits ~misses:!misses
+    ~rejects:!rejects ~errors:!errors ~histogram ~lat_count:!lat_count
+    ~lat_sum_ms:!lat_sum_ms ~lat_max_ms:!lat_max_ms
 
 let pp_summary fmt s =
   Format.fprintf fmt

@@ -49,5 +49,12 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
+val aggregate : t list -> snapshot
+(** The cross-shard view: counters and histograms summed, quantiles
+    recomputed from the merged histogram, mean weighted by count, max of
+    maxes. [aggregate [t]] equals [snapshot t]; [aggregate []] is the
+    all-zero snapshot. Each instance is read under its own lock (the
+    union is not a single atomic cut across shards). *)
+
 val pp_summary : Format.formatter -> snapshot -> unit
 (** The multi-line shutdown summary chaind prints to stderr. *)

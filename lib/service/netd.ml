@@ -1,4 +1,5 @@
 module Netloop = Chaoschain_net.Netloop
+module Poller = Chaoschain_net.Poller
 
 type addr = Unix_path of string | Tcp of string * int
 
@@ -102,25 +103,129 @@ let sink engine =
     overlong_reply = (fun () -> Engine.overlong_response engine);
   }
 
-let serve_listen ?config ~engine addr =
-  match listen_socket addr with
-  | Error _ as e -> e
-  | Ok listen ->
-      let loop = Netloop.create ?config ~listen (sink engine) in
-      let stop_on _ = Netloop.stop loop in
-      let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-      let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_on) in
-      let old_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_on) in
-      let restore () =
-        Sys.set_signal Sys.sigpipe old_pipe;
-        Sys.set_signal Sys.sigterm old_term;
-        Sys.set_signal Sys.sigint old_int;
-        match addr with
-        | Unix_path path ->
-            (try Unix.unlink path with Unix.Unix_error _ -> ())
-        | Tcp _ -> ()
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One SO_REUSEPORT listener per shard, so the kernel balances accepts
+   across the shard loops with no user-space dispatcher. TCP only, and
+   only where the option takes: any failure closes what was opened and
+   reports [None], sending the caller down the dispatcher path. *)
+let reuseport_group addr n =
+  match addr with
+  | Unix_path _ -> None (* SO_REUSEPORT does not apply to Unix sockets *)
+  | Tcp (host, port) ->
+      let make () =
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        match
+          Unix.setsockopt fd Unix.SO_REUSEADDR true;
+          Unix.setsockopt fd Unix.SO_REUSEPORT true;
+          Unix.bind fd (resolve host port);
+          Unix.listen fd 128
+        with
+        | () -> Some fd
+        | exception _ ->
+            close_quiet fd;
+            None
       in
-      (match Netloop.run loop with
-      | () -> restore ()
-      | exception e -> restore (); raise e);
-      Ok (Netloop.stats loop)
+      let rec go acc i =
+        if i = n then Some (List.rev acc)
+        else
+          match make () with
+          | Some fd -> go (fd :: acc) (i + 1)
+          | None ->
+              List.iter close_quiet acc;
+              None
+      in
+      go [] 0
+
+(* Run the shard loops to completion: loop 0 on this Domain, the rest on
+   spawned Domains, one set of signal handlers draining them all (stop is
+   Domain-safe). Every shard is joined before the sockets' address is
+   unlinked and the aggregated stats are returned. *)
+let run_loops loops addr =
+  let stop_all _ = List.iter Netloop.stop loops in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop_all) in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle stop_all) in
+  let restore () =
+    Sys.set_signal Sys.sigpipe old_pipe;
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigint old_int;
+    match addr with
+    | Unix_path path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ()
+  in
+  let domains =
+    List.map
+      (fun loop ->
+        Domain.spawn (fun () ->
+            match Netloop.run loop with
+            | () -> None
+            | exception e ->
+                (* a dead shard must not strand the others in [run] *)
+                stop_all ();
+                Some e))
+      (List.tl loops)
+  in
+  let main_exn =
+    match Netloop.run (List.hd loops) with
+    | () -> None
+    | exception e ->
+        stop_all ();
+        Some e
+  in
+  let first_exn =
+    List.fold_left
+      (fun acc d ->
+        match (acc, Domain.join d) with
+        | (Some _ as e), _ -> e
+        | None, e -> e)
+      main_exn domains
+  in
+  restore ();
+  match first_exn with
+  | Some e -> raise e
+  | None -> Ok (Netloop.aggregate_stats (List.map Netloop.stats loops))
+
+let serve_listen ?config ?(backend = Poller.Select) ~engines addr =
+  match engines with
+  | [] -> Error "serve_listen: at least one engine required"
+  | [ engine ] -> (
+      (* single shard: the PR-7 shape, one loop owning the listener *)
+      match listen_socket addr with
+      | Error _ as e -> e
+      | Ok listen ->
+          run_loops [ Netloop.create ?config ~backend ~listen (sink engine) ] addr)
+  | first :: rest as engines -> (
+      Engine.link_shards engines;
+      let n = List.length engines in
+      match reuseport_group addr n with
+      | Some listeners ->
+          run_loops
+            (List.map2
+               (fun engine listen ->
+                 Netloop.create ?config ~backend ~listen (sink engine))
+               engines listeners)
+            addr
+      | None -> (
+          (* shard 0 owns the one listener and deals accepted connections
+             round-robin; a shard that refuses (draining, budget spent)
+             forfeits its turn and shard 0 keeps the connection *)
+          match listen_socket addr with
+          | Error _ as e -> e
+          | Ok listen ->
+              let followers =
+                Array.of_list
+                  (List.map
+                     (fun engine -> Netloop.create ?config ~backend (sink engine))
+                     rest)
+              in
+              let rr = ref 0 in
+              let dispatch fd =
+                let target = !rr mod (Array.length followers + 1) in
+                incr rr;
+                target > 0 && Netloop.offer followers.(target - 1) fd
+              in
+              let loop0 =
+                Netloop.create ?config ~backend ~listen ~dispatch (sink first)
+              in
+              run_loops (loop0 :: Array.to_list followers) addr))

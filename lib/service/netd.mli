@@ -32,12 +32,32 @@ val sink : Engine.t -> Chaoschain_net.Netloop.sink
 
 val serve_listen :
   ?config:Chaoschain_net.Netloop.config ->
-  engine:Engine.t ->
+  ?backend:Chaoschain_net.Poller.backend ->
+  engines:Engine.t list ->
   addr ->
   (Chaoschain_net.Netloop.stats, string) result
-(** Run the event loop on [addr] until [SIGTERM]/[SIGINT] triggers the
-    graceful drain (stop accepting, flush in-flight batches and write
-    buffers, close). Ignores [SIGPIPE] for the process (client disconnects
-    must surface as [EPIPE], not kill chaind) and restores the previous
-    TERM/INT dispositions before returning. A Unix socket path is
-    unlinked on the way out. *)
+(** Run one event loop per engine on [addr] until [SIGTERM]/[SIGINT]
+    triggers the graceful drain of every shard (stop accepting and
+    adopting, flush in-flight batches and write buffers, close).
+
+    One engine: exactly the single-loop server, on the calling Domain.
+    Several: the engines are {!Engine.link_shards}-grouped and each runs
+    its own loop — shard 0 on the calling Domain, the rest on spawned
+    Domains, joined before returning. A TCP address gets one
+    [SO_REUSEPORT] listener per shard (kernel-balanced accepts) where the
+    option takes; a Unix-socket address — or a platform without the
+    option — gets a single listener on shard 0 whose accepted
+    connections are dealt round-robin to the other shards through
+    {!Chaoschain_net.Netloop.offer}. Verdict replies are byte-identical
+    at every shard count: shards share nothing that affects a verdict
+    (per-shard engines; only metrics and the intern table are shared,
+    both Mutex-guarded).
+
+    [backend] (default [Select]) must be available — resolve the user's
+    choice with {!Chaoschain_net.Poller.choose} first.
+
+    Ignores [SIGPIPE] for the process (client disconnects must surface as
+    [EPIPE], not kill chaind) and restores the previous TERM/INT
+    dispositions before returning. A Unix socket path is unlinked on the
+    way out. Returns the shards' stats summed
+    ({!Chaoschain_net.Netloop.aggregate_stats}). *)

@@ -217,6 +217,122 @@ let write_all fd s =
   in
   go 0
 
+(* --- poller conformance ---
+
+   One suite, every available backend: the two implementations must be
+   observationally interchangeable (level-triggered readiness, interest
+   masking, deregistration, timeout semantics) for netloop/loadgen to be
+   backend-agnostic. *)
+
+let available_backends =
+  List.filter Poller.available [ Poller.Select; Poller.Epoll ]
+
+let with_poller backend f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  let p = Poller.create backend in
+  Fun.protect
+    ~finally:(fun () ->
+      Poller.close p;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () -> f p a b)
+
+(* The events reported for [fd], folded into one (readable, writable). *)
+let ready_for fd events =
+  List.fold_left
+    (fun (ar, aw) (efd, r, w) ->
+      if efd = fd then (ar || r, aw || w) else (ar, aw))
+    (false, false) events
+
+let poller_transitions backend () =
+  with_poller backend @@ fun p a b ->
+  Poller.set p a ~read:true ~write:false;
+  Alcotest.(check int) "one registered" 1 (Poller.registered p);
+  Alcotest.(check (pair bool bool))
+    "idle: nothing readable" (false, false)
+    (ready_for a (Poller.wait p ~timeout:0.0));
+  write_all b "x";
+  Alcotest.(check (pair bool bool))
+    "readable, not writable (write interest off)" (true, false)
+    (ready_for a (Poller.wait p ~timeout:1.0));
+  (* still readable: level-triggered, the byte was not consumed *)
+  Alcotest.(check (pair bool bool))
+    "still readable" (true, false)
+    (ready_for a (Poller.wait p ~timeout:1.0));
+  Poller.set p a ~read:true ~write:true;
+  Alcotest.(check (pair bool bool))
+    "readable and writable" (true, true)
+    (ready_for a (Poller.wait p ~timeout:1.0));
+  (* consume the byte: only writability remains *)
+  ignore (Unix.read a (Bytes.create 8) 0 8);
+  Alcotest.(check (pair bool bool))
+    "drained: writable only" (false, true)
+    (ready_for a (Poller.wait p ~timeout:1.0));
+  (* a pending byte under write-only interest must not surface as read *)
+  write_all b "y";
+  Poller.set p a ~read:false ~write:true;
+  Alcotest.(check (pair bool bool))
+    "interest masks readiness" (false, true)
+    (ready_for a (Poller.wait p ~timeout:1.0));
+  (* no interest at all: silence, even with data pending *)
+  Poller.set p a ~read:false ~write:false;
+  Alcotest.(check (pair bool bool))
+    "no interest, no events" (false, false)
+    (ready_for a (Poller.wait p ~timeout:0.0))
+
+let poller_deregister backend () =
+  with_poller backend @@ fun p a b ->
+  Poller.set p a ~read:true ~write:false;
+  Poller.set p b ~read:true ~write:false;
+  Alcotest.(check int) "two registered" 2 (Poller.registered p);
+  write_all b "x";
+  (* deregister-then-close must be clean: no event for b afterwards, and
+     the removal of an already-closed fd is harmless *)
+  Poller.remove p b;
+  Unix.close b;
+  Poller.remove p b;
+  Alcotest.(check int) "one registered" 1 (Poller.registered p);
+  let events = Poller.wait p ~timeout:1.0 in
+  Alcotest.(check bool) "no events for the removed fd" false
+    (List.exists (fun (fd, _, _) -> fd = b) events);
+  Alcotest.(check (pair bool bool))
+    "survivor still reported" (true, false)
+    (ready_for a events);
+  Poller.remove p a;
+  Alcotest.(check int) "empty" 0 (Poller.registered p);
+  Alcotest.(check (list unit)) "no events at all" []
+    (List.map (fun _ -> ()) (Poller.wait p ~timeout:0.0))
+
+let poller_timeout backend () =
+  with_poller backend @@ fun p a b ->
+  Poller.set p a ~read:true ~write:false;
+  (* zero timeout: an immediate empty poll *)
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check (pair bool bool))
+    "zero-timeout poll" (false, false)
+    (ready_for a (Poller.wait p ~timeout:0.0));
+  Alcotest.(check bool) "zero timeout returns immediately" true
+    (Unix.gettimeofday () -. t0 < 0.5);
+  (* a positive timeout actually blocks when nothing is ready *)
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check (pair bool bool))
+    "idle wait times out empty" (false, false)
+    (ready_for a (Poller.wait p ~timeout:0.2));
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "waited >= 0.1s (got %.3f)" dt)
+    true (dt >= 0.1);
+  (* pending readiness preempts a long timeout *)
+  write_all b "x";
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check (pair bool bool))
+    "readiness preempts the timeout" (true, false)
+    (ready_for a (Poller.wait p ~timeout:10.0));
+  Alcotest.(check bool) "returned well before the timeout" true
+    (Unix.gettimeofday () -. t0 < 5.0)
+
 (* 40 connections, 5 frames each, every frame delivered in two halves with
    all connections interleaved between the halves: replies must come back on
    the right connection, in that connection's request order. *)
@@ -372,8 +488,99 @@ let netloop_engine_byte_identity () =
           Alcotest.(check int) "accepted" n s.Netloop.accepted;
           Alcotest.(check int) "frames" (2 * n) s.Netloop.frames))
 
+(* Two shards behind one listener (the dispatcher topology serve_listen
+   uses for Unix sockets): shard 0 owns the listener and deals every other
+   accepted connection to a second loop running on its own Domain, each
+   loop feeding its own engine. Every reply must still be byte-identical
+   to the serial [handle_frame] path, both loops must drain on stop, and
+   the aggregated stats must account for every connection and frame. *)
+let netloop_sharded_byte_identity () =
+  let env = Test_service.make_env () in
+  let e0 = Engine.create ~env () in
+  let e1 = Engine.create ~env () in
+  let serial = Engine.create ~env () in
+  Engine.link_shards [ e0; e1 ];
+  Fun.protect
+    ~finally:(fun () -> List.iter Engine.shutdown [ e0; e1; serial ])
+    (fun () ->
+      with_listener @@ fun path listen ->
+      let follower = Netloop.create (Netd.sink e1) in
+      let rr = ref 0 in
+      let dispatch fd =
+        let mine = !rr land 1 = 1 in
+        incr rr;
+        mine && Netloop.offer follower fd
+      in
+      let loop0 = Netloop.create ~listen ~dispatch (Netd.sink e0) in
+      let follower_domain = Domain.spawn (fun () -> Netloop.run follower) in
+      let n = 60 in
+      let frame i k =
+        Test_service.check_frame
+          ~id:(Printf.sprintf "conn%03d-%d" i k)
+          ~scenario:"fixture" ()
+      in
+      let expected i k = Engine.handle_frame serial (frame i k) in
+      let clients =
+        List.init n (fun i ->
+            let fd = dial path in
+            Unix.set_nonblock fd;
+            write_all fd (frame i 0 ^ "\n" ^ frame i 1 ^ "\n");
+            ignore (Netloop.step loop0);
+            { fd; buf = Buffer.create 4096; replies = [] })
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun cl -> try Unix.close cl.fd with Unix.Unix_error _ -> ())
+            clients)
+        (fun () ->
+          drive loop0 clients (fun () ->
+              List.for_all (fun cl -> List.length cl.replies = 2) clients);
+          List.iteri
+            (fun i cl ->
+              Alcotest.(check (list string))
+                (Printf.sprintf "connection %d byte-identical" i)
+                [ expected i 0; expected i 1 ]
+                (List.rev cl.replies))
+            clients;
+          Netloop.stop loop0;
+          Netloop.stop follower;
+          drive loop0 clients (fun () -> Netloop.finished loop0);
+          Domain.join follower_domain;
+          let s0 = Netloop.stats loop0 and s1 = Netloop.stats follower in
+          Alcotest.(check bool) "follower adopted connections" true
+            (s1.Netloop.accepted > 0);
+          let agg = Netloop.aggregate_stats [ s0; s1 ] in
+          Alcotest.(check int) "accepted across shards" n
+            agg.Netloop.accepted;
+          Alcotest.(check int) "frames across shards" (2 * n)
+            agg.Netloop.frames;
+          Alcotest.(check int) "no one left live" 0 agg.Netloop.live_conns;
+          (* linked engines advertise the group in stats replies *)
+          let stats_text = S.Json.to_string (Engine.stats_json e0) in
+          let contains hay needle =
+            let nl = String.length needle and hl = String.length hay in
+            let rec go i =
+              i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "stats carry the shard count" true
+            (contains stats_text "\"shards\":2")))
+
 let suite =
-  [ Alcotest.test_case "framing split everywhere" `Quick framing_every_split;
+  let per_backend name f =
+    List.map
+      (fun b ->
+        Alcotest.test_case
+          (Printf.sprintf "%s (%s)" name (Poller.backend_name b))
+          `Quick (f b))
+      available_backends
+  in
+  per_backend "poller readiness transitions" poller_transitions
+  @ per_backend "poller closed-fd deregistration" poller_deregister
+  @ per_backend "poller timeout semantics" poller_timeout
+  @ [ Alcotest.test_case "framing split everywhere" `Quick framing_every_split;
     Alcotest.test_case "framing multi-frame chunk" `Quick
       framing_multi_frame_chunk;
     Alcotest.test_case "framing overlong resume" `Quick
@@ -387,4 +594,6 @@ let suite =
     Alcotest.test_case "netloop disconnect survival" `Quick
       netloop_disconnect_survival;
     Alcotest.test_case "netloop engine 300-conn byte-identity" `Slow
-      netloop_engine_byte_identity ]
+      netloop_engine_byte_identity;
+    Alcotest.test_case "netloop sharded 2-loop byte-identity" `Slow
+      netloop_sharded_byte_identity ]
